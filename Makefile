@@ -1,0 +1,25 @@
+# Convenience targets for the Data Center Sprinting reproduction.
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+report:
+	python -m repro report REPORT.md
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; \
+		python $$ex > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

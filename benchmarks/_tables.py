@@ -1,0 +1,30 @@
+"""Shared pretty-printing helpers for the benchmark harness.
+
+Each ``bench_fig*.py`` module regenerates one figure of the paper and
+prints the same rows/series the figure plots (run with ``pytest -s`` to
+see them alongside the timing tables).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print one figure's data as an aligned text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print()
+    print(f"=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

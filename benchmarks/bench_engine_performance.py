@@ -1,0 +1,64 @@
+"""Engine throughput: how fast the simulator itself runs.
+
+Not a paper figure — a performance benchmark of the reproduction: a single
+controller step, one full 30-minute facility run, and an Oracle search.
+These numbers guard against performance regressions (the Fig. 9/10 sweeps
+run hundreds of full simulations).
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies import GreedyStrategy
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import (
+    oracle_for_trace,
+    run_simulation,
+    simulate_strategy,
+)
+from repro.workloads.ms_trace import default_ms_trace
+
+
+def bench_single_controller_step(benchmark):
+    """One control period on the full-size facility."""
+    dc = build_datacenter()
+    controller = dc.controller(GreedyStrategy())
+    clock = {"t": 0.0}
+
+    def step():
+        controller.step(2.0, clock["t"])
+        clock["t"] += 1.0
+
+    benchmark(step)
+    assert controller.history
+
+
+def bench_full_ms_run(benchmark):
+    """A complete 30-minute MS-trace run (1800 steps)."""
+    trace = default_ms_trace()
+    dc = build_datacenter()
+    result = benchmark.pedantic(
+        lambda: run_simulation(dc, trace, GreedyStrategy()),
+        rounds=3,
+        iterations=1,
+    )
+    # The run must stay fast enough that the strategy sweeps are cheap:
+    # comfortably more than 5k simulated seconds per wall-clock second.
+    mean_s = benchmark.stats.stats.mean
+    steps_per_second = len(trace) / mean_s
+    print(f"engine throughput: {steps_per_second:,.0f} simulated "
+          f"seconds per wall-clock second")
+    assert steps_per_second > 5_000
+    assert result.average_performance > 1.0
+
+
+def bench_oracle_search(benchmark):
+    """A five-candidate Oracle search over the MS trace."""
+    trace = default_ms_trace()
+    oracle = benchmark.pedantic(
+        lambda: oracle_for_trace(
+            trace, candidates=(2.0, 2.5, 3.0, 3.5, 4.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert oracle.achieved_performance > 1.5

@@ -1,0 +1,119 @@
+"""Extension strategies vs the paper's four (future work, Section V-A).
+
+Compares the adaptive (no-oracle) and optimization-based strategies against
+Greedy and the constant-bound Oracle on the Fig. 10b workload, and shows
+the adaptive strategy learning across repeated bursts.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.adaptive import (
+    AdaptivePredictionStrategy,
+    RecedingHorizonStrategy,
+)
+from repro.core.strategies import GreedyStrategy
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import (
+    build_upper_bound_table,
+    oracle_for_trace,
+    simulate_strategy,
+)
+from repro.workloads.traces import Trace
+from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+from _tables import print_table
+
+CANDIDATES = (2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+@lru_cache(maxsize=1)
+def _table():
+    return build_upper_bound_table(
+        burst_durations_min=(1.0, 5.0, 10.0, 15.0),
+        burst_degrees=(3.0, 3.4),
+        candidates=CANDIDATES,
+    )
+
+
+def compare_on_long_burst():
+    trace = generate_yahoo_trace(burst_degree=3.2, burst_duration_min=15)
+    cluster = build_datacenter().cluster
+    rows = [
+        (
+            "Greedy",
+            simulate_strategy(trace, GreedyStrategy()).average_performance,
+        ),
+        (
+            "AdaptivePrediction (no oracle)",
+            simulate_strategy(
+                trace, AdaptivePredictionStrategy(_table())
+            ).average_performance,
+        ),
+        (
+            "RecedingHorizon (true duration)",
+            simulate_strategy(
+                trace,
+                RecedingHorizonStrategy(
+                    cluster,
+                    predicted_burst_duration_s=trace.over_capacity_time_s(),
+                ),
+            ).average_performance,
+        ),
+        (
+            "Oracle (constant bound)",
+            oracle_for_trace(trace, candidates=CANDIDATES).achieved_performance,
+        ),
+    ]
+    return rows
+
+
+def adaptive_learning_curve():
+    """Per-episode performance over three identical bursts."""
+    episode = [0.7] * 400 + [3.0] * 600
+    trace = Trace(np.asarray(episode * 3 + [0.7] * 400, dtype=float), 1.0, "x3")
+    result = simulate_strategy(trace, AdaptivePredictionStrategy(_table()))
+    greedy = simulate_strategy(trace, GreedyStrategy())
+    rows = []
+    for e in range(3):
+        start = e * 1000 + 400
+        window = slice(start, start + 600)
+        rows.append(
+            (
+                e + 1,
+                float(greedy.served[window].mean()),
+                float(result.served[window].mean()),
+            )
+        )
+    return rows
+
+
+def bench_extension_strategies(benchmark):
+    """Future-work strategies on the Fig. 10b workload."""
+    _table()
+    rows = benchmark.pedantic(compare_on_long_burst, rounds=1, iterations=1)
+    print_table(
+        "Extensions — strategies on a 3.2x / 15-min burst",
+        ("strategy", "avg performance"),
+        rows,
+    )
+    by_name = dict(rows)
+    assert by_name["RecedingHorizon (true duration)"] > by_name["Greedy"]
+    assert by_name["AdaptivePrediction (no oracle)"] > by_name["Greedy"]
+
+
+def bench_adaptive_learning(benchmark):
+    """The adaptive strategy improves after its first observed burst."""
+    _table()
+    rows = benchmark.pedantic(adaptive_learning_curve, rounds=1, iterations=1)
+    print_table(
+        "Extensions — adaptive learning across repeated bursts",
+        ("episode", "Greedy served", "Adaptive served"),
+        rows,
+    )
+    # From the second episode on, the learned duration beats Greedy.
+    for episode, greedy_served, adaptive_served in rows[1:]:
+        assert adaptive_served > greedy_served

@@ -1,0 +1,55 @@
+"""Figure 2: the circuit-breaker trip curve (trip time vs overload).
+
+Regenerates the Bulletin 1489-A-style inverse-time curve the paper plots:
+the not-tripped hold region, the long-delay conventional-tripping region
+(trip time falling with the square of the overload), and the short-circuit
+instantaneous region.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.power.breaker import TripCurve
+
+from _tables import print_table
+
+#: Overload sweep of the figure's x-axis (fraction above rated).
+OVERLOAD_SWEEP = (0.02, 0.05, 0.10, 0.20, 0.30, 0.60, 1.00, 2.00, 4.00, 4.50)
+
+
+def compute_trip_curve():
+    """The (overload, trip time) series of Fig. 2."""
+    curve = TripCurve()
+    rows = []
+    for overload in OVERLOAD_SWEEP:
+        trip = curve.trip_time_s(overload)
+        region = (
+            "not tripped"
+            if math.isinf(trip)
+            else "short circuit"
+            if trip <= curve.instant_trip_time_s
+            else "long delay"
+        )
+        rows.append(
+            (
+                f"{overload * 100:.0f}%",
+                "inf" if math.isinf(trip) else f"{trip:.1f}",
+                region,
+            )
+        )
+    return rows
+
+
+def bench_fig2_trip_curve(benchmark):
+    """Regenerate and time the Fig. 2 trip-curve sweep."""
+    rows = benchmark(compute_trip_curve)
+    print_table(
+        "Fig. 2 — circuit breaker trip curve",
+        ("overload", "trip time (s)", "region"),
+        rows,
+    )
+    # Anchor points the paper reads off the curve (Section VII-D).
+    curve = TripCurve()
+    assert abs(curve.trip_time_s(0.60) - 60.0) < 1e-9
+    assert abs(curve.trip_time_s(0.30) - 240.0) < 1e-9

@@ -1,0 +1,74 @@
+"""Figure 5: monthly cost vs revenue of Data Center Sprinting.
+
+Regenerates both panels — U_t = 4U_0 (Fig. 5a) and U_t = 6U_0 (Fig. 5b) —
+with the paper's stress-test configuration: three 5-minute bursts a month
+whose magnitudes utilise 50 %, 75 % or 100 % of the additional cores, on
+the x-axis of maximum sprinting degree N.  Also recomputes the Section V-D
+worked example (the Fig. 1 workload earning ~$19 M/month at N = 4).
+"""
+
+from __future__ import annotations
+
+from repro.economics.analysis import fig5_analysis, monthly_revenue_for_trace
+from repro.economics.cost import CoreProvisioningCost
+from repro.workloads.ms_trace import default_ms_trace
+
+from _tables import print_table
+
+
+def compute_fig5(users_ratio):
+    """The Fig. 5 series for one panel, in $M/month."""
+    points = fig5_analysis(users_ratio=users_ratio)
+    by_degree = {}
+    for p in points:
+        row = by_degree.setdefault(p.max_sprinting_degree, {})
+        row["C"] = p.cost_usd / 1e6
+        row[f"R{int(p.utilization_fraction * 100)}"] = p.revenue_usd / 1e6
+    return [
+        (n, row["C"], row["R50"], row["R75"], row["R100"])
+        for n, row in sorted(by_degree.items())
+    ]
+
+
+def bench_fig5a_economics(benchmark):
+    """Fig. 5a: U_t = 4U_0."""
+    rows = benchmark(compute_fig5, 4.0)
+    print_table(
+        "Fig. 5a — cost vs revenue, U_t = 4 U_0 ($M/month)",
+        ("N", "C", "R50", "R75", "R100"),
+        rows,
+    )
+    # R100 at N=4 yields the paper's >$0.4M profit.
+    n4 = rows[-1]
+    assert n4[0] == 4.0
+    assert n4[4] - n4[1] > 0.4
+
+
+def bench_fig5b_economics(benchmark):
+    """Fig. 5b: U_t = 6U_0 (retention diluted over more users)."""
+    rows = benchmark(compute_fig5, 6.0)
+    print_table(
+        "Fig. 5b — cost vs revenue, U_t = 6 U_0 ($M/month)",
+        ("N", "C", "R50", "R75", "R100"),
+        rows,
+    )
+    rows_a = compute_fig5(4.0)
+    # Revenue at 6 U_0 never exceeds the 4 U_0 panel.
+    for a, b in zip(rows_a, rows):
+        assert b[4] <= a[4] + 1e-9
+
+
+def bench_fig1_workload_example(benchmark):
+    """Section V-D worked example: ~$19M/month from the Fig. 1 workload."""
+    trace = default_ms_trace()
+    revenue = benchmark(monthly_revenue_for_trace, trace)
+    cost = CoreProvisioningCost().monthly_cost_usd(4.0)
+    print_table(
+        "Sec. V-D example — Fig. 1 workload, N=4, U_t=4U_0",
+        ("quantity", "$M/month", "paper"),
+        [
+            ("sprinting revenue", revenue / 1e6, "~19"),
+            ("dark-core cost", cost / 1e6, "0.47"),
+        ],
+    )
+    assert revenue > 10 * cost

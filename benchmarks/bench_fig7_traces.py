@@ -1,0 +1,77 @@
+"""Figure 7: the MS and Yahoo workload traces.
+
+Regenerates both experiment traces and prints the statistics the paper
+quotes about them: the 30-minute window, the over-capacity ("real burst")
+time of ~16.2 minutes for the MS trace, peak demand above 3x, and the
+configurable Yahoo burst (degree 3.2, 15 minutes in Fig. 7b).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.ms_trace import default_ms_trace, generate_ms_trace
+from repro.workloads.traces import find_bursts
+from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+from _tables import print_table
+
+
+def trace_stats(trace):
+    return (
+        trace.name,
+        trace.duration_s / 60.0,
+        trace.peak,
+        trace.over_capacity_time_s() / 60.0,
+        len(find_bursts(trace)),
+    )
+
+
+def bench_fig7a_ms_trace(benchmark):
+    """Fig. 7a: the MS-style bursty trace."""
+    trace = benchmark(generate_ms_trace)
+    stats = trace_stats(trace)
+    print_table(
+        "Fig. 7a — MS trace",
+        ("trace", "minutes", "peak", "burst min (paper: 16.2)", "bursts"),
+        [stats],
+    )
+    assert 15.0 <= stats[3] <= 18.5
+    assert stats[2] > 3.0
+
+
+def bench_fig7b_yahoo_trace(benchmark):
+    """Fig. 7b: the Yahoo trace with burst degree 3.2 / 15 minutes."""
+    trace = benchmark(
+        generate_yahoo_trace, burst_degree=3.2, burst_duration_min=15.0
+    )
+    stats = trace_stats(trace)
+    print_table(
+        "Fig. 7b — Yahoo trace (degree 3.2, 15 min)",
+        ("trace", "minutes", "peak", "burst min", "bursts"),
+        [stats],
+    )
+    assert 13.0 <= stats[3] <= 16.0
+    assert 2.8 <= stats[2] <= 3.6
+
+
+def bench_fig7_burst_sweep(benchmark):
+    """The burst configurations used across the Fig. 10 sweep."""
+
+    def sweep():
+        rows = []
+        for degree in (2.6, 3.0, 3.2, 3.6):
+            for duration in (1, 5, 10, 15):
+                trace = generate_yahoo_trace(
+                    burst_degree=degree, burst_duration_min=duration
+                )
+                rows.append(
+                    (degree, duration, trace.peak, trace.over_capacity_time_s() / 60.0)
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Fig. 7 — Yahoo burst sweep inputs",
+        ("degree", "duration (min)", "peak", "over-capacity (min)"),
+        rows,
+    )
+    assert len(rows) == 16

@@ -1,0 +1,129 @@
+"""Figure 9: the four strategies vs prediction quality on the MS trace.
+
+Regenerates the figure's series: average performance of Greedy, Prediction,
+Heuristic and Oracle as the estimation error sweeps from -100 % to +60 %.
+The errored quantity is the Prediction strategy's burst duration ``BDu_p``
+and the Heuristic strategy's best average degree ``SDe_p``
+(``value = real x (1 + error)``, Section VII-B); Greedy and Oracle need no
+estimates and are flat.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.strategies import (
+    FixedUpperBoundStrategy,
+    GreedyStrategy,
+    HeuristicStrategy,
+    PredictionStrategy,
+)
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import (
+    build_upper_bound_table,
+    oracle_for_trace,
+    simulate_strategy,
+)
+from repro.workloads.ms_trace import default_ms_trace, generate_ms_family_trace
+
+from _tables import print_table
+
+#: The figure's x-axis (-100 % to +60 %, as in the paper).
+ESTIMATION_ERRORS = (-1.0, -0.8, -0.6, -0.45, -0.3, -0.15, 0.0, 0.15, 0.3, 0.45, 0.6)
+
+#: Oracle candidate grid shared by the search and the table builder.
+CANDIDATES = (2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+@lru_cache(maxsize=1)
+def _context():
+    """Everything the sweep shares: trace, oracle, table, ground truth."""
+    trace = default_ms_trace()
+    oracle = oracle_for_trace(trace, candidates=CANDIDATES)
+    oracle_run = simulate_strategy(trace, FixedUpperBoundStrategy(oracle.upper_bound))
+    in_burst = oracle_run.demand > 1.0
+    true_best_degree = float(oracle_run.degrees[in_burst].mean())
+    true_duration_s = trace.over_capacity_time_s()
+    table = build_upper_bound_table(
+        burst_durations_min=(8.0, 12.0, 17.0, 23.0, 30.0, 45.0),
+        burst_degrees=(3.4,),
+        candidates=CANDIDATES,
+        trace_factory=lambda degree, dur_min: generate_ms_family_trace(
+            dur_min * 60.0
+        ),
+    )
+    greedy_perf = simulate_strategy(trace, GreedyStrategy()).average_performance
+    cluster = build_datacenter().cluster
+    return (
+        trace,
+        oracle,
+        table,
+        true_best_degree,
+        true_duration_s,
+        greedy_perf,
+        cluster,
+    )
+
+
+def evaluate_error(error):
+    """One x-axis point: (prediction perf, heuristic perf)."""
+    trace, _, table, sde_true, bdu_true, _, cluster = _context()
+    prediction = PredictionStrategy(
+        table,
+        predicted_burst_duration_s=max(0.0, bdu_true * (1.0 + error)),
+        max_degree=4.0,
+    )
+    heuristic = HeuristicStrategy(
+        estimated_best_degree=max(0.0, sde_true * (1.0 + error)),
+        additional_power_fn=cluster.additional_power_at_degree_w,
+    )
+    return (
+        simulate_strategy(trace, prediction).average_performance,
+        simulate_strategy(trace, heuristic).average_performance,
+    )
+
+
+def bench_fig9_strategies(benchmark):
+    """Regenerate Fig. 9 (timing one error evaluation)."""
+    _context()  # warm the shared cache outside the timed region
+    benchmark.pedantic(evaluate_error, args=(0.0,), rounds=3, iterations=1)
+
+    trace, oracle, _, sde_true, bdu_true, greedy_perf, _ = _context()
+    rows = []
+    for error in ESTIMATION_ERRORS:
+        pred_perf, heur_perf = evaluate_error(error)
+        rows.append(
+            (
+                f"{error * 100:+.0f}%",
+                greedy_perf,
+                pred_perf,
+                heur_perf,
+                oracle.achieved_performance,
+            )
+        )
+    print_table(
+        "Fig. 9 — average performance vs estimation error (MS trace)",
+        ("error", "Greedy", "Prediction", "Heuristic", "Oracle"),
+        rows,
+    )
+    print(
+        f"(oracle bound {oracle.upper_bound:g}; true burst duration "
+        f"{bdu_true / 60:.1f} min; true best average degree {sde_true:.2f}; "
+        f"paper band: 1.62-1.76x)"
+    )
+
+    zero_idx = ESTIMATION_ERRORS.index(0.0)
+    zero_row = rows[zero_idx]
+    oracle_perf = oracle.achieved_performance
+    # At zero error both estimators land within a few percent of Oracle...
+    assert zero_row[2] >= oracle_perf * 0.94
+    assert zero_row[3] >= oracle_perf * 0.94
+    # ...and above (or equal to) Greedy.
+    assert zero_row[2] >= greedy_perf - 1e-9
+    assert zero_row[3] >= greedy_perf - 1e-9
+    # The Oracle (best *constant* bound) dominates to within a whisker —
+    # a dynamic bound with a perfect estimate may edge past it slightly.
+    for row in rows:
+        assert row[1] <= oracle_perf * 1.01
+        assert row[2] <= oracle_perf * 1.01
+        assert row[3] <= oracle_perf * 1.01

@@ -1,0 +1,77 @@
+"""How often can a facility sprint?  Post-burst recovery time.
+
+Section III-B: "The used battery capacity can be recharged later when the
+power demand is low."  The paper's burst budgets (10 free UPS discharges a
+month, occasional bursts) implicitly assume the stores recover between
+episodes.  This harness measures it: run the MS burst, then let the
+recharge planner refill the UPS and TES at a typical idle load, and report
+the facility-ready time.
+"""
+
+from __future__ import annotations
+
+from repro.cooling.recharge import RechargePlanner
+from repro.core.strategies import GreedyStrategy
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import run_simulation
+from repro.workloads.ms_trace import default_ms_trace
+
+from _tables import print_table
+
+#: Idle demand between bursts (fraction of peak-normal capacity).
+IDLE_DEMAND = 0.7
+
+
+def run_recovery():
+    """Sprint the MS trace, then recharge until both stores are full."""
+    dc = build_datacenter()
+    result = run_simulation(dc, default_ms_trace(), GreedyStrategy())
+
+    ups_after = dc.topology.pdu.ups.state_of_charge
+    tes_after = dc.cooling.tes.state_of_charge
+
+    planner = RechargePlanner(dc.topology, dc.cooling)
+    idle_it_w = dc.cluster.power_at_degree_w(IDLE_DEMAND)
+    idle_cooling_w = dc.cooling.chiller.cooling_overhead * idle_it_w
+    idle_feed_w = idle_it_w + idle_cooling_w
+
+    estimate_s = planner.time_to_ready_s(idle_feed_w, idle_it_w)
+
+    # Drive the planner to full, step by step, to validate the estimate.
+    elapsed = 0.0
+    dt = 10.0
+    while elapsed < 4 * 3600.0:
+        allocation = planner.plan(idle_feed_w, idle_it_w)
+        if allocation.total_electric_w <= 0.0:
+            break
+        planner.execute(allocation, dt)
+        elapsed += dt
+    return result, ups_after, tes_after, estimate_s, elapsed, dc
+
+
+def bench_post_burst_recovery(benchmark):
+    """Recovery time after the MS sprint at 70 % idle load."""
+    result, ups_after, tes_after, estimate_s, measured_s, dc = (
+        benchmark.pedantic(run_recovery, rounds=1, iterations=1)
+    )
+    print_table(
+        "Recovery — refilling the stores after the MS sprint",
+        ("quantity", "value"),
+        [
+            ("UPS state of charge after the sprint", f"{ups_after:.0%}"),
+            ("TES state of charge after the sprint", f"{tes_after:.0%}"),
+            ("planner's ready-time estimate", f"{estimate_s / 60:.0f} min"),
+            ("measured refill time (10 s steps)", f"{measured_s / 60:.0f} min"),
+            ("sprint-capable again within", f"{measured_s / 3600:.1f} h"),
+        ],
+    )
+    # The sprint drained the stores substantially...
+    assert ups_after < 0.3
+    assert tes_after < 0.1
+    # ...and both are full again within a few hours of idle operation —
+    # consistent with the paper's occasional-burst (<=10/month) budget.
+    assert dc.topology.pdu.ups.state_of_charge > 0.999
+    assert dc.cooling.tes.state_of_charge > 0.999
+    assert measured_s < 4 * 3600.0
+    # The analytic estimate is the right order of magnitude.
+    assert 0.3 * measured_s <= estimate_s <= 3.0 * measured_s

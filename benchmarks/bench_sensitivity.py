@@ -1,0 +1,106 @@
+"""Section VI-A sensitivity studies: DC headroom (0-20 %) and PUE.
+
+The paper states it sweeps the under-provisioned headroom from 0 to 20 % of
+peak-normal power (default 10 %) and tests different PUE values.  This
+harness regenerates both sweeps on the MS trace with the Greedy strategy,
+plus the with/without-TES ablation the design discussion calls out
+(Section V: facilities without TES still sprint, for shorter durations).
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies import GreedyStrategy
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.engine import simulate_strategy
+from repro.workloads.ms_trace import default_ms_trace
+
+from _tables import print_table
+
+HEADROOMS = (0.0, 0.05, 0.10, 0.15, 0.20)
+PUES = (1.2, 1.4, 1.53, 1.7, 1.9)
+
+
+def sweep_headroom():
+    trace = default_ms_trace()
+    return [
+        (
+            f"{h * 100:.0f}%",
+            simulate_strategy(
+                trace, GreedyStrategy(), DataCenterConfig(dc_headroom_fraction=h)
+            ).average_performance,
+        )
+        for h in HEADROOMS
+    ]
+
+
+def sweep_pue():
+    trace = default_ms_trace()
+    return [
+        (
+            pue,
+            simulate_strategy(
+                trace, GreedyStrategy(), DataCenterConfig(pue=pue)
+            ).average_performance,
+        )
+        for pue in PUES
+    ]
+
+
+def tes_ablation():
+    trace = default_ms_trace()
+    rows = []
+    for has_tes, label in ((True, "with TES"), (False, "without TES")):
+        result = simulate_strategy(
+            trace, GreedyStrategy(), DataCenterConfig(has_tes=has_tes)
+        )
+        rows.append(
+            (
+                label,
+                result.average_performance,
+                result.sprint_duration_s / 60.0,
+                result.peak_room_temperature_c,
+            )
+        )
+    return rows
+
+
+def bench_headroom_sweep(benchmark):
+    """DC headroom from 0 to 20 % of peak-normal power."""
+    rows = benchmark.pedantic(sweep_headroom, rounds=1, iterations=1)
+    print_table(
+        "Sensitivity — DC headroom (MS trace, Greedy)",
+        ("headroom", "avg performance"),
+        rows,
+    )
+    perfs = [r[1] for r in rows]
+    # More provisioned headroom can only help.
+    assert perfs[-1] >= perfs[0]
+    assert all(b >= a - 0.02 for a, b in zip(perfs, perfs[1:]))
+
+
+def bench_pue_sweep(benchmark):
+    """PUE from 1.2 to 1.9 (default 1.53)."""
+    rows = benchmark.pedantic(sweep_pue, rounds=1, iterations=1)
+    print_table(
+        "Sensitivity — PUE (MS trace, Greedy)",
+        ("PUE", "avg performance"),
+        rows,
+    )
+    perfs = [r[1] for r in rows]
+    # The effect is modest either way (see DESIGN.md: higher PUE scales
+    # both the infrastructure rating and the TES-shaveable chiller power).
+    assert max(perfs) - min(perfs) < 0.2
+
+
+def bench_tes_ablation(benchmark):
+    """With vs without the TES tank."""
+    rows = benchmark.pedantic(tes_ablation, rounds=1, iterations=1)
+    print_table(
+        "Ablation — thermal energy storage (MS trace, Greedy)",
+        ("configuration", "avg performance", "sprint (min)", "peak room (degC)"),
+        rows,
+    )
+    with_tes, without_tes = rows[0][1], rows[1][1]
+    assert with_tes > without_tes
+    # No TES: the room's thermal capacitance still allows a real sprint.
+    assert without_tes > 1.2

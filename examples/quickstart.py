@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: sprint a 10 MW data center through a bursty half hour.
+
+Builds the paper's default facility (180,000 servers, 48-core chips with 12
+cores normally active, PUE 1.53, distributed UPS, a 12-minute TES tank),
+replays the packaged MS-style workload trace, and prints what Data Center
+Sprinting achieved.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    GreedyStrategy,
+    build_datacenter,
+    default_ms_trace,
+    run_simulation,
+)
+
+
+def main() -> None:
+    datacenter = build_datacenter()
+    trace = default_ms_trace()
+
+    print(f"facility : {datacenter.cluster.n_servers:,} servers, "
+          f"{datacenter.cluster.peak_normal_power_w / 1e6:.1f} MW peak-normal IT")
+    print(f"workload : {trace.name}, {trace.duration_s / 60:.0f} minutes, "
+          f"peak demand {trace.peak:.2f}x of capacity, "
+          f"{trace.over_capacity_time_s() / 60:.1f} burst minutes")
+
+    result = run_simulation(datacenter, trace, GreedyStrategy())
+
+    print()
+    print(f"average performance improvement : "
+          f"{result.average_performance:.2f}x (vs no sprinting)")
+    print(f"sprint duration                 : "
+          f"{result.sprint_duration_s / 60:.1f} minutes")
+    print(f"peak sprinting degree           : {result.peak_degree:.2f} "
+          f"(of the chip maximum 4.0)")
+    print(f"demand dropped                  : "
+          f"{100 * result.drop_fraction:.1f}%")
+    print(f"peak room temperature           : "
+          f"{result.peak_room_temperature_c:.1f} degC "
+          f"(threshold {datacenter.cooling.room.threshold_c:.0f} degC)")
+
+    shares = result.energy_shares
+    print()
+    print("additional energy came from:")
+    print(f"  UPS batteries        {100 * shares['ups']:5.1f}%")
+    print(f"  TES tank             {100 * shares['tes']:5.1f}%")
+    print(f"  breaker tolerance    {100 * shares['cb']:5.1f}%")
+
+    tripped = (datacenter.topology.pdu.breaker.tripped
+               or datacenter.topology.dc_breaker.tripped)
+    print()
+    print(f"breakers tripped: {'YES (bug!)' if tripped else 'no'} — "
+          "sprinting stayed within every power and thermal limit")
+
+
+if __name__ == "__main__":
+    main()

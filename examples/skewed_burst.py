@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""A skewed burst: one tenant's racks light up, the rest idle.
+
+The paper evaluates an evenly-loaded facility; real bursts are lopsided —
+breaking news hits one service's PDU group.  This example runs the
+multi-group controller over an explicit four-group topology and shows the
+Section V-B coordination at work: the bursting group overloads its own
+breaker AND borrows the substation budget the idle groups are not using,
+while the children's sum always respects the parent bound.
+
+Run:  python examples/skewed_burst.py
+"""
+
+from repro.core.multigroup import build_multigroup
+
+DEMANDS = [3.0, 0.5, 0.5, 0.5]   # group 0 bursts; the rest idle
+DURATION_S = 900
+
+
+def main() -> None:
+    controller = build_multigroup(n_groups=4, servers_per_group=200)
+    own_rating = controller.topology.pdus[0].rated_power_w
+    print("four PDU groups of 200 servers; group 0 bursts to 3.0x while "
+          "groups 1-3 idle at 0.5x")
+    print(f"each PDU breaker rated {own_rating / 1e3:.2f} kW; substation "
+          f"rated {controller.topology.dc_breaker.rated_power_w / 1e3:.0f} kW")
+    print()
+
+    for t in range(DURATION_S):
+        controller.step(DEMANDS, float(t))
+
+    print("minute-by-minute, group 0 (the bursting group):")
+    print(f"  {'min':>4} {'degree':>7} {'served':>7} {'grid kW':>8} "
+          f"{'UPS kW':>7} {'over own rating?':>17}")
+    for m in range(0, DURATION_S // 60):
+        steps = controller.history[m * 60:(m + 1) * 60]
+        g0 = [s.groups[0] for s in steps]
+        degree = sum(g.degree for g in g0) / len(g0)
+        served = sum(g.served for g in g0) / len(g0)
+        grid = sum(g.grid_w for g in g0) / len(g0)
+        ups = sum(g.ups_w for g in g0) / len(g0)
+        over = "yes" if grid > own_rating else "no"
+        print(f"  {m:>4} {degree:>7.2f} {served:>7.2f} {grid / 1e3:>8.2f} "
+              f"{ups / 1e3:>7.2f} {over:>17}")
+
+    print()
+    tripped = controller.topology.dc_breaker.tripped or any(
+        p.breaker.tripped for p in controller.topology.pdus
+    )
+    print(f"breakers tripped: {'YES' if tripped else 'no'}")
+    socs = [p.ups.state_of_charge for p in controller.topology.pdus]
+    print("UPS state of charge per group: "
+          + ", ".join(f"{s:.0%}" for s in socs))
+    print("(only the bursting group's batteries discharged; the idle "
+          "groups lent grid budget, not energy)")
+
+
+if __name__ == "__main__":
+    main()

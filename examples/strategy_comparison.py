@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Comparing the four sprinting-degree strategies on a long burst.
+
+Greedy follows demand blindly; the Oracle searches the best constant upper
+bound with perfect knowledge; Prediction plans from a predicted burst
+duration through the Oracle-built upper-bound table (Eq. 1 of the paper);
+Heuristic steers an initial estimate by remaining-energy over
+remaining-time (Eqs. 2-3).  On a 15-minute 3.2x Yahoo burst the stored
+energy cannot cover Greedy's full-degree sprint, so the constrained
+strategies serve noticeably more of the burst.
+
+Run:  python examples/strategy_comparison.py
+"""
+
+from repro import (
+    GreedyStrategy,
+    HeuristicStrategy,
+    PredictionStrategy,
+    build_datacenter,
+    build_upper_bound_table,
+    generate_yahoo_trace,
+    oracle_for_trace,
+    simulate_strategy,
+)
+from repro.core.strategies import FixedUpperBoundStrategy
+
+BURST_DEGREE = 3.2
+BURST_DURATION_MIN = 15.0
+CANDIDATES = (2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+def main() -> None:
+    trace = generate_yahoo_trace(
+        burst_degree=BURST_DEGREE, burst_duration_min=BURST_DURATION_MIN
+    )
+    cluster = build_datacenter().cluster
+    print(f"workload: {BURST_DEGREE:g}x burst for "
+          f"{BURST_DURATION_MIN:g} minutes (Yahoo trace)")
+    print()
+
+    # Oracle: exhaustive search over constant upper bounds.
+    oracle = oracle_for_trace(trace, candidates=CANDIDATES)
+    print(f"oracle search picked upper bound {oracle.upper_bound:g} "
+          f"(capacity {cluster.capacity_at_degree(oracle.upper_bound):.2f}x)")
+
+    # Prediction: needs the Oracle-built table plus a duration estimate.
+    table = build_upper_bound_table(
+        burst_durations_min=(1.0, 5.0, 10.0, 15.0),
+        burst_degrees=(2.6, 3.0, 3.4),
+        candidates=CANDIDATES,
+    )
+    prediction = PredictionStrategy(
+        table,
+        predicted_burst_duration_s=trace.over_capacity_time_s(),
+        max_degree=4.0,
+    )
+
+    # Heuristic: needs the best-average-degree estimate; take the truth
+    # from an Oracle-bound run (zero estimation error).
+    oracle_run = simulate_strategy(
+        trace, FixedUpperBoundStrategy(oracle.upper_bound)
+    )
+    sde_true = float(oracle_run.degrees[oracle_run.demand > 1.0].mean())
+    heuristic = HeuristicStrategy(
+        estimated_best_degree=sde_true,
+        additional_power_fn=cluster.additional_power_at_degree_w,
+    )
+
+    strategies = [
+        ("Greedy", GreedyStrategy()),
+        ("Prediction", prediction),
+        ("Heuristic", heuristic),
+        ("Oracle", FixedUpperBoundStrategy(oracle.upper_bound)),
+    ]
+    print()
+    print(f"{'strategy':<12} {'avg perf':>9} {'dropped':>8} "
+          f"{'peak degree':>12} {'sprint min':>11}")
+    for name, strategy in strategies:
+        result = simulate_strategy(trace, strategy)
+        print(f"{name:<12} {result.average_performance:>8.2f}x "
+              f"{100 * result.drop_fraction:>7.1f}% "
+              f"{result.peak_degree:>12.2f} "
+              f"{result.sprint_duration_s / 60:>11.1f}")
+
+    print()
+    print("Greedy burns the stored energy at the inefficient full degree "
+          "and crashes mid-burst; the constrained strategies stretch the "
+          "same joules across the whole burst.")
+
+
+if __name__ == "__main__":
+    main()

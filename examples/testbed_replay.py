@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Replaying the paper's hardware-testbed experiment (Figs. 6 and 11).
+
+The rig: a server with two power inputs — a power strip behind a 232 W
+circuit breaker, and a UPS behind a relay.  Each second the controller
+either overloads the breaker (relay open) or shares the load with the UPS
+(relay closed).  Since the idle server power (273 W) already exceeds the
+breaker rating, the sprint starts immediately; the experiment measures how
+long each policy sustains the workload before the breaker trips.
+
+Run:  python examples/testbed_replay.py
+"""
+
+from repro.testbed import (
+    CbFirstPolicy,
+    ReservedTripTimePolicy,
+    no_ups_trip_time_s,
+    run_reserve_sweep,
+    run_sustained_time,
+    testbed_utilization_trace,
+)
+
+
+def main() -> None:
+    utilization = testbed_utilization_trace()
+    print("testbed: 232 W breaker, 273-428 W server, relay-switched UPS")
+    print(f"workload: Yahoo trace at burst degree 1 "
+          f"({utilization.duration_s / 60:.0f} minutes of CPU utilisation)")
+    print()
+
+    no_ups = no_ups_trip_time_s(utilization)
+    print(f"without the UPS the breaker trips after {no_ups:.0f} s "
+          "(the paper's rig: 65 s)")
+    print()
+
+    print("sustained time vs reserved trip time (Fig. 11b):")
+    sweep = run_reserve_sweep(utilization=utilization)
+    best = max(sweep, key=lambda p: p.ours_sustained_s)
+    for point in sweep:
+        marker = "  <- best" if point is best else ""
+        print(f"  reserve {point.reserved_trip_time_s:>5.0f} s : "
+              f"ours {point.ours_sustained_s:>5.0f} s | "
+              f"CB First {point.cb_first_sustained_s:>5.0f} s{marker}")
+
+    print()
+    gain = best.ours_sustained_s - best.cb_first_sustained_s
+    print(f"best reserve: {best.reserved_trip_time_s:.0f} s "
+          f"(paper: 30 s), beating CB First by {gain:.0f} s")
+    print(f"no-UPS trip time is {100 * no_ups / best.ours_sustained_s:.0f}% "
+          "of our sustained time (paper: 26%)")
+
+    # Show *why* the reserve helps: overload seconds at high server power.
+    print()
+    print("seconds the breaker was overloaded while the server drew >375 W:")
+    for reserve in (10.0, 30.0, 90.0):
+        result = run_sustained_time(
+            ReservedTripTimePolicy(reserve), utilization
+        )
+        print(f"  reserve {reserve:>3.0f} s : "
+              f"{result.overload_seconds_above(375.0):>4.0f} s of "
+              f"{result.cb_overload_seconds:.0f} s total overload")
+    print("(low-power overload buys disproportionally more time: halving "
+          "the overload quadruples the trip time)")
+
+
+if __name__ == "__main__":
+    main()

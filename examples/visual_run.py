@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Watch a sprint in the terminal: sparkline view of a full run.
+
+Renders the MS trace run — demand, served performance, and a phase ribbon
+(`.` idle, `1` breaker tolerance, `2` UPS, `3` TES) — plus the room
+temperature and battery state of charge over time.
+
+Run:  python examples/visual_run.py
+"""
+
+from repro import GreedyStrategy, build_datacenter, default_ms_trace, run_simulation
+from repro.viz import ascii_chart, render_run, sparkline
+
+WIDTH = 72
+
+
+def main() -> None:
+    datacenter = build_datacenter()
+    trace = default_ms_trace()
+    result = run_simulation(datacenter, trace, GreedyStrategy())
+
+    print(f"Data Center Sprinting on {trace.name} "
+          f"({trace.duration_s / 60:.0f} minutes)")
+    print()
+    print(render_run(result, width=WIDTH))
+    print()
+
+    temperatures = result.series("room_temperature_c")
+    print(f"room °C {sparkline(temperatures, WIDTH)}  "
+          f"(peak {temperatures.max():.1f} °C of 40 °C)")
+    ups = result.series("ups_w")
+    print(f"UPS MW  {sparkline(ups / 1e6, WIDTH)}  "
+          f"(peak {ups.max() / 1e6:.1f} MW)")
+    tes = result.series("tes_heat_w")
+    print(f"TES MW  {sparkline(tes / 1e6, WIDTH)}  "
+          f"(peak {tes.max() / 1e6:.1f} MW thermal)")
+    print()
+
+    print("sprinting degree over the run:")
+    print(ascii_chart(result.degrees, width=WIDTH, height=8,
+                      label="degree (1.0 normal ... 4.0 all cores)"))
+
+
+if __name__ == "__main__":
+    main()

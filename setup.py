@@ -1,0 +1,10 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` offline.
+
+The environment has no network and no `wheel` package, so the PEP-517
+editable path (which needs bdist_wheel) is unavailable; this shim lets pip
+fall back to `setup.py develop`.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""Data Center Sprinting — ICDCS 2015 reproduction.
+
+A production-quality Python implementation of *Data Center Sprinting:
+Enabling Computational Sprinting at the Data Center Level* (Zheng & Wang,
+ICDCS 2015): the three-phase sprinting controller, its four
+sprinting-degree strategies, and every substrate the paper depends on —
+circuit breakers, distributed UPS, PDUs, chiller/CRAC cooling, thermal
+energy storage, a lumped room thermal model, synthetic workload traces, a
+hardware-testbed emulator, and the cost/revenue economics.
+
+Quickstart::
+
+    from repro import (
+        GreedyStrategy, build_datacenter, default_ms_trace, run_simulation
+    )
+
+    dc = build_datacenter()
+    result = run_simulation(dc, default_ms_trace(), GreedyStrategy())
+    print(f"average performance improvement: "
+          f"{result.average_performance:.2f}x")
+"""
+
+from repro.core import (
+    AdaptivePredictionStrategy,
+    ControllerSettings,
+    ControlStep,
+    FixedUpperBoundStrategy,
+    GreedyStrategy,
+    HeuristicStrategy,
+    MultiGroupController,
+    OracleStrategy,
+    PowerCappingBaseline,
+    PredictionStrategy,
+    RecedingHorizonStrategy,
+    SprintPhase,
+    SprintingController,
+    SprintingStrategy,
+    UncontrolledSprinting,
+    UpperBoundTable,
+    build_multigroup,
+    oracle_search,
+)
+from repro.errors import (
+    BatteryDepletedError,
+    BreakerTrippedError,
+    ConfigurationError,
+    EnergyStorageError,
+    PowerSafetyError,
+    ReproError,
+    SimulationError,
+    TankDepletedError,
+    ThermalEmergencyError,
+)
+from repro.simulation import (
+    DataCenter,
+    DataCenterConfig,
+    DEFAULT_CONFIG,
+    SimulationResult,
+    build_datacenter,
+    build_upper_bound_table,
+    oracle_for_trace,
+    run_simulation,
+    simulate_strategy,
+)
+from repro.workloads import (
+    Trace,
+    default_ms_trace,
+    generate_ms_trace,
+    generate_yahoo_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivePredictionStrategy",
+    "BatteryDepletedError",
+    "BreakerTrippedError",
+    "MultiGroupController",
+    "PowerCappingBaseline",
+    "RecedingHorizonStrategy",
+    "build_multigroup",
+    "ConfigurationError",
+    "ControlStep",
+    "ControllerSettings",
+    "DEFAULT_CONFIG",
+    "DataCenter",
+    "DataCenterConfig",
+    "EnergyStorageError",
+    "FixedUpperBoundStrategy",
+    "GreedyStrategy",
+    "HeuristicStrategy",
+    "OracleStrategy",
+    "PowerSafetyError",
+    "PredictionStrategy",
+    "ReproError",
+    "SimulationError",
+    "SimulationResult",
+    "SprintPhase",
+    "SprintingController",
+    "SprintingStrategy",
+    "TankDepletedError",
+    "ThermalEmergencyError",
+    "Trace",
+    "UncontrolledSprinting",
+    "UpperBoundTable",
+    "__version__",
+    "build_datacenter",
+    "build_upper_bound_table",
+    "default_ms_trace",
+    "generate_ms_trace",
+    "generate_yahoo_trace",
+    "oracle_for_trace",
+    "oracle_search",
+    "run_simulation",
+    "simulate_strategy",
+]

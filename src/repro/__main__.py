@@ -1,0 +1,12 @@
+"""``python -m repro`` — the command-line entry point."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: exit quietly.
+        sys.exit(0)

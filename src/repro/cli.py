@@ -1,0 +1,276 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro info                     # the Section VI-A configuration
+    python -m repro quickstart               # one sprint on the MS trace
+    python -m repro uncontrolled             # the Fig. 8a disaster baseline
+    python -m repro strategies               # Greedy vs Oracle on both traces
+    python -m repro testbed                  # the Fig. 11 reserve sweep
+    python -m repro economics                # the Fig. 5 cost/revenue table
+    python -m repro sweep --headroom         # sensitivity sweeps
+    python -m repro sweep --pue
+
+Heavy figure regenerations (Figs. 9 and 10) live in the benchmark harness:
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.strategies import GreedyStrategy
+from repro.economics.analysis import fig5_analysis
+from repro.simulation.config import DEFAULT_CONFIG, DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import oracle_for_trace, simulate_strategy
+from repro.testbed.experiment import (
+    no_ups_trip_time_s,
+    run_reserve_sweep,
+    testbed_utilization_trace,
+)
+from repro.workloads.ms_trace import default_ms_trace
+from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+_ORACLE_GRID = (2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    config = DEFAULT_CONFIG
+    print("Section VI-A default configuration:")
+    print(f"  servers              : {config.n_servers:,} "
+          f"({config.n_pdus} PDUs x {config.servers_per_pdu})")
+    print(f"  chip                 : {config.total_cores} cores, "
+          f"{config.normal_cores} normally active, "
+          f"{config.core_power_w:g} W/core + "
+          f"{config.idle_chip_power_w:g} W idle")
+    print(f"  server power         : {config.peak_normal_server_power_w:g} W "
+          f"peak-normal (non-CPU {config.non_cpu_power_w:g} W)")
+    print(f"  facility IT power    : "
+          f"{config.peak_normal_it_power_w / 1e6:.1f} MW peak-normal")
+    print(f"  PUE                  : {config.pue:g}")
+    print(f"  DC headroom          : {config.dc_headroom_fraction:.0%}")
+    print(f"  UPS                  : {config.ups_capacity_ah:g} Ah per "
+          f"server (~6 min at peak-normal)")
+    print(f"  TES                  : {config.tes_runtime_min:g} min of "
+          f"peak-normal cooling load")
+    print(f"  trip-time reserve    : {config.reserve_trip_time_s:g} s")
+    print(f"  max sprinting degree : {config.max_sprinting_degree:g} "
+          f"(capacity ceiling "
+          f"{config.throughput_max_capacity:g}x)")
+    return 0
+
+
+def _cmd_quickstart(_args: argparse.Namespace) -> int:
+    trace = default_ms_trace()
+    result = simulate_strategy(trace, GreedyStrategy())
+    print(f"trace: {trace.name} "
+          f"({trace.over_capacity_time_s() / 60:.1f} burst minutes)")
+    summary = result.summary()
+    print(f"average performance : {summary['average_performance']:.2f}x")
+    print(f"dropped demand      : {100 * summary['drop_fraction']:.1f}%")
+    print(f"peak degree         : {summary['peak_degree']:.2f}")
+    print(f"energy split        : UPS {summary['ups_energy_share']:.0%} / "
+          f"TES {summary['tes_energy_share']:.0%} / "
+          f"CB {summary['cb_energy_share']:.0%}")
+    return 0
+
+
+def _cmd_uncontrolled(_args: argparse.Namespace) -> int:
+    trace = default_ms_trace()
+    dc = build_datacenter()
+    baseline = dc.uncontrolled()
+    for i, demand in enumerate(trace):
+        baseline.step(demand, float(i))
+    if baseline.trip_time_s is None:
+        print("no trip (unexpected for the MS trace)")
+        return 1
+    print(f"uncontrolled chip sprinting tripped a breaker at "
+          f"{baseline.trip_time_s:.0f} s "
+          f"({baseline.trip_time_s / 60:.1f} min; paper: 5 min 20 s)")
+    print("the facility went dark for the rest of the trace")
+    return 0
+
+
+def _cmd_strategies(_args: argparse.Namespace) -> int:
+    print(f"{'workload':<18} {'Greedy':>8} {'Oracle':>8} {'bound':>6}")
+    for name, trace in (
+        ("MS", default_ms_trace()),
+        ("Yahoo 3.2x/5min", generate_yahoo_trace(3.2, 5.0)),
+        ("Yahoo 3.2x/15min", generate_yahoo_trace(3.2, 15.0)),
+    ):
+        greedy = simulate_strategy(trace, GreedyStrategy())
+        oracle = oracle_for_trace(trace, candidates=_ORACLE_GRID)
+        print(f"{name:<18} {greedy.average_performance:>7.2f}x "
+              f"{oracle.achieved_performance:>7.2f}x "
+              f"{oracle.upper_bound:>6.1f}")
+    return 0
+
+
+def _cmd_testbed(_args: argparse.Namespace) -> int:
+    utilization = testbed_utilization_trace()
+    print(f"no-UPS trip: {no_ups_trip_time_s(utilization):.0f} s")
+    for point in run_reserve_sweep(utilization=utilization):
+        print(f"reserve {point.reserved_trip_time_s:>4.0f} s : "
+              f"ours {point.ours_sustained_s:>4.0f} s | "
+              f"CB First {point.cb_first_sustained_s:>4.0f} s")
+    return 0
+
+
+def _cmd_economics(_args: argparse.Namespace) -> int:
+    for users_ratio, label in ((4.0, "U_t = 4U_0"), (6.0, "U_t = 6U_0")):
+        print(f"{label} ($M/month):")
+        by_degree = {}
+        for p in fig5_analysis(users_ratio=users_ratio):
+            row = by_degree.setdefault(
+                p.max_sprinting_degree, {"C": p.cost_usd}
+            )
+            row[p.utilization_fraction] = p.revenue_usd
+        print(f"  {'N':>4} {'C':>6} {'R50':>6} {'R75':>6} {'R100':>6}")
+        for n, row in sorted(by_degree.items()):
+            print(f"  {n:>4.1f} {row['C'] / 1e6:>6.2f} "
+                  f"{row[0.5] / 1e6:>6.2f} {row[0.75] / 1e6:>6.2f} "
+                  f"{row[1.0] / 1e6:>6.2f}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.simulation.export import write_steps_csv, write_summary_json
+
+    trace = default_ms_trace()
+    result = simulate_strategy(trace, GreedyStrategy())
+    csv_path = write_steps_csv(result, args.csv)
+    print(f"wrote per-step telemetry to {csv_path}")
+    if args.json:
+        json_path = write_summary_json([result], args.json)
+        print(f"wrote summary to {json_path}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.simulation.planning import smallest_ups_for_target
+    from repro.workloads.library import generate_flash_crowd_trace
+
+    trace = generate_flash_crowd_trace(spike_magnitude=args.magnitude)
+    print(f"burst profile: flash crowd to {args.magnitude:g}x")
+    point = smallest_ups_for_target(trace, args.target)
+    if point is None:
+        print(f"no candidate battery reaches {args.target:g}x")
+        return 1
+    print(f"smallest battery for {args.target:g}x: "
+          f"{point.ups_capacity_ah:g} Ah per server "
+          f"({point.average_performance:.2f}x, "
+          f"{100 * point.drop_fraction:.1f}% dropped)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.simulation.reporting import (
+        collect_report_lines,
+        render_report,
+    )
+
+    from pathlib import Path
+
+    lines = collect_report_lines()
+    Path(args.path).write_text(render_report(lines))
+    held = sum(1 for line in lines if line.holds)
+    print(f"wrote {args.path}: {held}/{len(lines)} headline checks hold")
+    return 0 if held == len(lines) else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    trace = default_ms_trace()
+    if args.headroom:
+        print("DC headroom sweep (MS trace, Greedy):")
+        for headroom in (0.0, 0.05, 0.10, 0.15, 0.20):
+            result = simulate_strategy(
+                trace,
+                GreedyStrategy(),
+                DataCenterConfig(dc_headroom_fraction=headroom),
+            )
+            print(f"  {headroom:>5.0%} : {result.average_performance:.3f}x")
+    if args.pue:
+        print("PUE sweep (MS trace, Greedy):")
+        for pue in (1.2, 1.4, 1.53, 1.7, 1.9):
+            result = simulate_strategy(
+                trace, GreedyStrategy(), DataCenterConfig(pue=pue)
+            )
+            print(f"  {pue:>5.2f} : {result.average_performance:.3f}x")
+    if not args.headroom and not args.pue:
+        print("nothing to sweep: pass --headroom and/or --pue")
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data Center Sprinting (ICDCS 2015) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "info", help="print the Section VI-A configuration"
+    ).set_defaults(func=_cmd_info)
+    subparsers.add_parser(
+        "quickstart", help="one Greedy sprint on the MS trace"
+    ).set_defaults(func=_cmd_quickstart)
+    subparsers.add_parser(
+        "uncontrolled", help="the Fig. 8a disaster baseline"
+    ).set_defaults(func=_cmd_uncontrolled)
+    subparsers.add_parser(
+        "strategies", help="Greedy vs Oracle on both workloads"
+    ).set_defaults(func=_cmd_strategies)
+    subparsers.add_parser(
+        "testbed", help="the Fig. 11 reserved-trip-time sweep"
+    ).set_defaults(func=_cmd_testbed)
+    subparsers.add_parser(
+        "economics", help="the Fig. 5 cost/revenue table"
+    ).set_defaults(func=_cmd_economics)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sensitivity sweeps on the MS trace"
+    )
+    sweep.add_argument("--headroom", action="store_true",
+                       help="sweep the DC headroom 0-20%%")
+    sweep.add_argument("--pue", action="store_true",
+                       help="sweep the PUE 1.2-1.9")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    export = subparsers.add_parser(
+        "export", help="run the MS trace and export telemetry"
+    )
+    export.add_argument("csv", help="output CSV path (per-step telemetry)")
+    export.add_argument("--json", help="optional summary JSON path")
+    export.set_defaults(func=_cmd_export)
+
+    plan = subparsers.add_parser(
+        "plan", help="size the smallest UPS for a flash-crowd target"
+    )
+    plan.add_argument("--target", type=float, default=1.6,
+                      help="average-performance target (default 1.6x)")
+    plan.add_argument("--magnitude", type=float, default=3.2,
+                      help="flash-crowd spike magnitude (default 3.2x)")
+    plan.set_defaults(func=_cmd_plan)
+
+    report = subparsers.add_parser(
+        "report", help="run the headline experiments, write a Markdown report"
+    )
+    report.add_argument("path", help="output Markdown path")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

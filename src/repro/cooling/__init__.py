@@ -1,0 +1,47 @@
+"""Cooling substrate: chiller/CRAC plant, TES tank, room thermal model.
+
+Models the thermal side of Data Center Sprinting: cooling is provisioned for
+peak-normal load only, so sprinting heat either accumulates in the room
+(bounded by the Schneider-calibrated thermal mass) or is absorbed by the
+thermal energy storage tank in Phase 3.
+"""
+
+from repro.cooling.chiller import (
+    CHILLER_SHARE_OF_COOLING_POWER,
+    ChillerPlant,
+    CoolingStep,
+    DEFAULT_PUE,
+)
+from repro.cooling.crac import CoolingPlant
+from repro.cooling.free_cooling import (
+    Economizer,
+    FreeCooledPlant,
+    OutsideAirProfile,
+)
+from repro.cooling.recharge import RechargeAllocation, RechargePlanner
+from repro.cooling.tes import DEFAULT_TES_RUNTIME_MIN, TesTank
+from repro.cooling.thermal import (
+    CALIBRATION_MINUTES_TO_THRESHOLD,
+    CFD_SAFE_RESUME_MINUTES,
+    RoomThermalModel,
+    tes_activation_time_s,
+)
+
+__all__ = [
+    "CALIBRATION_MINUTES_TO_THRESHOLD",
+    "CFD_SAFE_RESUME_MINUTES",
+    "CHILLER_SHARE_OF_COOLING_POWER",
+    "ChillerPlant",
+    "CoolingPlant",
+    "CoolingStep",
+    "DEFAULT_PUE",
+    "DEFAULT_TES_RUNTIME_MIN",
+    "Economizer",
+    "FreeCooledPlant",
+    "OutsideAirProfile",
+    "RechargeAllocation",
+    "RechargePlanner",
+    "RoomThermalModel",
+    "TesTank",
+    "tes_activation_time_s",
+]

@@ -1,0 +1,113 @@
+"""Chiller-based CRAC cooling plant: electric power vs heat removed.
+
+The paper's facility uses a conventional chiller + CRAC plant whose electric
+draw is captured through the PUE abstraction of Pelley et al. [30]
+(Section VI-A): with PUE 1.53 counting only servers and cooling, removing
+``H`` watts of server heat at steady state costs ``(PUE - 1) * H`` watts of
+electricity.
+
+Within the cooling plant, the chiller proper accounts for two thirds of the
+electric draw and the auxiliaries (pumps, valves, CRAC fans) for the
+remaining third — the split behind the paper's claim (after Iyengar &
+Schmidt [16]) that discharging the TES instead of running the chiller saves
+"up to 2/3 of the cooling power" (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import require_fraction, require_non_negative, require_positive
+
+#: Fraction of cooling electric power consumed by the chiller proper;
+#: the remaining third powers pumps, valves and CRAC fans ([16], Sec V-C).
+CHILLER_SHARE_OF_COOLING_POWER = 2.0 / 3.0
+
+#: Default PUE considering only server and cooling power (Sec VI-A, [30]).
+DEFAULT_PUE = 1.53
+
+
+@dataclass(frozen=True)
+class CoolingStep:
+    """Outcome of one cooling-plant step.
+
+    Attributes
+    ----------
+    heat_via_chiller_w:
+        Heat removed by chiller-produced coolant this step (W thermal).
+    heat_via_tes_w:
+        Heat removed by TES-supplied coolant this step (W thermal).
+    electric_power_w:
+        Electric power drawn by the plant this step (W electric).
+    removal_w:
+        Total heat removal (``heat_via_chiller_w + heat_via_tes_w``).
+    """
+
+    heat_via_chiller_w: float
+    heat_via_tes_w: float
+    electric_power_w: float
+
+    @property
+    def removal_w(self) -> float:
+        """Total heat removed this step (W thermal)."""
+        return self.heat_via_chiller_w + self.heat_via_tes_w
+
+
+@dataclass
+class ChillerPlant:
+    """The chiller + CRAC plant of the facility.
+
+    Parameters
+    ----------
+    rated_removal_w:
+        Maximum heat the chiller loop can remove (W thermal).  Sized for the
+        facility's peak-normal IT power: cooling is *not* provisioned for
+        sprinting, which is exactly why Phase 3 needs the TES.
+    pue:
+        Power usage effectiveness (servers + cooling only).
+    chiller_share:
+        Fraction of cooling electric power attributable to the chiller
+        proper (defaults to 2/3).
+    """
+
+    rated_removal_w: float
+    pue: float = DEFAULT_PUE
+    chiller_share: float = CHILLER_SHARE_OF_COOLING_POWER
+
+    def __post_init__(self) -> None:
+        require_positive(self.rated_removal_w, "rated_removal_w")
+        require_positive(self.pue, "pue")
+        if self.pue < 1.0:
+            raise ConfigurationError(f"pue must be >= 1, got {self.pue!r}")
+        require_fraction(self.chiller_share, "chiller_share")
+
+    @property
+    def cooling_overhead(self) -> float:
+        """Electric watts per watt of heat removed through the chiller."""
+        return self.pue - 1.0
+
+    @property
+    def rated_electric_power_w(self) -> float:
+        """Electric draw when removing the rated heat load via the chiller."""
+        return self.cooling_overhead * self.rated_removal_w
+
+    def electric_power_w(
+        self, heat_via_chiller_w: float, heat_via_tes_w: float
+    ) -> float:
+        """Electric power for a given split of heat removal.
+
+        Heat routed through the chiller costs the full overhead; heat routed
+        through the TES costs only the auxiliary share (pumps and fans still
+        move the coolant, but the compressor is off for that fraction).
+        """
+        require_non_negative(heat_via_chiller_w, "heat_via_chiller_w")
+        require_non_negative(heat_via_tes_w, "heat_via_tes_w")
+        aux_share = 1.0 - self.chiller_share
+        return self.cooling_overhead * (
+            heat_via_chiller_w + aux_share * heat_via_tes_w
+        )
+
+    def max_chiller_heat_w(self) -> float:
+        """Heat-removal capacity of the chiller loop (W thermal)."""
+        return self.rated_removal_w

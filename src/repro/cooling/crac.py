@@ -1,0 +1,167 @@
+"""The facility cooling plant: chiller + CRAC loop + optional TES discharge.
+
+:class:`CoolingPlant` composes the :class:`~repro.cooling.chiller.ChillerPlant`
+steady-state power model, the :class:`~repro.cooling.tes.TesTank` and the
+:class:`~repro.cooling.thermal.RoomThermalModel` into the per-step object the
+sprinting controller talks to.
+
+Per-step contract (mirrors Section V-C):
+
+* Phases 1 & 2 — the chiller is *not* raised above its rating, so heat
+  beyond the rated removal accumulates in the room.
+* Phase 3 — the TES discharges: it absorbs heat first (replacing chiller
+  duty, saving 2/3 of the corresponding cooling power), the chiller covers
+  what the tank cannot, and the room heats only by whatever still remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cooling.chiller import ChillerPlant, CoolingStep, DEFAULT_PUE
+from repro.errors import ConfigurationError
+from repro.cooling.tes import TesTank
+from repro.cooling.thermal import RoomThermalModel
+from repro.units import require_non_negative, require_positive
+
+
+@dataclass
+class CoolingPlant:
+    """Complete cooling subsystem of the simulated facility.
+
+    Parameters
+    ----------
+    peak_normal_it_power_w:
+        Sizes the chiller, the room thermal calibration, and — if ``tes``
+        is not supplied — the tank.
+    pue:
+        Facility PUE (servers + cooling only).
+    chiller_margin:
+        Chiller heat-removal capacity as a multiple of the peak-normal IT
+        heat.  Cooling plants carry a design margin so a heated room can
+        actually be pulled back to setpoint after an excursion; without it
+        (margin 1.0) a room that ever reaches its threshold at full load
+        stays there forever.
+    tes:
+        The TES tank; ``None`` models a facility without TES (the paper
+        notes sprinting still works there, with shorter duration, thanks to
+        the room's thermal capacitance).
+    room:
+        The room thermal model (defaults to the calibrated lumped model).
+    """
+
+    peak_normal_it_power_w: float
+    pue: float = DEFAULT_PUE
+    chiller_margin: float = 1.15
+    tes: Optional[TesTank] = None
+    room: Optional[RoomThermalModel] = None
+
+    chiller: ChillerPlant = field(init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.peak_normal_it_power_w, "peak_normal_it_power_w")
+        require_positive(self.chiller_margin, "chiller_margin")
+        if self.chiller_margin < 1.0:
+            raise ConfigurationError(
+                f"chiller_margin must be >= 1, got {self.chiller_margin!r}"
+            )
+        self.chiller = ChillerPlant(
+            rated_removal_w=self.peak_normal_it_power_w * self.chiller_margin,
+            pue=self.pue,
+        )
+        if self.room is None:
+            self.room = RoomThermalModel(
+                peak_normal_it_power_w=self.peak_normal_it_power_w
+            )
+
+    @property
+    def has_tes(self) -> bool:
+        """Whether this facility is equipped with a TES tank."""
+        return self.tes is not None
+
+    @property
+    def normal_cooling_power_w(self) -> float:
+        """Electric cooling power at peak-normal IT load, chiller only."""
+        return self.chiller.cooling_overhead * self.peak_normal_it_power_w
+
+    def _recovery_heat_w(self) -> float:
+        """Extra chiller duty pulling a heated room back toward setpoint."""
+        excess_k = self.room.temperature_c - self.room.setpoint_c
+        if excess_k <= 0.0:
+            return 0.0
+        return (
+            self.room.heat_capacity_j_per_k * excess_k / self.room.recovery_tau_s
+        )
+
+    def _split(
+        self, it_heat_w: float, dt_s: float, use_tes: bool
+    ) -> CoolingStep:
+        """Compute one step's heat routing and electric power (pure)."""
+        heat_via_tes = 0.0
+        if use_tes and self.tes is not None:
+            heat_via_tes = min(
+                it_heat_w,
+                self.tes.available_absorption_w(),
+                self.tes.energy_j / dt_s,
+            )
+            heat_via_tes = max(0.0, heat_via_tes)
+        remaining = it_heat_w - heat_via_tes
+        heat_via_chiller = min(
+            remaining + self._recovery_heat_w(),
+            self.chiller.max_chiller_heat_w(),
+        )
+        electric = self.chiller.electric_power_w(heat_via_chiller, heat_via_tes)
+        return CoolingStep(
+            heat_via_chiller_w=heat_via_chiller,
+            heat_via_tes_w=heat_via_tes,
+            electric_power_w=electric,
+        )
+
+    def estimate(
+        self, it_heat_w: float, dt_s: float, use_tes: bool = False
+    ) -> CoolingStep:
+        """Predict one step's cooling split *without* mutating any state.
+
+        The sprinting controller needs the cooling electric power before it
+        can compute breaker budgets, but must not discharge the tank or move
+        the room temperature until the step is committed.  Computes the
+        identical split :meth:`step` will commit (same TES routing, same
+        room-recovery chiller duty).
+        """
+        require_non_negative(it_heat_w, "it_heat_w")
+        require_positive(dt_s, "dt_s")
+        return self._split(it_heat_w, dt_s, use_tes)
+
+    def step(
+        self,
+        it_heat_w: float,
+        dt_s: float,
+        use_tes: bool = False,
+        raise_on_emergency: bool = True,
+    ) -> CoolingStep:
+        """Run the plant for one step against ``it_heat_w`` of server heat.
+
+        Returns the realised :class:`~repro.cooling.chiller.CoolingStep`;
+        the room temperature is advanced as a side effect (and may raise
+        :class:`~repro.errors.ThermalEmergencyError`).
+        """
+        require_non_negative(it_heat_w, "it_heat_w")
+        require_positive(dt_s, "dt_s")
+
+        split = self._split(it_heat_w, dt_s, use_tes)
+        if split.heat_via_tes_w > 0.0:
+            self.tes.absorb(split.heat_via_tes_w, dt_s)
+        self.room.step(
+            heat_generation_w=it_heat_w,
+            heat_removal_w=split.removal_w,
+            dt_s=dt_s,
+            raise_on_emergency=raise_on_emergency,
+        )
+        return split
+
+    def reset(self) -> None:
+        """Refill the tank (if any) and return the room to setpoint."""
+        if self.tes is not None:
+            self.tes.reset()
+        self.room.reset()

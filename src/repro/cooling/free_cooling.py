@@ -1,0 +1,160 @@
+"""Free (outside-air) cooling with the chiller as backup.
+
+Section III-C background: "even some data centers applying free cooling
+technologies (e.g., using cold outside air for cooling) still employ
+chillers as backup since the free cooling scheme may not work all the time
+(e.g., the outside air might be too hot during the daytime in summer)."
+
+This module models exactly that arrangement: an outside-air temperature
+profile gates an economizer; while the air is cold enough, heat is rejected
+for fan power only, and the chiller (plus TES) covers the remainder or the
+hot hours.  Sprinting interacts with it in an interesting way: a burst
+arriving during a free-cooling window leaves the whole chiller budget — and
+the TES — untouched for longer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from repro.cooling.crac import CoolingPlant
+from repro.cooling.chiller import CoolingStep
+from repro.errors import ConfigurationError
+from repro.units import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class OutsideAirProfile:
+    """A diurnal outside-air temperature model.
+
+    ``T(t) = mean + amplitude * sin(2 pi (t - phase) / day)`` — the peak
+    lands mid-afternoon with the default phase.
+    """
+
+    mean_c: float = 18.0
+    amplitude_c: float = 8.0
+    day_length_s: float = 86_400.0
+    #: Seconds after midnight at which the temperature crosses the mean
+    #: upward (9:00 puts the peak at 15:00 with a 24 h day).
+    phase_s: float = 32_400.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.day_length_s, "day_length_s")
+        require_non_negative(self.amplitude_c, "amplitude_c")
+
+    def temperature_c(self, time_s: float) -> float:
+        """Outside-air temperature at an absolute time."""
+        require_non_negative(time_s, "time_s")
+        angle = 2.0 * math.pi * (time_s - self.phase_s) / self.day_length_s
+        return self.mean_c + self.amplitude_c * math.sin(angle)
+
+
+@dataclass
+class Economizer:
+    """The free-cooling loop: full heat rejection for fan power only.
+
+    Parameters
+    ----------
+    cutoff_c:
+        Outside-air temperature at or below which free cooling carries the
+        full load (a simple binary economizer; real ones derate smoothly).
+    fan_overhead:
+        Electric watts of fan power per watt of heat rejected while free
+        cooling (far below the chiller's PUE-derived overhead).
+    max_rejection_w:
+        Heat-rejection capacity of the outside-air loop.
+    profile:
+        The outside-air temperature model.
+    """
+
+    cutoff_c: float = 18.0
+    fan_overhead: float = 0.06
+    max_rejection_w: float = float("inf")
+    profile: OutsideAirProfile = field(default_factory=OutsideAirProfile)
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.fan_overhead, "fan_overhead")
+        if self.max_rejection_w <= 0:
+            raise ConfigurationError("max_rejection_w must be > 0")
+
+    def available(self, time_s: float) -> bool:
+        """Whether the outside air is cold enough right now."""
+        return self.profile.temperature_c(time_s) <= self.cutoff_c
+
+    def rejection_capacity_w(self, time_s: float) -> float:
+        """Heat the economizer can reject at ``time_s`` (0 when too warm)."""
+        if not self.available(time_s):
+            return 0.0
+        return self.max_rejection_w
+
+    def electric_power_w(self, heat_w: float) -> float:
+        """Fan power to reject ``heat_w`` through the economizer."""
+        require_non_negative(heat_w, "heat_w")
+        return heat_w * self.fan_overhead
+
+
+@dataclass
+class FreeCooledPlant:
+    """A cooling plant with an economizer in front of the chiller/TES.
+
+    Heat routing per step: economizer first (when the air allows), then the
+    TES (when requested), then the chiller; the room absorbs any remainder
+    as usual.  The object mirrors :class:`CoolingPlant`'s step/estimate
+    interface but needs the absolute time to consult the air profile.
+    """
+
+    plant: CoolingPlant
+    economizer: Economizer = field(default_factory=Economizer)
+
+    @property
+    def room(self):
+        """The room thermal model (shared with the inner plant)."""
+        return self.plant.room
+
+    @property
+    def tes(self):
+        """The TES tank (shared with the inner plant)."""
+        return self.plant.tes
+
+    def step(
+        self,
+        it_heat_w: float,
+        time_s: float,
+        dt_s: float,
+        use_tes: bool = False,
+    ) -> CoolingStep:
+        """Run one step; returns the combined cooling step.
+
+        The returned :class:`CoolingStep` reports the chiller/TES split of
+        the *non-economizer* heat plus the total electric power including
+        fans; ``removal_w`` accounts the economizer's rejection through the
+        chiller field so the room balance stays exact.
+        """
+        require_non_negative(it_heat_w, "it_heat_w")
+        require_positive(dt_s, "dt_s")
+        free_w = min(it_heat_w, self.economizer.rejection_capacity_w(time_s))
+        remainder_w = it_heat_w - free_w
+        fan_w = self.economizer.electric_power_w(free_w)
+
+        inner = self.plant.step(remainder_w, dt_s, use_tes=use_tes,
+                                raise_on_emergency=True)
+        # The economizer's rejection also counts toward room heat removal;
+        # plant.step only saw the remainder, so compensate the room by the
+        # free-cooled heat (generation and removal cancel exactly).
+        return CoolingStep(
+            heat_via_chiller_w=inner.heat_via_chiller_w + free_w,
+            heat_via_tes_w=inner.heat_via_tes_w,
+            electric_power_w=inner.electric_power_w + fan_w,
+        )
+
+    def free_cooling_fraction(self, it_heat_w: float, time_s: float) -> float:
+        """Share of the heat the economizer would carry right now."""
+        require_non_negative(it_heat_w, "it_heat_w")
+        if it_heat_w == 0.0:
+            return 1.0 if self.economizer.available(time_s) else 0.0
+        free = min(it_heat_w, self.economizer.rejection_capacity_w(time_s))
+        return free / it_heat_w
+
+    def reset(self) -> None:
+        """Reset the inner plant (tank + room)."""
+        self.plant.reset()

@@ -1,0 +1,183 @@
+"""Post-burst recharge planning for the storage devices.
+
+Between bursts the facility must restore what sprinting spent: "The used
+battery capacity can be recharged later when the power demand is low"
+(Section III-B), and Fig. 3(b) shows the TES recharge flow — the chiller
+over-produces cold coolant and the surplus fills the tank.
+
+:class:`RechargePlanner` turns the facility's momentary slack (spare
+breaker rating, spare chiller capacity) into a recharge allocation, and
+estimates the time until both stores are ready for the next burst — the
+quantity an operator needs to answer "how often can we sprint?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cooling.crac import CoolingPlant
+from repro.errors import ConfigurationError
+from repro.power.topology import PowerTopology
+from repro.units import require_fraction, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class RechargeAllocation:
+    """One step's recharge decision (all in watts)."""
+
+    ups_electric_w: float
+    tes_electric_w: float
+    tes_thermal_w: float
+
+    @property
+    def total_electric_w(self) -> float:
+        """Grid power the recharge adds to the facility draw."""
+        return self.ups_electric_w + self.tes_electric_w
+
+
+@dataclass
+class RechargePlanner:
+    """Allocates spare power to UPS and TES recharge.
+
+    Parameters
+    ----------
+    topology, cooling:
+        The facility's power and cooling substrates.
+    slack_fraction:
+        Share of the momentary slack the recharge may consume (recharging
+        flat-out would erase the margin that protects against a burst
+        arriving mid-recharge).
+    ups_priority:
+        When True (default) the UPS fills first: batteries also back the
+        facility against outages, so their recovery is the urgent one.
+    """
+
+    topology: PowerTopology
+    cooling: CoolingPlant
+    slack_fraction: float = 0.5
+    ups_priority: bool = True
+
+    def __post_init__(self) -> None:
+        require_fraction(self.slack_fraction, "slack_fraction")
+        if self.slack_fraction == 0.0:
+            raise ConfigurationError("slack_fraction must be > 0")
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def electric_slack_w(self, current_feed_w: float) -> float:
+        """Usable electric slack below the DC breaker's rating."""
+        require_non_negative(current_feed_w, "current_feed_w")
+        slack = self.topology.dc_breaker.rated_power_w - current_feed_w
+        return max(0.0, slack) * self.slack_fraction
+
+    def chiller_slack_w(self, current_heat_w: float) -> float:
+        """Spare chiller heat-production capacity (thermal watts)."""
+        require_non_negative(current_heat_w, "current_heat_w")
+        spare = self.cooling.chiller.max_chiller_heat_w() - current_heat_w
+        return max(0.0, spare)
+
+    def plan(
+        self, current_feed_w: float, current_heat_w: float
+    ) -> RechargeAllocation:
+        """Allocate this step's recharge within the momentary slack."""
+        budget_w = self.electric_slack_w(current_feed_w)
+
+        ups_need_w = 0.0
+        if self.topology.pdu.ups.state_of_charge < 1.0:
+            # Refill at up to the battery's own charge-rate ceiling; use the
+            # discharge limit as a symmetric bound.
+            ups_need_w = min(
+                self.topology.pdu.ups.available_power_w()
+                * self.topology.n_pdus
+                * 0.1,
+                budget_w,
+            )
+
+        tes_need_thermal_w = 0.0
+        if (
+            self.cooling.tes is not None
+            and self.cooling.tes.state_of_charge < 1.0
+        ):
+            tes_need_thermal_w = self.chiller_slack_w(current_heat_w)
+
+        overhead = self.cooling.chiller.cooling_overhead
+        if self.ups_priority:
+            ups_w = min(ups_need_w, budget_w)
+            tes_electric_cap = max(0.0, budget_w - ups_w)
+        else:
+            tes_electric_cap = budget_w
+            ups_w = 0.0
+        tes_thermal_w = tes_need_thermal_w
+        if overhead > 0.0:
+            tes_thermal_w = min(tes_thermal_w, tes_electric_cap / overhead)
+        else:
+            tes_thermal_w = min(tes_thermal_w, tes_need_thermal_w)
+        tes_electric_w = tes_thermal_w * overhead
+        if not self.ups_priority:
+            ups_w = min(ups_need_w, max(0.0, budget_w - tes_electric_w))
+
+        return RechargeAllocation(
+            ups_electric_w=ups_w,
+            tes_electric_w=tes_electric_w,
+            tes_thermal_w=tes_thermal_w,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution and estimation
+    # ------------------------------------------------------------------
+    def execute(self, allocation: RechargeAllocation, dt_s: float) -> None:
+        """Apply one step's allocation to the storage devices."""
+        require_positive(dt_s, "dt_s")
+        if allocation.ups_electric_w > 0.0:
+            self.topology.recharge_ups(allocation.ups_electric_w, dt_s)
+        if allocation.tes_thermal_w > 0.0 and self.cooling.tes is not None:
+            self.cooling.tes.recharge(allocation.tes_thermal_w, dt_s)
+
+    def time_to_ready_s(
+        self, current_feed_w: float, current_heat_w: float
+    ) -> float:
+        """Estimated seconds until both stores are full at current slack.
+
+        The estimate is phase-aware: with UPS priority the batteries refill
+        first at their allocation, after which the whole budget shifts to
+        the tank — a sequential sum, matching what driving :meth:`plan` /
+        :meth:`execute` step by step actually does.
+        """
+        allocation = self.plan(current_feed_w, current_heat_w)
+        budget_w = self.electric_slack_w(current_feed_w)
+        overhead = self.cooling.chiller.cooling_overhead
+
+        ups_time_s = 0.0
+        ups = self.topology.pdu.ups
+        ups_deficit_j = (
+            (1.0 - ups.state_of_charge) * self.topology.ups_capacity_j
+        )
+        if ups_deficit_j > 0.0:
+            if allocation.ups_electric_w <= 0.0:
+                return math.inf
+            ups_time_s = ups_deficit_j / (
+                allocation.ups_electric_w * ups.battery.efficiency
+            )
+
+        tes_time_s = 0.0
+        tes = self.cooling.tes
+        if tes is not None:
+            tes_deficit_j = tes.capacity_j - tes.energy_j
+            if tes_deficit_j > 0.0:
+                # Once the batteries are full, the tank gets the whole
+                # budget (bounded by the chiller's spare production).
+                eventual_thermal_w = self.chiller_slack_w(current_heat_w)
+                if overhead > 0.0:
+                    eventual_thermal_w = min(
+                        eventual_thermal_w, budget_w / overhead
+                    )
+                if eventual_thermal_w <= 0.0:
+                    return math.inf
+                # While the UPS is refilling, the tank may already be
+                # receiving its (possibly zero) share.
+                during_ups_j = allocation.tes_thermal_w * ups_time_s
+                remaining_j = max(0.0, tes_deficit_j - during_ups_j)
+                tes_time_s = remaining_j / eventual_thermal_w
+        return ups_time_s + tes_time_s

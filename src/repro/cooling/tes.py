@@ -1,0 +1,162 @@
+"""Thermal energy storage (TES) tank model.
+
+A TES tank stores cold material (chilled coolant or phase-change material)
+produced by the chiller ahead of time.  Discharging the tank lets the CRAC
+units draw more cold coolant than the chiller currently produces — enhancing
+cooling — or lets the chiller be turned down without losing cooling capacity
+(Fig. 3 of the paper).  Data Center Sprinting uses the TES in its third
+phase, both to absorb the extra sprinting heat and to shave chiller power
+off the DC-level breaker overload.
+
+Sizing follows Section VI-A (after Intel's emergency-cooling study [11]):
+the tank can carry the *entire* cooling load for 12 minutes while the
+servers consume their peak-normal power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TankDepletedError
+from repro.units import minutes, require_non_negative, require_positive
+
+#: Minutes of full cooling load the default tank holds (Section VI-A).
+DEFAULT_TES_RUNTIME_MIN = 12.0
+
+
+@dataclass
+class TesTank:
+    """A chilled-coolant tank tracked as stored *cooling energy* in joules.
+
+    One joule of stored cooling energy absorbs one joule of server heat when
+    discharged.  The discharge rate is bounded by the coolant loop's
+    transport capacity (``max_discharge_w``), sized so the tank can take
+    over the full cooling load of the facility it serves.
+
+    Parameters
+    ----------
+    capacity_j:
+        Thermal capacity of the tank in joules of absorbable heat.
+    max_discharge_w:
+        Maximum heat-absorption rate in watts (thermal).
+    """
+
+    capacity_j: float
+    max_discharge_w: float
+
+    #: Stored cooling energy in joules (starts full).
+    energy_j: float = field(init=False)
+    #: Total heat absorbed over the tank's life (J).
+    total_absorbed_j: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity_j, "capacity_j")
+        require_positive(self.max_discharge_w, "max_discharge_w")
+        self.energy_j = self.capacity_j
+
+    @classmethod
+    def sized_for(
+        cls,
+        peak_normal_it_power_w: float,
+        runtime_min: float = DEFAULT_TES_RUNTIME_MIN,
+        discharge_margin: float = 2.0,
+    ) -> "TesTank":
+        """Build the paper's default tank for a facility of the given size.
+
+        The tank holds ``runtime_min`` minutes of the heat emitted at
+        peak-normal IT power, and its loop can absorb heat at up to
+        ``discharge_margin`` times that power (so the tank remains
+        rate-unconstrained even at full sprinting degree, where IT heat can
+        reach ~2.6x of peak-normal).
+        """
+        require_positive(peak_normal_it_power_w, "peak_normal_it_power_w")
+        require_positive(runtime_min, "runtime_min")
+        require_positive(discharge_margin, "discharge_margin")
+        capacity = peak_normal_it_power_w * minutes(runtime_min)
+        return cls(
+            capacity_j=capacity,
+            max_discharge_w=peak_normal_it_power_w * discharge_margin,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def state_of_charge(self) -> float:
+        """Fraction of cooling energy still stored, in [0, 1]."""
+        return self.energy_j / self.capacity_j
+
+    @property
+    def is_empty(self) -> bool:
+        """True once effectively no cooling energy remains."""
+        return self.energy_j <= 1e-9
+
+    def runtime_at_load_s(self, heat_w: float) -> float:
+        """Seconds the tank can absorb a constant ``heat_w`` load."""
+        require_non_negative(heat_w, "heat_w")
+        if heat_w == 0.0:
+            return float("inf")
+        if heat_w > self.max_discharge_w:
+            return 0.0
+        return self.energy_j / heat_w
+
+    def available_absorption_w(self) -> float:
+        """Maximum heat-absorption rate available right now."""
+        if self.is_empty:
+            return 0.0
+        return self.max_discharge_w
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def absorb(self, heat_w: float, dt_s: float) -> float:
+        """Absorb exactly ``heat_w`` for ``dt_s``; returns joules absorbed.
+
+        Raises
+        ------
+        TankDepletedError
+            If the request exceeds the stored energy or the rate limit.
+        """
+        require_non_negative(heat_w, "heat_w")
+        require_positive(dt_s, "dt_s")
+        if heat_w == 0.0:
+            return 0.0
+        if heat_w > self.max_discharge_w * (1.0 + 1e-9):
+            raise TankDepletedError(
+                f"requested {heat_w:.0f} W exceeds the tank's "
+                f"{self.max_discharge_w:.0f} W absorption limit"
+            )
+        needed = heat_w * dt_s
+        if needed > self.energy_j + 1e-6:
+            raise TankDepletedError(
+                f"requested {needed:.0f} J but only {self.energy_j:.0f} J stored"
+            )
+        self._withdraw(needed)
+        return needed
+
+    def absorb_up_to(self, heat_w: float, dt_s: float) -> float:
+        """Best-effort absorption; returns the heat rate (W) actually taken."""
+        require_non_negative(heat_w, "heat_w")
+        require_positive(dt_s, "dt_s")
+        rate = min(heat_w, self.max_discharge_w, self.energy_j / dt_s)
+        rate = max(0.0, rate)
+        if rate > 0.0:
+            self._withdraw(rate * dt_s)
+        return rate
+
+    def recharge(self, cooling_power_w: float, dt_s: float) -> float:
+        """Store chiller over-production; returns joules stored (saturating)."""
+        require_non_negative(cooling_power_w, "cooling_power_w")
+        require_positive(dt_s, "dt_s")
+        stored = min(cooling_power_w * dt_s, self.capacity_j - self.energy_j)
+        self.energy_j += stored
+        return stored
+
+    def _withdraw(self, energy_j: float) -> None:
+        self.energy_j = max(0.0, self.energy_j - energy_j)
+        self.total_absorbed_j += energy_j
+
+    def reset(self) -> None:
+        """Refill the tank and clear counters."""
+        self.energy_j = self.capacity_j
+        self.total_absorbed_j = 0.0

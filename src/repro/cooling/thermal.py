@@ -1,0 +1,174 @@
+"""Lumped-capacitance thermal model of the data center room.
+
+The paper does not run its own CFD; it adopts the Schneider Electric Data
+Center Science Center study [22] of air-temperature rise after a chiller
+outage, whose headline result is: *if the chiller is resumed at the 5th
+minute, the temperature threshold is never reached*, for an
+absorption-generation gap equal to the facility's peak-normal server power.
+
+A single-node (lumped) model reproduces that behaviour: the room's air and
+equipment form one thermal mass ``C`` heated by the gap between heat
+generation and heat absorption.  We calibrate ``C`` so a gap equal to
+peak-normal IT power takes :data:`CALIBRATION_MINUTES_TO_THRESHOLD` minutes
+to push the room from its setpoint to the emergency threshold — slightly
+more than 5 minutes, so resuming cooling at minute 5 indeed keeps the room
+safe, with the small margin the CFD study shows.
+
+The controller's TES-activation rule (Section V-C) is also provided here:
+``t_TES = 5 min x peak-normal server power / max additional server power``,
+the conservative linear scaling the paper applies to the CFD result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ThermalEmergencyError
+from repro.units import minutes, require_non_negative, require_positive
+
+#: Room setpoint temperature (degC) — typical cold-aisle supply.
+DEFAULT_SETPOINT_C = 25.0
+
+#: Emergency threshold (degC) at which IT equipment must shut down.
+DEFAULT_THRESHOLD_C = 40.0
+
+#: Minutes for a gap equal to peak-normal IT power to raise the room from
+#: setpoint to threshold.  Slightly above 5 so the Schneider "resume at the
+#: 5th minute and the threshold is never reached" result holds with margin.
+CALIBRATION_MINUTES_TO_THRESHOLD = 5.8
+
+#: The CFD study's safe chiller-resumption deadline (minutes).
+CFD_SAFE_RESUME_MINUTES = 5.0
+
+
+def tes_activation_time_s(
+    peak_normal_it_power_w: float, max_additional_it_power_w: float
+) -> float:
+    """Phase-3 start time per the Section V-C rule.
+
+    The paper assumes the speed of temperature increase is proportional to
+    the additional server power, and scales the CFD study's 5-minute safe
+    window accordingly: ``5 min x peak-normal power / max additional power``
+    (using the *maximum* additional power as a conservative bound).
+    """
+    require_positive(peak_normal_it_power_w, "peak_normal_it_power_w")
+    require_non_negative(max_additional_it_power_w, "max_additional_it_power_w")
+    if max_additional_it_power_w <= 0.0:
+        return float("inf")
+    return (
+        minutes(CFD_SAFE_RESUME_MINUTES)
+        * peak_normal_it_power_w
+        / max_additional_it_power_w
+    )
+
+
+@dataclass
+class RoomThermalModel:
+    """Single-node thermal model of the machine-room air mass.
+
+    Parameters
+    ----------
+    peak_normal_it_power_w:
+        Facility peak-normal IT power; sets the calibration of the lumped
+        heat capacity.
+    setpoint_c / threshold_c:
+        Normal operating temperature and the emergency shutdown threshold.
+    recovery_tau_s:
+        Time constant with which spare cooling capacity pulls the room back
+        toward its setpoint.
+    """
+
+    peak_normal_it_power_w: float
+    setpoint_c: float = DEFAULT_SETPOINT_C
+    threshold_c: float = DEFAULT_THRESHOLD_C
+    recovery_tau_s: float = 300.0
+
+    #: Current room temperature (degC).
+    temperature_c: float = field(init=False)
+    #: Lumped heat capacity (J/K), derived in ``__post_init__``.
+    heat_capacity_j_per_k: float = field(init=False)
+    #: Peak temperature observed so far (degC).
+    peak_temperature_c: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.peak_normal_it_power_w, "peak_normal_it_power_w")
+        require_positive(self.recovery_tau_s, "recovery_tau_s")
+        if self.threshold_c <= self.setpoint_c:
+            raise ConfigurationError(
+                "threshold_c must exceed setpoint_c "
+                f"({self.threshold_c!r} <= {self.setpoint_c!r})"
+            )
+        rise_k = self.threshold_c - self.setpoint_c
+        time_s = minutes(CALIBRATION_MINUTES_TO_THRESHOLD)
+        self.heat_capacity_j_per_k = (
+            self.peak_normal_it_power_w * time_s / rise_k
+        )
+        self.temperature_c = self.setpoint_c
+        self.peak_temperature_c = self.setpoint_c
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def headroom_k(self) -> float:
+        """Kelvins between the current temperature and the threshold."""
+        return self.threshold_c - self.temperature_c
+
+    @property
+    def overheated(self) -> bool:
+        """True once the room has crossed the emergency threshold."""
+        return self.temperature_c >= self.threshold_c
+
+    def time_to_threshold_s(self, gap_w: float) -> float:
+        """Seconds until threshold if ``gap_w`` (gen - removal) persists."""
+        require_non_negative(gap_w, "gap_w")
+        if gap_w <= 0.0:
+            return float("inf")
+        return self.headroom_k * self.heat_capacity_j_per_k / gap_w
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        heat_generation_w: float,
+        heat_removal_w: float,
+        dt_s: float,
+        raise_on_emergency: bool = True,
+    ) -> float:
+        """Advance the room temperature one step; returns the new value.
+
+        When removal exceeds generation the surplus cools the room, but the
+        recovery toward the setpoint is first-order with
+        ``recovery_tau_s`` — a cold aisle does not snap back instantly.
+
+        Raises
+        ------
+        ThermalEmergencyError
+            If the threshold is crossed and ``raise_on_emergency`` is set.
+        """
+        require_non_negative(heat_generation_w, "heat_generation_w")
+        require_non_negative(heat_removal_w, "heat_removal_w")
+        require_positive(dt_s, "dt_s")
+
+        gap_w = heat_generation_w - heat_removal_w
+        if gap_w >= 0.0:
+            self.temperature_c += gap_w * dt_s / self.heat_capacity_j_per_k
+        else:
+            # Surplus removal: exponential relaxation toward the setpoint,
+            # never undershooting it.
+            excess = self.temperature_c - self.setpoint_c
+            if excess > 0.0:
+                decay = 1.0 - pow(2.718281828459045, -dt_s / self.recovery_tau_s)
+                cooling_capacity_k = -gap_w * dt_s / self.heat_capacity_j_per_k
+                self.temperature_c -= min(excess * decay, cooling_capacity_k)
+
+        self.peak_temperature_c = max(self.peak_temperature_c, self.temperature_c)
+        if raise_on_emergency and self.overheated:
+            raise ThermalEmergencyError(self.temperature_c, self.threshold_c)
+        return self.temperature_c
+
+    def reset(self) -> None:
+        """Return the room to its setpoint."""
+        self.temperature_c = self.setpoint_c
+        self.peak_temperature_c = self.setpoint_c

@@ -1,0 +1,197 @@
+"""Adaptive and optimization-based strategies: the paper's future work.
+
+Section V-A: "To further optimize the sprinting degree, we can develop more
+sophisticated strategies by integrating some recently proposed solutions
+for burst prediction ... and formulate optimization problems to minimize
+the performance degradation, which is our future work."  Two such
+strategies are implemented here:
+
+* :class:`AdaptivePredictionStrategy` — the Prediction strategy driven by a
+  *live* burst-duration estimator instead of an externally supplied
+  ``BDu_p``: it learns from completed bursts and stretches its estimate
+  when the running burst outlives the history.
+* :class:`RecedingHorizonStrategy` — an explicit optimization: each control
+  period it solves for the constant degree that maximizes the served-demand
+  integral over the remaining predicted burst given the remaining
+  additional-energy budget, and uses that degree as the upper bound.  With
+  a perfect duration estimate this is the online counterpart of the Oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.core.strategies import (
+    PredictionStrategy,
+    SprintingStrategy,
+    StrategyObservation,
+    UpperBoundTable,
+)
+from repro.errors import ConfigurationError
+from repro.servers.cluster import ServerCluster
+from repro.units import require_non_negative, require_positive
+from repro.workloads.forecasting import BurstDurationEstimator
+
+
+class AdaptivePredictionStrategy(PredictionStrategy):
+    """Prediction with an online burst-duration estimator.
+
+    Unlike :class:`~repro.core.strategies.PredictionStrategy`, no oracle
+    knowledge is required: ``BDu_p`` starts from the estimator's prior and
+    is refined as bursts complete.  Per-burst degree averaging resets
+    between bursts so Eq. 1's ``SDe_avg`` always refers to the running
+    episode.
+    """
+
+    name = "adaptive-prediction"
+
+    def __init__(
+        self,
+        table: UpperBoundTable,
+        estimator: Optional[BurstDurationEstimator] = None,
+        max_degree: float = 4.0,
+    ):
+        self.estimator = estimator or BurstDurationEstimator()
+        super().__init__(
+            table,
+            predicted_burst_duration_s=self.estimator.historical_mean_s,
+            max_degree=max_degree,
+        )
+        self._was_in_burst = False
+        self._elapsed_s = 0.0
+
+    def degree_upper_bound(self, obs: StrategyObservation) -> float:
+        """Refresh the live duration estimate, then defer to Prediction."""
+        if obs.in_burst:
+            self._elapsed_s = obs.time_in_burst_s
+            self.predicted_burst_duration_s = (
+                self.estimator.predict_total_duration_s(obs.time_in_burst_s)
+            )
+        elif self._was_in_burst:
+            if self._elapsed_s > 0.0:
+                self.estimator.record_completed_burst(self._elapsed_s)
+            self._elapsed_s = 0.0
+            # A fresh episode gets fresh SDe_avg bookkeeping.
+            self._degree_time_integral = 0.0
+            self._time_in_burst = 0.0
+            self.predicted_burst_duration_s = self.estimator.historical_mean_s
+        self._was_in_burst = obs.in_burst
+        return super().degree_upper_bound(obs)
+
+    def reset(self) -> None:
+        """Clear both the episode state and the learned history."""
+        super().reset()
+        self.estimator.reset()
+        self._was_in_burst = False
+        self._elapsed_s = 0.0
+
+
+class RecedingHorizonStrategy(SprintingStrategy):
+    """Optimal constant-degree planning over the remaining burst.
+
+    Every control period the strategy evaluates each candidate degree d:
+    sprinting at d serves ``min(capacity(d), demand)`` until either the
+    burst's predicted remainder R or the energy budget E runs out
+    (``t = min(R, E / P_extra(d))``), then falls back to normal capacity.
+    The value is the served integral
+
+        V(d) = min(cap(d), demand) * t + min(1, demand) * (R - t)
+
+    and the bound is the arg-max.  This is the "formulate optimization
+    problems to minimize the performance degradation" extension,
+    implemented as a receding-horizon controller.
+
+    Parameters
+    ----------
+    cluster:
+        Supplies the capacity curve and the degree-to-power mapping.
+    predicted_burst_duration_s:
+        ``BDu_p``; pass the true value for a zero-error evaluation or an
+        estimator's output for the adaptive variant.
+    estimator:
+        Optional online duration estimator; when given, it overrides the
+        fixed prediction as bursts are observed.
+    candidate_degrees:
+        The search grid.
+    """
+
+    name = "receding-horizon"
+
+    def __init__(
+        self,
+        cluster: ServerCluster,
+        predicted_burst_duration_s: float = 600.0,
+        estimator: Optional[BurstDurationEstimator] = None,
+        candidate_degrees: Optional[Sequence[float]] = None,
+    ):
+        require_positive(predicted_burst_duration_s, "predicted_burst_duration_s")
+        self.cluster = cluster
+        self.predicted_burst_duration_s = predicted_burst_duration_s
+        self.estimator = estimator
+        max_degree = cluster.throughput.max_degree
+        if candidate_degrees is None:
+            steps = 31
+            candidate_degrees = [
+                1.0 + (max_degree - 1.0) * i / (steps - 1) for i in range(steps)
+            ]
+        if not candidate_degrees:
+            raise ConfigurationError("candidate_degrees must be non-empty")
+        self.candidate_degrees = list(candidate_degrees)
+        self._budget_total_j = 0.0
+        self._was_in_burst = False
+        self._elapsed_s = 0.0
+
+    # The controller calls this at burst start with the snapshotted EB_tot.
+    def set_budget_scale(self, budget_total_j: float) -> None:
+        """Receive EB_tot (J) so the energy term has physical units."""
+        require_non_negative(budget_total_j, "budget_total_j")
+        self._budget_total_j = budget_total_j
+
+    def _predicted_remaining_s(self, obs: StrategyObservation) -> float:
+        total = self.predicted_burst_duration_s
+        if self.estimator is not None:
+            total = self.estimator.predict_total_duration_s(obs.time_in_burst_s)
+        return max(1.0, total - obs.time_in_burst_s)
+
+    def degree_upper_bound(self, obs: StrategyObservation) -> float:
+        """Arg-max of the served-integral objective over the degree grid."""
+        if obs.in_burst:
+            self._elapsed_s = obs.time_in_burst_s
+        elif self._was_in_burst:
+            if self.estimator is not None and self._elapsed_s > 0.0:
+                self.estimator.record_completed_burst(self._elapsed_s)
+            self._elapsed_s = 0.0
+        self._was_in_burst = obs.in_burst
+        if not obs.in_burst:
+            return obs.max_degree
+
+        remaining_s = self._predicted_remaining_s(obs)
+        energy_j = self._budget_total_j * max(
+            0.0, obs.budget_fraction_remaining
+        )
+        demand = obs.demand
+        baseline = min(1.0, demand)
+
+        best_degree = 1.0
+        best_value = -math.inf
+        for degree in self.candidate_degrees:
+            served = min(self.cluster.capacity_at_degree(degree), demand)
+            extra_w = self.cluster.additional_power_at_degree_w(degree)
+            if extra_w <= 0.0:
+                run_s = remaining_s
+            else:
+                run_s = min(remaining_s, energy_j / extra_w)
+            value = served * run_s + baseline * (remaining_s - run_s)
+            if value > best_value + 1e-12:
+                best_value = value
+                best_degree = degree
+        return min(best_degree, obs.max_degree)
+
+    def reset(self) -> None:
+        """Clear the episode plan (budget scale, elapsed time, estimator)."""
+        self._budget_total_j = 0.0
+        self._was_in_burst = False
+        self._elapsed_s = 0.0
+        if self.estimator is not None:
+            self.estimator.reset()

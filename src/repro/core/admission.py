@@ -1,0 +1,71 @@
+"""Admission control: the last resort when sprinting is not enough.
+
+Section V-A: "If the workload burst requires more cores than the data
+center has, or continues for a longer time than the sprinting duration, we
+have to deny part of the requests with admission control like [3], which is
+the last resort."  Revenue losses in the economics model are proportional
+to the dropped-request volume this controller records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission step (all values in normalised demand)."""
+
+    demand: float
+    served: float
+    dropped: float
+
+    @property
+    def drop_fraction(self) -> float:
+        """Share of this step's demand that was denied (0 when no demand)."""
+        if self.demand <= 0.0:
+            return 0.0
+        return self.dropped / self.demand
+
+
+@dataclass
+class AdmissionController:
+    """Serves demand up to capacity and accounts every dropped request.
+
+    Demand and capacity are in the trace's normalised units (1.0 = the
+    facility's peak-normal capacity); "requests" are demand-seconds.
+    """
+
+    #: Integral of served demand (demand-seconds).
+    served_integral: float = field(default=0.0, init=False)
+    #: Integral of dropped demand (demand-seconds).
+    dropped_integral: float = field(default=0.0, init=False)
+    #: Integral of offered demand (demand-seconds).
+    demand_integral: float = field(default=0.0, init=False)
+
+    def admit(self, demand: float, capacity: float, dt_s: float) -> AdmissionDecision:
+        """Admit one step of demand against the current capacity."""
+        require_non_negative(demand, "demand")
+        require_non_negative(capacity, "capacity")
+        require_positive(dt_s, "dt_s")
+        served = min(demand, capacity)
+        dropped = demand - served
+        self.served_integral += served * dt_s
+        self.dropped_integral += dropped * dt_s
+        self.demand_integral += demand * dt_s
+        return AdmissionDecision(demand=demand, served=served, dropped=dropped)
+
+    @property
+    def overall_drop_fraction(self) -> float:
+        """Cumulative share of offered demand that was dropped."""
+        if self.demand_integral <= 0.0:
+            return 0.0
+        return self.dropped_integral / self.demand_integral
+
+    def reset(self) -> None:
+        """Clear the accumulated integrals."""
+        self.served_integral = 0.0
+        self.dropped_integral = 0.0
+        self.demand_integral = 0.0

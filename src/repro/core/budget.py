@@ -1,0 +1,162 @@
+"""Energy-budget accounting for sprinting strategies.
+
+The Heuristic strategy (Section V-A) steers its sprinting-degree upper
+bound by the ratio of *remaining energy* to *remaining time*, where the
+total energy budget ``EB_tot`` is "the sum of stored energy and the
+additional energy delivered by overloading the CBs".
+
+Stored energy is straightforward (UPS joules, plus the chiller-electricity
+the TES displaces).  The CB term needs care: a breaker within its hold
+region sustains overload forever, so the deliverable energy is only finite
+over a *horizon*.  We use the overload schedule that exhausts the thermal
+trip budget exactly at the horizon (keeping the controller's reserve), which
+is the energy-optimal constant-overload plan — see
+:func:`cb_deliverable_energy_j`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cooling.crac import CoolingPlant
+from repro.power.breaker import CircuitBreaker
+from repro.power.topology import PowerTopology
+from repro.units import require_non_negative, require_positive
+
+#: Default planning horizon for CB-deliverable energy (15 minutes — the
+#: longest burst duration in the paper's sweeps).
+DEFAULT_BUDGET_HORIZON_S = 900.0
+
+
+def cb_deliverable_energy_j(
+    breaker: CircuitBreaker, horizon_s: float, reserve_s: float
+) -> float:
+    """Additional energy one breaker can pass over ``horizon_s`` seconds.
+
+    The plan: run at the constant overload ``o*`` whose (headroom-scaled)
+    trip time equals ``horizon_s + reserve_s``, so the trip budget is spent
+    exactly at the horizon while the reserve is preserved; if ``o*`` falls
+    inside the hold region, the hold-threshold overload is sustained for the
+    whole horizon instead (it never trips).
+    """
+    require_positive(horizon_s, "horizon_s")
+    require_non_negative(reserve_s, "reserve_s")
+    if breaker.tripped:
+        return 0.0
+    head = 1.0 - breaker.trip_fraction
+    if head <= 0.0:
+        return 0.0
+    curve = breaker.curve
+    # Constant overload whose remaining trip time is horizon + reserve.
+    o_star = curve.max_overload_for_trip_time((horizon_s + reserve_s) / head)
+    if o_star <= curve.hold_threshold + 1e-12:
+        # Hold region: sustained forever, bounded only by the horizon.
+        return breaker.rated_power_w * curve.hold_threshold * horizon_s
+    run_time = min(horizon_s, head * curve.trip_time_s(o_star) - reserve_s)
+    run_time = max(0.0, run_time)
+    return breaker.rated_power_w * o_star * run_time
+
+
+def tes_electric_equivalent_j(cooling: CoolingPlant) -> float:
+    """Chiller electricity the TES's stored cooling energy can displace.
+
+    Absorbing one joule of heat via the TES instead of the chiller saves
+    ``(PUE - 1) x chiller_share`` joules of electricity (Section V-C's
+    "up to 2/3 of the cooling power").
+    """
+    if cooling.tes is None:
+        return 0.0
+    saving_per_heat_j = cooling.chiller.cooling_overhead * cooling.chiller.chiller_share
+    return cooling.tes.energy_j * saving_per_heat_j
+
+
+@dataclass
+class EnergyBudget:
+    """Tracks the facility's additional-energy budget through a sprint.
+
+    Parameters
+    ----------
+    topology:
+        The power topology (provides UPS energy and both breaker levels).
+    cooling:
+        The cooling plant (provides the TES electric-equivalent term).
+    horizon_s:
+        Planning horizon for the CB-deliverable term.
+    reserve_s:
+        The controller's trip-time reserve (excluded from CB energy).
+    """
+
+    topology: PowerTopology
+    cooling: CoolingPlant
+    horizon_s: float = DEFAULT_BUDGET_HORIZON_S
+    reserve_s: float = 60.0
+
+    _snapshot_total_j: Optional[float] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.horizon_s, "horizon_s")
+        require_non_negative(self.reserve_s, "reserve_s")
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def ups_energy_j(self) -> float:
+        """Currently stored UPS energy, facility-wide."""
+        return self.topology.ups_energy_j
+
+    def tes_energy_j(self) -> float:
+        """Electric-equivalent of the TES's stored cooling energy."""
+        return tes_electric_equivalent_j(self.cooling)
+
+    def cb_energy_j(self) -> float:
+        """CB-deliverable additional energy over the horizon.
+
+        The binding constraint is whichever level runs out first; the two
+        levels stack imperfectly, so we take the *minimum* of the PDU-level
+        aggregate and the DC-level term — a conservative budget (the paper's
+        Heuristic only needs a consistent scalar).
+        """
+        pdu_total = (
+            cb_deliverable_energy_j(
+                self.topology.pdu.breaker, self.horizon_s, self.reserve_s
+            )
+            * self.topology.n_pdus
+        )
+        dc_total = cb_deliverable_energy_j(
+            self.topology.dc_breaker, self.horizon_s, self.reserve_s
+        )
+        return min(pdu_total, dc_total)
+
+    # ------------------------------------------------------------------
+    # Budget interface
+    # ------------------------------------------------------------------
+    def remaining_j(self) -> float:
+        """Additional energy available right now (EB(t))."""
+        return self.ups_energy_j() + self.tes_energy_j() + self.cb_energy_j()
+
+    def snapshot(self) -> float:
+        """Capture EB_tot at burst start; returns the captured value."""
+        self._snapshot_total_j = self.remaining_j()
+        return self._snapshot_total_j
+
+    @property
+    def total_j(self) -> float:
+        """EB_tot — the budget captured at the last :meth:`snapshot`.
+
+        Falls back to the live value if no snapshot was taken yet.
+        """
+        if self._snapshot_total_j is None:
+            return self.remaining_j()
+        return self._snapshot_total_j
+
+    def fraction_remaining(self) -> float:
+        """RE(t) = EB(t) / EB_tot, clamped into [0, 1]."""
+        total = self.total_j
+        if total <= 0.0:
+            return 0.0
+        return max(0.0, min(1.0, self.remaining_j() / total))
+
+    def clear_snapshot(self) -> None:
+        """Forget the burst-start snapshot (between episodes)."""
+        self._snapshot_total_j = None

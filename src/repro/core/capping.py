@@ -1,0 +1,139 @@
+"""Power capping: the related-work baseline sprinting is contrasted with.
+
+Section II: "Almost all the aforementioned power capping work relies on
+dynamic voltage and frequency scaling (DVFS) as a main knob to ensure that
+the power consumption never exceeds the given cap.  In contrast, we propose
+to temporarily violate the power limits ... Therefore, our solution can
+result in much better performance for bursty workloads."
+
+:class:`PowerCappingBaseline` implements that contrast: a controller that
+*never* exceeds the rated power of any breaker — it throttles (via the same
+degree knob, standing in for DVFS) whenever demand would push past the cap.
+It needs no UPS, no TES and no breaker tolerance; it also leaves every
+burst's excess demand on the floor, which is exactly the performance gap
+the paper quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cooling.crac import CoolingPlant
+from repro.power.topology import PowerTopology
+from repro.servers.cluster import ServerCluster
+from repro.units import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class CappingStep:
+    """Telemetry of one power-capped step."""
+
+    time_s: float
+    demand: float
+    degree: float
+    capacity: float
+    served: float
+    it_power_w: float
+
+
+class PowerCappingBaseline:
+    """Serve as much demand as fits under the rated power, never more.
+
+    The cap is enforced at both levels: the per-PDU rated power and the
+    DC-level rated power (after cooling).  The highest degree whose power
+    fits both becomes the operating point — at the paper's defaults the
+    10 % under-provisioned DC headroom binds first, capping the degree
+    near 1.18 (a capacity of ~1.2x) regardless of how high the burst goes.
+
+    Parameters
+    ----------
+    cluster, topology, cooling:
+        The same substrate objects the sprinting controller uses.
+    dt_s:
+        Step period.
+    """
+
+    name = "power-capping"
+
+    def __init__(
+        self,
+        cluster: ServerCluster,
+        topology: PowerTopology,
+        cooling: CoolingPlant,
+        dt_s: float = 1.0,
+    ):
+        require_positive(dt_s, "dt_s")
+        self.cluster = cluster
+        self.topology = topology
+        self.cooling = cooling
+        self.dt_s = dt_s
+        self.history: List[CappingStep] = []
+
+    def capped_degree(self) -> float:
+        """Largest degree whose power respects every rated limit."""
+        pdu_cap_w = self.topology.pdu.rated_power_w * self.topology.n_pdus
+        # The DC cap leaves room for the cooling the IT load itself needs:
+        # at steady state cooling = overhead x IT, so IT <= cap / PUE.
+        dc_cap_w = self.topology.dc_breaker.rated_power_w / self.cooling.pue
+        it_cap_w = min(pdu_cap_w, dc_cap_w)
+        return self.cluster.degree_for_power(it_cap_w)
+
+    def step(self, demand: float, time_s: float) -> CappingStep:
+        """Run one capped step (never overloads, never uses storage)."""
+        require_non_negative(demand, "demand")
+        require_non_negative(time_s, "time_s")
+        needed = self.cluster.degree_for_demand(demand)
+        degree = min(needed, self.capped_degree())
+        it_power = self.cluster.power_at_degree_w(degree)
+        cooling_step = self.cooling.step(it_power, self.dt_s, use_tes=False)
+        self.topology.step(
+            server_demand_w=it_power,
+            pdu_grid_bound_w=self.topology.pdu.rated_power_w,
+            cooling_w=cooling_step.electric_power_w,
+            dt_s=self.dt_s,
+        )
+        capacity = self.cluster.capacity_at_degree(degree)
+        step = CappingStep(
+            time_s=time_s,
+            demand=demand,
+            degree=degree,
+            capacity=capacity,
+            served=min(demand, capacity),
+            it_power_w=it_power,
+        )
+        self.history.append(step)
+        return step
+
+    def run(self, trace) -> List[CappingStep]:
+        """Run a whole trace; returns the step list.
+
+        The trace must be sampled at this baseline's ``dt_s`` (each sample
+        is one physics step).
+        """
+        if abs(trace.dt_s - self.dt_s) > 1e-9:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"trace sampling period ({trace.dt_s:g} s) does not match "
+                f"the baseline step ({self.dt_s:g} s)"
+            )
+        for i, demand in enumerate(trace):
+            self.step(demand, i * trace.dt_s)
+        return self.history
+
+    def average_performance(self, trace) -> float:
+        """Burst-window normalised performance of a full capped run."""
+        from repro.simulation.metrics import average_performance_improvement
+
+        if len(self.history) != len(trace):
+            self.reset()
+            self.run(trace)
+        served = [s.served for s in self.history]
+        return average_performance_improvement(served, trace)
+
+    def reset(self) -> None:
+        """Reset the baseline and its substrate."""
+        self.topology.reset()
+        self.cooling.reset()
+        self.history.clear()

@@ -1,0 +1,156 @@
+"""Power- and thermal-safety monitoring for the sprinting controller.
+
+Section IV-A: "When these issues lead to higher CB overload, which can be
+detected with real-time power measurement, we immediately lower the
+sprinting degree or end sprinting to ensure the power safety of the data
+center."  The monitor watches the same three hazards the paper names —
+breaker trip reserves, room-temperature headroom, and unexpected utility
+events — and converts them into a degree cap the controller applies before
+committing a step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cooling.crac import CoolingPlant
+from repro.power.topology import PowerTopology
+from repro.units import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class SafetyEvent:
+    """One recorded safety intervention."""
+
+    time_s: float
+    kind: str
+    detail: str
+
+
+@dataclass
+class SafetyMonitor:
+    """Watches breaker reserves and thermal headroom; latches emergencies.
+
+    Parameters
+    ----------
+    thermal_margin_k:
+        Minimum room-temperature headroom (K) below which sprinting must
+        stop unless the TES can hold the heat.
+    min_trip_reserve_s:
+        The breaker trip-time reserve the controller promises to maintain;
+        observing less than this (e.g. after an external power spike)
+        triggers an intervention.
+    """
+
+    thermal_margin_k: float = 2.0
+    min_trip_reserve_s: float = 60.0
+
+    events: List[SafetyEvent] = field(default_factory=list)
+    _emergency_latched: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.thermal_margin_k, "thermal_margin_k")
+        require_positive(self.min_trip_reserve_s, "min_trip_reserve_s")
+
+    # ------------------------------------------------------------------
+    # External emergencies
+    # ------------------------------------------------------------------
+    def declare_emergency(self, time_s: float, reason: str) -> None:
+        """Latch an external emergency (e.g. a utility power spike).
+
+        While latched, :meth:`thermal_degree_is_safe` and the reserve check
+        both report unsafe, forcing the controller back to normal operation
+        until :meth:`clear_emergency`.
+        """
+        self._emergency_latched = True
+        self.events.append(SafetyEvent(time_s, "external", reason))
+
+    def clear_emergency(self) -> None:
+        """Clear a previously latched external emergency."""
+        self._emergency_latched = False
+
+    @property
+    def emergency_active(self) -> bool:
+        """Whether an external emergency is latched."""
+        return self._emergency_latched
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def breaker_reserves_ok(
+        self,
+        topology: PowerTopology,
+        pdu_load_w: float,
+        dc_load_w: float,
+        time_s: float,
+    ) -> bool:
+        """Verify both breaker levels retain the promised trip reserve.
+
+        ``pdu_load_w`` is the per-PDU grid draw, ``dc_load_w`` the facility
+        feed.  Logs an event when a reserve is violated.
+        """
+        require_non_negative(pdu_load_w, "pdu_load_w")
+        require_non_negative(dc_load_w, "dc_load_w")
+        if self._emergency_latched:
+            return False
+        ok = True
+        pdu_remaining = topology.pdu.breaker.remaining_trip_time_s(pdu_load_w)
+        if pdu_remaining < self.min_trip_reserve_s * (1.0 - 1e-6):
+            self.events.append(
+                SafetyEvent(
+                    time_s,
+                    "breaker-reserve",
+                    f"PDU breaker reserve {pdu_remaining:.1f}s below "
+                    f"{self.min_trip_reserve_s:.1f}s",
+                )
+            )
+            ok = False
+        dc_remaining = topology.dc_breaker.remaining_trip_time_s(dc_load_w)
+        if dc_remaining < self.min_trip_reserve_s * (1.0 - 1e-6):
+            self.events.append(
+                SafetyEvent(
+                    time_s,
+                    "breaker-reserve",
+                    f"DC breaker reserve {dc_remaining:.1f}s below "
+                    f"{self.min_trip_reserve_s:.1f}s",
+                )
+            )
+            ok = False
+        return ok
+
+    def thermal_degree_is_safe(
+        self, cooling: CoolingPlant, use_tes: bool, time_s: float
+    ) -> bool:
+        """Whether the room can absorb further sprinting heat.
+
+        Safe if the room still has more than the thermal margin of
+        headroom, or the TES is available to hold the heat.  Logs an event
+        on the transition to unsafe.
+        """
+        if self._emergency_latched:
+            return False
+        if cooling.room.headroom_k > self.thermal_margin_k:
+            return True
+        tes_can_hold = (
+            use_tes
+            and cooling.tes is not None
+            and not cooling.tes.is_empty
+        )
+        if not tes_can_hold:
+            self.events.append(
+                SafetyEvent(
+                    time_s,
+                    "thermal",
+                    f"room headroom {cooling.room.headroom_k:.2f}K at or "
+                    f"below the {self.thermal_margin_k:.2f}K margin with "
+                    "no TES cover",
+                )
+            )
+            return False
+        return True
+
+    def reset(self) -> None:
+        """Clear events and any latched emergency."""
+        self.events.clear()
+        self._emergency_latched = False

@@ -1,0 +1,422 @@
+"""The four sprinting-degree strategies of Section V-A.
+
+Each strategy produces, every control period, an *upper bound* on the
+sprinting degree; the controller activates just enough cores for the
+workload, never exceeding this bound (nor what power and cooling allow):
+
+* **Greedy** — no constraint: activate just enough cores for the demand
+  until the stored energy runs out.
+* **Oracle** — the best *constant* upper bound found by exhaustive search
+  under perfect knowledge of the burst; impractical, used as the reference
+  and to pre-compute the upper-bound table.
+* **Prediction** — works from a predicted burst duration ``BDu_p``;
+  derives the equivalent burst duration (Eq. 1) from the average realised
+  degree so far and picks the optimal upper bound from the Oracle-built
+  table.
+* **Heuristic** — works from an estimated best average degree ``SDe_p``;
+  starts from ``SDe_ini = SDe_p x (1 + K%)`` and scales it online by
+  remaining-energy over remaining-time (Eqs. 2-3).
+
+Strategies are pure policy objects: they see a compact
+:class:`StrategyObservation` each step and are told the realised degree via
+:meth:`SprintingStrategy.notify_realized` (needed for the Prediction
+strategy's ``SDe_avg``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    require_non_negative,
+    require_positive,
+)
+
+#: Default flexibility factor K% of the Heuristic strategy (Section VII-B).
+DEFAULT_FLEXIBILITY_PERCENT = 10.0
+
+#: Floor applied to the remaining-time ratio RT(t) so the Heuristic bound
+#: stays finite after the predicted sprinting duration has elapsed.
+_RT_FLOOR = 0.02
+
+
+@dataclass(frozen=True)
+class StrategyObservation:
+    """Everything a strategy may look at in one control period.
+
+    Attributes
+    ----------
+    time_s:
+        Absolute simulation time.
+    demand:
+        Current normalised workload demand.
+    in_burst:
+        Whether the burst detector considers a burst active.
+    time_in_burst_s:
+        Seconds since the current burst began (0 outside bursts).
+    budget_fraction_remaining:
+        RE(t): remaining additional-energy budget as a fraction of the
+        burst-start snapshot.
+    max_degree:
+        The chip-imposed maximum sprinting degree.
+    """
+
+    time_s: float
+    demand: float
+    in_burst: bool
+    time_in_burst_s: float
+    budget_fraction_remaining: float
+    max_degree: float
+
+
+class SprintingStrategy(ABC):
+    """Interface shared by the four strategies."""
+
+    #: Short name used in result tables.
+    name: str = "strategy"
+
+    @abstractmethod
+    def degree_upper_bound(self, obs: StrategyObservation) -> float:
+        """Upper bound on the sprinting degree for this control period."""
+
+    def notify_realized(self, degree: float, dt_s: float, in_burst: bool) -> None:
+        """Feedback: the controller realised ``degree`` for ``dt_s`` seconds.
+
+        The default implementation ignores the feedback; the Prediction
+        strategy overrides it to maintain ``SDe_avg``.
+        """
+
+    def reset(self) -> None:
+        """Clear any per-episode state (between experiments)."""
+
+
+class GreedyStrategy(SprintingStrategy):
+    """No constraint: sprint as high as the demand asks, while energy lasts.
+
+    "The simplest solution is to activate just enough cores according to
+    the workload demand" (Section V-A) — the bound is the chip maximum, so
+    only power, cooling and the demand itself limit the degree.
+    """
+
+    name = "greedy"
+
+    def degree_upper_bound(self, obs: StrategyObservation) -> float:
+        """Always the chip maximum: nothing but demand constrains Greedy."""
+        return obs.max_degree
+
+
+class FixedUpperBoundStrategy(SprintingStrategy):
+    """A constant, pre-chosen upper bound — the Oracle's output format."""
+
+    name = "fixed"
+
+    def __init__(self, upper_bound: float):
+        require_positive(upper_bound, "upper_bound")
+        self.upper_bound = upper_bound
+
+    def degree_upper_bound(self, obs: StrategyObservation) -> float:
+        """The pre-chosen constant, clamped to the chip maximum."""
+        return min(self.upper_bound, obs.max_degree)
+
+
+class OracleStrategy(FixedUpperBoundStrategy):
+    """The exhaustive-search optimum under perfect burst knowledge.
+
+    Construct via :func:`oracle_search`, which evaluates candidate constant
+    upper bounds against a caller-supplied simulation and keeps the best.
+    """
+
+    name = "oracle"
+
+    def __init__(self, upper_bound: float, achieved_performance: float = math.nan):
+        super().__init__(upper_bound)
+        #: Average performance the search measured for this bound.
+        self.achieved_performance = achieved_performance
+
+
+def oracle_search(
+    evaluate: Callable[[float], float],
+    candidates: Sequence[float],
+) -> OracleStrategy:
+    """Exhaustively search constant upper bounds; return the best as Oracle.
+
+    Parameters
+    ----------
+    evaluate:
+        Maps a candidate upper bound to the average performance of a full
+        simulation run using that bound (higher is better).
+    candidates:
+        Candidate bounds, e.g. ``numpy.arange(1.0, 4.01, 0.25)``.
+    """
+    if not candidates:
+        raise ConfigurationError("candidates must be non-empty")
+    best_ub: Optional[float] = None
+    best_perf = -math.inf
+    for ub in candidates:
+        require_positive(ub, "candidate upper bound")
+        perf = evaluate(ub)
+        if perf > best_perf:
+            best_perf = perf
+            best_ub = ub
+    assert best_ub is not None
+    return OracleStrategy(best_ub, achieved_performance=best_perf)
+
+
+@dataclass
+class UpperBoundTable:
+    """Optimal upper bounds indexed by (burst duration, max burst degree).
+
+    "We can also use the Oracle strategy to make an upper bound table,
+    listing the optimal upper bounds for different burst durations and
+    maximum burst degree" (Section V-A).  Lookup snaps to the nearest grid
+    point on both axes — the table is a planning aid, not an interpolant.
+    """
+
+    durations_s: List[float] = field(default_factory=list)
+    degrees: List[float] = field(default_factory=list)
+    _entries: Dict[Tuple[float, float], float] = field(default_factory=dict)
+
+    def set(self, duration_s: float, degree: float, upper_bound: float) -> None:
+        """Record the optimal upper bound for one grid point."""
+        require_positive(duration_s, "duration_s")
+        require_positive(degree, "degree")
+        require_positive(upper_bound, "upper_bound")
+        if duration_s not in self.durations_s:
+            bisect.insort(self.durations_s, duration_s)
+        if degree not in self.degrees:
+            bisect.insort(self.degrees, degree)
+        self._entries[(duration_s, degree)] = upper_bound
+
+    def lookup(self, duration_s: float, degree: float) -> float:
+        """Optimal upper bound at the nearest grid point."""
+        if not self._entries:
+            raise ConfigurationError("upper-bound table is empty")
+        require_non_negative(duration_s, "duration_s")
+        require_non_negative(degree, "degree")
+        nearest_duration = min(
+            self.durations_s, key=lambda d: abs(d - duration_s)
+        )
+        nearest_degree = min(self.degrees, key=lambda g: abs(g - degree))
+        return self._entries[(nearest_duration, nearest_degree)]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class PredictionStrategy(SprintingStrategy):
+    """Strategy driven by a predicted burst duration (Eq. 1).
+
+    Maintains the average realised sprinting degree since burst start,
+    converts the predicted duration into the *equivalent* burst duration
+
+        BDu_e(t) = BDu_p x (SDe_max / SDe_avg(t)),
+
+    and selects the optimal upper bound for that equivalent duration from
+    the Oracle-built table.  Sprinting below the maximum degree stretches
+    the energy, so the equivalent duration grows and the table returns a
+    (typically) lower, more efficient bound.
+
+    Parameters
+    ----------
+    table:
+        The Oracle-built upper-bound table.
+    predicted_burst_duration_s:
+        ``BDu_p``, possibly errored (Fig. 9's sweep).
+    max_degree:
+        Chip maximum degree, ``SDe_max`` in Eq. 1.
+    """
+
+    name = "prediction"
+
+    def __init__(
+        self,
+        table: UpperBoundTable,
+        predicted_burst_duration_s: float,
+        max_degree: float = 4.0,
+    ):
+        require_non_negative(
+            predicted_burst_duration_s, "predicted_burst_duration_s"
+        )
+        require_positive(max_degree, "max_degree")
+        self.table = table
+        self.predicted_burst_duration_s = predicted_burst_duration_s
+        self.max_degree = max_degree
+        self._degree_time_integral = 0.0
+        self._time_in_burst = 0.0
+        self._peak_demand = 1.0
+
+    def notify_realized(self, degree: float, dt_s: float, in_burst: bool) -> None:
+        """Accumulate the realised degree into SDe_avg (in-burst only)."""
+        require_non_negative(degree, "degree")
+        require_positive(dt_s, "dt_s")
+        if in_burst:
+            self._degree_time_integral += degree * dt_s
+            self._time_in_burst += dt_s
+
+    def average_degree(self) -> float:
+        """SDe_avg(t); the maximum degree before any burst time elapses."""
+        if self._time_in_burst <= 0.0:
+            return self.max_degree
+        return max(1.0, self._degree_time_integral / self._time_in_burst)
+
+    def equivalent_duration_s(self) -> float:
+        """BDu_e(t) per Eq. 1 of the paper."""
+        return self.predicted_burst_duration_s * (
+            self.max_degree / self.average_degree()
+        )
+
+    def degree_upper_bound(self, obs: StrategyObservation) -> float:
+        """Table lookup at the Eq. 1 equivalent duration (Greedy outside bursts)."""
+        self._peak_demand = max(self._peak_demand, obs.demand)
+        if not obs.in_burst:
+            return obs.max_degree
+        if self.predicted_burst_duration_s <= 0.0:
+            # A -100% duration estimate predicts "no burst": nothing
+            # constrains the degree, degenerating to Greedy behaviour.
+            return obs.max_degree
+        bound = self.table.lookup(self.equivalent_duration_s(), self._peak_demand)
+        return min(max(1.0, bound), obs.max_degree)
+
+    def reset(self) -> None:
+        """Clear the per-episode degree averaging."""
+        self._degree_time_integral = 0.0
+        self._time_in_burst = 0.0
+        self._peak_demand = 1.0
+
+
+class HeuristicStrategy(SprintingStrategy):
+    """Strategy driven by an estimated best average degree (Eqs. 2-3).
+
+    The initial bound is the estimate inflated by the flexibility factor,
+
+        SDe_ini = SDe_p x (1 + K%),
+
+    then adjusted online by the remaining-energy / remaining-time ratio:
+
+        SDe_u(t) = SDe_ini x (RE(t) / RT(t)),
+        RE(t)   = EB(t) / EB_tot,
+        RT(t)   = (SDu_p - t) / SDu_p,
+        SDu_p   = EB_tot / P_additional(SDe_p).
+
+    If energy drains slower than the plan (RE > RT) the bound rises; if it
+    drains faster, the bound falls to stretch the sprint.
+
+    Parameters
+    ----------
+    estimated_best_degree:
+        ``SDe_p``, possibly errored (Fig. 9's sweep).
+    additional_power_fn:
+        Maps a degree to the facility's additional power draw (W) at that
+        degree; used to convert EB_tot into the predicted duration.
+    flexibility_percent:
+        ``K%`` (10 in the paper's experiments).
+    max_degree:
+        Chip maximum degree.
+    """
+
+    name = "heuristic"
+
+    def __init__(
+        self,
+        estimated_best_degree: float,
+        additional_power_fn: Callable[[float], float],
+        flexibility_percent: float = DEFAULT_FLEXIBILITY_PERCENT,
+        max_degree: float = 4.0,
+    ):
+        require_non_negative(estimated_best_degree, "estimated_best_degree")
+        require_non_negative(flexibility_percent, "flexibility_percent")
+        require_positive(max_degree, "max_degree")
+        self.estimated_best_degree = estimated_best_degree
+        self.additional_power_fn = additional_power_fn
+        self.flexibility_percent = flexibility_percent
+        self.max_degree = max_degree
+        self._budget_total_j: Optional[float] = None
+        self._predicted_duration_s: Optional[float] = None
+
+    @property
+    def initial_bound(self) -> float:
+        """SDe_ini = SDe_p x (1 + K%), clamped to the chip maximum."""
+        bound = self.estimated_best_degree * (
+            1.0 + self.flexibility_percent / 100.0
+        )
+        return min(bound, self.max_degree)
+
+    def _ensure_plan(self, budget_total_j: float) -> None:
+        """Compute SDu_p once, at the first in-burst observation.
+
+        The paper writes ``SDu_p = EB_tot / SDe_p`` with the budget in
+        degree-normalised energy units; converting joules with the
+        facility's power-per-unit-degree gives
+        ``SDu_p = EB_tot / (P_unit x SDe_p)``.  Crucially the denominator is
+        *linear* in the estimate, so an under-estimated ``SDe_p`` yields an
+        over-long plan whose RT declines slowly — and the RE/RT ratio then
+        pulls the bound up as real energy stays unspent, the online
+        correction Section VII-B describes.
+        """
+        if self._predicted_duration_s is not None:
+            return
+        self._budget_total_j = budget_total_j
+        # Additional power per unit of sprinting degree (the power model is
+        # affine in the degree, so the slope is exact), and the energy
+        # drain is proportional to the degree *above normal* — an estimate
+        # at or below 1 predicts no additional drain at all.
+        unit_degree_w = self.additional_power_fn(2.0)
+        sde_p = min(self.estimated_best_degree, self.max_degree)
+        additional_degrees = sde_p - 1.0
+        if unit_degree_w <= 0.0 or additional_degrees <= 0.0:
+            self._predicted_duration_s = math.inf
+        else:
+            self._predicted_duration_s = budget_total_j / (
+                unit_degree_w * additional_degrees
+            )
+
+    def degree_upper_bound(self, obs: StrategyObservation) -> float:
+        """SDe_ini scaled by RE/RT (Eqs. 2-3), clamped into [1, max]."""
+        if not obs.in_burst:
+            return obs.max_degree
+        if self.estimated_best_degree <= 0.0:
+            # A -100% estimate predicts "no sprinting is worthwhile".
+            return 1.0
+        # EB_tot is unknown to the strategy itself; reconstruct it from the
+        # observation: RE(t) is EB(t)/EB_tot, and at the first in-burst step
+        # RE is 1 by construction, so any positive placeholder works — the
+        # bound only uses the RE/RT *ratio*.
+        self._ensure_plan(budget_total_j=1.0)
+        # The plan duration needs real units; recompute from the additional
+        # power once a real budget scale is set via set_budget_scale().
+        rt = self._remaining_time_ratio(obs.time_in_burst_s)
+        re = max(0.0, obs.budget_fraction_remaining)
+        bound = self.initial_bound * (re / rt)
+        return min(max(1.0, bound), obs.max_degree)
+
+    def set_budget_scale(self, budget_total_j: float) -> None:
+        """Provide EB_tot (J) so SDu_p has physical units.
+
+        Called by the controller at burst start, right after it snapshots
+        the energy budget.
+        """
+        require_non_negative(budget_total_j, "budget_total_j")
+        self._predicted_duration_s = None
+        self._ensure_plan(budget_total_j)
+
+    def _remaining_time_ratio(self, time_in_burst_s: float) -> float:
+        if (
+            self._predicted_duration_s is None
+            or math.isinf(self._predicted_duration_s)
+            or self._predicted_duration_s <= 0.0
+        ):
+            return 1.0
+        rt = (
+            self._predicted_duration_s - time_in_burst_s
+        ) / self._predicted_duration_s
+        return max(_RT_FLOOR, rt)
+
+    def reset(self) -> None:
+        """Forget the per-episode plan (EB_tot and SDu_p)."""
+        self._budget_total_j = None
+        self._predicted_duration_s = None

@@ -1,0 +1,167 @@
+"""Uncontrolled chip-level sprinting: the disaster baseline of Section VII-A.
+
+"Sprinting without DC-level control can cause the CB to trip after only
+5 min 20 sec, if we simply turn on extra cores to achieve the required
+performance" — this module implements exactly that: every server follows
+the demand with chip-level sprinting, no breaker-overload bound, no UPS
+dispatch, no TES, no thermal control.  When a breaker's thermal budget runs
+out, it trips and everything downstream goes dark ("resulting the shutdown
+of the data center", Fig. 8a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cooling.crac import CoolingPlant
+from repro.errors import BreakerTrippedError
+from repro.power.topology import PowerTopology
+from repro.servers.cluster import ServerCluster
+from repro.units import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class UncontrolledStep:
+    """Telemetry of one uncontrolled-sprinting step."""
+
+    time_s: float
+    demand: float
+    degree: float
+    capacity: float
+    served: float
+    it_power_w: float
+    shut_down: bool
+
+
+class UncontrolledSprinting:
+    """Demand-following chip sprinting with no data-center-level control.
+
+    Parameters
+    ----------
+    cluster, topology, cooling:
+        The same substrate objects the real controller drives.
+    dt_s:
+        Step period.
+    stop_before_trip:
+        If True, model the operator who watches the breakers and aborts
+        chip-level sprinting just before the trip ("we have to finish the
+        chip-level sprinting before this moment ... which results in low
+        performance"); if False (default), the trip happens and the
+        facility shuts down.
+    """
+
+    def __init__(
+        self,
+        cluster: ServerCluster,
+        topology: PowerTopology,
+        cooling: CoolingPlant,
+        dt_s: float = 1.0,
+        stop_before_trip: bool = False,
+    ):
+        require_positive(dt_s, "dt_s")
+        self.cluster = cluster
+        self.topology = topology
+        self.cooling = cooling
+        self.dt_s = dt_s
+        self.stop_before_trip = stop_before_trip
+        self.history: List[UncontrolledStep] = []
+        self.trip_time_s: Optional[float] = None
+        self._shut_down = False
+        self._sprint_aborted = False
+
+    @property
+    def shut_down(self) -> bool:
+        """Whether a breaker trip has taken the facility down."""
+        return self._shut_down
+
+    def step(self, demand: float, time_s: float) -> UncontrolledStep:
+        """Run one uncontrolled step."""
+        require_non_negative(demand, "demand")
+        require_non_negative(time_s, "time_s")
+
+        if self._shut_down:
+            step = UncontrolledStep(
+                time_s=time_s,
+                demand=demand,
+                degree=0.0,
+                capacity=0.0,
+                served=0.0,
+                it_power_w=0.0,
+                shut_down=True,
+            )
+            self.history.append(step)
+            return step
+
+        degree = self.cluster.degree_for_demand(demand)
+        if self._sprint_aborted:
+            degree = min(degree, 1.0)
+        it_power = self.cluster.power_at_degree_w(degree)
+        cooling_step = self.cooling.estimate(it_power, self.dt_s, use_tes=False)
+
+        if self.stop_before_trip and not self._sprint_aborted:
+            # The cautious operator: if either breaker would be within one
+            # step of tripping at this load, end chip-level sprinting now.
+            per_pdu = it_power / self.topology.n_pdus
+            dc_feed = it_power + cooling_step.electric_power_w
+            pdu_left = self.topology.pdu.breaker.remaining_trip_time_s(per_pdu)
+            dc_left = self.topology.dc_breaker.remaining_trip_time_s(dc_feed)
+            if min(pdu_left, dc_left) <= self.dt_s:
+                self._sprint_aborted = True
+                degree = min(degree, 1.0)
+                it_power = self.cluster.power_at_degree_w(degree)
+                cooling_step = self.cooling.estimate(
+                    it_power, self.dt_s, use_tes=False
+                )
+
+        try:
+            actual_cooling = self.cooling.step(
+                it_heat_w=it_power,
+                dt_s=self.dt_s,
+                use_tes=False,
+                raise_on_emergency=False,
+            )
+            # No bound: the grid carries the entire demand (per-PDU share),
+            # exactly what chip-level sprinting with no DC control does.
+            self.topology.step(
+                server_demand_w=it_power,
+                pdu_grid_bound_w=it_power / self.topology.n_pdus,
+                cooling_w=actual_cooling.electric_power_w,
+                dt_s=self.dt_s,
+            )
+        except BreakerTrippedError:
+            self._shut_down = True
+            self.trip_time_s = time_s
+            step = UncontrolledStep(
+                time_s=time_s,
+                demand=demand,
+                degree=0.0,
+                capacity=0.0,
+                served=0.0,
+                it_power_w=0.0,
+                shut_down=True,
+            )
+            self.history.append(step)
+            return step
+
+        capacity = self.cluster.capacity_at_degree(degree)
+        step = UncontrolledStep(
+            time_s=time_s,
+            demand=demand,
+            degree=degree,
+            capacity=capacity,
+            served=min(demand, capacity),
+            it_power_w=it_power,
+            shut_down=False,
+        )
+        self.history.append(step)
+        return step
+
+    def reset(self) -> None:
+        """Reset the baseline and its substrate."""
+        self.topology.reset()
+        self.cooling.reset()
+        self.history.clear()
+        self.trip_time_s = None
+        self._shut_down = False
+        self._sprint_aborted = False

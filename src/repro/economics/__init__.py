@@ -1,0 +1,41 @@
+"""Economics of Data Center Sprinting: dark-core cost vs sprinting revenue."""
+
+from repro.economics.analysis import (
+    EconomicsPoint,
+    FIG5_BURSTS_PER_MONTH,
+    FIG5_BURST_DURATION_MIN,
+    FIG5_DEGREES,
+    FIG5_UTILIZATIONS,
+    fig5_analysis,
+    monthly_revenue_for_trace,
+)
+from repro.economics.cost import (
+    CoreProvisioningCost,
+    DEFAULT_AMORTIZATION_MONTHS,
+    DEFAULT_CORE_COST_USD,
+    DEFAULT_DATACENTER_SERVERS,
+)
+from repro.economics.revenue import (
+    DEFAULT_DOWNTIME_COST_PER_MIN_USD,
+    DEFAULT_USER_LOSS_FRACTION,
+    SprintingRevenue,
+    burst_magnitude_for_utilization,
+)
+
+__all__ = [
+    "CoreProvisioningCost",
+    "DEFAULT_AMORTIZATION_MONTHS",
+    "DEFAULT_CORE_COST_USD",
+    "DEFAULT_DATACENTER_SERVERS",
+    "DEFAULT_DOWNTIME_COST_PER_MIN_USD",
+    "DEFAULT_USER_LOSS_FRACTION",
+    "EconomicsPoint",
+    "FIG5_BURSTS_PER_MONTH",
+    "FIG5_BURST_DURATION_MIN",
+    "FIG5_DEGREES",
+    "FIG5_UTILIZATIONS",
+    "SprintingRevenue",
+    "burst_magnitude_for_utilization",
+    "fig5_analysis",
+    "monthly_revenue_for_trace",
+]

@@ -1,0 +1,71 @@
+"""Cost of provisioning the normally-inactive (dark-silicon) cores.
+
+Section V-D: each additional core costs about $40 [37]; a server has 10
+normally-active cores (the Intel Xeon 10-core parts used by EC2 [1]), so
+a maximum sprinting degree of N requires 10(N-1) extra cores per server.
+Amortised over 4 years (48 months) the per-server monthly cost is
+$40 x 10(N-1)/48 = $8.3(N-1), and over an average-scale facility of
+18,750 servers (the mean of the paper's 12,500-server small and
+25,000-server large estimates [40], [28], [26], [27]) the monthly cost is
+$156,250(N-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import require_positive
+
+#: Cost of one additional provisioned core (USD, [37]).
+DEFAULT_CORE_COST_USD = 40.0
+
+#: Amortisation period (months).
+DEFAULT_AMORTIZATION_MONTHS = 48
+
+#: Normally-active cores per server (Intel Xeon 10-core, [1]).
+DEFAULT_NORMAL_CORES = 10
+
+#: Servers in an average-scale data center: (25,000 + 12,500) / 2.
+DEFAULT_DATACENTER_SERVERS = 18_750
+
+
+@dataclass(frozen=True)
+class CoreProvisioningCost:
+    """Monthly cost model of provisioning dark cores for sprinting."""
+
+    core_cost_usd: float = DEFAULT_CORE_COST_USD
+    amortization_months: int = DEFAULT_AMORTIZATION_MONTHS
+    normal_cores_per_server: int = DEFAULT_NORMAL_CORES
+    n_servers: int = DEFAULT_DATACENTER_SERVERS
+
+    def __post_init__(self) -> None:
+        require_positive(self.core_cost_usd, "core_cost_usd")
+        if self.amortization_months <= 0:
+            raise ConfigurationError("amortization_months must be > 0")
+        if self.normal_cores_per_server <= 0:
+            raise ConfigurationError("normal_cores_per_server must be > 0")
+        if self.n_servers <= 0:
+            raise ConfigurationError("n_servers must be > 0")
+
+    def additional_cores_per_server(self, max_sprinting_degree: float) -> float:
+        """Dark cores per server for a maximum sprinting degree N."""
+        require_positive(max_sprinting_degree, "max_sprinting_degree")
+        if max_sprinting_degree < 1.0:
+            raise ConfigurationError(
+                "max_sprinting_degree must be >= 1, got "
+                f"{max_sprinting_degree!r}"
+            )
+        return self.normal_cores_per_server * (max_sprinting_degree - 1.0)
+
+    def monthly_cost_per_server_usd(self, max_sprinting_degree: float) -> float:
+        """Amortised monthly cost per server ($8.3(N-1) at defaults)."""
+        return (
+            self.core_cost_usd
+            * self.additional_cores_per_server(max_sprinting_degree)
+            / self.amortization_months
+        )
+
+    def monthly_cost_usd(self, max_sprinting_degree: float) -> float:
+        """Facility monthly cost ($156,250(N-1) at defaults)."""
+        return self.monthly_cost_per_server_usd(max_sprinting_degree) * self.n_servers

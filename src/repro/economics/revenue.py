@@ -1,0 +1,124 @@
+"""Revenue earned by sprinting (Section V-D).
+
+Two components:
+
+* **Handling extra requests.** A facility losing $7,900 per minute of
+  unavailability [40] loses proportionally when it denies a fraction of
+  requests; sprinting through a burst of magnitude M (normalised to the
+  no-sprinting capacity) for L minutes, K times a month, recovers
+  ``$7,900 x L x (M - 1) x K``.
+* **Retaining customers.** Google measured a permanent loss of 0.2 % of
+  users from a 0.4 s response-time regression [9]; at $7,900/min over the
+  43,200 minutes of a month that is $682,560 of monthly revenue at stake.
+  The per-user stake is ``$682,560 / U_t``, and the users exposed to drops
+  without sprinting number ``min(U_0 (M - 1) K, U_t)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MINUTES_PER_MONTH, require_non_negative, require_positive
+
+#: Revenue lost per minute of unavailability (USD, Ponemon survey [40]).
+DEFAULT_DOWNTIME_COST_PER_MIN_USD = 7_900.0
+
+#: Permanent user loss from a 0.4 s response-time regression (Google [9]).
+DEFAULT_USER_LOSS_FRACTION = 0.002
+
+
+@dataclass(frozen=True)
+class SprintingRevenue:
+    """Monthly revenue model of sprinting.
+
+    Parameters
+    ----------
+    downtime_cost_per_min_usd:
+        Revenue lost per minute of (full) unavailability.
+    user_loss_fraction:
+        Permanent share of users lost when service degrades.
+    users_ratio:
+        ``U_t / U_0``: total users relative to the number the facility can
+        serve simultaneously without sprinting (4 in Fig. 5a, 6 in 5b).
+    """
+
+    downtime_cost_per_min_usd: float = DEFAULT_DOWNTIME_COST_PER_MIN_USD
+    user_loss_fraction: float = DEFAULT_USER_LOSS_FRACTION
+    users_ratio: float = 4.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.downtime_cost_per_min_usd, "downtime_cost_per_min_usd")
+        require_positive(self.user_loss_fraction, "user_loss_fraction")
+        require_positive(self.users_ratio, "users_ratio")
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    @property
+    def monthly_retention_stake_usd(self) -> float:
+        """$682,560 at defaults: the monthly revenue behind the 0.2 % loss."""
+        return (
+            self.downtime_cost_per_min_usd
+            * MINUTES_PER_MONTH
+            * self.user_loss_fraction
+        )
+
+    def handling_revenue_usd(
+        self, burst_magnitude: float, burst_duration_min: float, bursts_per_month: int
+    ) -> float:
+        """Revenue from serving requests that would have been dropped."""
+        m = require_positive(burst_magnitude, "burst_magnitude")
+        require_positive(burst_duration_min, "burst_duration_min")
+        if bursts_per_month < 0:
+            raise ConfigurationError("bursts_per_month must be >= 0")
+        if m <= 1.0:
+            return 0.0
+        return (
+            self.downtime_cost_per_min_usd
+            * burst_duration_min
+            * (m - 1.0)
+            * bursts_per_month
+        )
+
+    def retention_revenue_usd(
+        self, burst_magnitude: float, bursts_per_month: int
+    ) -> float:
+        """Revenue from not permanently losing burst-affected users."""
+        m = require_positive(burst_magnitude, "burst_magnitude")
+        if bursts_per_month < 0:
+            raise ConfigurationError("bursts_per_month must be >= 0")
+        if m <= 1.0:
+            return 0.0
+        # Affected users, in units of U_0: each burst exposes (M-1) U_0
+        # users to dropped requests, capped at the whole user base U_t.
+        affected_u0 = min(
+            (m - 1.0) * bursts_per_month, self.users_ratio
+        )
+        return self.monthly_retention_stake_usd * affected_u0 / self.users_ratio
+
+    def monthly_revenue_usd(
+        self, burst_magnitude: float, burst_duration_min: float, bursts_per_month: int
+    ) -> float:
+        """Total monthly sprinting revenue: handling + retention."""
+        return self.handling_revenue_usd(
+            burst_magnitude, burst_duration_min, bursts_per_month
+        ) + self.retention_revenue_usd(burst_magnitude, bursts_per_month)
+
+
+def burst_magnitude_for_utilization(
+    max_sprinting_degree: float, utilization_fraction: float
+) -> float:
+    """Burst magnitude whose excess utilises a fraction of the dark cores.
+
+    Fig. 5's Rxx series: a burst "utilising xx % of the additional cores"
+    has magnitude ``M = 1 + xx% x (N - 1)`` (the excess demand maps
+    linearly onto the additional cores in the paper's accounting).
+    """
+    require_positive(max_sprinting_degree, "max_sprinting_degree")
+    require_non_negative(utilization_fraction, "utilization_fraction")
+    if max_sprinting_degree < 1.0:
+        raise ConfigurationError("max_sprinting_degree must be >= 1")
+    if utilization_fraction > 1.0:
+        raise ConfigurationError("utilization_fraction must be <= 1")
+    return 1.0 + utilization_fraction * (max_sprinting_degree - 1.0)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the Data Center Sprinting library.
+
+Every error raised by ``repro`` derives from :class:`ReproError`, so callers
+can catch one base class.  The hierarchy separates *configuration* mistakes
+(caller passed invalid parameters) from *simulation* events (a breaker
+tripped, a battery was over-drawn) because the former are programming errors
+while the latter are legitimate outcomes a controller must handle.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class PowerSafetyError(ReproError):
+    """Base class for power-infrastructure safety violations."""
+
+
+class BreakerTrippedError(PowerSafetyError):
+    """A circuit breaker tripped, cutting power to everything downstream.
+
+    Attributes
+    ----------
+    breaker_name:
+        Human-readable identifier of the breaker that tripped.
+    time_s:
+        Simulation time (seconds) at which the trip occurred, if known.
+    """
+
+    def __init__(self, breaker_name: str, time_s: float = float("nan")):
+        self.breaker_name = breaker_name
+        self.time_s = time_s
+        super().__init__(
+            f"circuit breaker {breaker_name!r} tripped at t={time_s:.1f}s"
+        )
+
+
+class EnergyStorageError(ReproError):
+    """Base class for energy-storage misuse (UPS or TES)."""
+
+
+class BatteryDepletedError(EnergyStorageError):
+    """A UPS battery was asked to deliver energy it does not hold."""
+
+
+class TankDepletedError(EnergyStorageError):
+    """A TES tank was asked to absorb heat beyond its stored cooling energy."""
+
+
+class ThermalEmergencyError(ReproError):
+    """The data center air temperature crossed the emergency threshold."""
+
+    def __init__(self, temperature_c: float, threshold_c: float):
+        self.temperature_c = temperature_c
+        self.threshold_c = threshold_c
+        super().__init__(
+            f"room temperature {temperature_c:.2f}degC exceeded the "
+            f"emergency threshold {threshold_c:.2f}degC"
+        )
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""

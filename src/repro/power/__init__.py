@@ -1,0 +1,73 @@
+"""Power-infrastructure substrate: breakers, UPS batteries, PDUs, topology.
+
+This package models the electrical side of the data center that Data Center
+Sprinting exploits: the bounded overload tolerance of circuit breakers
+(Phase 1) and the distributed server-level UPS batteries (Phase 2), wired
+into the substation-over-PDUs hierarchy of Section V-B.
+"""
+
+from repro.power.breaker import (
+    CircuitBreaker,
+    TripCurve,
+    DEFAULT_TRIP_CONSTANT_S,
+)
+from repro.power.coordination import (
+    MultiPduTopology,
+    MultiTopologyFlow,
+    allocate_grid_budget,
+)
+from repro.power.lifetime import BatteryLifetimeTracker, RATED_CYCLES
+from repro.power.meter import PowerMeter
+from repro.power.pdu import Pdu, PduPowerSplit, NEC_PROVISIONING_FACTOR
+from repro.power.renewable import (
+    RenewableSupply,
+    SolarProfile,
+    WindProfile,
+    sustainable_power_profile,
+)
+from repro.power.topology import PowerTopology, TopologyPowerFlow
+from repro.power.ups import (
+    BatteryChemistry,
+    DistributedUpsFleet,
+    UpsBattery,
+)
+from repro.power.utility import (
+    DieselGenerator,
+    GeneratorState,
+    OutageStep,
+    UtilityEvent,
+    UtilityEventKind,
+    UtilityFeed,
+    bridge_outage,
+)
+
+__all__ = [
+    "BatteryChemistry",
+    "BatteryLifetimeTracker",
+    "CircuitBreaker",
+    "DEFAULT_TRIP_CONSTANT_S",
+    "DieselGenerator",
+    "DistributedUpsFleet",
+    "GeneratorState",
+    "MultiPduTopology",
+    "MultiTopologyFlow",
+    "NEC_PROVISIONING_FACTOR",
+    "OutageStep",
+    "Pdu",
+    "PduPowerSplit",
+    "PowerMeter",
+    "PowerTopology",
+    "RATED_CYCLES",
+    "RenewableSupply",
+    "SolarProfile",
+    "TopologyPowerFlow",
+    "WindProfile",
+    "sustainable_power_profile",
+    "TripCurve",
+    "UpsBattery",
+    "UtilityEvent",
+    "UtilityEventKind",
+    "UtilityFeed",
+    "allocate_grid_budget",
+    "bridge_outage",
+]

@@ -1,0 +1,199 @@
+"""Multi-PDU coordination: the Section V-B invariant with unequal children.
+
+The homogeneous evaluation facility lets
+:class:`~repro.power.topology.PowerTopology` collapse all PDUs into one
+representative; real facilities skew — a burst may land on the racks of a
+single tenant.  This module provides the explicit form: a list of
+independent PDUs under one substation breaker, and the budget allocator
+that enforces the paper's rule: *"if the power overload of a parent CB has
+already reached its upper bound, then a power increase on any of its child
+CBs demands a power decrease on some other child CBs, in order to keep
+their sum unchanged."*
+
+Allocation policy (water-filling on the overload):
+
+1. every PDU is granted up to ``min(demand, own breaker bound)``;
+2. if the grants exceed the parent's budget, the *overload* portions
+   (grants above each PDU's rating) are scaled back proportionally —
+   within-rating power is never taken from one PDU to overload another;
+3. if even the within-rating demand exceeds the parent budget (a severely
+   under-provisioned or degraded feed), all grants scale proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.power.breaker import CircuitBreaker, TripCurve
+from repro.power.pdu import Pdu, PduPowerSplit
+from repro.units import require_non_negative, require_positive
+
+
+def allocate_grid_budget(
+    demands_w: Sequence[float],
+    own_bounds_w: Sequence[float],
+    rated_w: Sequence[float],
+    parent_budget_w: float,
+) -> List[float]:
+    """Split the parent breaker's budget across child branches.
+
+    Parameters
+    ----------
+    demands_w:
+        Power each child wants to draw from the grid.
+    own_bounds_w:
+        Each child breaker's own safe bound (reserve-respecting).
+    rated_w:
+        Each child breaker's rated power (the overload baseline).
+    parent_budget_w:
+        Total power the parent breaker may pass (minus non-child loads).
+
+    Returns the per-child grid allocations; their sum never exceeds the
+    parent budget and no child exceeds its own bound.
+    """
+    n = len(demands_w)
+    if not (len(own_bounds_w) == len(rated_w) == n):
+        raise ConfigurationError("allocation inputs must have equal lengths")
+    require_non_negative(parent_budget_w, "parent_budget_w")
+    grants = [
+        min(require_non_negative(d, "demand"), require_non_negative(b, "bound"))
+        for d, b in zip(demands_w, own_bounds_w)
+    ]
+    total = sum(grants)
+    if total <= parent_budget_w or total <= 0.0:
+        return grants
+
+    within = [min(g, r) for g, r in zip(grants, rated_w)]
+    overload = [g - w for g, w in zip(grants, within)]
+    within_total = sum(within)
+    overload_total = sum(overload)
+
+    if within_total >= parent_budget_w:
+        # Even rated draw does not fit: shed everything proportionally.
+        scale = parent_budget_w / within_total if within_total > 0 else 0.0
+        return [w * scale for w in within]
+
+    # Keep within-rating power whole; scale back only the overloads.
+    overload_budget = parent_budget_w - within_total
+    scale = overload_budget / overload_total if overload_total > 0 else 0.0
+    scale = min(1.0, scale)
+    return [w + o * scale for w, o in zip(within, overload)]
+
+
+@dataclass(frozen=True)
+class MultiTopologyFlow:
+    """Realised flows of one explicit multi-PDU step."""
+
+    splits: List[PduPowerSplit]
+    cooling_w: float
+    dc_feed_w: float
+
+    @property
+    def grid_w(self) -> float:
+        """Total grid power through all PDU breakers."""
+        return sum(s.grid_w for s in self.splits)
+
+    @property
+    def ups_w(self) -> float:
+        """Total UPS discharge across all groups."""
+        return sum(s.ups_w for s in self.splits)
+
+    @property
+    def deficit_w(self) -> float:
+        """Total unserved server power."""
+        return sum(s.deficit_w for s in self.splits)
+
+
+@dataclass
+class MultiPduTopology:
+    """An explicit (possibly heterogeneous) array of PDUs under one feed.
+
+    Parameters
+    ----------
+    pdus:
+        The child PDUs; group sizes and batteries may differ.
+    dc_rated_power_w:
+        Rated power of the substation breaker.
+    curve:
+        Trip curve of the substation breaker.
+    """
+
+    pdus: List[Pdu]
+    dc_rated_power_w: float
+    curve: TripCurve = field(default_factory=TripCurve)
+
+    dc_breaker: CircuitBreaker = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.pdus:
+            raise ConfigurationError("pdus must be non-empty")
+        require_positive(self.dc_rated_power_w, "dc_rated_power_w")
+        self.dc_breaker = CircuitBreaker(
+            name="substation/breaker",
+            rated_power_w=self.dc_rated_power_w,
+            curve=self.curve,
+        )
+
+    @property
+    def n_pdus(self) -> int:
+        """Number of child PDUs."""
+        return len(self.pdus)
+
+    def coordinated_bounds_w(
+        self, reserve_trip_time_s: float, cooling_w: float
+    ) -> List[float]:
+        """Per-PDU grid bounds respecting the parent's own bound.
+
+        These are the *static* per-child ceilings; :meth:`step` further
+        water-fills the parent budget against the actual demands.
+        """
+        require_non_negative(cooling_w, "cooling_w")
+        parent = self.dc_breaker.max_load_for_trip_time(reserve_trip_time_s)
+        parent_for_pdus = max(0.0, parent - cooling_w)
+        own = [p.grid_power_bound_w(reserve_trip_time_s) for p in self.pdus]
+        # No child may individually exceed the parent's remainder.
+        return [min(b, parent_for_pdus) for b in own]
+
+    def step(
+        self,
+        demands_w: Sequence[float],
+        cooling_w: float,
+        reserve_trip_time_s: float,
+        dt_s: float,
+    ) -> MultiTopologyFlow:
+        """Source one step of per-PDU demands under full coordination."""
+        if len(demands_w) != self.n_pdus:
+            raise ConfigurationError(
+                f"expected {self.n_pdus} demands, got {len(demands_w)}"
+            )
+        require_non_negative(cooling_w, "cooling_w")
+        require_positive(dt_s, "dt_s")
+
+        parent = self.dc_breaker.max_load_for_trip_time(reserve_trip_time_s)
+        parent_for_pdus = max(0.0, parent - cooling_w)
+        own_bounds = [
+            p.grid_power_bound_w(reserve_trip_time_s) for p in self.pdus
+        ]
+        allocations = allocate_grid_budget(
+            demands_w=list(demands_w),
+            own_bounds_w=own_bounds,
+            rated_w=[p.rated_power_w for p in self.pdus],
+            parent_budget_w=parent_for_pdus,
+        )
+        splits = [
+            pdu.source_power(demand, allocation, dt_s)
+            for pdu, demand, allocation in zip(self.pdus, demands_w, allocations)
+        ]
+        dc_feed = sum(s.grid_w for s in splits) + cooling_w
+        self.dc_breaker.step(dc_feed, dt_s)
+        return MultiTopologyFlow(
+            splits=splits, cooling_w=cooling_w, dc_feed_w=dc_feed
+        )
+
+    def reset(self) -> None:
+        """Reset every breaker and battery fleet."""
+        for pdu in self.pdus:
+            pdu.reset()
+        self.dc_breaker.reset()

@@ -1,0 +1,136 @@
+"""UPS battery lifetime budgeting.
+
+Section IV-B: "a UPS battery (e.g., LFP battery) can be fully discharged
+for 10 times per month without its lifetime being affected, according to
+[18], we can apply it to handle occasional workload bursts without
+additional battery cost."  This module tracks that budget so a deployment
+can verify sprinting stays inside the free envelope — and quantify the
+lifetime cost when it does not.
+
+The wear model is the standard depth-weighted cycle count: a discharge to
+depth ``d`` costs ``d ** k`` of a full cycle with ``k > 1`` — shallow
+cycles wear batteries far less than proportionally (the well-known
+depth-of-discharge curve).  The default exponent is calibrated to the
+paper's own anchor: its Fig. 1 workload produces "200 bursts in a month
+that discharge 26% of the UPS capacity each time on average, which has no
+impact on UPS lifetime according to [18]" — with ``k = 2.3``,
+``200 x 0.26**2.3 ~= 9`` cycles, inside the 10-per-month free budget.
+Cycles consumed beyond the free monthly allowance shorten the service life
+proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.power.ups import BatteryChemistry, SAFE_FULL_DISCHARGES_PER_MONTH
+from repro.units import require_non_negative, require_positive
+
+#: Rated equivalent-full-cycle budgets by chemistry (order-of-magnitude
+#: values for LA vs LFP consistent with the [18] lifetimes).
+RATED_CYCLES: Dict[BatteryChemistry, float] = {
+    BatteryChemistry.LEAD_ACID: 500.0,
+    BatteryChemistry.LFP: 2000.0,
+}
+
+#: Depth-of-discharge wear exponent: a discharge to depth d costs d**k of
+#: a full cycle.  Calibrated so the paper's 200-bursts-at-26%-depth month
+#: stays inside the free 10-cycle budget (see the module docstring).
+DEFAULT_DEPTH_WEAR_EXPONENT = 2.3
+
+
+@dataclass
+class BatteryLifetimeTracker:
+    """Tracks discharge cycles against the free monthly sprinting budget.
+
+    Parameters
+    ----------
+    chemistry:
+        The battery chemistry (sets rated cycles and service life).
+    free_cycles_per_month:
+        Full discharges per month that cause no lifetime impact (10 per
+        [18]).
+    depth_wear_exponent:
+        ``k`` in the ``depth ** k`` per-discharge wear law.
+    """
+
+    chemistry: BatteryChemistry = BatteryChemistry.LFP
+    free_cycles_per_month: float = float(SAFE_FULL_DISCHARGES_PER_MONTH)
+    depth_wear_exponent: float = DEFAULT_DEPTH_WEAR_EXPONENT
+
+    cycles_this_month: float = field(default=0.0, init=False)
+    lifetime_cycles: float = field(default=0.0, init=False)
+    months_elapsed: int = field(default=0, init=False)
+    excess_cycles: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.free_cycles_per_month, "free_cycles_per_month")
+        if self.depth_wear_exponent < 1.0:
+            raise ConfigurationError(
+                "depth_wear_exponent must be >= 1 (shallow cycles cannot "
+                f"wear more than deep ones), got {self.depth_wear_exponent!r}"
+            )
+
+    @property
+    def rated_cycles(self) -> float:
+        """Total equivalent full cycles the chemistry is rated for."""
+        return RATED_CYCLES[self.chemistry]
+
+    def record_discharge(self, energy_j: float, capacity_j: float) -> None:
+        """Account one discharge event of ``energy_j`` from a pack.
+
+        The wear charged is ``(energy/capacity) ** k`` full-cycle
+        equivalents — one event per burst, not per control period, so the
+        depth reflects the whole discharge.
+        """
+        require_non_negative(energy_j, "energy_j")
+        require_positive(capacity_j, "capacity_j")
+        depth = min(1.0, energy_j / capacity_j)
+        cycles = depth ** self.depth_wear_exponent
+        excess_before = self.excess_cycles_this_month()
+        self.cycles_this_month += cycles
+        self.lifetime_cycles += cycles
+        self.excess_cycles += self.excess_cycles_this_month() - excess_before
+
+    def excess_cycles_this_month(self) -> float:
+        """Cycles beyond the free allowance in the current month."""
+        return max(0.0, self.cycles_this_month - self.free_cycles_per_month)
+
+    @property
+    def within_free_budget(self) -> bool:
+        """Whether this month's sprinting has cost any battery life."""
+        return self.cycles_this_month <= self.free_cycles_per_month
+
+    def remaining_free_cycles(self) -> float:
+        """Free discharges left this month."""
+        return max(0.0, self.free_cycles_per_month - self.cycles_this_month)
+
+    def close_month(self) -> float:
+        """Roll the month over; returns the month's excess cycles."""
+        excess = self.excess_cycles_this_month()
+        self.months_elapsed += 1
+        self.cycles_this_month = 0.0
+        return excess
+
+    def projected_service_life_years(self, cycles_per_month: float) -> float:
+        """Service life if every month consumed ``cycles_per_month``.
+
+        Within the free budget the chemistry's calendar life applies
+        (Section III-B: 4 years LA, 8 years LFP); beyond it the cycle
+        budget binds.
+        """
+        require_non_negative(cycles_per_month, "cycles_per_month")
+        calendar_years = float(self.chemistry.service_life_years)
+        if cycles_per_month <= self.free_cycles_per_month:
+            return calendar_years
+        cycle_years = self.rated_cycles / (cycles_per_month * 12.0)
+        return min(calendar_years, cycle_years)
+
+    def reset(self) -> None:
+        """Clear all accounting."""
+        self.cycles_this_month = 0.0
+        self.lifetime_cycles = 0.0
+        self.months_elapsed = 0
+        self.excess_cycles = 0.0

@@ -1,0 +1,162 @@
+"""Power distribution unit (PDU) model.
+
+A PDU feeds a group of servers (200 per Section VI-A) through a PDU-level
+circuit breaker rated at 125 % of the group's peak-normal power — the NEC
+provisioning rule the paper quotes: 55 W x 200 x 1.25 = 13.75 kW.
+
+During sprinting the servers in the group may demand more power than the
+breaker can deliver safely; the difference is carried by the distributed
+per-server UPS batteries.  The PDU object performs exactly this split each
+step: given the group's server demand and the controller's grid-power bound,
+it draws the bound from the grid (overloading its breaker knowingly) and
+covers the remainder from the battery fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.power.breaker import CircuitBreaker, TripCurve
+from repro.power.ups import DistributedUpsFleet, UpsBattery
+from repro.units import require_non_negative, require_positive
+
+#: Servers fed by one PDU (Section VI-A, following [18]).
+DEFAULT_SERVERS_PER_PDU = 200
+
+#: NEC continuous-load provisioning factor: breakers are sized so the design
+#: load is 80 % of rating, i.e. rating = 125 % of peak-normal load.
+NEC_PROVISIONING_FACTOR = 1.25
+
+
+@dataclass(frozen=True)
+class PduPowerSplit:
+    """How one step's server demand was sourced.
+
+    Attributes
+    ----------
+    demand_w:
+        Total power demanded by the server group.
+    grid_w:
+        Power drawn through the PDU breaker from the upstream feed.
+    ups_w:
+        Power discharged from the distributed UPS fleet.
+    deficit_w:
+        Demand that could not be sourced at all (forces de-sprinting).
+    """
+
+    demand_w: float
+    grid_w: float
+    ups_w: float
+    deficit_w: float
+
+    @property
+    def fully_served(self) -> bool:
+        """True when the whole demand was powered."""
+        return self.deficit_w <= 1e-6
+
+
+@dataclass
+class Pdu:
+    """One PDU: a breaker plus the UPS fleet of its server group.
+
+    Parameters
+    ----------
+    name:
+        Identifier for telemetry and error messages.
+    n_servers:
+        Servers in this PDU group.
+    peak_normal_server_power_w:
+        Per-server peak power without sprinting (55 W by default upstream).
+    curve:
+        Trip curve shared by the PDU breaker.
+    ups_battery:
+        Prototype per-server battery for the group's UPS fleet.
+    """
+
+    name: str
+    n_servers: int = DEFAULT_SERVERS_PER_PDU
+    peak_normal_server_power_w: float = 55.0
+    curve: TripCurve = field(default_factory=TripCurve)
+    ups_battery: UpsBattery = field(default_factory=UpsBattery)
+
+    breaker: CircuitBreaker = field(init=False)
+    ups: DistributedUpsFleet = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ConfigurationError(
+                f"n_servers must be > 0, got {self.n_servers!r}"
+            )
+        require_positive(
+            self.peak_normal_server_power_w, "peak_normal_server_power_w"
+        )
+        rated_w = (
+            self.peak_normal_server_power_w
+            * self.n_servers
+            * NEC_PROVISIONING_FACTOR
+        )
+        self.breaker = CircuitBreaker(
+            name=f"{self.name}/breaker", rated_power_w=rated_w, curve=self.curve
+        )
+        self.ups = DistributedUpsFleet(
+            n_batteries=self.n_servers, battery=self.ups_battery
+        )
+
+    @property
+    def rated_power_w(self) -> float:
+        """Rated power of the PDU breaker (13.75 kW at defaults)."""
+        return self.breaker.rated_power_w
+
+    @property
+    def peak_normal_power_w(self) -> float:
+        """Peak-normal power of the whole server group."""
+        return self.peak_normal_server_power_w * self.n_servers
+
+    def grid_power_bound_w(self, reserve_trip_time_s: float) -> float:
+        """Largest grid draw keeping the breaker's trip reserve intact."""
+        return self.breaker.max_load_for_trip_time(reserve_trip_time_s)
+
+    def source_power(
+        self,
+        demand_w: float,
+        grid_bound_w: float,
+        dt_s: float,
+        ups_floor_j: float = 0.0,
+    ) -> PduPowerSplit:
+        """Source ``demand_w`` for one step of ``dt_s`` seconds.
+
+        Grid power is used first, capped at ``grid_bound_w`` (the
+        controller's Phase-1 overload bound); the UPS fleet covers the rest
+        best-effort.  The breaker's thermal state advances with the actual
+        grid draw, so a bound above the safe level will eventually trip it —
+        this is intentional, it is how the uncontrolled baseline fails.
+
+        Returns the realised :class:`PduPowerSplit`.
+        """
+        require_non_negative(demand_w, "demand_w")
+        require_non_negative(grid_bound_w, "grid_bound_w")
+        require_positive(dt_s, "dt_s")
+
+        grid_w = min(demand_w, grid_bound_w)
+        shortfall_w = demand_w - grid_w
+        ups_w = 0.0
+        if shortfall_w > 0.0:
+            ups_w = self.ups.discharge_up_to(
+                shortfall_w, dt_s, floor_j=ups_floor_j
+            )
+        deficit_w = max(0.0, demand_w - grid_w - ups_w)
+
+        self.breaker.step(grid_w, dt_s)
+        return PduPowerSplit(
+            demand_w=demand_w, grid_w=grid_w, ups_w=ups_w, deficit_w=deficit_w
+        )
+
+    def recharge_ups(self, power_w: float, dt_s: float) -> float:
+        """Recharge the group's UPS fleet; returns joules stored."""
+        return self.ups.recharge(power_w, dt_s)
+
+    def reset(self) -> None:
+        """Reset breaker thermal state and restore UPS charge."""
+        self.breaker.reset()
+        self.ups.reset()

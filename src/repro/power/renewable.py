@@ -1,0 +1,166 @@
+"""Renewable supply: the third reason cores stay dark.
+
+The introduction lists "increasing reliance on the intermittent renewable
+power supplies [23], [21]" among the reasons a future data center keeps
+cores off.  This module models that constraint: a renewable source whose
+output follows a daily profile, blended with a (possibly under-provisioned)
+grid feed into the *sustainable* power available to the facility — the
+level the normally-active core count is provisioned for.
+
+Sprinting's interaction is direct: when the renewable share dips, the
+sustainable envelope shrinks and the effective headroom a burst can draw on
+shrinks with it.  :func:`sustainable_power_profile` produces the envelope a
+capacity planner or a scenario driver feeds into the simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import require_fraction, require_non_negative, require_positive
+from repro.workloads.traces import Trace
+
+
+@dataclass(frozen=True)
+class SolarProfile:
+    """Daily solar output: zero at night, a sine bump across daylight.
+
+    Parameters
+    ----------
+    peak_fraction:
+        Output at solar noon as a fraction of nameplate capacity.
+    sunrise_s / sunset_s:
+        Daylight window within the day (defaults: 06:00-18:00).
+    day_length_s:
+        Length of the day.
+    """
+
+    peak_fraction: float = 1.0
+    sunrise_s: float = 6.0 * 3600.0
+    sunset_s: float = 18.0 * 3600.0
+    day_length_s: float = 86_400.0
+
+    def __post_init__(self) -> None:
+        require_fraction(self.peak_fraction, "peak_fraction")
+        require_positive(self.day_length_s, "day_length_s")
+        if not 0.0 <= self.sunrise_s < self.sunset_s <= self.day_length_s:
+            raise ConfigurationError(
+                "need 0 <= sunrise < sunset <= day length"
+            )
+
+    def output_fraction(self, time_s: float) -> float:
+        """Nameplate fraction produced at an absolute time."""
+        require_non_negative(time_s, "time_s")
+        t = time_s % self.day_length_s
+        if not self.sunrise_s <= t <= self.sunset_s:
+            return 0.0
+        daylight = self.sunset_s - self.sunrise_s
+        angle = math.pi * (t - self.sunrise_s) / daylight
+        value = self.peak_fraction * math.sin(angle)
+        # sin(pi) leaves a +-1e-16 residue at the window edges.
+        return value if value > 1e-12 else 0.0
+
+
+@dataclass(frozen=True)
+class WindProfile:
+    """Stochastic-looking but deterministic wind output.
+
+    A sum of incommensurate sinusoids clipped to [floor, 1]: reproducible
+    (no RNG at query time) yet gusty enough to exercise a controller.
+    """
+
+    mean_fraction: float = 0.45
+    variability: float = 0.35
+    floor_fraction: float = 0.05
+    period_s: float = 3_700.0
+
+    def __post_init__(self) -> None:
+        require_fraction(self.mean_fraction, "mean_fraction")
+        require_non_negative(self.variability, "variability")
+        require_fraction(self.floor_fraction, "floor_fraction")
+        require_positive(self.period_s, "period_s")
+
+    def output_fraction(self, time_s: float) -> float:
+        """Nameplate fraction produced at an absolute time."""
+        require_non_negative(time_s, "time_s")
+        wobble = (
+            0.6 * math.sin(2.0 * math.pi * time_s / self.period_s)
+            + 0.3 * math.sin(2.0 * math.pi * time_s / (self.period_s * 3.1))
+            + 0.1 * math.sin(2.0 * math.pi * time_s / (self.period_s * 0.37))
+        )
+        value = self.mean_fraction + self.variability * wobble
+        return min(1.0, max(self.floor_fraction, value))
+
+
+@dataclass
+class RenewableSupply:
+    """A facility feed blending firm grid power with a renewable source.
+
+    Parameters
+    ----------
+    grid_power_w:
+        Firm (always-available) grid allocation.
+    renewable_nameplate_w:
+        Nameplate capacity of the renewable source.
+    solar / wind:
+        At most one profile; ``solar`` wins if both are set.
+    """
+
+    grid_power_w: float
+    renewable_nameplate_w: float
+    solar: Optional[SolarProfile] = None
+    wind: Optional[WindProfile] = None
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.grid_power_w, "grid_power_w")
+        require_non_negative(
+            self.renewable_nameplate_w, "renewable_nameplate_w"
+        )
+        if self.solar is None and self.wind is None:
+            self.solar = SolarProfile()
+
+    def renewable_power_w(self, time_s: float) -> float:
+        """Renewable output at an absolute time."""
+        profile = self.solar if self.solar is not None else self.wind
+        return self.renewable_nameplate_w * profile.output_fraction(time_s)
+
+    def available_power_w(self, time_s: float) -> float:
+        """Total sustainable power at an absolute time."""
+        return self.grid_power_w + self.renewable_power_w(time_s)
+
+    def renewable_share(self, time_s: float) -> float:
+        """Share of the momentary supply that is renewable."""
+        total = self.available_power_w(time_s)
+        if total <= 0.0:
+            return 0.0
+        return self.renewable_power_w(time_s) / total
+
+
+def sustainable_power_profile(
+    supply: RenewableSupply,
+    duration_s: float,
+    dt_s: float = 60.0,
+) -> Trace:
+    """The sustainable-power envelope as a trace (normalised to its peak).
+
+    Feed this to a capacity planner to see how many cores can stay *on*
+    hour by hour — the dark-silicon fraction a renewable-reliant facility
+    actually has to work with.
+    """
+    require_positive(duration_s, "duration_s")
+    require_positive(dt_s, "dt_s")
+    n = int(duration_s / dt_s)
+    if n <= 0:
+        raise ConfigurationError("duration too short for the given dt")
+    samples = np.array(
+        [supply.available_power_w(i * dt_s) for i in range(n)]
+    )
+    peak = samples.max()
+    if peak <= 0.0:
+        raise ConfigurationError("the supply never produces any power")
+    return Trace(samples / peak, dt_s, name="sustainable-power")

@@ -1,0 +1,225 @@
+"""Hierarchical power-delivery topology of the simulated data center.
+
+The paper's infrastructure is a two-level tree:
+
+* the **DC-level breaker** at the on-site substation protects the whole
+  facility feed (servers through the PDUs, plus the cooling plant), and
+* **PDU-level breakers** each protect one group of servers.
+
+Section V-B imposes the invariant that makes multi-level overload safe: the
+sum of child-branch draws must respect the parent's overload upper bound, so
+"we never trip a CB at the substation level by overloading the CBs at the
+PDU level".  :class:`PowerTopology` owns both levels and enforces exactly
+that budget split.
+
+Because the evaluation's data center is homogeneous (every PDU group is
+identical and the workload is spread evenly — Section VI-A), the topology
+exposes a *representative PDU* scaled by the PDU count.  This keeps the
+simulation O(1) per step instead of O(900 PDUs) while producing identical
+aggregate trajectories; the unit tests cross-check the representative-PDU
+arithmetic against an explicit multi-PDU computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.errors import ConfigurationError
+from repro.power.breaker import CircuitBreaker, TripCurve
+from repro.power.pdu import Pdu
+from repro.power.ups import UpsBattery
+from repro.units import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class TopologyPowerFlow:
+    """Power flows realised in one simulation step, data-center wide.
+
+    Attributes
+    ----------
+    server_demand_w:
+        Aggregate power demanded by all servers.
+    pdu_grid_w:
+        Aggregate power flowing through PDU breakers from the grid.
+    ups_w:
+        Aggregate UPS discharge.
+    cooling_w:
+        Cooling-plant power drawn through the DC-level breaker.
+    dc_feed_w:
+        Total draw on the DC-level breaker (``pdu_grid_w + cooling_w``).
+    deficit_w:
+        Server demand that could not be powered this step.
+    """
+
+    server_demand_w: float
+    pdu_grid_w: float
+    ups_w: float
+    cooling_w: float
+    dc_feed_w: float
+    deficit_w: float
+
+
+@dataclass
+class PowerTopology:
+    """Substation breaker above a homogeneous array of PDUs.
+
+    Parameters
+    ----------
+    n_pdus:
+        Number of identical PDU groups.
+    dc_headroom_fraction:
+        Provisioned headroom of the DC-level infrastructure above the
+        facility's peak-normal draw.  The NEC value is 25 %, but
+        under-provisioned facilities have less; the paper's default is 10 %
+        (swept 0–20 % in the sensitivity study).
+    pue:
+        Power usage effectiveness used to size the facility feed
+        (IT + cooling only, 1.53 by default per Section VI-A).
+    servers_per_pdu, peak_normal_server_power_w, curve, ups_battery:
+        Forwarded to the representative :class:`~repro.power.pdu.Pdu`.
+    """
+
+    n_pdus: int = 900
+    dc_headroom_fraction: float = 0.10
+    pue: float = 1.53
+    servers_per_pdu: int = 200
+    peak_normal_server_power_w: float = 55.0
+    curve: TripCurve = field(default_factory=TripCurve)
+    ups_battery: UpsBattery = field(default_factory=UpsBattery)
+
+    pdu: Pdu = field(init=False)
+    dc_breaker: CircuitBreaker = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_pdus <= 0:
+            raise ConfigurationError(f"n_pdus must be > 0, got {self.n_pdus!r}")
+        require_non_negative(self.dc_headroom_fraction, "dc_headroom_fraction")
+        require_positive(self.pue, "pue")
+        if self.pue < 1.0:
+            raise ConfigurationError(f"pue must be >= 1, got {self.pue!r}")
+        self.pdu = Pdu(
+            name="pdu[representative]",
+            n_servers=self.servers_per_pdu,
+            peak_normal_server_power_w=self.peak_normal_server_power_w,
+            curve=self.curve,
+            ups_battery=self.ups_battery,
+        )
+        rated = self.peak_normal_facility_power_w * (
+            1.0 + self.dc_headroom_fraction
+        )
+        self.dc_breaker = CircuitBreaker(
+            name="substation/breaker", rated_power_w=rated, curve=self.curve
+        )
+
+    # ------------------------------------------------------------------
+    # Sizing queries
+    # ------------------------------------------------------------------
+    @property
+    def n_servers(self) -> int:
+        """Total servers across all PDU groups."""
+        return self.n_pdus * self.servers_per_pdu
+
+    @property
+    def peak_normal_it_power_w(self) -> float:
+        """Facility-wide peak power of the servers without sprinting."""
+        return self.n_servers * self.peak_normal_server_power_w
+
+    @property
+    def peak_normal_facility_power_w(self) -> float:
+        """Peak-normal IT power scaled by PUE (servers + cooling)."""
+        return self.peak_normal_it_power_w * self.pue
+
+    @property
+    def ups_capacity_j(self) -> float:
+        """Total UPS energy across the facility (J)."""
+        return self.pdu.ups.capacity_j * self.n_pdus
+
+    @property
+    def ups_energy_j(self) -> float:
+        """Currently stored UPS energy across the facility (J)."""
+        return self.pdu.ups.energy_j * self.n_pdus
+
+    # ------------------------------------------------------------------
+    # Control-plane queries
+    # ------------------------------------------------------------------
+    def pdu_grid_bound_w(self, reserve_trip_time_s: float) -> float:
+        """Per-PDU grid-draw bound preserving the breaker's trip reserve."""
+        return self.pdu.grid_power_bound_w(reserve_trip_time_s)
+
+    def dc_grid_bound_w(self, reserve_trip_time_s: float) -> float:
+        """Facility-feed bound preserving the DC breaker's trip reserve."""
+        return self.dc_breaker.max_load_for_trip_time(reserve_trip_time_s)
+
+    def coordinated_pdu_bound_w(
+        self, reserve_trip_time_s: float, cooling_w: float
+    ) -> float:
+        """Per-PDU grid bound that also respects the parent breaker.
+
+        This implements the Section V-B invariant: the per-PDU bound is the
+        smaller of the PDU breaker's own bound and an equal share of what the
+        DC-level breaker can pass after the cooling plant takes its cut.  A
+        power increase on one child therefore always fits within the parent's
+        budget.
+        """
+        require_non_negative(cooling_w, "cooling_w")
+        own = self.pdu_grid_bound_w(reserve_trip_time_s)
+        parent_total = self.dc_grid_bound_w(reserve_trip_time_s)
+        parent_share = max(0.0, parent_total - cooling_w) / self.n_pdus
+        return min(own, parent_share)
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        server_demand_w: float,
+        pdu_grid_bound_w: float,
+        cooling_w: float,
+        dt_s: float,
+        ups_floor_j: float = 0.0,
+    ) -> TopologyPowerFlow:
+        """Source the facility's power for one step.
+
+        ``server_demand_w`` and ``cooling_w`` are facility-wide; the demand
+        is spread evenly over the PDU groups.  ``pdu_grid_bound_w`` is the
+        *per-PDU* grid bound chosen by the controller.  Both breaker levels
+        advance their thermal state; either may raise
+        :class:`~repro.errors.BreakerTrippedError`.
+        """
+        require_non_negative(server_demand_w, "server_demand_w")
+        require_non_negative(cooling_w, "cooling_w")
+        require_positive(dt_s, "dt_s")
+
+        per_pdu_demand = server_demand_w / self.n_pdus
+        split = self.pdu.source_power(
+            per_pdu_demand,
+            pdu_grid_bound_w,
+            dt_s,
+            ups_floor_j=require_non_negative(ups_floor_j, "ups_floor_j")
+            / self.n_pdus,
+        )
+
+        pdu_grid_total = split.grid_w * self.n_pdus
+        ups_total = split.ups_w * self.n_pdus
+        deficit_total = split.deficit_w * self.n_pdus
+        dc_feed = pdu_grid_total + cooling_w
+        self.dc_breaker.step(dc_feed, dt_s)
+
+        return TopologyPowerFlow(
+            server_demand_w=server_demand_w,
+            pdu_grid_w=pdu_grid_total,
+            ups_w=ups_total,
+            cooling_w=cooling_w,
+            dc_feed_w=dc_feed,
+            deficit_w=deficit_total,
+        )
+
+    def recharge_ups(self, facility_power_w: float, dt_s: float) -> float:
+        """Recharge all UPS fleets; returns total joules stored."""
+        per_pdu = require_non_negative(facility_power_w, "facility_power_w")
+        stored = self.pdu.recharge_ups(per_pdu / self.n_pdus, dt_s)
+        return stored * self.n_pdus
+
+    def reset(self) -> None:
+        """Reset breakers and batteries to their initial state."""
+        self.pdu.reset()
+        self.dc_breaker.reset()

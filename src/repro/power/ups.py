@@ -1,0 +1,290 @@
+"""Uninterruptible power supply (UPS) battery models.
+
+The paper assumes server-level *distributed* UPS batteries (the deployment
+style of Kontorinis et al. [18]): each server carries a small battery sized
+for a handful of minutes of runtime, and batteries can be coordinated so a
+chosen subset of servers draws from battery instead of from the PDU, thereby
+shaping the power that flows through (and the overload seen by) the PDU-level
+breakers.
+
+Defaults follow Section VI-A: a 0.5 Ah battery sustaining the 55 W
+peak-normal server power for about 6 minutes, with lifetime accounting per
+[18] (an LFP battery tolerates ~10 full discharges per month within its
+8-year service life; lead-acid is rated for 4 years).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import BatteryDepletedError, ConfigurationError
+from repro.units import (
+    amp_hours_to_joules,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+)
+
+#: Nominal battery voltage; 0.5 Ah x 11 V x 3600 = 19.8 kJ = 55 W x 6 min,
+#: which reproduces the paper's "0.5 Ah sustains peak normal power for about
+#: 6 minutes" sizing exactly.
+DEFAULT_VOLTAGE_V = 11.0
+
+#: Default capacity of the per-server battery (Section VI-A).
+DEFAULT_CAPACITY_AH = 0.5
+
+#: Full discharges per month that do not shorten battery life (per [18]).
+SAFE_FULL_DISCHARGES_PER_MONTH = 10
+
+
+class BatteryChemistry(Enum):
+    """Battery chemistries discussed by the paper, with service life in years."""
+
+    LEAD_ACID = 4
+    LFP = 8
+
+    @property
+    def service_life_years(self) -> int:
+        """Required service life of this chemistry per the paper (Sec III-B)."""
+        return self.value
+
+
+@dataclass
+class UpsBattery:
+    """A single UPS battery with state-of-charge and cycle accounting.
+
+    Energy accounting is done in joules.  Discharge and recharge rates are
+    bounded by C-rate-style power limits; drawing more energy than stored
+    raises :class:`BatteryDepletedError` so controller bugs cannot silently
+    create energy.
+
+    Parameters
+    ----------
+    capacity_ah:
+        Rated charge capacity in ampere-hours.
+    voltage_v:
+        Nominal terminal voltage.
+    max_discharge_power_w:
+        Upper bound on instantaneous discharge power.  Defaults to the power
+        that would empty a full battery in one minute, generous enough that
+        the sprinting experiments are energy- rather than rate-limited.
+    efficiency:
+        Round-trip efficiency applied on recharge (discharge is counted at
+        the terminals).
+    chemistry:
+        Used only for lifetime bookkeeping.
+    """
+
+    capacity_ah: float = DEFAULT_CAPACITY_AH
+    voltage_v: float = DEFAULT_VOLTAGE_V
+    max_discharge_power_w: float = 0.0
+    efficiency: float = 0.9
+    chemistry: BatteryChemistry = BatteryChemistry.LFP
+
+    #: Stored energy in joules (starts full).
+    energy_j: float = field(init=False)
+    #: Cumulative energy discharged over the battery's life, in joules.
+    total_discharged_j: float = field(default=0.0, init=False)
+    #: Number of equivalent full discharge cycles accumulated.
+    equivalent_full_cycles: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity_ah, "capacity_ah")
+        require_positive(self.voltage_v, "voltage_v")
+        require_fraction(self.efficiency, "efficiency")
+        if self.efficiency == 0.0:
+            raise ConfigurationError("efficiency must be > 0")
+        self.energy_j = self.capacity_j
+        if self.max_discharge_power_w <= 0.0:
+            self.max_discharge_power_w = self.capacity_j / 60.0
+        require_positive(self.max_discharge_power_w, "max_discharge_power_w")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def capacity_j(self) -> float:
+        """Full-charge energy content in joules."""
+        return amp_hours_to_joules(self.capacity_ah, self.voltage_v)
+
+    @property
+    def state_of_charge(self) -> float:
+        """Fraction of capacity currently stored, in [0, 1]."""
+        return self.energy_j / self.capacity_j
+
+    @property
+    def is_empty(self) -> bool:
+        """True once effectively no usable energy remains."""
+        return self.energy_j <= 1e-9
+
+    def runtime_at_power_s(self, power_w: float) -> float:
+        """Seconds the battery can sustain a constant ``power_w`` draw."""
+        require_non_negative(power_w, "power_w")
+        if power_w == 0.0:
+            return math.inf
+        usable_power = min(power_w, self.max_discharge_power_w)
+        if usable_power < power_w:
+            # The battery cannot deliver the requested rate at all.
+            return 0.0
+        return self.energy_j / power_w
+
+    def available_power_w(self) -> float:
+        """Maximum discharge power deliverable right now."""
+        if self.is_empty:
+            return 0.0
+        return self.max_discharge_power_w
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def discharge(self, power_w: float, dt_s: float) -> float:
+        """Draw ``power_w`` for ``dt_s`` seconds; return energy delivered (J).
+
+        Raises
+        ------
+        BatteryDepletedError
+            If the battery holds less energy than requested or the requested
+            power exceeds the discharge rate limit.  Use
+            :meth:`discharge_up_to` for best-effort draws.
+        """
+        require_non_negative(power_w, "power_w")
+        require_positive(dt_s, "dt_s")
+        if power_w == 0.0:
+            return 0.0
+        if power_w > self.max_discharge_power_w * (1.0 + 1e-9):
+            raise BatteryDepletedError(
+                f"requested {power_w:.1f} W exceeds the battery's "
+                f"{self.max_discharge_power_w:.1f} W discharge limit"
+            )
+        needed_j = power_w * dt_s
+        if needed_j > self.energy_j + 1e-9:
+            raise BatteryDepletedError(
+                f"requested {needed_j:.1f} J but only "
+                f"{self.energy_j:.1f} J stored"
+            )
+        self._withdraw(needed_j)
+        return needed_j
+
+    def discharge_up_to(
+        self, power_w: float, dt_s: float, floor_j: float = 0.0
+    ) -> float:
+        """Best-effort discharge; returns the power (W) actually delivered.
+
+        ``floor_j`` is energy the discharge may never dip below — the
+        outage-bridge reserve a deployment can keep out of sprinting's
+        reach (Section III-B's primary duty of the batteries).
+        """
+        require_non_negative(power_w, "power_w")
+        require_positive(dt_s, "dt_s")
+        require_non_negative(floor_j, "floor_j")
+        usable_j = max(0.0, self.energy_j - floor_j)
+        deliverable_w = min(power_w, self.max_discharge_power_w)
+        deliverable_w = min(deliverable_w, usable_j / dt_s)
+        deliverable_w = max(0.0, deliverable_w)
+        if deliverable_w > 0.0:
+            self._withdraw(deliverable_w * dt_s)
+        return deliverable_w
+
+    def recharge(self, power_w: float, dt_s: float) -> float:
+        """Recharge at ``power_w`` for ``dt_s``; return energy stored (J).
+
+        Recharge happens between bursts when demand is low (Section III-B);
+        round-trip losses are charged here.  Charging saturates at capacity.
+        """
+        require_non_negative(power_w, "power_w")
+        require_positive(dt_s, "dt_s")
+        stored = power_w * dt_s * self.efficiency
+        stored = min(stored, self.capacity_j - self.energy_j)
+        self.energy_j += stored
+        return stored
+
+    def _withdraw(self, energy_j: float) -> None:
+        self.energy_j -= energy_j
+        self.energy_j = max(0.0, self.energy_j)
+        self.total_discharged_j += energy_j
+        self.equivalent_full_cycles += energy_j / self.capacity_j
+
+    def reset(self) -> None:
+        """Restore a full charge and clear cycle counters."""
+        self.energy_j = self.capacity_j
+        self.total_discharged_j = 0.0
+        self.equivalent_full_cycles = 0.0
+
+
+@dataclass
+class DistributedUpsFleet:
+    """Aggregate view over the per-server UPS batteries of a whole PDU group.
+
+    The sprinting controller reasons about a PDU group (200 servers by
+    default) as one logical battery: "set a desired number of servers to be
+    powered by their batteries" [18].  Because all batteries are identical
+    and discharged in rotation, the fleet is modelled as a single energy pool
+    with an aggregate rate limit; this is exact for the quantities the paper
+    evaluates (energy split, sustained time) while avoiding 180,000
+    per-object updates each step.
+
+    Parameters
+    ----------
+    n_batteries:
+        Number of per-server batteries aggregated.
+    battery:
+        Prototype battery; its capacity and limits are scaled by
+        ``n_batteries``.
+    """
+
+    n_batteries: int
+    battery: UpsBattery = field(default_factory=UpsBattery)
+
+    def __post_init__(self) -> None:
+        if self.n_batteries <= 0:
+            raise ConfigurationError(
+                f"n_batteries must be > 0, got {self.n_batteries!r}"
+            )
+
+    @property
+    def capacity_j(self) -> float:
+        """Total energy capacity of the fleet (J)."""
+        return self.battery.capacity_j * self.n_batteries
+
+    @property
+    def energy_j(self) -> float:
+        """Total stored energy of the fleet (J)."""
+        return self.battery.energy_j * self.n_batteries
+
+    @property
+    def state_of_charge(self) -> float:
+        """Fleet-average state of charge."""
+        return self.battery.state_of_charge
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the pooled energy is exhausted."""
+        return self.battery.is_empty
+
+    def available_power_w(self) -> float:
+        """Maximum aggregate discharge power right now."""
+        return self.battery.available_power_w() * self.n_batteries
+
+    def discharge_up_to(
+        self, power_w: float, dt_s: float, floor_j: float = 0.0
+    ) -> float:
+        """Best-effort aggregate discharge; returns total power delivered.
+
+        ``floor_j`` is the fleet-wide energy floor (outage reserve).
+        """
+        per_battery = require_non_negative(power_w, "power_w") / self.n_batteries
+        per_floor = require_non_negative(floor_j, "floor_j") / self.n_batteries
+        delivered = self.battery.discharge_up_to(per_battery, dt_s, per_floor)
+        return delivered * self.n_batteries
+
+    def recharge(self, power_w: float, dt_s: float) -> float:
+        """Aggregate recharge; returns total energy stored (J)."""
+        per_battery = require_non_negative(power_w, "power_w") / self.n_batteries
+        stored = self.battery.recharge(per_battery, dt_s)
+        return stored * self.n_batteries
+
+    def reset(self) -> None:
+        """Restore full charge across the fleet."""
+        self.battery.reset()

@@ -1,0 +1,246 @@
+"""Utility feed events and the diesel backup generator.
+
+Two background systems the paper leans on:
+
+* Section IV-A lists "unexpected power spikes in the utility power supply"
+  among the events that force an immediate de-sprint — modelled here as a
+  scheduled event stream a scenario can inject and the safety monitor can
+  react to;
+* Section III-B describes the classic outage bridge: "UPS devices are
+  widely equipped in data centers to temporarily supply power when the main
+  power source suddenly fails and before the diesel generator starts to
+  work.  While the startup of diesel generator usually takes tens of
+  seconds, the UPS can usually keep working for several minutes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.units import require_non_negative, require_positive
+
+
+class UtilityEventKind(Enum):
+    """Kinds of utility-side disturbances."""
+
+    OUTAGE = "outage"
+    SAG = "sag"
+    SPIKE = "spike"
+
+
+@dataclass(frozen=True)
+class UtilityEvent:
+    """One scheduled disturbance of the utility feed.
+
+    ``magnitude`` is interpreted per kind: the supplied-power fraction
+    during a SAG (e.g. 0.7 = 70 % of nominal available), the over-voltage
+    load multiplier during a SPIKE (loads draw ``magnitude`` times their
+    power), and ignored for an OUTAGE (supply goes to zero).
+    """
+
+    kind: UtilityEventKind
+    start_s: float
+    duration_s: float
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.start_s, "start_s")
+        require_positive(self.duration_s, "duration_s")
+        require_positive(self.magnitude, "magnitude")
+
+    @property
+    def end_s(self) -> float:
+        """First instant after the event."""
+        return self.start_s + self.duration_s
+
+    def active_at(self, time_s: float) -> bool:
+        """Whether the event covers ``time_s``."""
+        return self.start_s <= time_s < self.end_s
+
+
+@dataclass
+class UtilityFeed:
+    """The utility supply: nominal capacity modulated by scheduled events."""
+
+    nominal_capacity_w: float
+    events: List[UtilityEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require_positive(self.nominal_capacity_w, "nominal_capacity_w")
+
+    def add_event(self, event: UtilityEvent) -> None:
+        """Schedule a disturbance."""
+        self.events.append(event)
+
+    def event_at(self, time_s: float) -> Optional[UtilityEvent]:
+        """The disturbance covering ``time_s``, if any (first wins)."""
+        require_non_negative(time_s, "time_s")
+        for event in self.events:
+            if event.active_at(time_s):
+                return event
+        return None
+
+    def available_power_w(self, time_s: float) -> float:
+        """Power the grid can deliver at ``time_s``."""
+        event = self.event_at(time_s)
+        if event is None:
+            return self.nominal_capacity_w
+        if event.kind is UtilityEventKind.OUTAGE:
+            return 0.0
+        if event.kind is UtilityEventKind.SAG:
+            return self.nominal_capacity_w * min(1.0, event.magnitude)
+        return self.nominal_capacity_w
+
+    def load_multiplier(self, time_s: float) -> float:
+        """Apparent-load multiplier (spikes make loads draw more current)."""
+        event = self.event_at(time_s)
+        if event is not None and event.kind is UtilityEventKind.SPIKE:
+            return max(1.0, event.magnitude)
+        return 1.0
+
+    def is_healthy(self, time_s: float) -> bool:
+        """True when no disturbance is active."""
+        return self.event_at(time_s) is None
+
+
+class GeneratorState(Enum):
+    """Operating state of the diesel generator."""
+
+    OFF = "off"
+    STARTING = "starting"
+    RUNNING = "running"
+
+
+@dataclass
+class DieselGenerator:
+    """Backup diesel generator with a realistic start-up delay.
+
+    Parameters
+    ----------
+    rated_power_w:
+        Power delivered once running (sized for the facility's critical
+        load).
+    startup_time_s:
+        Crank-to-ready delay ("tens of seconds", Section III-B).
+    fuel_capacity_j:
+        On-site fuel, as deliverable electric energy.
+    """
+
+    rated_power_w: float
+    startup_time_s: float = 30.0
+    fuel_capacity_j: float = float("inf")
+
+    state: GeneratorState = field(default=GeneratorState.OFF, init=False)
+    _starting_for_s: float = field(default=0.0, init=False)
+    fuel_j: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.rated_power_w, "rated_power_w")
+        require_positive(self.startup_time_s, "startup_time_s")
+        if self.fuel_capacity_j <= 0:
+            raise ConfigurationError("fuel_capacity_j must be > 0")
+        self.fuel_j = self.fuel_capacity_j
+
+    def start(self) -> None:
+        """Begin the start sequence (idempotent)."""
+        if self.state is GeneratorState.OFF:
+            self.state = GeneratorState.STARTING
+            self._starting_for_s = 0.0
+
+    def stop(self) -> None:
+        """Shut the generator down."""
+        self.state = GeneratorState.OFF
+        self._starting_for_s = 0.0
+
+    def step(self, dt_s: float) -> None:
+        """Advance the start sequence / fuel burn bookkeeping."""
+        require_positive(dt_s, "dt_s")
+        if self.state is GeneratorState.STARTING:
+            self._starting_for_s += dt_s
+            if self._starting_for_s >= self.startup_time_s:
+                self.state = GeneratorState.RUNNING
+
+    def available_power_w(self) -> float:
+        """Power deliverable right now (0 unless running with fuel)."""
+        if self.state is not GeneratorState.RUNNING or self.fuel_j <= 0.0:
+            return 0.0
+        return self.rated_power_w
+
+    def draw(self, power_w: float, dt_s: float) -> float:
+        """Draw power for one step; returns what was actually delivered."""
+        require_non_negative(power_w, "power_w")
+        require_positive(dt_s, "dt_s")
+        deliverable = min(power_w, self.available_power_w())
+        if deliverable > 0.0 and self.fuel_j != float("inf"):
+            burn = deliverable * dt_s
+            if burn > self.fuel_j:
+                deliverable = self.fuel_j / dt_s
+                burn = self.fuel_j
+            self.fuel_j -= burn
+        return deliverable
+
+    def reset(self) -> None:
+        """Back to off with full fuel."""
+        self.state = GeneratorState.OFF
+        self._starting_for_s = 0.0
+        self.fuel_j = self.fuel_capacity_j
+
+
+@dataclass(frozen=True)
+class OutageStep:
+    """Telemetry of one second of an outage-bridging scenario."""
+
+    time_s: float
+    utility_w: float
+    generator_w: float
+    ups_w: float
+    unserved_w: float
+
+    @property
+    def served(self) -> bool:
+        """Whether the critical load was fully powered this second."""
+        return self.unserved_w <= 1e-6
+
+
+def bridge_outage(
+    critical_load_w: float,
+    outage_duration_s: float,
+    ups_energy_j: float,
+    generator: DieselGenerator,
+    dt_s: float = 1.0,
+) -> List[OutageStep]:
+    """Simulate the classic outage bridge: UPS carries until diesel is up.
+
+    Returns the per-second record; the scenario succeeds when every step is
+    served (the paper's premise for why UPS capacity exists at all — and
+    why its *spare* capacity is available for sprinting).
+    """
+    require_positive(critical_load_w, "critical_load_w")
+    require_positive(outage_duration_s, "outage_duration_s")
+    require_non_negative(ups_energy_j, "ups_energy_j")
+    generator.reset()
+    generator.start()
+
+    steps: List[OutageStep] = []
+    ups_left = ups_energy_j
+    t = 0.0
+    while t < outage_duration_s:
+        generator.step(dt_s)
+        from_generator = generator.draw(critical_load_w, dt_s)
+        shortfall = critical_load_w - from_generator
+        from_ups = min(shortfall, ups_left / dt_s)
+        ups_left -= from_ups * dt_s
+        steps.append(
+            OutageStep(
+                time_s=t,
+                utility_w=0.0,
+                generator_w=from_generator,
+                ups_w=from_ups,
+                unserved_w=shortfall - from_ups,
+            )
+        )
+        t += dt_s
+    return steps

@@ -1,0 +1,29 @@
+"""Server substrate: many-core chip, server, fleet and throughput models."""
+
+from repro.servers.chip import (
+    ChipModel,
+    DEFAULT_CORE_POWER_W,
+    DEFAULT_IDLE_CHIP_POWER_W,
+    DEFAULT_NORMAL_CORES,
+    DEFAULT_TOTAL_CORES,
+)
+from repro.servers.cluster import DEFAULT_N_SERVERS, ServerCluster
+from repro.servers.pcm import DEFAULT_FULL_SPRINT_ENDURANCE_MIN, PcmHeatSink
+from repro.servers.performance import DEFAULT_MAX_CAPACITY, ThroughputModel
+from repro.servers.server import DEFAULT_NON_CPU_POWER_W, ServerModel
+
+__all__ = [
+    "ChipModel",
+    "DEFAULT_CORE_POWER_W",
+    "DEFAULT_FULL_SPRINT_ENDURANCE_MIN",
+    "PcmHeatSink",
+    "DEFAULT_IDLE_CHIP_POWER_W",
+    "DEFAULT_N_SERVERS",
+    "DEFAULT_MAX_CAPACITY",
+    "DEFAULT_NON_CPU_POWER_W",
+    "DEFAULT_NORMAL_CORES",
+    "DEFAULT_TOTAL_CORES",
+    "ServerCluster",
+    "ServerModel",
+    "ThroughputModel",
+]

@@ -1,0 +1,146 @@
+"""Many-core chip power model (Intel Single-chip Cloud Computer-like).
+
+Section VI-A configures every server with a 48-core chip modelled on
+Intel's Single-chip Cloud Computer [14]:
+
+* 125 W when fully utilised (all 48 cores active),
+* 2.5 W per fully-utilised core,
+* 5 W chip floor when every core is inactive,
+* 12 cores active in normal (non-sprinting) operation.
+
+The *sprinting degree* is the ratio of active cores to the normal count:
+12 cores is degree 1.0, all 48 cores is the maximum degree of 4.0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import require_non_negative, require_positive
+
+#: Total cores on the chip (Section VI-A).
+DEFAULT_TOTAL_CORES = 48
+
+#: Cores active during normal operation, set by dark-silicon constraints.
+DEFAULT_NORMAL_CORES = 12
+
+#: Power of one fully-utilised core (W).
+DEFAULT_CORE_POWER_W = 2.5
+
+#: Chip power floor with all cores inactive (W).
+DEFAULT_IDLE_CHIP_POWER_W = 5.0
+
+
+@dataclass(frozen=True)
+class ChipModel:
+    """Power model of one many-core processor chip.
+
+    Parameters
+    ----------
+    total_cores:
+        Cores physically present (48).
+    normal_cores:
+        Cores that may be active sustainably (12) — the rest are dark
+        silicon that only sprinting lights up.
+    core_power_w:
+        Incremental power of one active, fully-utilised core.
+    idle_chip_power_w:
+        Chip power with zero active cores (uncore, leakage).
+    """
+
+    total_cores: int = DEFAULT_TOTAL_CORES
+    normal_cores: int = DEFAULT_NORMAL_CORES
+    core_power_w: float = DEFAULT_CORE_POWER_W
+    idle_chip_power_w: float = DEFAULT_IDLE_CHIP_POWER_W
+
+    def __post_init__(self) -> None:
+        if self.total_cores <= 0:
+            raise ConfigurationError(
+                f"total_cores must be > 0, got {self.total_cores!r}"
+            )
+        if not 0 < self.normal_cores <= self.total_cores:
+            raise ConfigurationError(
+                "normal_cores must be in (0, total_cores], got "
+                f"{self.normal_cores!r} of {self.total_cores!r}"
+            )
+        require_positive(self.core_power_w, "core_power_w")
+        require_non_negative(self.idle_chip_power_w, "idle_chip_power_w")
+
+    # ------------------------------------------------------------------
+    # Sprinting-degree arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def max_sprinting_degree(self) -> float:
+        """Degree with every core on: total / normal (4.0 at defaults)."""
+        return self.total_cores / self.normal_cores
+
+    def cores_for_degree(self, degree: float) -> int:
+        """Active-core count realising a sprinting degree (rounded up).
+
+        The paper treats the degree as continuous but notes it is "discrete
+        with a fine granularity (each core can be individually powered on or
+        off)"; rounding up guarantees the realised capacity is at least the
+        requested one.
+        """
+        require_positive(degree, "degree")
+        cores = math.ceil(degree * self.normal_cores - 1e-9)
+        return min(max(1, cores), self.total_cores)
+
+    def degree_for_cores(self, active_cores: int) -> float:
+        """Sprinting degree realised by ``active_cores``."""
+        if not 0 <= active_cores <= self.total_cores:
+            raise ConfigurationError(
+                f"active_cores must be in [0, {self.total_cores}], "
+                f"got {active_cores!r}"
+            )
+        return active_cores / self.normal_cores
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    def power_w(self, active_cores: int, utilization: float = 1.0) -> float:
+        """Chip power with ``active_cores`` on at the given utilisation.
+
+        Sprinting targets compute-intensive workloads (Section IV), so the
+        evaluation uses ``utilization = 1.0``; the parameter exists for the
+        fractional last core of a continuous degree.
+        """
+        if not 0 <= active_cores <= self.total_cores:
+            raise ConfigurationError(
+                f"active_cores must be in [0, {self.total_cores}], "
+                f"got {active_cores!r}"
+            )
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1], got {utilization!r}"
+            )
+        return self.idle_chip_power_w + (
+            self.core_power_w * active_cores * utilization
+        )
+
+    def power_at_degree_w(self, degree: float) -> float:
+        """Chip power at a *continuous* sprinting degree.
+
+        Fractional degrees are interpolated linearly, matching the paper's
+        treatment of the degree as a continuous control variable.
+        """
+        require_non_negative(degree, "degree")
+        if degree > self.max_sprinting_degree + 1e-9:
+            raise ConfigurationError(
+                f"degree {degree!r} exceeds the chip maximum "
+                f"{self.max_sprinting_degree!r}"
+            )
+        active = min(degree * self.normal_cores, float(self.total_cores))
+        return self.idle_chip_power_w + self.core_power_w * active
+
+    @property
+    def normal_power_w(self) -> float:
+        """Chip power in normal operation (35 W at defaults)."""
+        return self.power_w(self.normal_cores)
+
+    @property
+    def full_power_w(self) -> float:
+        """Chip power with all cores fully utilised (125 W at defaults)."""
+        return self.power_w(self.total_cores)

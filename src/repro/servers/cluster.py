@@ -1,0 +1,110 @@
+"""Server fleet: the facility's aggregate compute and power envelope.
+
+Section VI-A models a data center whose servers peak at 10 MW without
+sprinting; at 55 W per server that is ~180,000 servers (the paper's number),
+organised in groups of 200 under each PDU.  Because the fleet is homogeneous
+and the workload is spread evenly, the cluster exposes fleet-wide power and
+capacity as simple scalings of the per-server model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.servers.performance import ThroughputModel
+from repro.servers.server import ServerModel
+from repro.units import require_non_negative
+
+#: Fleet size used throughout the evaluation (Section VI-A).
+DEFAULT_N_SERVERS = 180_000
+
+
+@dataclass(frozen=True)
+class ServerCluster:
+    """A homogeneous fleet of sprinting-capable servers.
+
+    Parameters
+    ----------
+    n_servers:
+        Fleet size.
+    server:
+        Per-server power model.
+    throughput:
+        Degree-to-capacity mapping shared by every server.
+    """
+
+    n_servers: int = DEFAULT_N_SERVERS
+    server: ServerModel = field(default_factory=ServerModel)
+    throughput: ThroughputModel = field(default_factory=ThroughputModel)
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ConfigurationError(
+                f"n_servers must be > 0, got {self.n_servers!r}"
+            )
+        chip_max = self.server.chip.max_sprinting_degree
+        if abs(self.throughput.max_degree - chip_max) > 1e-6:
+            raise ConfigurationError(
+                "throughput.max_degree must match the chip's maximum "
+                f"sprinting degree ({self.throughput.max_degree!r} != "
+                f"{chip_max!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    @property
+    def peak_normal_power_w(self) -> float:
+        """Fleet peak power without sprinting (9.9 MW at defaults)."""
+        return self.n_servers * self.server.peak_normal_power_w
+
+    @property
+    def full_sprint_power_w(self) -> float:
+        """Fleet power at the maximum sprinting degree (26.1 MW)."""
+        return self.n_servers * self.server.full_sprint_power_w
+
+    @property
+    def max_additional_power_w(self) -> float:
+        """Fleet-wide extra power of a full sprint (16.2 MW at defaults)."""
+        return self.full_sprint_power_w - self.peak_normal_power_w
+
+    def power_at_degree_w(self, degree: float) -> float:
+        """Fleet power with every server at sprinting degree ``degree``."""
+        return self.n_servers * self.server.power_at_degree_w(degree)
+
+    def additional_power_at_degree_w(self, degree: float) -> float:
+        """Fleet-wide extra power over peak-normal at ``degree``."""
+        return self.n_servers * self.server.additional_power_at_degree_w(degree)
+
+    def degree_for_power(self, fleet_power_w: float) -> float:
+        """Largest sprinting degree powerable within ``fleet_power_w``.
+
+        Inverse of :meth:`power_at_degree_w` (power is affine in the
+        degree), clamped into [0, max degree].  This is how the controller
+        converts a breaker/UPS power budget back into a degree bound.
+        """
+        require_non_negative(fleet_power_w, "fleet_power_w")
+        per_server = fleet_power_w / self.n_servers
+        chip = self.server.chip
+        fixed = self.server.non_cpu_power_w + chip.idle_chip_power_w
+        per_degree = chip.core_power_w * chip.normal_cores
+        degree = (per_server - fixed) / per_degree
+        return max(0.0, min(degree, chip.max_sprinting_degree))
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    def capacity_at_degree(self, degree: float) -> float:
+        """Normalised fleet capacity (1.0 = peak-normal) at ``degree``."""
+        return self.throughput.capacity(degree)
+
+    def degree_for_demand(self, demand: float) -> float:
+        """Smallest degree covering a normalised demand (clamped at max)."""
+        require_non_negative(demand, "demand")
+        return self.throughput.degree_for_capacity(demand)
+
+    @property
+    def max_capacity(self) -> float:
+        """Fleet capacity ceiling at the maximum degree (~3.48x)."""
+        return self.throughput.max_capacity

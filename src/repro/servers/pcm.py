@@ -1,0 +1,158 @@
+"""Chip-level sprinting thermals: the phase-change-material heat sink.
+
+Data Center Sprinting's prerequisite is that chip-level sprinting is
+already safe: "we assume that computational sprinting has already been
+applied to the processor chips" (Section II), using the PCM package of
+Raghavan et al. [32], [31] — a block of phase-change material on the chip
+that absorbs the sprint's excess heat in its melting plateau, then
+re-solidifies while the chip runs normally.  Section IV adds the coupling
+rule this module enables: "If the chip-level sprinting can be no longer
+sustained, we also finish Data Center Sprinting."
+
+Model: the chip's sustainable heat-removal path carries the normal-
+operation power; any excess melts the PCM, whose latent-heat budget sets
+the chip-level sprint duration; at or below normal power the PCM
+re-freezes at the spare capacity of the removal path.
+
+Sizing: [32] reports ~seconds-to-a-minute sprints for mobile parts; a
+server-class package has room for far more material, and the paper's
+data-center experiments run multi-minute sprints, so the default budget is
+calibrated to sustain a full-degree sprint for 30 minutes — long enough
+that the *data-center* constraints (breakers, UPS, TES) bind first, which
+is exactly the paper's operating assumption.  Shrink
+``latent_budget_j`` to study the regime where the chip becomes the
+binding constraint (see ``benchmarks/bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.servers.chip import ChipModel
+from repro.units import require_non_negative, require_positive
+
+#: Default chip-level sprint endurance at the full sprinting degree.
+DEFAULT_FULL_SPRINT_ENDURANCE_MIN = 30.0
+
+
+@dataclass
+class PcmHeatSink:
+    """The phase-change buffer of one (representative) chip.
+
+    Because every server sprints in unison in the homogeneous facility,
+    one representative PCM state tracks the whole fleet (the same
+    O(1)-per-step argument as the representative PDU).
+
+    Parameters
+    ----------
+    chip:
+        The chip whose excess heat the PCM absorbs.
+    latent_budget_j:
+        Heat the PCM absorbs across its melting plateau (J per chip).
+    refreeze_power_w:
+        Spare removal capacity that re-solidifies the PCM while the chip
+        is at or below normal power.
+    """
+
+    chip: ChipModel = field(default_factory=ChipModel)
+    #: Latent budget in joules; 0.0 (the default) auto-sizes for the
+    #: default endurance, negative values are rejected.
+    latent_budget_j: float = 0.0
+    #: Re-freeze rate in watts; 0.0 auto-sizes to a quarter of the
+    #: full-sprint excess (a sprint is paid back over ~4x its duration).
+    refreeze_power_w: float = 0.0
+
+    #: Latent heat currently absorbed (0 = fully solid).
+    melted_j: float = field(default=0.0, init=False)
+    #: Exhaustion latch: set when the PCM fully melts, cleared only once
+    #: it has fully re-solidified — chip sprinting does not flicker back
+    #: on a sliver of re-frozen material.
+    _latched: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.latent_budget_j == 0.0:
+            # Size for the default endurance at full sprint.
+            excess = self.chip.full_power_w - self.chip.normal_power_w
+            self.latent_budget_j = excess * (
+                DEFAULT_FULL_SPRINT_ENDURANCE_MIN * 60.0
+            )
+        require_positive(self.latent_budget_j, "latent_budget_j")
+        if self.refreeze_power_w == 0.0:
+            self.refreeze_power_w = (
+                self.chip.full_power_w - self.chip.normal_power_w
+            ) / 4.0
+        require_positive(self.refreeze_power_w, "refreeze_power_w")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def melted_fraction(self) -> float:
+        """Share of the latent budget consumed, in [0, 1]."""
+        return self.melted_j / self.latent_budget_j
+
+    @property
+    def exhausted(self) -> bool:
+        """True while chip sprinting must stay off.
+
+        Set when the PCM fully melts; held until it has fully
+        re-solidified (the Section IV rule ends the episode, it does not
+        duty-cycle it).
+        """
+        if self.melted_j >= self.latent_budget_j * (1.0 - 1e-12):
+            return True
+        return self._latched
+
+    def excess_power_w(self, degree: float) -> float:
+        """Chip heat above the sustainable path at a sprinting degree."""
+        power = self.chip.power_at_degree_w(degree)
+        return max(0.0, power - self.chip.normal_power_w)
+
+    def endurance_s(self, degree: float) -> float:
+        """Chip-level sprint time remaining at a constant degree."""
+        excess = self.excess_power_w(degree)
+        if excess <= 0.0:
+            return float("inf")
+        return (self.latent_budget_j - self.melted_j) / excess
+
+    def max_sustainable_degree(self, minimum_endurance_s: float) -> float:
+        """Largest degree whose remaining endurance meets a floor.
+
+        The controller's chip-level analogue of the breaker bound: keep at
+        least ``minimum_endurance_s`` of PCM budget at the chosen degree.
+        """
+        require_positive(minimum_endurance_s, "minimum_endurance_s")
+        remaining = self.latent_budget_j - self.melted_j
+        if remaining <= 0.0:
+            return 1.0
+        allowed_excess = remaining / minimum_endurance_s
+        # Invert the affine chip power curve.
+        per_degree = self.chip.core_power_w * self.chip.normal_cores
+        degree = 1.0 + allowed_excess / per_degree
+        return min(degree, self.chip.max_sprinting_degree)
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def step(self, degree: float, dt_s: float) -> None:
+        """Advance the PCM state one step at the given sprinting degree."""
+        require_non_negative(degree, "degree")
+        require_positive(dt_s, "dt_s")
+        excess = self.excess_power_w(degree)
+        if excess > 0.0:
+            self.melted_j = min(
+                self.latent_budget_j, self.melted_j + excess * dt_s
+            )
+            if self.melted_j >= self.latent_budget_j * (1.0 - 1e-12):
+                self._latched = True
+        else:
+            self.melted_j = max(
+                0.0, self.melted_j - self.refreeze_power_w * dt_s
+            )
+            if self.melted_j == 0.0:
+                self._latched = False
+
+    def reset(self) -> None:
+        """Fully re-solidify the PCM."""
+        self.melted_j = 0.0
+        self._latched = False

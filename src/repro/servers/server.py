@@ -1,0 +1,61 @@
+"""Server power model: chip plus constant non-CPU components.
+
+Section VI-A: the non-CPU power (memory, disk, fans, losses) is a constant
+20 W — deliberately conservative; a larger non-CPU share would admit fewer
+servers into the same power envelope and leave relatively more sprinting
+energy per server, lengthening sprint duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.servers.chip import ChipModel
+from repro.units import require_non_negative
+
+#: Constant power of non-CPU server components (Section VI-A).
+DEFAULT_NON_CPU_POWER_W = 20.0
+
+
+@dataclass(frozen=True)
+class ServerModel:
+    """Power model of one server: a many-core chip + fixed platform power.
+
+    At the paper's defaults the peak-normal server power is
+    20 W + 5 W + 12 x 2.5 W = 55 W, and the full-sprint power is
+    20 W + 125 W = 145 W.
+    """
+
+    chip: ChipModel = field(default_factory=ChipModel)
+    non_cpu_power_w: float = DEFAULT_NON_CPU_POWER_W
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.non_cpu_power_w, "non_cpu_power_w")
+
+    def power_w(self, active_cores: int, utilization: float = 1.0) -> float:
+        """Server power with a discrete active-core count."""
+        return self.non_cpu_power_w + self.chip.power_w(active_cores, utilization)
+
+    def power_at_degree_w(self, degree: float) -> float:
+        """Server power at a continuous sprinting degree."""
+        return self.non_cpu_power_w + self.chip.power_at_degree_w(degree)
+
+    @property
+    def peak_normal_power_w(self) -> float:
+        """Server power in normal operation (55 W at defaults)."""
+        return self.power_w(self.chip.normal_cores)
+
+    @property
+    def full_sprint_power_w(self) -> float:
+        """Server power with every core active (145 W at defaults)."""
+        return self.power_w(self.chip.total_cores)
+
+    @property
+    def max_additional_power_w(self) -> float:
+        """Extra power of a full sprint over normal (90 W at defaults)."""
+        return self.full_sprint_power_w - self.peak_normal_power_w
+
+    def additional_power_at_degree_w(self, degree: float) -> float:
+        """Extra power over peak-normal at a given sprinting degree."""
+        extra = self.power_at_degree_w(degree) - self.peak_normal_power_w
+        return max(0.0, extra)

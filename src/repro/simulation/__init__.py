@@ -1,0 +1,69 @@
+"""Simulation layer: configuration, facility assembly, engine, metrics."""
+
+from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
+from repro.simulation.datacenter import DataCenter, build_datacenter
+from repro.simulation.engine import (
+    DEFAULT_ORACLE_GRID,
+    build_upper_bound_table,
+    evaluate_upper_bound,
+    oracle_for_trace,
+    run_simulation,
+    simulate_strategy,
+)
+from repro.simulation.export import (
+    result_summary_dict,
+    result_to_records,
+    write_steps_csv,
+    write_summary_json,
+)
+from repro.simulation.metrics import (
+    SimulationResult,
+    average_performance_improvement,
+    baseline_served,
+)
+from repro.simulation.planning import (
+    SizingPoint,
+    evaluate_sizing,
+    sizing_frontier,
+    smallest_ups_for_target,
+)
+from repro.simulation.reporting import (
+    ReportLine,
+    collect_report_lines,
+    render_report,
+    write_report,
+)
+from repro.simulation.scenarios import (
+    run_with_utility_events,
+    spike_during_sprint_scenario,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "DEFAULT_ORACLE_GRID",
+    "DataCenter",
+    "DataCenterConfig",
+    "ReportLine",
+    "SimulationResult",
+    "SizingPoint",
+    "collect_report_lines",
+    "render_report",
+    "write_report",
+    "average_performance_improvement",
+    "evaluate_sizing",
+    "sizing_frontier",
+    "smallest_ups_for_target",
+    "baseline_served",
+    "build_datacenter",
+    "build_upper_bound_table",
+    "evaluate_upper_bound",
+    "oracle_for_trace",
+    "result_summary_dict",
+    "result_to_records",
+    "run_simulation",
+    "run_with_utility_events",
+    "simulate_strategy",
+    "spike_during_sprint_scenario",
+    "write_steps_csv",
+    "write_summary_json",
+]

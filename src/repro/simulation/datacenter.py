@@ -1,0 +1,135 @@
+"""Facility assembly: build the full substrate stack from one config."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cooling.crac import CoolingPlant
+from repro.cooling.tes import TesTank
+from repro.core.capping import PowerCappingBaseline
+from repro.core.controller import ControllerSettings, SprintingController
+from repro.core.strategies import SprintingStrategy
+from repro.core.uncontrolled import UncontrolledSprinting
+from repro.power.topology import PowerTopology
+from repro.power.ups import UpsBattery
+from repro.servers.chip import ChipModel
+from repro.servers.cluster import ServerCluster
+from repro.servers.pcm import PcmHeatSink
+from repro.servers.performance import ThroughputModel
+from repro.servers.server import ServerModel
+from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
+
+
+@dataclass
+class DataCenter:
+    """A fully-wired facility: fleet + power topology + cooling plant.
+
+    Build with :func:`build_datacenter`; attach a strategy with
+    :meth:`controller` (or an uncontrolled baseline with
+    :meth:`uncontrolled`).  Each call returns a fresh controller over the
+    *same* substrate objects — call ``reset()`` on the controller (or build
+    a new facility) between runs.
+    """
+
+    config: DataCenterConfig
+    cluster: ServerCluster
+    topology: PowerTopology
+    cooling: CoolingPlant
+
+    def controller(
+        self, strategy: SprintingStrategy
+    ) -> SprintingController:
+        """Create a sprinting controller over this facility."""
+        settings = ControllerSettings(
+            dt_s=self.config.dt_s,
+            reserve_trip_time_s=self.config.reserve_trip_time_s,
+            thermal_margin_k=self.config.thermal_margin_k,
+        )
+        pcm = None
+        if self.config.enforce_chip_thermal:
+            chip = self.cluster.server.chip
+            excess_w = chip.full_power_w - chip.normal_power_w
+            pcm = PcmHeatSink(
+                chip=chip,
+                latent_budget_j=excess_w
+                * self.config.chip_sprint_endurance_min
+                * 60.0,
+            )
+        return SprintingController(
+            cluster=self.cluster,
+            topology=self.topology,
+            cooling=self.cooling,
+            strategy=strategy,
+            settings=settings,
+            pcm=pcm,
+        )
+
+    def uncontrolled(self, stop_before_trip: bool = False) -> UncontrolledSprinting:
+        """Create the uncontrolled chip-sprinting baseline."""
+        return UncontrolledSprinting(
+            cluster=self.cluster,
+            topology=self.topology,
+            cooling=self.cooling,
+            dt_s=self.config.dt_s,
+            stop_before_trip=stop_before_trip,
+        )
+
+    def capping(self) -> PowerCappingBaseline:
+        """Create the DVFS-style power-capping baseline (Section II)."""
+        return PowerCappingBaseline(
+            cluster=self.cluster,
+            topology=self.topology,
+            cooling=self.cooling,
+            dt_s=self.config.dt_s,
+        )
+
+    def reset(self) -> None:
+        """Reset all stateful substrate (breakers, batteries, tank, room)."""
+        self.topology.reset()
+        self.cooling.reset()
+
+
+def build_datacenter(config: DataCenterConfig = DEFAULT_CONFIG) -> DataCenter:
+    """Instantiate the full substrate stack for a configuration."""
+    chip = ChipModel(
+        total_cores=config.total_cores,
+        normal_cores=config.normal_cores,
+        core_power_w=config.core_power_w,
+        idle_chip_power_w=config.idle_chip_power_w,
+    )
+    server = ServerModel(chip=chip, non_cpu_power_w=config.non_cpu_power_w)
+    throughput = ThroughputModel(
+        max_capacity=config.throughput_max_capacity,
+        max_degree=chip.max_sprinting_degree,
+    )
+    cluster = ServerCluster(
+        n_servers=config.n_servers, server=server, throughput=throughput
+    )
+
+    battery = UpsBattery(
+        capacity_ah=config.ups_capacity_ah, voltage_v=config.ups_voltage_v
+    )
+    topology = PowerTopology(
+        n_pdus=config.n_pdus,
+        dc_headroom_fraction=config.dc_headroom_fraction,
+        pue=config.pue,
+        servers_per_pdu=config.servers_per_pdu,
+        peak_normal_server_power_w=server.peak_normal_power_w,
+        ups_battery=battery,
+    )
+
+    tes = None
+    if config.has_tes:
+        tes = TesTank.sized_for(
+            peak_normal_it_power_w=cluster.peak_normal_power_w,
+            runtime_min=config.tes_runtime_min,
+        )
+    cooling = CoolingPlant(
+        peak_normal_it_power_w=cluster.peak_normal_power_w,
+        pue=config.pue,
+        chiller_margin=config.chiller_margin,
+        tes=tes,
+    )
+    return DataCenter(
+        config=config, cluster=cluster, topology=topology, cooling=cooling
+    )

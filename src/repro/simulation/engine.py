@@ -1,0 +1,149 @@
+"""Discrete-time simulation engine driving a controller through a trace.
+
+The engine is intentionally thin: all physics lives in the substrate
+objects and all policy in the controller; the engine owns only time
+stepping, result collection, and the factory plumbing that the Oracle
+search and the upper-bound-table builder need (both re-run the simulation
+many times against fresh facilities).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.strategies import (
+    FixedUpperBoundStrategy,
+    OracleStrategy,
+    SprintingStrategy,
+    UpperBoundTable,
+    oracle_search,
+)
+from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
+from repro.simulation.datacenter import DataCenter, build_datacenter
+from repro.simulation.metrics import SimulationResult
+from repro.workloads.traces import Trace
+from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+#: Default candidate grid for the Oracle's exhaustive search.
+DEFAULT_ORACLE_GRID = tuple(np.arange(1.0, 4.01, 0.25).tolist())
+
+
+def run_simulation(
+    datacenter: DataCenter,
+    trace: Trace,
+    strategy: SprintingStrategy,
+) -> SimulationResult:
+    """Run one full trace through a fresh controller on ``datacenter``.
+
+    The facility substrate is reset first, so back-to-back runs on the
+    same :class:`DataCenter` are independent.
+
+    The trace's sampling period must match the controller's integration
+    step (the configured ``dt_s``): every sample drives exactly one
+    control period, and a mismatch would silently distort breaker thermal
+    integration and energy accounting.  Resample the trace
+    (:meth:`~repro.workloads.traces.Trace.resampled`) or change the
+    config's ``dt_s`` to reconcile them.
+    """
+    datacenter.reset()
+    controller = datacenter.controller(strategy)
+    if abs(trace.dt_s - controller.settings.dt_s) > 1e-9:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"trace sampling period ({trace.dt_s:g} s) does not match the "
+            f"controller step ({controller.settings.dt_s:g} s); resample "
+            "the trace or set the config's dt_s accordingly"
+        )
+    controller.strategy.reset()
+    for i, demand in enumerate(trace):
+        controller.step(demand, time_s=i * trace.dt_s)
+    return SimulationResult(
+        trace=trace,
+        strategy_name=strategy.name,
+        steps=list(controller.history),
+        energy_shares=controller.phases.energy_shares(),
+        time_in_phase_s=dict(controller.phases.time_in_phase_s),
+        dropped_integral=controller.admission.dropped_integral,
+        served_integral=controller.admission.served_integral,
+        demand_integral=controller.admission.demand_integral,
+    )
+
+
+def simulate_strategy(
+    trace: Trace,
+    strategy: SprintingStrategy,
+    config: DataCenterConfig = DEFAULT_CONFIG,
+) -> SimulationResult:
+    """Convenience wrapper: build a fresh facility and run the trace."""
+    return run_simulation(build_datacenter(config), trace, strategy)
+
+
+def evaluate_upper_bound(
+    trace: Trace,
+    upper_bound: float,
+    config: DataCenterConfig = DEFAULT_CONFIG,
+) -> float:
+    """Average performance of a constant-upper-bound run on a fresh facility."""
+    result = simulate_strategy(
+        trace, FixedUpperBoundStrategy(upper_bound), config
+    )
+    return result.average_performance
+
+
+def oracle_for_trace(
+    trace: Trace,
+    config: DataCenterConfig = DEFAULT_CONFIG,
+    candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
+) -> OracleStrategy:
+    """Exhaustive Oracle search over constant upper bounds for a trace.
+
+    "The Oracle strategy finds the optimal upper bound by exhaustive
+    search, with the assumption that the burst degree and burst duration
+    can be perfectly predicted" (Section V-A) — perfect prediction here
+    means evaluating every candidate on the actual trace.
+    """
+    return oracle_search(
+        evaluate=lambda ub: evaluate_upper_bound(trace, ub, config),
+        candidates=candidates,
+    )
+
+
+def build_upper_bound_table(
+    config: DataCenterConfig = DEFAULT_CONFIG,
+    burst_durations_min: Sequence[float] = (1.0, 5.0, 10.0, 15.0),
+    burst_degrees: Sequence[float] = (2.6, 2.8, 3.0, 3.2, 3.4, 3.6),
+    candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
+    trace_factory: Optional[Callable[[float, float], Trace]] = None,
+) -> UpperBoundTable:
+    """Pre-compute the Oracle upper-bound table (Section V-A).
+
+    For every (burst duration, burst degree) grid point a synthetic burst
+    trace is generated (Yahoo-style by default, matching the paper's
+    sweep), the Oracle search is run, and the optimal bound is recorded.
+    The Prediction strategy consumes the result at run time.
+
+    Parameters
+    ----------
+    trace_factory:
+        Optional override mapping ``(degree, duration_min)`` to a trace;
+        defaults to :func:`repro.workloads.yahoo_trace.generate_yahoo_trace`.
+    """
+    factory = trace_factory or (
+        lambda degree, duration_min: generate_yahoo_trace(
+            burst_degree=degree, burst_duration_min=duration_min
+        )
+    )
+    table = UpperBoundTable()
+    for duration_min in burst_durations_min:
+        for degree in burst_degrees:
+            trace = factory(degree, duration_min)
+            oracle = oracle_for_trace(trace, config, candidates)
+            table.set(
+                duration_s=duration_min * 60.0,
+                degree=degree,
+                upper_bound=oracle.upper_bound,
+            )
+    return table

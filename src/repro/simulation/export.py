@@ -1,0 +1,86 @@
+"""Result export: per-step records and summaries to CSV/JSON.
+
+The benchmark harness prints tables; downstream analysis wants files.
+These helpers flatten a :class:`~repro.simulation.metrics.SimulationResult`
+into plain records (safe for ``csv``/``json`` without numpy types).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.errors import ConfigurationError
+from repro.simulation.metrics import SimulationResult
+
+#: Per-step fields exported to CSV, in column order.
+STEP_FIELDS = (
+    "time_s",
+    "demand",
+    "degree",
+    "capacity",
+    "served",
+    "dropped",
+    "it_power_w",
+    "grid_w",
+    "ups_w",
+    "cb_overload_w",
+    "tes_heat_w",
+    "cooling_electric_w",
+    "room_temperature_c",
+)
+
+
+def result_to_records(result: SimulationResult) -> List[Dict[str, float]]:
+    """Flatten a result into one plain dict per step (plus the phase)."""
+    records = []
+    for step in result.steps:
+        record = {name: float(getattr(step, name)) for name in STEP_FIELDS}
+        record["phase"] = step.phase.value
+        records.append(record)
+    return records
+
+
+def write_steps_csv(
+    result: SimulationResult, path: Union[str, Path]
+) -> Path:
+    """Write the per-step telemetry to a CSV file; returns the path."""
+    path = Path(path)
+    records = result_to_records(result)
+    if not records:
+        raise ConfigurationError("cannot export an empty result")
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=list(STEP_FIELDS) + ["phase"]
+        )
+        writer.writeheader()
+        writer.writerows(records)
+    return path
+
+
+def result_summary_dict(result: SimulationResult) -> Dict[str, object]:
+    """A JSON-safe summary of one run."""
+    summary = {k: float(v) for k, v in result.summary().items()}
+    summary["strategy"] = result.strategy_name
+    summary["trace"] = result.trace.name
+    summary["trace_duration_s"] = float(result.trace.duration_s)
+    summary["overall_performance"] = float(result.overall_performance)
+    summary["time_in_phase_s"] = {
+        phase.value: float(seconds)
+        for phase, seconds in result.time_in_phase_s.items()
+    }
+    return summary
+
+
+def write_summary_json(
+    results: Iterable[SimulationResult], path: Union[str, Path]
+) -> Path:
+    """Write one JSON document summarising several runs; returns the path."""
+    path = Path(path)
+    payload = [result_summary_dict(result) for result in results]
+    if not payload:
+        raise ConfigurationError("cannot export an empty result list")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,93 @@
+"""Capacity planning: size the storage for the bursts you expect.
+
+The operator's question the paper implies but does not answer directly:
+*given my burst profile, how much UPS and TES do I need to serve it?*
+These helpers search the sizing space with the full simulator in the loop,
+so every power and thermal interaction the controller models is respected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.strategies import GreedyStrategy, SprintingStrategy
+from repro.errors import ConfigurationError
+from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
+from repro.simulation.engine import simulate_strategy
+from repro.units import require_positive
+from repro.workloads.traces import Trace
+
+
+@dataclass(frozen=True)
+class SizingPoint:
+    """One evaluated sizing candidate."""
+
+    ups_capacity_ah: float
+    tes_runtime_min: float
+    average_performance: float
+    drop_fraction: float
+
+
+def evaluate_sizing(
+    trace: Trace,
+    ups_capacity_ah: float,
+    tes_runtime_min: float,
+    config: DataCenterConfig = DEFAULT_CONFIG,
+    strategy: Optional[SprintingStrategy] = None,
+) -> SizingPoint:
+    """Run one sizing candidate through the full simulator."""
+    require_positive(ups_capacity_ah, "ups_capacity_ah")
+    require_positive(tes_runtime_min, "tes_runtime_min")
+    candidate = config.with_changes(
+        ups_capacity_ah=ups_capacity_ah, tes_runtime_min=tes_runtime_min
+    )
+    result = simulate_strategy(
+        trace, strategy or GreedyStrategy(), candidate
+    )
+    return SizingPoint(
+        ups_capacity_ah=ups_capacity_ah,
+        tes_runtime_min=tes_runtime_min,
+        average_performance=result.average_performance,
+        drop_fraction=result.drop_fraction,
+    )
+
+
+def smallest_ups_for_target(
+    trace: Trace,
+    target_performance: float,
+    candidates_ah: Sequence[float] = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0),
+    config: DataCenterConfig = DEFAULT_CONFIG,
+) -> Optional[SizingPoint]:
+    """Smallest per-server battery meeting a performance target.
+
+    Candidates are tried in increasing order (performance is monotone in
+    battery size, verified by the ablation suite); returns ``None`` when
+    even the largest candidate falls short.
+    """
+    require_positive(target_performance, "target_performance")
+    if not candidates_ah:
+        raise ConfigurationError("candidates_ah must be non-empty")
+    for ah in sorted(candidates_ah):
+        point = evaluate_sizing(
+            trace, ah, config.tes_runtime_min, config
+        )
+        if point.average_performance >= target_performance:
+            return point
+    return None
+
+
+def sizing_frontier(
+    trace: Trace,
+    ups_candidates_ah: Sequence[float] = (0.25, 0.5, 1.0),
+    tes_candidates_min: Sequence[float] = (6.0, 12.0, 24.0),
+    config: DataCenterConfig = DEFAULT_CONFIG,
+) -> List[SizingPoint]:
+    """Evaluate the full UPS x TES sizing grid for a burst profile."""
+    if not ups_candidates_ah or not tes_candidates_min:
+        raise ConfigurationError("candidate grids must be non-empty")
+    points = []
+    for ah in ups_candidates_ah:
+        for minutes in tes_candidates_min:
+            points.append(evaluate_sizing(trace, ah, minutes, config))
+    return points

@@ -1,0 +1,218 @@
+"""One-shot reproduction report: every headline number, one Markdown file.
+
+``python -m repro report out.md`` (or :func:`write_report`) runs the core
+experiments and writes a paper-vs-measured summary — the quick way to check
+a modified model still reproduces the paper without reading benchmark
+output.  The heavyweight sweeps (Figs. 9/10 strategy grids) stay in the
+benchmark harness; this report covers the headline claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.strategies import GreedyStrategy
+from repro.economics.analysis import fig5_analysis, monthly_revenue_for_trace
+from repro.economics.cost import CoreProvisioningCost
+from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import oracle_for_trace, simulate_strategy
+from repro.testbed.experiment import (
+    no_ups_trip_time_s,
+    run_reserve_sweep,
+    testbed_utilization_trace,
+)
+from repro.workloads.ms_trace import default_ms_trace
+from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+_ORACLE_GRID = (2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+@dataclass(frozen=True)
+class ReportLine:
+    """One paper-vs-measured comparison."""
+
+    experiment: str
+    quantity: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+def collect_report_lines(
+    config: DataCenterConfig = DEFAULT_CONFIG,
+) -> List[ReportLine]:
+    """Run the headline experiments and compare against the paper."""
+    lines: List[ReportLine] = []
+    ms = default_ms_trace()
+
+    # Fig. 8a: the uncontrolled trip.
+    dc = build_datacenter(config)
+    baseline = dc.uncontrolled()
+    for i, demand in enumerate(ms):
+        baseline.step(demand, float(i))
+    trip = baseline.trip_time_s
+    lines.append(
+        ReportLine(
+            "Fig. 8a",
+            "uncontrolled trip time",
+            "5 min 20 s (320 s)",
+            f"{trip:.0f} s" if trip else "no trip",
+            trip is not None and 280.0 <= trip <= 340.0,
+        )
+    )
+
+    # Fig. 8b: DCS sustains; energy split.
+    greedy = simulate_strategy(ms, GreedyStrategy(), config)
+    shares = greedy.energy_shares
+    lines.append(
+        ReportLine(
+            "Fig. 8b",
+            "MS Greedy average performance",
+            "1.62-1.76x band",
+            f"{greedy.average_performance:.2f}x",
+            1.5 <= greedy.average_performance <= 2.1,
+        )
+    )
+    lines.append(
+        ReportLine(
+            "Sec. VII-A",
+            "UPS share of additional energy",
+            "54 % (largest share)",
+            f"{shares['ups']:.0%}",
+            shares["ups"] > shares["tes"],
+        )
+    )
+
+    # MS Oracle beats Greedy with an interior bound.
+    oracle = oracle_for_trace(ms, config, candidates=_ORACLE_GRID)
+    lines.append(
+        ReportLine(
+            "Fig. 9",
+            "MS Oracle bound / performance",
+            "interior bound, above Greedy",
+            f"{oracle.upper_bound:g} / {oracle.achieved_performance:.2f}x",
+            oracle.upper_bound < 4.0
+            and oracle.achieved_performance > greedy.average_performance,
+        )
+    )
+
+    # Headline range over the Yahoo sweeps.
+    perfs = []
+    for degree in (2.6, 3.2, 3.6):
+        for duration in (5, 15):
+            trace = generate_yahoo_trace(
+                burst_degree=degree, burst_duration_min=duration
+            )
+            perfs.append(
+                simulate_strategy(
+                    trace, GreedyStrategy(), config
+                ).average_performance
+            )
+            perfs.append(
+                oracle_for_trace(
+                    trace, config, candidates=_ORACLE_GRID
+                ).achieved_performance
+            )
+    lines.append(
+        ReportLine(
+            "Headline",
+            "improvement range (Yahoo sweeps)",
+            "1.62-2.45x",
+            f"{min(perfs):.2f}-{max(perfs):.2f}x",
+            min(perfs) >= 1.5 and 2.2 <= max(perfs) <= 2.5,
+        )
+    )
+
+    # Fig. 11: the testbed.
+    utilization = testbed_utilization_trace()
+    sweep = run_reserve_sweep(utilization=utilization)
+    best = max(sweep, key=lambda p: p.ours_sustained_s)
+    no_ups = no_ups_trip_time_s(utilization)
+    lines.append(
+        ReportLine(
+            "Fig. 11b",
+            "best reserved trip time",
+            "30 s (interior optimum)",
+            f"{best.reserved_trip_time_s:.0f} s",
+            10.0 <= best.reserved_trip_time_s <= 60.0,
+        )
+    )
+    lines.append(
+        ReportLine(
+            "Fig. 11b",
+            "ours vs CB First at the optimum",
+            "+14 s",
+            f"{best.ours_sustained_s - best.cb_first_sustained_s:+.0f} s",
+            best.ours_sustained_s > best.cb_first_sustained_s,
+        )
+    )
+    lines.append(
+        ReportLine(
+            "Fig. 11b",
+            "no-UPS trip / ours",
+            "26 %",
+            f"{100 * no_ups / best.ours_sustained_s:.0f} %",
+            no_ups / best.ours_sustained_s < 0.4,
+        )
+    )
+
+    # Fig. 5 / Sec. V-D economics.
+    r100 = [
+        p
+        for p in fig5_analysis(users_ratio=4.0)
+        if p.utilization_fraction == 1.0 and p.max_sprinting_degree == 4.0
+    ][0]
+    lines.append(
+        ReportLine(
+            "Fig. 5a",
+            "R100 profit at N=4",
+            "> $0.4 M/month",
+            f"${r100.profit_usd / 1e6:.2f} M/month",
+            r100.profit_usd > 400_000.0,
+        )
+    )
+    revenue = monthly_revenue_for_trace(ms)
+    cost = CoreProvisioningCost().monthly_cost_usd(4.0)
+    lines.append(
+        ReportLine(
+            "Sec. V-D",
+            "Fig. 1 workload revenue vs cost",
+            "~$19 M vs $0.47 M",
+            f"${revenue / 1e6:.1f} M vs ${cost / 1e6:.2f} M",
+            revenue > 10 * cost,
+        )
+    )
+    return lines
+
+
+def render_report(lines: List[ReportLine]) -> str:
+    """Render the comparison lines as a Markdown document."""
+    held = sum(1 for line in lines if line.holds)
+    out = [
+        "# Data Center Sprinting — reproduction report",
+        "",
+        f"{held}/{len(lines)} headline checks hold.",
+        "",
+        "| experiment | quantity | paper | measured | holds |",
+        "|---|---|---|---|---|",
+    ]
+    for line in lines:
+        mark = "yes" if line.holds else "NO"
+        out.append(
+            f"| {line.experiment} | {line.quantity} | {line.paper} "
+            f"| {line.measured} | {mark} |"
+        )
+    out.append("")
+    return "\n".join(out)
+
+
+def write_report(
+    path: Union[str, Path], config: DataCenterConfig = DEFAULT_CONFIG
+) -> Path:
+    """Run the experiments and write the Markdown report; returns the path."""
+    path = Path(path)
+    path.write_text(render_report(collect_report_lines(config)))
+    return path

@@ -1,0 +1,49 @@
+"""Hardware-testbed emulation: the rig, relay policies, and experiments."""
+
+from repro.testbed.experiment import (
+    DEFAULT_RESERVE_SWEEP_S,
+    ReserveSweepPoint,
+    SustainedTimeResult,
+    no_ups_trip_time_s,
+    run_reserve_sweep,
+    run_sustained_time,
+    testbed_utilization_trace,
+)
+from repro.testbed.hardware import (
+    DEFAULT_TESTBED_UPS_WH,
+    RELAY_SWITCH_TIME_S,
+    RigStep,
+    TESTBED_CB_RATED_W,
+    TESTBED_IDLE_POWER_W,
+    TESTBED_PEAK_POWER_W,
+    TestbedRig,
+    TestbedServer,
+)
+from repro.testbed.policy import (
+    CbFirstPolicy,
+    NoUpsPolicy,
+    RelayPolicy,
+    ReservedTripTimePolicy,
+)
+
+__all__ = [
+    "CbFirstPolicy",
+    "DEFAULT_RESERVE_SWEEP_S",
+    "DEFAULT_TESTBED_UPS_WH",
+    "NoUpsPolicy",
+    "RELAY_SWITCH_TIME_S",
+    "RelayPolicy",
+    "ReserveSweepPoint",
+    "ReservedTripTimePolicy",
+    "RigStep",
+    "SustainedTimeResult",
+    "TESTBED_CB_RATED_W",
+    "TESTBED_IDLE_POWER_W",
+    "TESTBED_PEAK_POWER_W",
+    "TestbedRig",
+    "TestbedServer",
+    "no_ups_trip_time_s",
+    "run_reserve_sweep",
+    "run_sustained_time",
+    "testbed_utilization_trace",
+]

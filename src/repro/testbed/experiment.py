@@ -1,0 +1,185 @@
+"""The sustained-time experiment of Fig. 11.
+
+The server's CPU utilisation follows the Yahoo aggregate trace (burst
+degree 1, Section VII-D); a relay policy chooses the power source each
+second; the experiment measures how long the rig sustains the load before
+the breaker trips.  Because the idle power (273 W) already exceeds the
+breaker rating (232 W), sprinting effectively starts at the first second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.testbed.hardware import RigStep, TestbedRig
+from repro.testbed.policy import (
+    CbFirstPolicy,
+    NoUpsPolicy,
+    RelayPolicy,
+    ReservedTripTimePolicy,
+)
+from repro.units import require_positive
+from repro.workloads.traces import Trace
+from repro.workloads.yahoo_trace import generate_yahoo_aggregate
+
+#: Reserved-trip-time sweep of Fig. 11(b).
+DEFAULT_RESERVE_SWEEP_S = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 45.0, 60.0, 90.0)
+
+
+@dataclass
+class SustainedTimeResult:
+    """Outcome of one testbed run."""
+
+    policy_name: str
+    sustained_time_s: float
+    tripped: bool
+    steps: List[RigStep]
+
+    @property
+    def cb_overload_seconds(self) -> float:
+        """Seconds the breaker spent above its rating."""
+        return float(sum(1 for s in self.steps if s.cb_overloaded))
+
+    @property
+    def ups_seconds(self) -> float:
+        """Seconds the UPS shared the load."""
+        return float(sum(1 for s in self.steps if s.ups_power_w > 0.0))
+
+    def overload_seconds_above(self, power_w: float) -> float:
+        """Seconds overloaded while the server drew more than ``power_w``.
+
+        Fig. 11's analysis counts how often each policy overloads the
+        breaker during *high-power* seconds (e.g. above 375 W).
+        """
+        return float(
+            sum(
+                1
+                for s in self.steps
+                if s.cb_overloaded and s.server_power_w > power_w
+            )
+        )
+
+
+#: Swing of the single-server utilisation around the aggregate arc.  One
+#: server is far burstier than the 70-server aggregate: its load swings
+#: between cheap (near-idle, low-overload) and expensive (near-peak)
+#: phases roughly once a minute, which is precisely what the
+#: reserved-trip-time policy exploits — overload the breaker in the cheap
+#: phases, lean on the UPS in the expensive ones.  The utilisation is
+#: ``aggregate x (mid + amp sin(2 pi t / period)) + noise``, clipped to
+#: [0, 1].
+_UTILIZATION_SWING_MID = 0.5
+_UTILIZATION_SWING_AMP = 0.45
+_UTILIZATION_SWING_PERIOD_S = 70.0
+_UTILIZATION_NOISE_STD = 0.04
+
+#: Default experiment length; long enough that every policy trips.
+DEFAULT_TESTBED_DURATION_S = 900
+
+
+def testbed_utilization_trace(
+    duration_s: int = DEFAULT_TESTBED_DURATION_S, seed: int = 424242
+) -> Trace:
+    """CPU-utilisation trace for the rig: Yahoo trace at burst degree 1.
+
+    The aggregate arc provides the slow shape; a single server riding it
+    swings around that arc (Section VI-C notes per-server traces are much
+    burstier than the aggregate).  Values are clipped into [0, 1].
+    """
+    require_positive(duration_s, "duration_s")
+    aggregate = generate_yahoo_aggregate()
+    if duration_s > aggregate.duration_s:
+        raise ConfigurationError(
+            "requested duration exceeds the aggregate trace length"
+        )
+    base = aggregate.window(0.0, float(duration_s))
+    rng = np.random.default_rng(seed)
+    t = base.times_s()
+    swing = _UTILIZATION_SWING_MID + _UTILIZATION_SWING_AMP * np.sin(
+        2.0 * np.pi * t / _UTILIZATION_SWING_PERIOD_S
+    )
+    noise = rng.normal(0.0, _UTILIZATION_NOISE_STD, len(base))
+    samples = np.clip(base.samples * swing + noise, 0.0, 1.0)
+    return Trace(samples, base.dt_s, name=f"testbed-utilization[{seed}]")
+
+
+def run_sustained_time(
+    policy: RelayPolicy,
+    utilization: Optional[Trace] = None,
+    rig: Optional[TestbedRig] = None,
+) -> SustainedTimeResult:
+    """Run one policy on the rig until the breaker trips (or trace ends).
+
+    The sustained time is the moment of the trip; a run that survives the
+    whole trace reports the full trace duration with ``tripped=False``.
+    """
+    trace = utilization or testbed_utilization_trace()
+    rig = rig or TestbedRig()
+    rig.reset()
+    policy.reset()
+
+    steps: List[RigStep] = []
+    sustained = trace.duration_s
+    tripped = False
+    for i, u in enumerate(trace):
+        u = min(1.0, u)
+        power = rig.server.power_w(u)
+        close = policy.close_relay(rig, power)
+        step = rig.step(u, close, time_s=float(i), dt_s=trace.dt_s)
+        steps.append(step)
+        if step.tripped:
+            sustained = float(i) * trace.dt_s
+            tripped = True
+            break
+    return SustainedTimeResult(
+        policy_name=policy.name,
+        sustained_time_s=sustained,
+        tripped=tripped,
+        steps=steps,
+    )
+
+
+@dataclass(frozen=True)
+class ReserveSweepPoint:
+    """One point of the Fig. 11(b) comparison."""
+
+    reserved_trip_time_s: float
+    ours_sustained_s: float
+    cb_first_sustained_s: float
+
+
+def run_reserve_sweep(
+    reserves_s: Sequence[float] = DEFAULT_RESERVE_SWEEP_S,
+    utilization: Optional[Trace] = None,
+) -> List[ReserveSweepPoint]:
+    """Sweep the reserved trip time; compare against CB First (Fig. 11b).
+
+    CB First has no reserve parameter, so its sustained time is constant
+    across the sweep — plotted as the flat reference line in the figure.
+    """
+    if not reserves_s:
+        raise ConfigurationError("reserves_s must be non-empty")
+    trace = utilization or testbed_utilization_trace()
+    cb_first = run_sustained_time(CbFirstPolicy(), trace).sustained_time_s
+    points = []
+    for reserve in reserves_s:
+        ours = run_sustained_time(
+            ReservedTripTimePolicy(reserved_trip_time_s=reserve), trace
+        )
+        points.append(
+            ReserveSweepPoint(
+                reserved_trip_time_s=float(reserve),
+                ours_sustained_s=ours.sustained_time_s,
+                cb_first_sustained_s=cb_first,
+            )
+        )
+    return points
+
+
+def no_ups_trip_time_s(utilization: Optional[Trace] = None) -> float:
+    """Trip time with the breaker alone (the paper's ~65 s reference)."""
+    return run_sustained_time(NoUpsPolicy(), utilization).sustained_time_s

@@ -1,0 +1,221 @@
+"""Emulation of the paper's prototype hardware testbed (Fig. 6).
+
+The physical rig of Section VI-B:
+
+* a **server** with two power sockets — one wired to a power strip through
+  a circuit breaker, the other to a relay;
+* a **UPS** behind the relay: when the AC switch drives the relay closed,
+  the two sources share the load approximately equally ("the two power
+  demands are approximately equal"); open, the strip supplies everything;
+* an **AC switch** commanded by a controller desktop, completing a relay
+  transition in under 10 ms (the server rides through >30 ms, so switching
+  never disturbs it);
+* two **Watts Up** power meters reading each source.
+
+Electrical facts from Section VII-D used for calibration: the breaker
+sustains at most 232 W without overload; the server idles at 273 W and
+peaks at 428 W; with the relay closed the breaker is never overloaded
+(428/2 < 232); without the UPS the breaker trips after about 65 s of the
+Yahoo workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.errors import BreakerTrippedError, ConfigurationError
+from repro.power.breaker import CircuitBreaker, TripCurve
+from repro.power.meter import PowerMeter
+from repro.power.ups import UpsBattery
+from repro.units import require_fraction, require_non_negative, require_positive
+
+#: Maximum power the testbed breaker sustains without overload (W).
+TESTBED_CB_RATED_W = 232.0
+
+#: Server power at zero CPU utilisation (W).
+TESTBED_IDLE_POWER_W = 273.0
+
+#: Server power at full CPU utilisation (W).
+TESTBED_PEAK_POWER_W = 428.0
+
+#: Relay transition time; well under the server's ride-through (s).
+RELAY_SWITCH_TIME_S = 0.010
+
+#: Default testbed UPS energy (Wh) — a small line-interactive unit, sized
+#: so the best policy sustains the sprint for several minutes.
+DEFAULT_TESTBED_UPS_WH = 10.0
+
+#: Thermal-element cool-down time constant of the testbed breaker (s).
+#: Molded-case breakers cool over minutes; 300 s keeps regeneration from
+#: dominating the sustained-time comparison within one experiment.
+TESTBED_CB_COOLDOWN_TAU_S = 300.0
+
+
+@dataclass(frozen=True)
+class TestbedServer:
+    """Power model of the testbed server (affine in CPU utilisation)."""
+
+    idle_power_w: float = TESTBED_IDLE_POWER_W
+    peak_power_w: float = TESTBED_PEAK_POWER_W
+
+    def __post_init__(self) -> None:
+        require_positive(self.idle_power_w, "idle_power_w")
+        if self.peak_power_w <= self.idle_power_w:
+            raise ConfigurationError(
+                "peak_power_w must exceed idle_power_w "
+                f"({self.peak_power_w!r} <= {self.idle_power_w!r})"
+            )
+
+    def power_w(self, utilization: float) -> float:
+        """Server draw at a CPU utilisation in [0, 1]."""
+        require_fraction(utilization, "utilization")
+        return self.idle_power_w + utilization * (
+            self.peak_power_w - self.idle_power_w
+        )
+
+
+@dataclass(frozen=True)
+class RigStep:
+    """Telemetry of one emulated testbed second."""
+
+    time_s: float
+    server_power_w: float
+    cb_power_w: float
+    ups_power_w: float
+    relay_closed: bool
+    cb_overloaded: bool
+    tripped: bool
+
+
+@dataclass
+class TestbedRig:
+    """The assembled rig: server + breaker + relay-switched UPS + meters.
+
+    Drive it one second at a time with :meth:`step`; the caller (a policy
+    in :mod:`repro.testbed.policy`) decides the relay position.  When the
+    breaker trips the rig latches dead and every further step reports
+    ``tripped``.
+
+    Parameters
+    ----------
+    ups_capacity_wh:
+        Energy of the testbed UPS in watt-hours.
+    meter_noise_w:
+        Gaussian noise of the Watts-Up-style meters (readings only; the
+        physics uses true power).
+    """
+
+    server: TestbedServer = field(default_factory=TestbedServer)
+    ups_capacity_wh: float = DEFAULT_TESTBED_UPS_WH
+    meter_noise_w: float = 0.5
+    curve: TripCurve = field(default_factory=TripCurve)
+
+    breaker: CircuitBreaker = field(init=False)
+    ups: UpsBattery = field(init=False)
+    strip_meter: PowerMeter = field(init=False)
+    ups_meter: PowerMeter = field(init=False)
+    relay_closed: bool = field(default=False, init=False)
+    relay_switch_count: int = field(default=0, init=False)
+    tripped: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.ups_capacity_wh, "ups_capacity_wh")
+        require_non_negative(self.meter_noise_w, "meter_noise_w")
+        self.breaker = CircuitBreaker(
+            name="testbed/cb",
+            rated_power_w=TESTBED_CB_RATED_W,
+            curve=self.curve,
+            cooldown_tau_s=TESTBED_CB_COOLDOWN_TAU_S,
+        )
+        # Express the UPS in the library's Ah/V form: 1 Ah at V volts holds
+        # exactly ups_capacity_wh.
+        self.ups = UpsBattery(
+            capacity_ah=1.0,
+            voltage_v=self.ups_capacity_wh,
+            max_discharge_power_w=self.server.peak_power_w,
+        )
+        self.strip_meter = PowerMeter(
+            name="testbed/strip", noise_std_w=self.meter_noise_w, seed=11
+        )
+        self.ups_meter = PowerMeter(
+            name="testbed/ups", noise_std_w=self.meter_noise_w, seed=13
+        )
+
+    # ------------------------------------------------------------------
+    # Queries a policy may use (mirrors what the controller desktop sees)
+    # ------------------------------------------------------------------
+    def remaining_trip_time_s(self, server_power_w: float) -> float:
+        """Trip margin if the breaker carried the full server power."""
+        return self.breaker.remaining_trip_time_s(server_power_w)
+
+    @property
+    def ups_energy_j(self) -> float:
+        """Energy left in the testbed UPS (J)."""
+        return self.ups.energy_j
+
+    @property
+    def ups_empty(self) -> bool:
+        """Whether the UPS can no longer share the load."""
+        return self.ups.is_empty
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def step(self, utilization: float, close_relay: bool, time_s: float, dt_s: float = 1.0) -> RigStep:
+        """Run one second at the given CPU utilisation and relay command.
+
+        With the relay closed and UPS charge available, the two sources
+        split the load evenly; once the UPS empties mid-step, the breaker
+        picks up the remainder.  Breaker physics advance on the true strip
+        power; a trip latches the rig dead (no exception — the experiment
+        measures *when* this happens).
+        """
+        require_non_negative(time_s, "time_s")
+        require_positive(dt_s, "dt_s")
+        if self.tripped:
+            return RigStep(
+                time_s=time_s,
+                server_power_w=0.0,
+                cb_power_w=0.0,
+                ups_power_w=0.0,
+                relay_closed=self.relay_closed,
+                cb_overloaded=False,
+                tripped=True,
+            )
+
+        if close_relay != self.relay_closed:
+            self.relay_closed = close_relay
+            self.relay_switch_count += 1
+
+        power = self.server.power_w(utilization)
+        ups_power = 0.0
+        if self.relay_closed and not self.ups.is_empty:
+            ups_power = self.ups.discharge_up_to(power / 2.0, dt_s)
+        cb_power = power - ups_power
+
+        self.strip_meter.sample(cb_power, time_s)
+        self.ups_meter.sample(ups_power, time_s)
+
+        overloaded = cb_power > self.breaker.rated_power_w
+        try:
+            self.breaker.step(cb_power, dt_s)
+        except BreakerTrippedError:
+            self.tripped = True
+        return RigStep(
+            time_s=time_s,
+            server_power_w=power,
+            cb_power_w=cb_power,
+            ups_power_w=ups_power,
+            relay_closed=self.relay_closed,
+            cb_overloaded=overloaded,
+            tripped=self.tripped,
+        )
+
+    def reset(self) -> None:
+        """Restore the rig to its pre-experiment state."""
+        self.breaker.reset()
+        self.ups.reset()
+        self.strip_meter.reset()
+        self.ups_meter.reset()
+        self.relay_closed = False
+        self.relay_switch_count = 0
+        self.tripped = False

@@ -1,0 +1,92 @@
+"""Relay policies for the testbed experiment (Section VII-D).
+
+Each second the controller desktop chooses the power source: overload the
+breaker (relay open) or share with the UPS (relay closed).  Three policies
+are compared in Fig. 11:
+
+* **ReservedTripTimePolicy** (the paper's design): overload the breaker
+  only while its remaining trip time at the *current* load stays above the
+  reserved trip time; otherwise lean on the UPS.  A well-chosen reserve
+  keeps breaker overload away from the expensive high-power moments —
+  "the CB trip time increases much faster than the decrease of the CB
+  overload", so low-overload seconds buy disproportionally more margin.
+* **CbFirstPolicy** (the baseline): burn the entire breaker budget first,
+  then switch to the UPS until it empties.
+* **NoUpsPolicy** (reference): never close the relay; the breaker alone
+  carries the load and trips after ~65 s.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.testbed.hardware import TestbedRig
+from repro.units import require_non_negative, require_positive
+
+
+class RelayPolicy(ABC):
+    """Decides the relay position for the next second."""
+
+    #: Short name for result tables.
+    name: str = "policy"
+
+    @abstractmethod
+    def close_relay(self, rig: TestbedRig, server_power_w: float) -> bool:
+        """Whether the relay should be closed (UPS sharing) this second."""
+
+    def reset(self) -> None:
+        """Clear per-run state (none by default)."""
+
+
+@dataclass
+class ReservedTripTimePolicy(RelayPolicy):
+    """The paper's policy, parameterised by the reserved trip time.
+
+    "We overload the CB only if the current CB tolerance can sustain the
+    current overload for more than [the reserved trip time].  Otherwise,
+    we turn to the UPS to cancel the CB overload."  Once the UPS is empty
+    the breaker has no choice but to carry everything.
+    """
+
+    reserved_trip_time_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.reserved_trip_time_s, "reserved_trip_time_s")
+        self.name = f"reserved-{self.reserved_trip_time_s:g}s"
+
+    def close_relay(self, rig: TestbedRig, server_power_w: float) -> bool:
+        """UPS-share once the trip margin drops to the reserve."""
+        require_non_negative(server_power_w, "server_power_w")
+        if rig.ups_empty:
+            return False
+        remaining = rig.remaining_trip_time_s(server_power_w)
+        return remaining <= self.reserved_trip_time_s
+
+
+class CbFirstPolicy(RelayPolicy):
+    """Baseline: exhaust the breaker tolerance first, then the UPS.
+
+    The relay stays open until the breaker is within one second of
+    tripping at the current load; from then on the UPS shares the load
+    until it empties.
+    """
+
+    name = "cb-first"
+
+    def close_relay(self, rig: TestbedRig, server_power_w: float) -> bool:
+        """UPS only when the breaker is within a second of tripping."""
+        require_non_negative(server_power_w, "server_power_w")
+        if rig.ups_empty:
+            return False
+        return rig.remaining_trip_time_s(server_power_w) <= 1.5
+
+
+class NoUpsPolicy(RelayPolicy):
+    """Reference: the breaker carries everything until it trips."""
+
+    name = "no-ups"
+
+    def close_relay(self, rig: TestbedRig, server_power_w: float) -> bool:
+        """Never: the breaker alone carries the load."""
+        return False

@@ -1,0 +1,115 @@
+"""Unit helpers and validation utilities shared across the library.
+
+The models in this package mix electrical power (watts), energy (joules and
+watt-hours), thermal energy (joules of heat), battery charge (ampere-hours)
+and time (seconds and minutes).  Keeping unit conversions in one tested
+module avoids the classic simulation bug of silently mixing Wh with J.
+
+All public functions are pure and raise :class:`repro.errors.ConfigurationError`
+on invalid input rather than returning NaN.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: Seconds in one minute — used pervasively because the paper quotes burst
+#: durations in minutes while the simulator steps in seconds.
+SECONDS_PER_MINUTE = 60.0
+
+#: Seconds in one hour.
+SECONDS_PER_HOUR = 3600.0
+
+#: Minutes in a 30-day month, used by the economics model (the paper uses
+#: 43,200 minutes per month in Section V-D).
+MINUTES_PER_MONTH = 43_200.0
+
+
+def watt_hours_to_joules(wh: float) -> float:
+    """Convert watt-hours to joules (1 Wh = 3600 J)."""
+    require_finite(wh, "wh")
+    return wh * SECONDS_PER_HOUR
+
+
+def joules_to_watt_hours(joules: float) -> float:
+    """Convert joules to watt-hours."""
+    require_finite(joules, "joules")
+    return joules / SECONDS_PER_HOUR
+
+
+def amp_hours_to_joules(amp_hours: float, voltage_v: float) -> float:
+    """Convert battery charge (Ah) at a nominal voltage to energy in joules.
+
+    The paper sizes the per-server UPS as a 0.5 Ah battery that sustains the
+    55 W peak-normal server power for about 6 minutes; at the 11 V nominal
+    used by :class:`repro.power.ups.UpsBattery` this gives 0.5 Ah x 11 V x
+    3600 s/h = 19.8 kJ = 55 W x 360 s, matching the paper exactly.
+    """
+    require_positive(amp_hours, "amp_hours")
+    require_positive(voltage_v, "voltage_v")
+    return amp_hours * voltage_v * SECONDS_PER_HOUR
+
+
+def minutes(value_min: float) -> float:
+    """Convert minutes to seconds."""
+    require_finite(value_min, "value_min")
+    return value_min * SECONDS_PER_MINUTE
+
+
+def to_minutes(value_s: float) -> float:
+    """Convert seconds to minutes."""
+    require_finite(value_s, "value_s")
+    return value_s / SECONDS_PER_MINUTE
+
+
+def require_finite(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite real number and return it."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    require_finite(value, name)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number >= 0."""
+    require_finite(value, name)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def require_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    require_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be within [0, 1], got {value!r}")
+    return float(value)
+
+
+def require_int_positive(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ConfigurationError(
+            f"clamp bounds inverted: low={low!r} > high={high!r}"
+        )
+    return max(low, min(high, value))

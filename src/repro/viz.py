@@ -1,0 +1,137 @@
+"""Terminal visualisation: sparklines and ASCII charts for runs.
+
+The simulator's natural habitat is a terminal; these helpers render traces
+and :class:`~repro.simulation.metrics.SimulationResult` objects as compact
+Unicode charts — no plotting dependency required.
+
+    >>> from repro import default_ms_trace
+    >>> from repro.viz import sparkline
+    >>> print(sparkline(default_ms_trace().samples, width=60))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import require_int_positive
+
+#: Eight-level block characters, lowest to highest.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+#: One character per sprinting phase for the phase ribbon.
+_PHASE_CHARS = {
+    "idle": ".",
+    "phase1-cb": "1",
+    "phase2-ups": "2",
+    "phase3-tes": "3",
+}
+
+
+def _resample(values: np.ndarray, width: int) -> np.ndarray:
+    """Average-pool a series down to ``width`` buckets."""
+    if len(values) <= width:
+        return values
+    edges = np.linspace(0, len(values), width + 1).astype(int)
+    return np.array(
+        [values[a:b].mean() if b > a else values[a] for a, b in
+         zip(edges[:-1], edges[1:])]
+    )
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 60,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> str:
+    """Render a series as a one-line Unicode sparkline.
+
+    ``low``/``high`` pin the scale (useful to compare several sparklines);
+    they default to the series' own range.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("cannot sparkline an empty series")
+    require_int_positive(width, "width")
+    arr = _resample(arr, width)
+    lo = float(arr.min()) if low is None else float(low)
+    hi = float(arr.max()) if high is None else float(high)
+    if hi <= lo:
+        return _BLOCKS[1] * len(arr)
+    levels = (arr - lo) / (hi - lo)
+    indices = np.clip(
+        (levels * (len(_BLOCKS) - 1)).round().astype(int),
+        0,
+        len(_BLOCKS) - 1,
+    )
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def ascii_chart(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 10,
+    label: str = "",
+) -> str:
+    """Render a series as a multi-line ASCII chart with a y-axis."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("cannot chart an empty series")
+    require_int_positive(width, "width")
+    require_int_positive(height, "height")
+    arr = _resample(arr, width)
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    rows: List[str] = []
+    levels = (arr - lo) / (hi - lo) * (height - 1)
+    for row in range(height - 1, -1, -1):
+        cells = "".join("█" if level >= row - 0.5 else " " for level in levels)
+        if row == height - 1:
+            axis = f"{hi:8.2f} ┤"
+        elif row == 0:
+            axis = f"{lo:8.2f} ┤"
+        else:
+            axis = " " * 8 + " │"
+        rows.append(axis + cells)
+    if label:
+        rows.append(" " * 10 + label)
+    return "\n".join(rows)
+
+
+def phase_ribbon(result, width: int = 60) -> str:
+    """One character per bucket showing the dominant sprinting phase.
+
+    ``.`` idle, ``1`` breaker tolerance, ``2`` UPS, ``3`` TES.
+    """
+    require_int_positive(width, "width")
+    phases = [step.phase.value for step in result.steps]
+    if not phases:
+        raise ConfigurationError("cannot render an empty result")
+    edges = np.linspace(0, len(phases), min(width, len(phases)) + 1).astype(int)
+    chars = []
+    for a, b in zip(edges[:-1], edges[1:]):
+        bucket = phases[a:b] or [phases[a]]
+        # The most advanced phase in the bucket wins.
+        order = ["idle", "phase1-cb", "phase2-ups", "phase3-tes"]
+        top = max(bucket, key=order.index)
+        chars.append(_PHASE_CHARS[top])
+    return "".join(chars)
+
+
+def render_run(result, width: int = 60) -> str:
+    """A compact picture of one simulation run: demand, served, phases."""
+    require_int_positive(width, "width")
+    high = float(max(result.demand.max(), result.served.max()))
+    lines = [
+        f"demand  {sparkline(result.demand, width, low=0.0, high=high)}",
+        f"served  {sparkline(result.served, width, low=0.0, high=high)}",
+        f"phase   {phase_ribbon(result, width)}",
+        f"        (peak demand {result.demand.max():.2f}x, "
+        f"avg perf {result.average_performance:.2f}x, "
+        f"dropped {100 * result.drop_fraction:.1f}%)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Online workload forecasting: the paper's named future work.
+
+Section V-A closes with: "To further optimize the sprinting degree, we can
+develop more sophisticated strategies by integrating some recently proposed
+solutions for burst prediction (e.g., [19], [36]) ... which is our future
+work."  This module supplies that machinery:
+
+* :class:`EwmaForecaster` — exponentially-weighted demand level;
+* :class:`HoltForecaster` — level + trend (Holt's linear method), the
+  workhorse of reactive cloud provisioning ([38]-style);
+* :class:`BurstDurationEstimator` — an online estimator of how long the
+  current burst will last, learned from the durations of completed bursts
+  (the non-periodic-burst identification idea of [19]);
+* :class:`OnlineBurstForecaster` — detector + duration estimator glued
+  together, producing the ``BDu_p`` stream an adaptive strategy consumes.
+
+None of these see the future: they are causal and can be driven sample by
+sample from the live demand signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.units import require_fraction, require_non_negative, require_positive
+from repro.workloads.prediction import OnlineBurstDetector
+
+
+@dataclass
+class EwmaForecaster:
+    """Exponentially-weighted moving average of the demand level.
+
+    ``forecast()`` returns the smoothed level — the standard one-step-ahead
+    prediction for a random-walk-plus-noise demand process.
+    """
+
+    alpha: float = 0.2
+
+    _level: Optional[float] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        require_fraction(self.alpha, "alpha")
+        if self.alpha == 0.0:
+            raise ConfigurationError("alpha must be > 0")
+
+    def observe(self, demand: float) -> None:
+        """Feed one demand sample."""
+        require_non_negative(demand, "demand")
+        if self._level is None:
+            self._level = demand
+        else:
+            self._level += self.alpha * (demand - self._level)
+
+    def forecast(self) -> float:
+        """One-step-ahead demand forecast (0 before any observation)."""
+        return self._level if self._level is not None else 0.0
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._level = None
+
+
+@dataclass
+class HoltForecaster:
+    """Holt's linear (level + trend) exponential smoothing.
+
+    Captures demand ramps — a burst's onset shows up as positive trend
+    before its plateau, letting a controller begin raising the degree
+    bound a few control periods early.
+    """
+
+    alpha: float = 0.3
+    beta: float = 0.1
+
+    _level: Optional[float] = field(default=None, init=False)
+    _trend: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        require_fraction(self.alpha, "alpha")
+        require_fraction(self.beta, "beta")
+        if self.alpha == 0.0:
+            raise ConfigurationError("alpha must be > 0")
+
+    def observe(self, demand: float) -> None:
+        """Feed one demand sample."""
+        require_non_negative(demand, "demand")
+        if self._level is None:
+            self._level = demand
+            self._trend = 0.0
+            return
+        previous_level = self._level
+        self._level = self.alpha * demand + (1.0 - self.alpha) * (
+            self._level + self._trend
+        )
+        self._trend = self.beta * (self._level - previous_level) + (
+            1.0 - self.beta
+        ) * self._trend
+
+    def forecast(self, horizon_steps: int = 1) -> float:
+        """Demand forecast ``horizon_steps`` ahead (floored at zero)."""
+        if horizon_steps < 0:
+            raise ConfigurationError(
+                f"horizon_steps must be >= 0, got {horizon_steps!r}"
+            )
+        if self._level is None:
+            return 0.0
+        return max(0.0, self._level + self._trend * horizon_steps)
+
+    @property
+    def trend(self) -> float:
+        """Current trend estimate (demand units per step)."""
+        return self._trend
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._level = None
+        self._trend = 0.0
+
+
+@dataclass
+class BurstDurationEstimator:
+    """Online estimate of the current burst's total duration.
+
+    The estimator keeps the durations of completed bursts in a sliding
+    history.  While a burst is running, the predicted *total* duration is
+    the larger of the historical mean and a hazard floor above the elapsed
+    time (a burst that has already outlived the history clearly is not the
+    historical mean, so the estimate stretches with it).
+
+    Parameters
+    ----------
+    prior_duration_s:
+        Prediction before any burst has completed.
+    history_size:
+        Completed bursts remembered.
+    hazard_factor:
+        Floor multiplier on the elapsed time (>= 1).
+    """
+
+    prior_duration_s: float = 600.0
+    history_size: int = 16
+    hazard_factor: float = 1.3
+
+    _history: List[float] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.prior_duration_s, "prior_duration_s")
+        if self.history_size <= 0:
+            raise ConfigurationError("history_size must be > 0")
+        if self.hazard_factor < 1.0:
+            raise ConfigurationError("hazard_factor must be >= 1")
+
+    def record_completed_burst(self, duration_s: float) -> None:
+        """Add one completed burst's duration to the history."""
+        require_positive(duration_s, "duration_s")
+        self._history.append(duration_s)
+        if len(self._history) > self.history_size:
+            self._history.pop(0)
+
+    @property
+    def historical_mean_s(self) -> float:
+        """Mean completed-burst duration (the prior before any history)."""
+        if not self._history:
+            return self.prior_duration_s
+        return sum(self._history) / len(self._history)
+
+    def predict_total_duration_s(self, elapsed_s: float = 0.0) -> float:
+        """Predicted total duration of a burst that has run ``elapsed_s``."""
+        require_non_negative(elapsed_s, "elapsed_s")
+        return max(self.historical_mean_s, elapsed_s * self.hazard_factor)
+
+    def reset(self) -> None:
+        """Clear the learned history."""
+        self._history.clear()
+
+
+@dataclass
+class OnlineBurstForecaster:
+    """Detector + duration estimator: the live ``BDu_p`` source.
+
+    Feed it every demand sample via :meth:`observe`; query
+    :meth:`predicted_burst_duration_s` whenever a strategy needs the
+    prediction.  Completed bursts update the estimator automatically.
+    """
+
+    detector: OnlineBurstDetector = field(default_factory=OnlineBurstDetector)
+    estimator: BurstDurationEstimator = field(
+        default_factory=BurstDurationEstimator
+    )
+
+    _last_time_in_burst_s: float = field(default=0.0, init=False)
+
+    def observe(self, demand: float, time_s: float) -> bool:
+        """Feed one sample; returns whether a burst is active."""
+        was_in_burst = self.detector.in_burst
+        in_burst = self.detector.observe(demand, time_s)
+        if in_burst:
+            self._last_time_in_burst_s = self.detector.time_in_burst_s(time_s)
+        elif was_in_burst and self._last_time_in_burst_s > 0.0:
+            self.estimator.record_completed_burst(self._last_time_in_burst_s)
+            self._last_time_in_burst_s = 0.0
+        return in_burst
+
+    def predicted_burst_duration_s(self, time_s: float) -> float:
+        """Current prediction of the running (or next) burst's duration."""
+        elapsed = self.detector.time_in_burst_s(time_s)
+        return self.estimator.predict_total_duration_s(elapsed)
+
+    def reset(self) -> None:
+        """Forget detector state and learned history."""
+        self.detector.reset()
+        self.estimator.reset()
+        self._last_time_in_burst_s = 0.0

@@ -1,0 +1,107 @@
+"""Trace file I/O: bring your own workload.
+
+A downstream user with real demand data (request rates, traffic volumes,
+CPU samples) loads it here, normalises it to the library's convention
+(1.0 = the facility's peak no-sprinting capacity) and feeds it straight to
+the simulator.  Two formats:
+
+* **CSV** — one or two columns: ``demand`` alone (implies the trace's own
+  ``dt``), or ``time_s,demand``;
+* **JSON** — ``{"dt_s": 1.0, "name": "...", "samples": [...]}``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import require_positive
+from repro.workloads.traces import Trace
+
+
+def save_trace_csv(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write a trace as ``time_s,demand`` CSV; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", "demand"])
+        for t, value in zip(trace.times_s(), trace.samples):
+            # repr() of a Python float round-trips exactly.
+            writer.writerow([f"{t:g}", repr(float(value))])
+    return path
+
+
+def load_trace_csv(
+    path: Union[str, Path], dt_s: float = 1.0, name: str = ""
+) -> Trace:
+    """Read a trace from CSV (``demand`` or ``time_s,demand`` columns).
+
+    With a ``time_s`` column the sampling period is inferred from the
+    first two rows (the series must be regularly sampled); otherwise
+    ``dt_s`` applies.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ConfigurationError(f"{path} is empty")
+        header = [column.strip().lower() for column in header]
+        rows = list(reader)
+    if not rows:
+        raise ConfigurationError(f"{path} has no data rows")
+
+    if header == ["time_s", "demand"]:
+        times = np.array([float(r[0]) for r in rows])
+        samples = np.array([float(r[1]) for r in rows])
+        if len(times) >= 2:
+            inferred = float(times[1] - times[0])
+            require_positive(inferred, "inferred dt")
+            deltas = np.diff(times)
+            if not np.allclose(deltas, inferred, rtol=1e-6):
+                raise ConfigurationError(
+                    f"{path} is not regularly sampled"
+                )
+            dt_s = inferred
+    elif header == ["demand"]:
+        samples = np.array([float(r[0]) for r in rows])
+    else:
+        raise ConfigurationError(
+            f"unrecognised CSV header {header!r}: expected "
+            "['demand'] or ['time_s', 'demand']"
+        )
+    return Trace(samples, dt_s, name=name or path.stem)
+
+
+def save_trace_json(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write a trace as a JSON document; returns the path."""
+    path = Path(path)
+    payload = {
+        "name": trace.name,
+        "dt_s": trace.dt_s,
+        "samples": trace.samples.tolist(),
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_trace_json(path: Union[str, Path]) -> Trace:
+    """Read a trace from the JSON format written by :func:`save_trace_json`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        raise ConfigurationError(f"{path} is not valid JSON: {err}") from err
+    for key in ("dt_s", "samples"):
+        if key not in payload:
+            raise ConfigurationError(f"{path} is missing the {key!r} field")
+    return Trace(
+        np.asarray(payload["samples"], dtype=float),
+        float(payload["dt_s"]),
+        name=str(payload.get("name", path.stem)),
+    )

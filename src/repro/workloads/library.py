@@ -1,0 +1,124 @@
+"""Additional synthetic workload families from the paper's motivation.
+
+The introduction motivates sprinting with two workload classes beyond the
+Microsoft trace: "For data centers with more interactive workloads (e.g.,
+search, forum, news), workload bursts can be less frequent but higher in a
+variety of circumstances (e.g., breaking news)."  This module provides
+those families:
+
+* :func:`generate_flash_crowd_trace` — a breaking-news flash crowd: a calm
+  interactive diurnal baseline, then a near-instant spike to several times
+  capacity that decays over tens of minutes;
+* :func:`generate_diurnal_trace` — a multi-hour interactive baseline with
+  a morning/evening double hump, for recharge-window studies;
+* :func:`generate_batch_trace` — throughput-oriented batch load: long
+  plateaus near (but under) capacity with step changes, the workload class
+  where sprinting has the least to offer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import minutes, require_positive
+from repro.workloads.traces import Trace
+
+#: Default seed shared by the library generators.
+DEFAULT_LIBRARY_SEED = 777_000
+
+
+def generate_flash_crowd_trace(
+    spike_magnitude: float = 3.4,
+    onset_s: float = 300.0,
+    rise_s: float = 30.0,
+    decay_tau_s: float = 600.0,
+    duration_s: float = 2400.0,
+    baseline: float = 0.55,
+    seed: int = DEFAULT_LIBRARY_SEED,
+) -> Trace:
+    """A breaking-news flash crowd.
+
+    Demand sits at a calm interactive baseline, ramps to
+    ``spike_magnitude`` within ``rise_s`` seconds at ``onset_s``, then
+    relaxes exponentially with ``decay_tau_s`` — the canonical flash-crowd
+    shape (instant onset, slow loss of interest).
+    """
+    require_positive(spike_magnitude, "spike_magnitude")
+    if spike_magnitude <= 1.0:
+        raise ConfigurationError("spike_magnitude must exceed 1")
+    require_positive(rise_s, "rise_s")
+    require_positive(decay_tau_s, "decay_tau_s")
+    require_positive(duration_s, "duration_s")
+    if onset_s + rise_s >= duration_s:
+        raise ConfigurationError("spike must fit inside the trace")
+
+    rng = np.random.default_rng(seed)
+    t = np.arange(int(duration_s))
+    demand = np.full(t.shape, baseline, dtype=float)
+
+    rising = (t >= onset_s) & (t < onset_s + rise_s)
+    demand[rising] = baseline + (spike_magnitude - baseline) * (
+        (t[rising] - onset_s) / rise_s
+    )
+    decaying = t >= onset_s + rise_s
+    demand[decaying] = baseline + (spike_magnitude - baseline) * np.exp(
+        -(t[decaying] - onset_s - rise_s) / decay_tau_s
+    )
+    demand *= rng.normal(1.0, 0.03, len(t))
+    return Trace(
+        np.clip(demand, 0.0, None),
+        1.0,
+        name=f"flash-crowd[{spike_magnitude:g}x]",
+    )
+
+
+def generate_diurnal_trace(
+    hours: float = 24.0,
+    low: float = 0.25,
+    high: float = 0.85,
+    dt_s: float = 10.0,
+    seed: int = DEFAULT_LIBRARY_SEED + 1,
+) -> Trace:
+    """A day of interactive load with morning and evening humps."""
+    require_positive(hours, "hours")
+    if not 0.0 <= low < high:
+        raise ConfigurationError("need 0 <= low < high")
+    rng = np.random.default_rng(seed)
+    n = int(hours * 3600.0 / dt_s)
+    hour_of_day = (np.arange(n) * dt_s / 3600.0) % 24.0
+    # Two gaussian humps at 10:00 and 20:00 on a low overnight base.
+    morning = np.exp(-0.5 * ((hour_of_day - 10.0) / 2.5) ** 2)
+    evening = np.exp(-0.5 * ((hour_of_day - 20.0) / 2.0) ** 2)
+    shape = np.maximum(morning, 0.9 * evening)
+    demand = low + (high - low) * shape
+    demand *= rng.normal(1.0, 0.02, n)
+    return Trace(np.clip(demand, 0.0, None), dt_s, name="diurnal")
+
+
+def generate_batch_trace(
+    duration_s: float = 3600.0,
+    levels=(0.75, 0.9, 0.6, 0.95, 0.8),
+    seed: int = DEFAULT_LIBRARY_SEED + 2,
+) -> Trace:
+    """Throughput-oriented batch load: plateaus below capacity.
+
+    Batch (delay-insensitive) work is the class the paper excludes from
+    sprinting ("the delay-insensitive workloads can be postponed"); this
+    trace exists to show sprinting correctly adds ~nothing on it.
+    """
+    require_positive(duration_s, "duration_s")
+    if not levels:
+        raise ConfigurationError("levels must be non-empty")
+    if max(levels) > 1.0:
+        raise ConfigurationError(
+            "batch levels must stay at or below capacity"
+        )
+    rng = np.random.default_rng(seed)
+    n = int(duration_s)
+    per_level = max(1, n // len(levels))
+    demand = np.empty(n, dtype=float)
+    for i in range(n):
+        demand[i] = levels[min(i // per_level, len(levels) - 1)]
+    demand *= rng.normal(1.0, 0.02, n)
+    return Trace(np.clip(demand, 0.0, 1.0), 1.0, name="batch")

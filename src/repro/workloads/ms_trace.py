@@ -1,0 +1,202 @@
+"""Synthetic Microsoft-style bursty workload trace.
+
+The paper's MS trace (Fig. 7a) is a 30-minute cut of the aggregated traffic
+of 1,500 servers in a Microsoft data center [17] (Fig. 1), taken from second
+71,188 to 72,987 — the stretch containing consecutive bursts — and
+normalised so that 3 GB/s (the no-sprinting peak capacity) maps to 100 %.
+
+The raw trace is proprietary, so this module generates a *statistically
+matched* substitute (see DESIGN.md, substitutions):
+
+* 30-minute duration at 1 s resolution;
+* peak demand slightly above 3x of the no-sprinting capacity (the raw
+  traffic peaks above 9 GB/s against a 3 GB/s capacity);
+* an aggregated over-capacity time of ~16.2 minutes — the paper's "real
+  burst duration" for this trace (Section VII-B);
+* consecutive bursts: several high plateaus separated by partial valleys,
+  the structure visible in Fig. 7a.
+
+The generator is deterministic for a given seed; the packaged default
+(:func:`default_ms_trace`) is the trace every experiment and test uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import require_positive
+from repro.workloads.traces import Trace
+
+#: Default seed of the packaged MS-style trace.
+DEFAULT_MS_SEED = 20150629
+
+#: Duration of the trace (seconds): the paper's 30-minute cut.
+MS_TRACE_DURATION_S = 1800
+
+#: The paper's reported aggregated over-capacity time for its MS trace.
+MS_REAL_BURST_DURATION_S = 16.2 * 60.0
+
+#: Plateau segments of the synthetic trace: (start_s, end_s, level).
+#: Levels are normalised demand; the segments are tuned so that the
+#: over-capacity time is ~16 min (the paper reports 16.2) and an
+#: uncontrolled chip-level sprint trips a breaker ~5 min 20 s into the
+#: trace (Fig. 8a): the opening plateaus consume ~30 % of the breakers'
+#: thermal budget and the 300 s spike finishes them off.
+_SEGMENTS = (
+    (0, 60, 0.72),      # pre-burst lull
+    (60, 210, 1.60),    # first burst plateau
+    (210, 300, 1.70),   # ramp
+    (300, 390, 3.05),   # spike that finishes off the uncontrolled breaker
+    (390, 480, 0.85),   # valley
+    (480, 1000, 2.65),  # the long central burst cluster
+    (1000, 1180, 0.90), # valley
+    (1180, 1330, 1.85), # trailing burst
+    (1330, 1800, 0.72), # tail lull
+)
+
+#: Standard deviation of the multiplicative jitter applied to each second.
+_JITTER_STD = 0.05
+
+#: Length (samples) of the smoothing kernel applied to segment transitions.
+_SMOOTH_WINDOW = 15
+
+#: Intra-burst oscillation: the real aggregate (Fig. 1) swings inside its
+#: burst clusters rather than holding plateaus.  Burst samples after
+#: ``_OSCILLATION_FROM_S`` are modulated by ``1 + A sin(2 pi t / P)`` and
+#: clipped at ``_DEMAND_CLIP`` (the raw trace tops out a bit above 3x of
+#: the no-sprinting capacity).
+_OSCILLATION_AMPLITUDE = 0.15
+_OSCILLATION_PERIOD_S = 90.0
+_OSCILLATION_FROM_S = 480.0
+_DEMAND_CLIP = 3.45
+
+
+def generate_ms_trace(
+    seed: int = DEFAULT_MS_SEED,
+    duration_s: int = MS_TRACE_DURATION_S,
+    dt_s: float = 1.0,
+) -> Trace:
+    """Generate an MS-style bursty trace.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; the default yields the packaged reference trace.
+    duration_s:
+        Trace length in seconds (segments beyond it are clipped; a longer
+        duration repeats the 30-minute pattern).
+    dt_s:
+        Sampling period.
+    """
+    require_positive(duration_s, "duration_s")
+    require_positive(dt_s, "dt_s")
+    n = int(round(duration_s / dt_s))
+    if n <= 0:
+        raise ConfigurationError("duration_s too short for the given dt_s")
+
+    rng = np.random.default_rng(seed)
+    times = (np.arange(n) * dt_s) % MS_TRACE_DURATION_S
+    levels = np.empty(n, dtype=float)
+    for start, end, level in _SEGMENTS:
+        mask = (times >= start) & (times < end)
+        levels[mask] = level
+
+    # Rapid intra-burst oscillation in the later burst clusters: the real
+    # aggregate swings between roughly half and one-and-a-half times its
+    # cluster level within tens of seconds.
+    oscillation = 1.0 + _OSCILLATION_AMPLITUDE * np.sin(
+        2.0 * np.pi * times / _OSCILLATION_PERIOD_S
+    )
+    burst_mask = (levels > 1.0) & (times >= _OSCILLATION_FROM_S)
+    levels[burst_mask] = np.minimum(
+        levels[burst_mask] * oscillation[burst_mask], _DEMAND_CLIP
+    )
+
+    # Smooth segment boundaries: real aggregate traffic ramps, it does not
+    # step instantaneously.
+    kernel = np.ones(_SMOOTH_WINDOW) / _SMOOTH_WINDOW
+    padded = np.concatenate(
+        [np.full(_SMOOTH_WINDOW, levels[0]), levels,
+         np.full(_SMOOTH_WINDOW, levels[-1])]
+    )
+    smoothed = np.convolve(padded, kernel, mode="same")[
+        _SMOOTH_WINDOW:_SMOOTH_WINDOW + n
+    ]
+
+    jitter = rng.normal(loc=1.0, scale=_JITTER_STD, size=n)
+    samples = np.clip(smoothed * jitter, 0.0, None)
+    return Trace(samples=samples, dt_s=dt_s, name=f"ms-synthetic[{seed}]")
+
+
+def default_ms_trace() -> Trace:
+    """The packaged reference MS-style trace used by every experiment."""
+    return generate_ms_trace()
+
+
+#: Lead-in structure of the family traces: everything before the central
+#: cluster (a copy of the reference trace's opening 480 s).
+_FAMILY_PREFIX = tuple(seg for seg in _SEGMENTS if seg[1] <= 480)
+
+#: Over-capacity seconds contributed by the fixed prefix/suffix structure.
+_FAMILY_FIXED_BURST_S = (210 - 60) + (300 - 210) + (390 - 300) + (1330 - 1180)
+
+
+def generate_ms_family_trace(
+    burst_duration_s: float,
+    seed: int = DEFAULT_MS_SEED,
+    dt_s: float = 1.0,
+) -> Trace:
+    """An MS-style trace whose aggregated burst duration is configurable.
+
+    Used to build the Oracle upper-bound table for the MS workload family
+    (Fig. 9): the central burst cluster is stretched or shrunk so the total
+    over-capacity time approximates ``burst_duration_s``, while the opening
+    bursts, valleys and trailing burst keep the reference structure.  The
+    trace window extends beyond 30 minutes when a long cluster needs it.
+    """
+    require_positive(burst_duration_s, "burst_duration_s")
+    central_s = max(60.0, burst_duration_s - _FAMILY_FIXED_BURST_S)
+    segments = list(_FAMILY_PREFIX)
+    t = 480.0
+    segments.append((t, t + central_s, 2.65))
+    t += central_s
+    segments.append((t, t + 180.0, 0.90))
+    t += 180.0
+    segments.append((t, t + 150.0, 1.85))
+    t += 150.0
+    tail_end = max(1800.0, t + 270.0)
+    segments.append((t, tail_end, 0.72))
+
+    n = int(round(tail_end / dt_s))
+    rng = np.random.default_rng(seed)
+    times = np.arange(n) * dt_s
+    levels = np.empty(n, dtype=float)
+    levels[:] = 0.72
+    for start, end, level in segments:
+        mask = (times >= start) & (times < end)
+        levels[mask] = level
+
+    oscillation = 1.0 + _OSCILLATION_AMPLITUDE * np.sin(
+        2.0 * np.pi * times / _OSCILLATION_PERIOD_S
+    )
+    burst_mask = (levels > 1.0) & (times >= _OSCILLATION_FROM_S)
+    levels[burst_mask] = np.minimum(
+        levels[burst_mask] * oscillation[burst_mask], _DEMAND_CLIP
+    )
+
+    kernel = np.ones(_SMOOTH_WINDOW) / _SMOOTH_WINDOW
+    padded = np.concatenate(
+        [np.full(_SMOOTH_WINDOW, levels[0]), levels,
+         np.full(_SMOOTH_WINDOW, levels[-1])]
+    )
+    smoothed = np.convolve(padded, kernel, mode="same")[
+        _SMOOTH_WINDOW:_SMOOTH_WINDOW + n
+    ]
+    jitter = rng.normal(loc=1.0, scale=_JITTER_STD, size=n)
+    samples = np.clip(smoothed * jitter, 0.0, None)
+    return Trace(
+        samples=samples,
+        dt_s=dt_s,
+        name=f"ms-family[{burst_duration_s:g}s]",
+    )

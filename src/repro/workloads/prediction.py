@@ -1,0 +1,109 @@
+"""Burst predictors with controllable estimation error.
+
+The Prediction strategy consumes a predicted burst duration (``BDu_p``) and
+the Heuristic strategy an estimated best average sprinting degree
+(``SDe_p``).  Section VII-B evaluates both against prediction quality by
+computing each predicted value as ``real value x (1 + estimation error)``
+with the error swept from -100 % to +60 % — that construction lives here.
+
+An online burst detector is also provided: the strategies need to know when
+a burst starts (demand crosses the no-sprinting capacity) to anchor their
+time bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.units import require_finite, require_non_negative
+from repro.workloads.traces import Trace
+
+
+@dataclass(frozen=True)
+class ErroredPredictor:
+    """Wraps a ground-truth value with a fixed relative estimation error.
+
+    ``predict() = true_value * (1 + error)``, floored at zero — an error of
+    -100 % predicts "no burst at all", the pathological left end of Fig. 9.
+    """
+
+    true_value: float
+    estimation_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.true_value, "true_value")
+        require_finite(self.estimation_error, "estimation_error")
+        if self.estimation_error < -1.0:
+            raise ConfigurationError(
+                "estimation_error below -100% would predict a negative "
+                f"value, got {self.estimation_error!r}"
+            )
+
+    def predict(self) -> float:
+        """The errored prediction."""
+        return max(0.0, self.true_value * (1.0 + self.estimation_error))
+
+
+def predicted_burst_duration_s(
+    trace: Trace, estimation_error: float = 0.0, capacity: float = 1.0
+) -> float:
+    """``BDu_p`` for a trace: errored aggregate over-capacity time.
+
+    The real burst duration follows the paper's definition (Section VII-B):
+    the aggregated time when the normally-active cores are inadequate.
+    """
+    real = trace.over_capacity_time_s(capacity)
+    return ErroredPredictor(real, estimation_error).predict()
+
+
+@dataclass
+class OnlineBurstDetector:
+    """Detects burst start/end from the live demand signal.
+
+    A burst starts when demand first exceeds ``capacity`` and is considered
+    over after demand has stayed at or below capacity for ``hold_off_s``
+    (so short valleys inside a burst cluster do not end it prematurely —
+    the MS trace's "consecutive bursts" are one sprinting episode).
+    """
+
+    capacity: float = 1.0
+    hold_off_s: float = 120.0
+
+    in_burst: bool = field(default=False, init=False)
+    burst_started_at_s: Optional[float] = field(default=None, init=False)
+    _below_since_s: Optional[float] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.capacity, "capacity")
+        require_non_negative(self.hold_off_s, "hold_off_s")
+
+    def observe(self, demand: float, time_s: float) -> bool:
+        """Feed one demand sample; returns whether a burst is active."""
+        require_non_negative(demand, "demand")
+        require_non_negative(time_s, "time_s")
+        if demand > self.capacity:
+            if not self.in_burst:
+                self.in_burst = True
+                self.burst_started_at_s = time_s
+            self._below_since_s = None
+        elif self.in_burst:
+            if self._below_since_s is None:
+                self._below_since_s = time_s
+            elif time_s - self._below_since_s >= self.hold_off_s:
+                self.in_burst = False
+                self._below_since_s = None
+        return self.in_burst
+
+    def time_in_burst_s(self, now_s: float) -> float:
+        """Seconds since the current burst started (0 outside a burst)."""
+        if not self.in_burst or self.burst_started_at_s is None:
+            return 0.0
+        return max(0.0, now_s - self.burst_started_at_s)
+
+    def reset(self) -> None:
+        """Forget any burst state."""
+        self.in_burst = False
+        self.burst_started_at_s = None
+        self._below_since_s = None

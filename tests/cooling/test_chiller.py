@@ -1,0 +1,73 @@
+"""Tests for the chiller/CRAC steady-state power model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cooling.chiller import (
+    CHILLER_SHARE_OF_COOLING_POWER,
+    ChillerPlant,
+    CoolingStep,
+    DEFAULT_PUE,
+)
+
+
+class TestChillerPlant:
+    def make(self):
+        return ChillerPlant(rated_removal_w=9.9e6)
+
+    def test_default_pue(self):
+        assert DEFAULT_PUE == pytest.approx(1.53)
+
+    def test_cooling_overhead_from_pue(self):
+        assert self.make().cooling_overhead == pytest.approx(0.53)
+
+    def test_electric_power_all_chiller(self):
+        plant = self.make()
+        assert plant.electric_power_w(9.9e6, 0.0) == pytest.approx(
+            0.53 * 9.9e6
+        )
+
+    def test_electric_power_all_tes_saves_two_thirds(self):
+        """Section V-C: TES replacing the chiller saves up to 2/3."""
+        plant = self.make()
+        with_tes = plant.electric_power_w(0.0, 9.9e6)
+        without = plant.electric_power_w(9.9e6, 0.0)
+        assert with_tes == pytest.approx(without / 3.0)
+
+    def test_electric_power_mixed_is_linear(self):
+        plant = self.make()
+        mixed = plant.electric_power_w(5.0e6, 4.9e6)
+        expected = plant.electric_power_w(5.0e6, 0.0) + plant.electric_power_w(
+            0.0, 4.9e6
+        )
+        assert mixed == pytest.approx(expected)
+
+    def test_chiller_share_constant(self):
+        assert CHILLER_SHARE_OF_COOLING_POWER == pytest.approx(2.0 / 3.0)
+
+    def test_rated_electric_power(self):
+        plant = self.make()
+        assert plant.rated_electric_power_w == pytest.approx(0.53 * 9.9e6)
+
+    def test_max_chiller_heat(self):
+        assert self.make().max_chiller_heat_w() == pytest.approx(9.9e6)
+
+    def test_pue_one_means_free_cooling(self):
+        plant = ChillerPlant(rated_removal_w=1e6, pue=1.0)
+        assert plant.electric_power_w(1e6, 0.0) == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ChillerPlant(rated_removal_w=1e6, pue=0.5)
+        with pytest.raises(ConfigurationError):
+            ChillerPlant(rated_removal_w=0.0)
+
+
+class TestCoolingStep:
+    def test_removal_sums_components(self):
+        step = CoolingStep(
+            heat_via_chiller_w=3.0, heat_via_tes_w=2.0, electric_power_w=1.0
+        )
+        assert step.removal_w == pytest.approx(5.0)

@@ -1,0 +1,116 @@
+"""Tests for the composed cooling plant (chiller + TES + room)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cooling.crac import CoolingPlant
+from repro.cooling.tes import TesTank
+
+PEAK_W = 9.9e6
+
+
+def make_plant(with_tes=True, margin=1.15):
+    tes = TesTank.sized_for(PEAK_W) if with_tes else None
+    return CoolingPlant(
+        peak_normal_it_power_w=PEAK_W, chiller_margin=margin, tes=tes
+    )
+
+
+class TestCoolingPlantBasics:
+    def test_normal_cooling_power_matches_pue(self):
+        plant = make_plant()
+        assert plant.normal_cooling_power_w == pytest.approx(0.53 * PEAK_W)
+
+    def test_has_tes(self):
+        assert make_plant(with_tes=True).has_tes
+        assert not make_plant(with_tes=False).has_tes
+
+    def test_chiller_margin_scales_capacity(self):
+        plant = make_plant(margin=1.15)
+        assert plant.chiller.max_chiller_heat_w() == pytest.approx(
+            PEAK_W * 1.15
+        )
+
+    def test_margin_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_plant(margin=0.9)
+
+
+class TestStepAndEstimate:
+    def test_estimate_matches_step_exactly(self):
+        """The controller sizes breaker budgets from the estimate; any
+        mismatch with the committed step is a power-safety bug."""
+        plant = make_plant()
+        for it_power in (5.0e6, 9.9e6, 15.0e6, 26.0e6):
+            for use_tes in (False, True):
+                est = plant.estimate(it_power, 1.0, use_tes)
+                actual = plant.step(it_power, 1.0, use_tes)
+                assert actual.electric_power_w == pytest.approx(
+                    est.electric_power_w
+                ), (it_power, use_tes)
+
+    def test_normal_load_fully_removed(self):
+        plant = make_plant()
+        step = plant.step(PEAK_W, 1.0)
+        assert step.removal_w == pytest.approx(PEAK_W)
+        assert step.heat_via_tes_w == 0.0
+
+    def test_sprint_load_without_tes_heats_room(self):
+        plant = make_plant()
+        before = plant.room.temperature_c
+        plant.step(20.0e6, 60.0, use_tes=False)
+        assert plant.room.temperature_c > before
+
+    def test_tes_absorbs_sprint_heat(self):
+        plant = make_plant()
+        step = plant.step(20.0e6, 1.0, use_tes=True)
+        assert step.heat_via_tes_w > 0.0
+        assert step.removal_w == pytest.approx(20.0e6)
+        assert plant.room.temperature_c == pytest.approx(
+            plant.room.setpoint_c
+        )
+
+    def test_tes_reduces_electric_power(self):
+        plant_tes = make_plant()
+        plant_chiller = make_plant()
+        with_tes = plant_tes.step(9.0e6, 1.0, use_tes=True)
+        without = plant_chiller.step(9.0e6, 1.0, use_tes=False)
+        assert with_tes.electric_power_w < without.electric_power_w
+
+    def test_use_tes_ignored_without_tank(self):
+        plant = make_plant(with_tes=False)
+        step = plant.step(9.0e6, 1.0, use_tes=True)
+        assert step.heat_via_tes_w == 0.0
+
+    def test_empty_tank_falls_back_to_chiller(self):
+        plant = make_plant()
+        plant.tes.absorb_up_to(plant.tes.max_discharge_w, 1e9)
+        assert plant.tes.is_empty
+        step = plant.step(9.0e6, 1.0, use_tes=True)
+        assert step.heat_via_tes_w == 0.0
+        assert step.heat_via_chiller_w == pytest.approx(9.0e6)
+
+    def test_recovery_draws_extra_chiller_power(self):
+        plant = make_plant()
+        plant.step(20.0e6, 120.0, use_tes=False)  # heat the room
+        recovering = plant.step(5.0e6, 1.0)
+        assert recovering.heat_via_chiller_w > 5.0e6
+
+    def test_room_recovers_after_excursion(self):
+        plant = make_plant()
+        plant.step(20.0e6, 120.0, use_tes=False)
+        heated = plant.room.temperature_c
+        for _ in range(1800):
+            plant.step(5.0e6, 1.0)
+        assert plant.room.temperature_c < heated
+
+    def test_reset(self):
+        plant = make_plant()
+        plant.step(20.0e6, 60.0, use_tes=True)
+        plant.reset()
+        assert plant.tes.state_of_charge == pytest.approx(1.0)
+        assert plant.room.temperature_c == pytest.approx(
+            plant.room.setpoint_c
+        )

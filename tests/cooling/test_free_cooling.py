@@ -1,0 +1,114 @@
+"""Tests for the free-cooling (economizer) extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cooling.crac import CoolingPlant
+from repro.cooling.free_cooling import (
+    Economizer,
+    FreeCooledPlant,
+    OutsideAirProfile,
+)
+from repro.cooling.tes import TesTank
+from repro.errors import ConfigurationError
+
+PEAK_W = 9.9e6
+
+#: Night / day sampling times for the default profile (peak at 15:00).
+NIGHT_S = 3.0 * 3600.0
+DAY_S = 15.0 * 3600.0
+
+
+def make_plant():
+    inner = CoolingPlant(
+        peak_normal_it_power_w=PEAK_W, tes=TesTank.sized_for(PEAK_W)
+    )
+    return FreeCooledPlant(plant=inner, economizer=Economizer(
+        cutoff_c=18.0, max_rejection_w=PEAK_W * 1.2
+    ))
+
+
+class TestOutsideAirProfile:
+    def test_peak_mid_afternoon(self):
+        profile = OutsideAirProfile()
+        assert profile.temperature_c(DAY_S) == pytest.approx(
+            profile.mean_c + profile.amplitude_c
+        )
+
+    def test_trough_at_night(self):
+        profile = OutsideAirProfile()
+        assert profile.temperature_c(NIGHT_S) == pytest.approx(
+            profile.mean_c - profile.amplitude_c
+        )
+
+    def test_periodic(self):
+        profile = OutsideAirProfile()
+        assert profile.temperature_c(1000.0) == pytest.approx(
+            profile.temperature_c(1000.0 + 86_400.0)
+        )
+
+
+class TestEconomizer:
+    def test_available_when_cold(self):
+        eco = Economizer(cutoff_c=18.0)
+        assert eco.available(NIGHT_S)
+        assert not eco.available(DAY_S)
+
+    def test_fan_power_far_below_chiller(self):
+        eco = Economizer(fan_overhead=0.06)
+        assert eco.electric_power_w(PEAK_W) < 0.53 * PEAK_W / 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Economizer(max_rejection_w=0.0)
+
+
+class TestFreeCooledPlant:
+    def test_night_operation_is_cheap(self):
+        plant = make_plant()
+        step = plant.step(PEAK_W, time_s=NIGHT_S, dt_s=1.0)
+        chiller_only = 0.53 * PEAK_W
+        assert step.electric_power_w == pytest.approx(PEAK_W * 0.06)
+        assert step.electric_power_w < chiller_only / 3.0
+
+    def test_day_operation_falls_back_to_chiller(self):
+        plant = make_plant()
+        step = plant.step(PEAK_W, time_s=DAY_S, dt_s=1.0)
+        assert step.electric_power_w == pytest.approx(0.53 * PEAK_W)
+
+    def test_night_sprint_leaves_tes_untouched(self):
+        """A burst in a free-cooling window spares the tank: the economizer
+        carries what it can and the chiller covers the remainder."""
+        plant = make_plant()
+        soc_before = plant.tes.state_of_charge
+        plant.step(PEAK_W * 1.1, time_s=NIGHT_S, dt_s=60.0, use_tes=False)
+        assert plant.tes.state_of_charge == soc_before
+        assert plant.room.temperature_c == pytest.approx(
+            plant.room.setpoint_c
+        )
+
+    def test_day_sprint_heats_room_without_tes(self):
+        plant = make_plant()
+        plant.step(PEAK_W * 2.0, time_s=DAY_S, dt_s=60.0, use_tes=False)
+        assert plant.room.temperature_c > plant.room.setpoint_c
+
+    def test_room_balance_includes_free_cooling(self):
+        plant = make_plant()
+        step = plant.step(PEAK_W * 0.8, time_s=NIGHT_S, dt_s=1.0)
+        assert step.removal_w == pytest.approx(PEAK_W * 0.8)
+
+    def test_free_cooling_fraction(self):
+        plant = make_plant()
+        assert plant.free_cooling_fraction(PEAK_W, NIGHT_S) == pytest.approx(1.0)
+        assert plant.free_cooling_fraction(PEAK_W, DAY_S) == 0.0
+        # Above the economizer's capacity, only part of the heat is free.
+        fraction = plant.free_cooling_fraction(PEAK_W * 2.0, NIGHT_S)
+        assert 0.0 < fraction < 1.0
+
+    def test_reset(self):
+        plant = make_plant()
+        plant.step(PEAK_W * 2.0, time_s=DAY_S, dt_s=120.0, use_tes=True)
+        plant.reset()
+        assert plant.tes.state_of_charge == pytest.approx(1.0)
+        assert plant.room.temperature_c == pytest.approx(plant.room.setpoint_c)

@@ -1,0 +1,142 @@
+"""Tests for the post-burst recharge planner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cooling.crac import CoolingPlant
+from repro.cooling.recharge import RechargePlanner
+from repro.cooling.tes import TesTank
+from repro.errors import ConfigurationError
+from repro.power.topology import PowerTopology
+
+
+def make_parts(drain_ups=True, drain_tes=True):
+    topo = PowerTopology(n_pdus=2, servers_per_pdu=50)
+    tes = TesTank.sized_for(topo.peak_normal_it_power_w)
+    plant = CoolingPlant(
+        peak_normal_it_power_w=topo.peak_normal_it_power_w, tes=tes
+    )
+    if drain_ups:
+        topo.pdu.ups.discharge_up_to(topo.pdu.ups.available_power_w(), 30.0)
+    if drain_tes:
+        tes.absorb_up_to(tes.max_discharge_w, 300.0)
+    return topo, plant
+
+
+class TestPlanning:
+    def test_no_recharge_when_everything_full(self):
+        topo, plant = make_parts(drain_ups=False, drain_tes=False)
+        planner = RechargePlanner(topo, plant)
+        allocation = planner.plan(current_feed_w=1000.0, current_heat_w=1000.0)
+        assert allocation.total_electric_w == 0.0
+
+    def test_recharges_drained_stores(self):
+        topo, plant = make_parts()
+        planner = RechargePlanner(topo, plant)
+        # A lightly-loaded facility: enough slack that the batteries'
+        # charge-rate cap leaves budget for the tank too.
+        allocation = planner.plan(
+            current_feed_w=topo.dc_breaker.rated_power_w * 0.1,
+            current_heat_w=plant.peak_normal_it_power_w * 0.1,
+        )
+        assert allocation.ups_electric_w > 0.0
+        assert allocation.tes_thermal_w > 0.0
+
+    def test_stays_within_slack_budget(self):
+        topo, plant = make_parts()
+        planner = RechargePlanner(topo, plant, slack_fraction=0.5)
+        feed = topo.dc_breaker.rated_power_w * 0.8
+        allocation = planner.plan(feed, plant.peak_normal_it_power_w * 0.8)
+        slack = (topo.dc_breaker.rated_power_w - feed) * 0.5
+        assert allocation.total_electric_w <= slack * (1.0 + 1e-9)
+
+    def test_no_slack_no_recharge(self):
+        topo, plant = make_parts()
+        planner = RechargePlanner(topo, plant)
+        allocation = planner.plan(
+            current_feed_w=topo.dc_breaker.rated_power_w,
+            current_heat_w=0.0,
+        )
+        assert allocation.total_electric_w == 0.0
+
+    def test_tes_thermal_limited_by_chiller_spare(self):
+        topo, plant = make_parts()
+        planner = RechargePlanner(topo, plant)
+        # Chiller fully busy: no cold production to spare.
+        allocation = planner.plan(
+            current_feed_w=0.0,
+            current_heat_w=plant.chiller.max_chiller_heat_w(),
+        )
+        assert allocation.tes_thermal_w == 0.0
+
+    def test_ups_priority(self):
+        topo, plant = make_parts()
+        planner = RechargePlanner(topo, plant, ups_priority=True)
+        # Tiny slack: it should all go to the batteries.
+        feed = topo.dc_breaker.rated_power_w - 100.0
+        allocation = planner.plan(feed, 0.0)
+        assert allocation.ups_electric_w > 0.0
+        assert allocation.ups_electric_w >= allocation.tes_electric_w
+
+    def test_validation(self):
+        topo, plant = make_parts()
+        with pytest.raises(ConfigurationError):
+            RechargePlanner(topo, plant, slack_fraction=0.0)
+
+
+class TestExecutionAndEstimates:
+    def test_execute_fills_stores(self):
+        topo, plant = make_parts()
+        planner = RechargePlanner(topo, plant)
+        ups_before = topo.pdu.ups.state_of_charge
+        tes_before = plant.tes.state_of_charge
+        for _ in range(60):
+            allocation = planner.plan(
+                current_feed_w=topo.dc_breaker.rated_power_w * 0.1,
+                current_heat_w=plant.peak_normal_it_power_w * 0.1,
+            )
+            planner.execute(allocation, dt_s=1.0)
+        assert topo.pdu.ups.state_of_charge > ups_before
+        assert plant.tes.state_of_charge > tes_before
+
+    def test_time_to_ready_finite_with_slack(self):
+        topo, plant = make_parts()
+        planner = RechargePlanner(topo, plant)
+        t = planner.time_to_ready_s(
+            current_feed_w=topo.dc_breaker.rated_power_w * 0.1,
+            current_heat_w=plant.peak_normal_it_power_w * 0.1,
+        )
+        assert 0.0 < t < float("inf")
+
+    def test_time_to_ready_infinite_without_slack(self):
+        topo, plant = make_parts()
+        planner = RechargePlanner(topo, plant)
+        t = planner.time_to_ready_s(
+            current_feed_w=topo.dc_breaker.rated_power_w,
+            current_heat_w=plant.chiller.max_chiller_heat_w(),
+        )
+        assert math.isinf(t)
+
+    def test_time_to_ready_zero_when_full(self):
+        topo, plant = make_parts(drain_ups=False, drain_tes=False)
+        planner = RechargePlanner(topo, plant)
+        assert planner.time_to_ready_s(0.0, 0.0) == 0.0
+
+    def test_full_recovery_simulation(self):
+        """Driving the planner long enough restores both stores fully —
+        the facility is ready for the next burst."""
+        topo, plant = make_parts()
+        planner = RechargePlanner(topo, plant)
+        for _ in range(5000):
+            allocation = planner.plan(
+                current_feed_w=topo.dc_breaker.rated_power_w * 0.4,
+                current_heat_w=plant.peak_normal_it_power_w * 0.4,
+            )
+            if allocation.total_electric_w == 0.0:
+                break
+            planner.execute(allocation, dt_s=10.0)
+        assert topo.pdu.ups.state_of_charge == pytest.approx(1.0, abs=1e-6)
+        assert plant.tes.state_of_charge == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,118 @@
+"""Tests for the thermal-energy-storage tank model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, TankDepletedError
+from repro.cooling.tes import DEFAULT_TES_RUNTIME_MIN, TesTank
+
+
+class TestTesSizing:
+    def test_paper_sizing_12_minutes_at_peak_normal(self):
+        """The tank carries the full cooling load for 12 min (Sec VI-A)."""
+        tank = TesTank.sized_for(9.9e6)
+        assert tank.runtime_at_load_s(9.9e6) == pytest.approx(12 * 60.0)
+
+    def test_capacity_in_joules(self):
+        tank = TesTank.sized_for(9.9e6)
+        assert tank.capacity_j == pytest.approx(9.9e6 * 720.0)
+
+    def test_discharge_margin_covers_sprinting_heat(self):
+        tank = TesTank.sized_for(9.9e6, discharge_margin=2.0)
+        assert tank.max_discharge_w == pytest.approx(19.8e6)
+
+    def test_default_runtime_constant(self):
+        assert DEFAULT_TES_RUNTIME_MIN == pytest.approx(12.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            TesTank(capacity_j=0.0, max_discharge_w=1.0)
+        with pytest.raises(ConfigurationError):
+            TesTank.sized_for(0.0)
+
+
+class TestTesDynamics:
+    def make(self):
+        return TesTank(capacity_j=1000.0, max_discharge_w=100.0)
+
+    def test_starts_full(self):
+        assert self.make().state_of_charge == pytest.approx(1.0)
+
+    def test_absorb_reduces_energy(self):
+        tank = self.make()
+        absorbed = tank.absorb(50.0, 10.0)
+        assert absorbed == pytest.approx(500.0)
+        assert tank.energy_j == pytest.approx(500.0)
+
+    def test_absorb_beyond_energy_raises(self):
+        tank = self.make()
+        with pytest.raises(TankDepletedError):
+            tank.absorb(100.0, 11.0)
+
+    def test_absorb_beyond_rate_raises(self):
+        tank = self.make()
+        with pytest.raises(TankDepletedError):
+            tank.absorb(150.0, 1.0)
+
+    def test_absorb_up_to_respects_rate(self):
+        tank = self.make()
+        rate = tank.absorb_up_to(500.0, 1.0)
+        assert rate == pytest.approx(100.0)
+
+    def test_absorb_up_to_respects_energy(self):
+        tank = self.make()
+        tank.absorb(100.0, 9.0)  # 900 J gone
+        rate = tank.absorb_up_to(100.0, 2.0)
+        assert rate == pytest.approx(50.0)  # only 100 J left over 2 s
+        assert tank.is_empty
+
+    def test_runtime_at_load(self):
+        tank = self.make()
+        assert tank.runtime_at_load_s(50.0) == pytest.approx(20.0)
+        assert math.isinf(tank.runtime_at_load_s(0.0))
+        assert tank.runtime_at_load_s(200.0) == 0.0
+
+    def test_available_absorption_zero_when_empty(self):
+        tank = self.make()
+        tank.absorb(100.0, 10.0)
+        assert tank.available_absorption_w() == 0.0
+
+    def test_recharge(self):
+        tank = self.make()
+        tank.absorb(100.0, 5.0)
+        stored = tank.recharge(50.0, 4.0)
+        assert stored == pytest.approx(200.0)
+
+    def test_recharge_saturates(self):
+        tank = self.make()
+        assert tank.recharge(1000.0, 100.0) == 0.0
+
+    def test_total_absorbed_accounting(self):
+        tank = self.make()
+        tank.absorb(10.0, 10.0)
+        tank.absorb_up_to(20.0, 10.0)
+        assert tank.total_absorbed_j == pytest.approx(300.0)
+
+    def test_reset(self):
+        tank = self.make()
+        tank.absorb(100.0, 5.0)
+        tank.reset()
+        assert tank.state_of_charge == pytest.approx(1.0)
+        assert tank.total_absorbed_j == 0.0
+
+    @given(
+        loads=st.lists(
+            st.floats(min_value=0.0, max_value=120.0), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=40)
+    def test_absorbed_heat_never_exceeds_capacity(self, loads):
+        tank = self.make()
+        for heat in loads:
+            tank.absorb_up_to(heat, 5.0)
+        assert tank.total_absorbed_j <= tank.capacity_j * (1.0 + 1e-9)
+        assert tank.energy_j >= -1e-9

@@ -1,0 +1,136 @@
+"""Tests for the lumped room thermal model and the TES-activation rule."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, ThermalEmergencyError
+from repro.cooling.thermal import (
+    CALIBRATION_MINUTES_TO_THRESHOLD,
+    CFD_SAFE_RESUME_MINUTES,
+    RoomThermalModel,
+    tes_activation_time_s,
+)
+
+PEAK_W = 9.9e6
+
+
+def make_room():
+    return RoomThermalModel(peak_normal_it_power_w=PEAK_W)
+
+
+class TestCalibration:
+    def test_full_gap_reaches_threshold_after_calibration_time(self):
+        """A gap equal to peak-normal power heats setpoint->threshold in
+        the calibrated number of minutes."""
+        room = make_room()
+        t = room.time_to_threshold_s(PEAK_W)
+        assert t == pytest.approx(CALIBRATION_MINUTES_TO_THRESHOLD * 60.0)
+
+    def test_schneider_resume_at_five_minutes_is_safe(self):
+        """The CFD headline: chiller resumed at minute 5 => threshold never
+        reached (Section V-C, [22])."""
+        room = make_room()
+        for _ in range(int(CFD_SAFE_RESUME_MINUTES * 60)):
+            room.step(PEAK_W, 0.0, 1.0)
+        assert not room.overheated
+        # Resume full cooling (with a realistic margin) and keep going.
+        for _ in range(1200):
+            room.step(PEAK_W, PEAK_W * 1.15, 1.0)
+        assert not room.overheated
+        assert room.peak_temperature_c < room.threshold_c
+
+    def test_unresumed_outage_overheats(self):
+        room = make_room()
+        with pytest.raises(ThermalEmergencyError):
+            for _ in range(600):
+                room.step(PEAK_W, 0.0, 1.0)
+
+
+class TestRoomDynamics:
+    def test_balanced_heat_keeps_temperature(self):
+        room = make_room()
+        room.step(PEAK_W, PEAK_W, 60.0)
+        assert room.temperature_c == pytest.approx(room.setpoint_c)
+
+    def test_half_gap_heats_at_half_rate(self):
+        fast = make_room()
+        slow = make_room()
+        fast.step(PEAK_W, 0.0, 60.0)
+        slow.step(PEAK_W, PEAK_W / 2.0, 60.0)
+        fast_rise = fast.temperature_c - fast.setpoint_c
+        slow_rise = slow.temperature_c - slow.setpoint_c
+        assert slow_rise == pytest.approx(fast_rise / 2.0)
+
+    def test_surplus_removal_recovers_toward_setpoint(self):
+        room = make_room()
+        room.step(PEAK_W, 0.0, 120.0)
+        heated = room.temperature_c
+        for _ in range(600):
+            room.step(0.5 * PEAK_W, PEAK_W, 1.0)
+        assert room.temperature_c < heated
+        assert room.temperature_c >= room.setpoint_c - 1e-9
+
+    def test_never_undershoots_setpoint(self):
+        room = make_room()
+        for _ in range(100):
+            room.step(0.0, PEAK_W, 10.0)
+        assert room.temperature_c == pytest.approx(room.setpoint_c)
+
+    def test_headroom(self):
+        room = make_room()
+        assert room.headroom_k == pytest.approx(
+            room.threshold_c - room.setpoint_c
+        )
+
+    def test_time_to_threshold_zero_gap_is_infinite(self):
+        assert math.isinf(make_room().time_to_threshold_s(0.0))
+
+    def test_peak_temperature_tracked(self):
+        room = make_room()
+        room.step(PEAK_W, 0.0, 60.0)
+        peak = room.temperature_c
+        room.step(0.0, PEAK_W * 1.15, 600.0)
+        assert room.peak_temperature_c == pytest.approx(peak)
+
+    def test_no_raise_flag(self):
+        room = make_room()
+        for _ in range(700):
+            room.step(PEAK_W, 0.0, 1.0, raise_on_emergency=False)
+        assert room.overheated
+
+    def test_reset(self):
+        room = make_room()
+        room.step(PEAK_W, 0.0, 60.0)
+        room.reset()
+        assert room.temperature_c == pytest.approx(room.setpoint_c)
+        assert room.peak_temperature_c == pytest.approx(room.setpoint_c)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            RoomThermalModel(
+                peak_normal_it_power_w=1e6, setpoint_c=40.0, threshold_c=30.0
+            )
+
+
+class TestTesActivationRule:
+    def test_paper_rule_full_additional_power(self):
+        """With additional power equal to peak-normal, activate at 5 min."""
+        t = tes_activation_time_s(PEAK_W, PEAK_W)
+        assert t == pytest.approx(300.0)
+
+    def test_paper_rule_scales_inversely(self):
+        """t_TES = 5 min x peak-normal / max-additional (Section V-C)."""
+        t = tes_activation_time_s(PEAK_W, 2.0 * PEAK_W)
+        assert t == pytest.approx(150.0)
+
+    def test_default_facility_activation_time(self):
+        """At the paper's defaults (16.2 MW max additional on 9.9 MW
+        peak-normal) the TES activates ~3 minutes into the burst."""
+        t = tes_activation_time_s(9.9e6, 16.2e6)
+        assert t == pytest.approx(183.3, abs=0.5)
+
+    def test_no_additional_power_never_activates(self):
+        assert math.isinf(tes_activation_time_s(PEAK_W, 0.0))

@@ -1,0 +1,159 @@
+"""Tests for the adaptive and optimization-based strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    AdaptivePredictionStrategy,
+    RecedingHorizonStrategy,
+)
+from repro.core.strategies import GreedyStrategy, UpperBoundTable
+from repro.errors import ConfigurationError
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import (
+    oracle_for_trace,
+    simulate_strategy,
+)
+from repro.workloads.forecasting import BurstDurationEstimator
+from repro.workloads.traces import Trace
+from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+CANDIDATES = (2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+def make_table():
+    table = UpperBoundTable()
+    table.set(60.0, 3.0, 4.0)
+    table.set(300.0, 3.0, 4.0)
+    table.set(600.0, 3.0, 3.0)
+    table.set(900.0, 3.0, 2.5)
+    return table
+
+
+def repeated_burst_trace(n_episodes=3, burst_s=600, gap_s=400, level=3.0):
+    episode = [0.7] * gap_s + [level] * burst_s
+    values = episode * n_episodes + [0.7] * gap_s
+    return Trace(np.asarray(values, dtype=float), 1.0, "repeated")
+
+
+class TestAdaptivePrediction:
+    def test_learns_across_episodes(self):
+        """Later bursts are handled with a learned duration estimate; the
+        adaptive strategy ends up beating Greedy overall."""
+        trace = repeated_burst_trace()
+        adaptive = simulate_strategy(
+            trace, AdaptivePredictionStrategy(make_table()), SMALL
+        )
+        greedy = simulate_strategy(trace, GreedyStrategy(), SMALL)
+        assert adaptive.average_performance > greedy.average_performance
+
+    def test_estimator_history_populated(self):
+        trace = repeated_burst_trace(n_episodes=2)
+        strategy = AdaptivePredictionStrategy(make_table())
+        simulate_strategy(trace, strategy, SMALL)
+        # At least the first episode completed and was recorded.
+        assert strategy.estimator.historical_mean_s != pytest.approx(
+            strategy.estimator.prior_duration_s
+        ) or len(strategy.estimator._history) > 0
+
+    def test_prior_drives_first_episode(self):
+        estimator = BurstDurationEstimator(prior_duration_s=900.0)
+        strategy = AdaptivePredictionStrategy(make_table(), estimator)
+        assert strategy.predicted_burst_duration_s == pytest.approx(900.0)
+
+    def test_reset_clears_learning(self):
+        strategy = AdaptivePredictionStrategy(make_table())
+        strategy.estimator.record_completed_burst(100.0)
+        strategy.reset()
+        assert strategy.estimator.historical_mean_s == pytest.approx(
+            strategy.estimator.prior_duration_s
+        )
+
+
+class TestRecedingHorizon:
+    def cluster(self):
+        return build_datacenter(SMALL).cluster
+
+    def test_matches_greedy_on_short_bursts(self):
+        trace = generate_yahoo_trace(burst_degree=3.2, burst_duration_min=5)
+        rh = simulate_strategy(
+            trace,
+            RecedingHorizonStrategy(
+                self.cluster(),
+                predicted_burst_duration_s=trace.over_capacity_time_s(),
+            ),
+            SMALL,
+        )
+        greedy = simulate_strategy(trace, GreedyStrategy(), SMALL)
+        assert rh.average_performance == pytest.approx(
+            greedy.average_performance, rel=0.03
+        )
+
+    def test_beats_greedy_on_long_bursts(self):
+        trace = generate_yahoo_trace(burst_degree=3.2, burst_duration_min=15)
+        rh = simulate_strategy(
+            trace,
+            RecedingHorizonStrategy(
+                self.cluster(),
+                predicted_burst_duration_s=trace.over_capacity_time_s(),
+            ),
+            SMALL,
+        )
+        greedy = simulate_strategy(trace, GreedyStrategy(), SMALL)
+        assert rh.average_performance > greedy.average_performance * 1.05
+
+    def test_competitive_with_constant_bound_oracle(self):
+        trace = generate_yahoo_trace(burst_degree=3.2, burst_duration_min=15)
+        rh = simulate_strategy(
+            trace,
+            RecedingHorizonStrategy(
+                self.cluster(),
+                predicted_burst_duration_s=trace.over_capacity_time_s(),
+            ),
+            SMALL,
+        )
+        oracle = oracle_for_trace(trace, SMALL, candidates=CANDIDATES)
+        assert rh.average_performance >= oracle.achieved_performance * 0.97
+
+    def test_unconstrained_outside_bursts(self):
+        from repro.core.strategies import StrategyObservation
+
+        strategy = RecedingHorizonStrategy(self.cluster())
+        obs = StrategyObservation(
+            time_s=0.0,
+            demand=0.5,
+            in_burst=False,
+            time_in_burst_s=0.0,
+            budget_fraction_remaining=1.0,
+            max_degree=4.0,
+        )
+        assert strategy.degree_upper_bound(obs) == 4.0
+
+    def test_zero_energy_plans_degree_one(self):
+        from repro.core.strategies import StrategyObservation
+
+        strategy = RecedingHorizonStrategy(
+            self.cluster(), predicted_burst_duration_s=600.0
+        )
+        strategy.set_budget_scale(0.0)
+        obs = StrategyObservation(
+            time_s=0.0,
+            demand=3.0,
+            in_burst=True,
+            time_in_burst_s=0.0,
+            budget_fraction_remaining=1.0,
+            max_degree=4.0,
+        )
+        assert strategy.degree_upper_bound(obs) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecedingHorizonStrategy(
+                self.cluster(), predicted_burst_duration_s=0.0
+            )
+        with pytest.raises(ConfigurationError):
+            RecedingHorizonStrategy(self.cluster(), candidate_degrees=[])

@@ -1,0 +1,127 @@
+"""Tests for the additional-energy budget bookkeeping."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.budget import (
+    EnergyBudget,
+    cb_deliverable_energy_j,
+    tes_electric_equivalent_j,
+)
+from repro.cooling.crac import CoolingPlant
+from repro.cooling.tes import TesTank
+from repro.power.breaker import CircuitBreaker
+from repro.power.topology import PowerTopology
+
+
+def make_breaker():
+    return CircuitBreaker(name="b", rated_power_w=1000.0)
+
+
+class TestCbDeliverableEnergy:
+    def test_cold_breaker_short_horizon(self):
+        """Over a short horizon the plan runs at high overload."""
+        cb = make_breaker()
+        energy = cb_deliverable_energy_j(cb, horizon_s=60.0, reserve_s=0.0)
+        # Overload tripping in exactly 60 s is 60 %: 600 W for 60 s.
+        assert energy == pytest.approx(600.0 * 60.0, rel=1e-6)
+
+    def test_reserve_reduces_energy(self):
+        cb = make_breaker()
+        without = cb_deliverable_energy_j(cb, 120.0, 0.0)
+        with_reserve = cb_deliverable_energy_j(cb, 120.0, 60.0)
+        assert with_reserve < without
+
+    def test_long_horizon_uses_hold_region(self):
+        """Far horizons settle at the hold-threshold overload."""
+        cb = make_breaker()
+        horizon = 1e6
+        energy = cb_deliverable_energy_j(cb, horizon, 60.0)
+        hold = cb.curve.hold_threshold
+        assert energy == pytest.approx(1000.0 * hold * horizon, rel=1e-6)
+
+    def test_tripped_breaker_gives_zero(self):
+        cb = make_breaker()
+        cb.tripped = True
+        assert cb_deliverable_energy_j(cb, 100.0, 0.0) == 0.0
+
+    def test_partially_burned_breaker_gives_less(self):
+        cold = make_breaker()
+        warm = make_breaker()
+        warm.step(1300.0, 60.0)
+        assert cb_deliverable_energy_j(warm, 300.0, 60.0) < (
+            cb_deliverable_energy_j(cold, 300.0, 60.0)
+        )
+
+
+class TestTesElectricEquivalent:
+    def test_no_tes_gives_zero(self):
+        plant = CoolingPlant(peak_normal_it_power_w=9.9e6, tes=None)
+        assert tes_electric_equivalent_j(plant) == 0.0
+
+    def test_full_tank_equivalent(self):
+        """Stored cooling joules displace (PUE-1) x 2/3 electric joules."""
+        tes = TesTank.sized_for(9.9e6)
+        plant = CoolingPlant(peak_normal_it_power_w=9.9e6, tes=tes)
+        expected = tes.capacity_j * 0.53 * (2.0 / 3.0)
+        assert tes_electric_equivalent_j(plant) == pytest.approx(expected)
+
+
+class TestEnergyBudget:
+    def make_budget(self):
+        topo = PowerTopology(n_pdus=2, servers_per_pdu=50)
+        tes = TesTank.sized_for(topo.peak_normal_it_power_w)
+        plant = CoolingPlant(
+            peak_normal_it_power_w=topo.peak_normal_it_power_w, tes=tes
+        )
+        return EnergyBudget(topo, plant, horizon_s=900.0, reserve_s=60.0)
+
+    def test_components_all_positive(self):
+        budget = self.make_budget()
+        assert budget.ups_energy_j() > 0.0
+        assert budget.tes_energy_j() > 0.0
+        assert budget.cb_energy_j() > 0.0
+
+    def test_snapshot_and_fraction(self):
+        budget = self.make_budget()
+        total = budget.snapshot()
+        assert total == pytest.approx(budget.remaining_j())
+        assert budget.fraction_remaining() == pytest.approx(1.0)
+
+    def test_fraction_falls_after_discharge(self):
+        budget = self.make_budget()
+        budget.snapshot()
+        budget.topology.pdu.ups.discharge_up_to(1000.0, 60.0)
+        assert budget.fraction_remaining() < 1.0
+
+    def test_fraction_clamped_to_unit_interval(self):
+        budget = self.make_budget()
+        budget.snapshot()
+        # Recharging above the snapshot must not push RE above 1.
+        assert budget.fraction_remaining() <= 1.0
+
+    def test_total_without_snapshot_is_live(self):
+        budget = self.make_budget()
+        live = budget.remaining_j()
+        assert budget.total_j == pytest.approx(live)
+
+    def test_clear_snapshot(self):
+        budget = self.make_budget()
+        budget.snapshot()
+        budget.clear_snapshot()
+        assert budget.total_j == pytest.approx(budget.remaining_j())
+
+    def test_cb_term_is_min_of_levels(self):
+        """The CB term never exceeds either level's own deliverable sum."""
+        budget = self.make_budget()
+        pdu_total = (
+            cb_deliverable_energy_j(budget.topology.pdu.breaker, 900.0, 60.0)
+            * budget.topology.n_pdus
+        )
+        dc_total = cb_deliverable_energy_j(
+            budget.topology.dc_breaker, 900.0, 60.0
+        )
+        assert budget.cb_energy_j() <= min(pdu_total, dc_total) * (1 + 1e-9)

@@ -1,0 +1,96 @@
+"""Tests for the power-capping baseline (the Section II contrast)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import GreedyStrategy
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import simulate_strategy
+from repro.workloads.traces import Trace
+from repro.workloads.ms_trace import default_ms_trace
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+
+def burst_trace():
+    values = [0.8] * 60 + [2.4] * 300 + [0.8] * 60
+    return Trace(np.asarray(values, dtype=float), 1.0, "burst")
+
+
+class TestCappedDegree:
+    def test_capped_degree_modest(self):
+        """The rated limits admit only a small degree: the 10 %
+        under-provisioned DC headroom binds before the PDUs' 25 % NEC
+        margin, capping the degree near 1.18 at the paper's defaults."""
+        dc = build_datacenter(SMALL)
+        baseline = dc.capping()
+        degree = baseline.capped_degree()
+        assert 1.1 <= degree <= 1.7
+        # The DC level is the binding one here.
+        dc_cap = dc.topology.dc_breaker.rated_power_w / dc.cooling.pue
+        assert degree == pytest.approx(dc.cluster.degree_for_power(dc_cap))
+
+    def test_cap_respects_both_levels(self):
+        dc = build_datacenter(SMALL)
+        baseline = dc.capping()
+        degree = baseline.capped_degree()
+        it_power = dc.cluster.power_at_degree_w(degree)
+        assert it_power <= dc.topology.pdu.rated_power_w * dc.topology.n_pdus + 1e-6
+        assert it_power * dc.cooling.pue <= (
+            dc.topology.dc_breaker.rated_power_w + 1e-6
+        )
+
+
+class TestCappedOperation:
+    def test_never_overloads_breakers(self):
+        dc = build_datacenter(SMALL)
+        baseline = dc.capping()
+        baseline.run(burst_trace())
+        assert dc.topology.pdu.breaker.trip_fraction == 0.0
+        assert not dc.topology.dc_breaker.tripped
+
+    def test_never_uses_storage(self):
+        dc = build_datacenter(SMALL)
+        baseline = dc.capping()
+        baseline.run(burst_trace())
+        assert dc.topology.ups_energy_j == pytest.approx(
+            dc.topology.ups_capacity_j
+        )
+        assert dc.cooling.tes.state_of_charge == pytest.approx(1.0)
+
+    def test_serves_below_capacity_fully(self):
+        dc = build_datacenter(SMALL)
+        baseline = dc.capping()
+        step = baseline.step(0.8, 0.0)
+        assert step.served == pytest.approx(0.8)
+
+    def test_burst_demand_throttled(self):
+        dc = build_datacenter(SMALL)
+        baseline = dc.capping()
+        step = baseline.step(2.4, 0.0)
+        assert step.served < 1.5
+        assert step.degree == pytest.approx(baseline.capped_degree())
+
+    def test_reset(self):
+        dc = build_datacenter(SMALL)
+        baseline = dc.capping()
+        baseline.run(burst_trace())
+        baseline.reset()
+        assert baseline.history == []
+
+
+class TestSprintingBeatsCapping:
+    def test_much_better_performance_for_bursty_workloads(self):
+        """The paper's Section II claim, quantified: on the MS trace
+        sprinting serves far more of the bursts than any capped system
+        possibly can."""
+        trace = default_ms_trace()
+        sprinting = simulate_strategy(trace, GreedyStrategy())
+        dc = build_datacenter()
+        capping = dc.capping()
+        capping_perf = capping.average_performance(trace)
+        assert capping_perf < 1.5
+        assert sprinting.average_performance > capping_perf * 1.25

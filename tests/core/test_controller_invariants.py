@@ -1,0 +1,131 @@
+"""Deeper per-step invariants of the sprinting controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.strategies import GreedyStrategy
+from repro.errors import ConfigurationError
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+
+class TestStepInvariants:
+    def run_steps(self, demands):
+        dc = build_datacenter(SMALL)
+        controller = dc.controller(GreedyStrategy())
+        steps = [
+            controller.step(demand, float(t))
+            for t, demand in enumerate(demands)
+        ]
+        return dc, controller, steps
+
+    def test_grid_power_within_coordinated_bound(self):
+        dc, _, steps = self.run_steps([2.6] * 300)
+        for step in steps:
+            per_pdu = step.grid_w / dc.topology.n_pdus
+            assert per_pdu <= step.pdu_grid_bound_w * (1.0 + 1e-6)
+
+    def test_power_balance_every_step(self):
+        """Grid + UPS covers the committed IT power exactly."""
+        _, _, steps = self.run_steps([0.7] * 30 + [2.6] * 120)
+        for step in steps:
+            if step.in_burst:
+                # During bursts no recharge runs: the balance is exact.
+                assert step.grid_w + step.ups_w == pytest.approx(
+                    step.it_power_w, rel=1e-9
+                )
+
+    def test_served_equals_min_demand_capacity(self):
+        _, _, steps = self.run_steps([1.8] * 60)
+        for step in steps:
+            assert step.served == pytest.approx(
+                min(step.demand, step.capacity)
+            )
+
+    def test_sprinting_flag_matches_degree(self):
+        _, _, steps = self.run_steps([0.8] * 10 + [2.0] * 10)
+        for step in steps:
+            assert step.sprinting == (step.degree > 1.0 + 1e-6)
+
+    def test_negative_demand_rejected(self):
+        dc = build_datacenter(SMALL)
+        controller = dc.controller(GreedyStrategy())
+        with pytest.raises(ConfigurationError):
+            controller.step(-0.1, 0.0)
+
+    def test_tes_empty_falls_back_to_chiller_and_derates(self):
+        """Once the tank is dry mid-burst, sprinting winds down toward the
+        thermally sustainable degree instead of overheating."""
+        dc = build_datacenter(SMALL)
+        dc.cooling.tes.absorb_up_to(dc.cooling.tes.max_discharge_w, 1e9)
+        controller = dc.controller(GreedyStrategy())
+        for t in range(1500):
+            controller.step(3.0, float(t))
+        room = dc.cooling.room
+        assert room.peak_temperature_c < room.threshold_c
+        late = [s.degree for s in controller.history[-120:]]
+        safe_degree = dc.cluster.degree_for_power(
+            dc.cooling.chiller.max_chiller_heat_w()
+        )
+        assert max(late) <= safe_degree + 0.05
+
+    def test_long_idle_recharges_to_full(self):
+        dc = build_datacenter(SMALL)
+        dc.topology.pdu.ups.discharge_up_to(
+            dc.topology.pdu.ups.available_power_w(), 30.0
+        )
+        controller = dc.controller(GreedyStrategy())
+        for t in range(3600):
+            controller.step(0.5, float(t))
+        assert dc.topology.pdu.ups.state_of_charge == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+    def test_recharge_does_not_overload_breakers(self):
+        dc = build_datacenter(SMALL)
+        dc.topology.pdu.ups.discharge_up_to(
+            dc.topology.pdu.ups.available_power_w(), 30.0
+        )
+        controller = dc.controller(GreedyStrategy())
+        for t in range(600):
+            controller.step(0.95, float(t))
+        assert dc.topology.pdu.breaker.trip_fraction < 1e-6
+
+
+class TestCoolingEstimateConsistency:
+    @given(
+        it_mw=st.floats(min_value=0.0, max_value=26.0),
+        use_tes=st.booleans(),
+        preheat_s=st.integers(min_value=0, max_value=300),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_estimate_always_matches_step(self, it_mw, use_tes, preheat_s):
+        """Under any plant state, estimate() and step() agree on electric
+        power — the property the breaker budgets rely on."""
+        from repro.cooling.crac import CoolingPlant
+        from repro.cooling.tes import TesTank
+
+        plant = CoolingPlant(
+            peak_normal_it_power_w=9.9e6, tes=TesTank.sized_for(9.9e6)
+        )
+        if preheat_s:
+            plant.step(20.0e6, float(preheat_s), use_tes=False,
+                       raise_on_emergency=False)
+        estimate = plant.estimate(it_mw * 1e6, 1.0, use_tes)
+        actual = plant.step(it_mw * 1e6, 1.0, use_tes,
+                            raise_on_emergency=False)
+        assert actual.electric_power_w == pytest.approx(
+            estimate.electric_power_w
+        )
+        assert actual.heat_via_tes_w == pytest.approx(
+            estimate.heat_via_tes_w
+        )

@@ -1,0 +1,211 @@
+"""Tests for coordinated multi-group sprinting (skewed bursts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multigroup import MultiGroupController, build_multigroup
+from repro.errors import ConfigurationError
+from repro.power.coordination import MultiPduTopology
+from repro.power.pdu import Pdu
+from repro.servers.cluster import ServerCluster
+from repro.cooling.crac import CoolingPlant
+from repro.cooling.tes import TesTank
+
+
+def make_controller(n_groups=4, servers=50):
+    return build_multigroup(n_groups=n_groups, servers_per_group=servers)
+
+
+class TestConstruction:
+    def test_factory_builds_consistent_facility(self):
+        controller = make_controller()
+        assert len(controller.clusters) == 4
+        assert controller.topology.n_pdus == 4
+
+    def test_cluster_pdu_size_mismatch_rejected(self):
+        clusters = [ServerCluster(n_servers=50)]
+        pdus = [Pdu(name="p", n_servers=100)]
+        topo = MultiPduTopology(pdus=pdus, dc_rated_power_w=1e5)
+        cooling = CoolingPlant(peak_normal_it_power_w=50 * 55.0)
+        with pytest.raises(ConfigurationError):
+            MultiGroupController(clusters, topo, cooling)
+
+    def test_count_mismatch_rejected(self):
+        controller = make_controller(n_groups=2)
+        with pytest.raises(ConfigurationError):
+            controller.step([1.0], 0.0)
+
+
+class TestHomogeneousLoad:
+    def test_even_load_served_evenly(self):
+        controller = make_controller()
+        step = controller.step([0.8] * 4, 0.0)
+        for group in step.groups:
+            assert group.served == pytest.approx(0.8)
+
+    def test_even_burst_sprints_all_groups(self):
+        controller = make_controller()
+        for t in range(60):
+            step = controller.step([2.0] * 4, float(t))
+        for group in step.groups:
+            assert group.degree > 1.5
+            assert group.served == pytest.approx(2.0, rel=0.05)
+
+    def test_never_trips_under_sustained_even_burst(self):
+        controller = make_controller()
+        for t in range(1200):
+            controller.step([3.0] * 4, float(t))
+        assert not controller.topology.dc_breaker.tripped
+        assert not any(p.breaker.tripped for p in controller.topology.pdus)
+        room = controller.cooling.room
+        assert room.peak_temperature_c < room.threshold_c
+
+
+class TestSkewedBurst:
+    def test_bursting_group_borrows_idle_budget(self):
+        """One group bursts to 3x while the rest idle at 50 %: the burst
+        group's grid draw exceeds its own breaker rating — possible only
+        because the substation budget the idle groups left is shifted to
+        it (Section V-B)."""
+        controller = make_controller()
+        demands = [3.0, 0.5, 0.5, 0.5]
+        for t in range(30):
+            step = controller.step(demands, float(t))
+        burst_group = step.groups[0]
+        own_rating = controller.topology.pdus[0].rated_power_w
+        assert burst_group.grid_w > own_rating
+        assert burst_group.degree > 2.5
+
+    def test_skewed_burst_never_trips(self):
+        controller = make_controller()
+        demands = [3.2, 0.5, 0.5, 0.5]
+        for t in range(1200):
+            controller.step(demands, float(t))
+        assert not controller.topology.dc_breaker.tripped
+        assert not any(p.breaker.tripped for p in controller.topology.pdus)
+
+    def test_idle_groups_unaffected(self):
+        controller = make_controller()
+        demands = [3.0, 0.5, 0.5, 0.5]
+        for t in range(120):
+            step = controller.step(demands, float(t))
+        for group in step.groups[1:]:
+            assert group.served == pytest.approx(0.5)
+
+    def test_burst_group_outperforms_isolated_operation(self):
+        """With coordination, the skewed burst is served better than a
+        group limited to its own breaker + UPS could manage."""
+        coordinated = make_controller()
+        demands = [3.0, 0.5, 0.5, 0.5]
+        for t in range(600):
+            coordinated.step(demands, float(t))
+        coordinated_served = sum(
+            s.groups[0].served for s in coordinated.history
+        )
+
+        # Isolation: a single-group facility of the same size (its own
+        # breaker and UPS, its own fair 1/4 share of substation budget).
+        isolated = build_multigroup(n_groups=4, servers_per_group=50)
+        for t in range(600):
+            isolated.step([3.0, 3.0, 3.0, 3.0], float(t))
+        isolated_served = sum(
+            s.groups[0].served for s in isolated.history
+        )
+        assert coordinated_served > isolated_served * 1.02
+
+    def test_group_ups_is_local(self):
+        """Only the bursting group's batteries discharge."""
+        controller = make_controller()
+        demands = [3.0, 0.5, 0.5, 0.5]
+        for t in range(300):
+            controller.step(demands, float(t))
+        socs = [p.ups.state_of_charge for p in controller.topology.pdus]
+        assert socs[0] < 1.0
+        assert all(s == pytest.approx(1.0) for s in socs[1:])
+
+
+class TestHeterogeneousGroups:
+    def make_heterogeneous(self):
+        from repro.core.multigroup import MultiGroupController
+        from repro.power.coordination import MultiPduTopology
+
+        clusters = [
+            ServerCluster(n_servers=100),
+            ServerCluster(n_servers=25),
+        ]
+        pdus = [
+            Pdu(name="big", n_servers=100),
+            Pdu(name="small", n_servers=25),
+        ]
+        total_it = sum(c.peak_normal_power_w for c in clusters)
+        topo = MultiPduTopology(
+            pdus=pdus, dc_rated_power_w=total_it * 1.53 * 1.1
+        )
+        cooling = CoolingPlant(
+            peak_normal_it_power_w=total_it,
+            tes=TesTank.sized_for(total_it),
+        )
+        return MultiGroupController(clusters, topo, cooling)
+
+    def test_aggregate_demand_is_capacity_weighted(self):
+        controller = self.make_heterogeneous()
+        # 100 servers at 2.0 plus 25 servers at 0.0: aggregate 1.6.
+        assert controller._aggregate_demand([2.0, 0.0]) == pytest.approx(1.6)
+
+    def test_small_group_burst_served_with_big_group_budget(self):
+        """The 25-server group bursting to 3x borrows from the idle
+        100-server group's share of the substation budget."""
+        controller = self.make_heterogeneous()
+        for t in range(60):
+            step = controller.step([0.5, 3.0], float(t))
+        small = step.groups[1]
+        assert small.degree > 2.5
+        assert small.served == pytest.approx(
+            min(3.0, controller.clusters[1].capacity_at_degree(small.degree))
+        )
+
+    def test_sizes_respected_in_power_accounting(self):
+        controller = self.make_heterogeneous()
+        step = controller.step([1.0, 1.0], 0.0)
+        big, small = step.groups
+        assert big.grid_w == pytest.approx(small.grid_w * 4.0, rel=1e-6)
+
+
+class TestThermalGuard:
+    def test_no_tes_facility_never_overheats(self):
+        """Without a tank the thermal guard scales every group's extra
+        power back once the room headroom is spent."""
+        from repro.core.multigroup import MultiGroupController
+        from repro.power.coordination import MultiPduTopology
+        from repro.power.pdu import Pdu
+
+        clusters = [ServerCluster(n_servers=50) for _ in range(4)]
+        pdus = [Pdu(name=f"p{i}", n_servers=50) for i in range(4)]
+        total_it = sum(c.peak_normal_power_w for c in clusters)
+        topo = MultiPduTopology(
+            pdus=pdus, dc_rated_power_w=total_it * 1.53 * 1.1
+        )
+        cooling = CoolingPlant(peak_normal_it_power_w=total_it, tes=None)
+        controller = MultiGroupController(clusters, topo, cooling)
+        for t in range(1800):
+            controller.step([2.5] * 4, float(t))
+        room = cooling.room
+        assert room.peak_temperature_c < room.threshold_c
+        # Once thermally capped, degrees sit near the sustainable level.
+        late = controller.history[-60:]
+        for step in late:
+            for group in step.groups:
+                assert group.degree < 1.6
+
+
+class TestLifecycle:
+    def test_reset(self):
+        controller = make_controller()
+        for t in range(120):
+            controller.step([3.0, 0.5, 0.5, 0.5], float(t))
+        controller.reset()
+        assert controller.history == []
+        assert controller.topology.pdus[0].ups.state_of_charge == (
+            pytest.approx(1.0)
+        )

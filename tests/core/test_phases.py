@@ -1,0 +1,79 @@
+"""Tests for sprint-phase classification and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phases import PhaseTracker, SprintPhase, classify_phase
+
+
+class TestClassifyPhase:
+    def test_idle_when_not_sprinting(self):
+        assert classify_phase(False, 0.0, 0.0) is SprintPhase.IDLE
+        # Even with residual flows, not sprinting means idle.
+        assert classify_phase(False, 10.0, 10.0) is SprintPhase.IDLE
+
+    def test_phase1_cb_only(self):
+        assert classify_phase(True, 0.0, 0.0) is SprintPhase.PHASE1_CB
+
+    def test_phase2_ups_discharging(self):
+        assert classify_phase(True, 100.0, 0.0) is SprintPhase.PHASE2_UPS
+
+    def test_phase3_tes_dominates(self):
+        assert classify_phase(True, 100.0, 50.0) is SprintPhase.PHASE3_TES
+
+    def test_is_sprinting_property(self):
+        assert not SprintPhase.IDLE.is_sprinting
+        assert SprintPhase.PHASE1_CB.is_sprinting
+        assert SprintPhase.PHASE2_UPS.is_sprinting
+        assert SprintPhase.PHASE3_TES.is_sprinting
+
+
+class TestPhaseTracker:
+    def test_time_accounting(self):
+        tracker = PhaseTracker()
+        tracker.record(SprintPhase.PHASE1_CB, 10.0)
+        tracker.record(SprintPhase.PHASE2_UPS, 5.0)
+        tracker.record(SprintPhase.IDLE, 100.0)
+        assert tracker.time_in_phase_s[SprintPhase.PHASE1_CB] == 10.0
+        assert tracker.total_sprinting_time_s == pytest.approx(15.0)
+
+    def test_energy_shares(self):
+        tracker = PhaseTracker()
+        tracker.record(
+            SprintPhase.PHASE3_TES,
+            10.0,
+            cb_overload_power_w=10.0,
+            ups_power_w=54.0,
+            tes_electric_power_w=36.0,
+        )
+        shares = tracker.energy_shares()
+        assert shares["ups"] == pytest.approx(0.54)
+        assert shares["tes"] == pytest.approx(0.36)
+        assert shares["cb"] == pytest.approx(0.10)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_energy_shares_zero_before_any_energy(self):
+        shares = PhaseTracker().energy_shares()
+        assert shares == {"cb": 0.0, "ups": 0.0, "tes": 0.0}
+
+    def test_additional_energy_total(self):
+        tracker = PhaseTracker()
+        tracker.record(
+            SprintPhase.PHASE2_UPS, 2.0, cb_overload_power_w=3.0, ups_power_w=7.0
+        )
+        assert tracker.additional_energy_j == pytest.approx(20.0)
+
+    def test_current_phase_tracks_latest(self):
+        tracker = PhaseTracker()
+        tracker.record(SprintPhase.PHASE1_CB, 1.0)
+        tracker.record(SprintPhase.PHASE3_TES, 1.0)
+        assert tracker.current_phase is SprintPhase.PHASE3_TES
+
+    def test_reset(self):
+        tracker = PhaseTracker()
+        tracker.record(SprintPhase.PHASE1_CB, 1.0, cb_overload_power_w=5.0)
+        tracker.reset()
+        assert tracker.additional_energy_j == 0.0
+        assert tracker.total_sprinting_time_s == 0.0
+        assert tracker.current_phase is SprintPhase.IDLE

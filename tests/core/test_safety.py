@@ -1,0 +1,94 @@
+"""Tests for the safety monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cooling.crac import CoolingPlant
+from repro.cooling.tes import TesTank
+from repro.core.safety import SafetyMonitor
+from repro.power.topology import PowerTopology
+
+
+def make_parts():
+    topo = PowerTopology(n_pdus=2, servers_per_pdu=50)
+    tes = TesTank.sized_for(topo.peak_normal_it_power_w)
+    plant = CoolingPlant(
+        peak_normal_it_power_w=topo.peak_normal_it_power_w, tes=tes
+    )
+    return topo, plant
+
+
+class TestBreakerReserveChecks:
+    def test_ok_within_reserve(self):
+        topo, _ = make_parts()
+        monitor = SafetyMonitor(min_trip_reserve_s=60.0)
+        pdu_load = topo.pdu.breaker.max_load_for_trip_time(60.0)
+        dc_load = topo.dc_breaker.max_load_for_trip_time(60.0)
+        assert monitor.breaker_reserves_ok(topo, pdu_load, dc_load, 0.0)
+        assert monitor.events == []
+
+    def test_violation_logged(self):
+        topo, _ = make_parts()
+        monitor = SafetyMonitor(min_trip_reserve_s=60.0)
+        too_much = topo.pdu.breaker.rated_power_w * 1.9
+        ok = monitor.breaker_reserves_ok(topo, too_much, 0.0, 5.0)
+        assert not ok
+        assert any(e.kind == "breaker-reserve" for e in monitor.events)
+
+    def test_dc_level_checked_too(self):
+        topo, _ = make_parts()
+        monitor = SafetyMonitor(min_trip_reserve_s=60.0)
+        too_much = topo.dc_breaker.rated_power_w * 1.9
+        assert not monitor.breaker_reserves_ok(topo, 0.0, too_much, 5.0)
+
+
+class TestThermalChecks:
+    def test_safe_with_headroom(self):
+        _, plant = make_parts()
+        monitor = SafetyMonitor(thermal_margin_k=2.0)
+        assert monitor.thermal_degree_is_safe(plant, use_tes=False, time_s=0.0)
+
+    def test_unsafe_at_margin_without_tes(self):
+        _, plant = make_parts()
+        monitor = SafetyMonitor(thermal_margin_k=2.0)
+        plant.room.temperature_c = plant.room.threshold_c - 1.0
+        assert not monitor.thermal_degree_is_safe(plant, use_tes=False, time_s=1.0)
+        assert any(e.kind == "thermal" for e in monitor.events)
+
+    def test_tes_cover_keeps_it_safe(self):
+        _, plant = make_parts()
+        monitor = SafetyMonitor(thermal_margin_k=2.0)
+        plant.room.temperature_c = plant.room.threshold_c - 1.0
+        assert monitor.thermal_degree_is_safe(plant, use_tes=True, time_s=1.0)
+
+    def test_empty_tes_does_not_cover(self):
+        _, plant = make_parts()
+        monitor = SafetyMonitor(thermal_margin_k=2.0)
+        plant.room.temperature_c = plant.room.threshold_c - 1.0
+        plant.tes.absorb_up_to(plant.tes.max_discharge_w, 1e9)
+        assert not monitor.thermal_degree_is_safe(plant, use_tes=True, time_s=1.0)
+
+
+class TestExternalEmergencies:
+    def test_emergency_fails_all_checks(self):
+        topo, plant = make_parts()
+        monitor = SafetyMonitor()
+        monitor.declare_emergency(10.0, "utility power spike")
+        assert monitor.emergency_active
+        assert not monitor.breaker_reserves_ok(topo, 0.0, 0.0, 11.0)
+        assert not monitor.thermal_degree_is_safe(plant, False, 11.0)
+
+    def test_clear_emergency(self):
+        topo, _ = make_parts()
+        monitor = SafetyMonitor()
+        monitor.declare_emergency(10.0, "spike")
+        monitor.clear_emergency()
+        assert monitor.breaker_reserves_ok(topo, 0.0, 0.0, 12.0)
+
+    def test_reset_clears_everything(self):
+        monitor = SafetyMonitor()
+        monitor.declare_emergency(10.0, "spike")
+        monitor.reset()
+        assert not monitor.emergency_active
+        assert monitor.events == []

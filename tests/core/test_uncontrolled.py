@@ -1,0 +1,68 @@
+"""Tests for the uncontrolled chip-level sprinting baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.uncontrolled import UncontrolledSprinting
+from repro.simulation.datacenter import build_datacenter
+
+
+class TestUncontrolled:
+    def test_below_capacity_never_trips(self, small_datacenter):
+        baseline = small_datacenter.uncontrolled()
+        for t in range(600):
+            baseline.step(0.9, float(t))
+        assert not baseline.shut_down
+
+    def test_sustained_burst_trips_and_shuts_down(self, small_datacenter):
+        baseline = small_datacenter.uncontrolled()
+        tripped_at = None
+        for t in range(1200):
+            step = baseline.step(2.6, float(t))
+            if step.shut_down and tripped_at is None:
+                tripped_at = t
+        assert baseline.shut_down
+        assert baseline.trip_time_s is not None
+        # A 2.6x burst overloads the PDU breakers far beyond the hold
+        # region; the trip lands within a few minutes.
+        assert tripped_at < 600
+
+    def test_after_trip_everything_is_dark(self, small_datacenter):
+        baseline = small_datacenter.uncontrolled()
+        for t in range(1200):
+            baseline.step(2.6, float(t))
+        step = baseline.step(0.5, 1201.0)
+        assert step.served == 0.0
+        assert step.capacity == 0.0
+        assert step.shut_down
+
+    def test_stop_before_trip_avoids_shutdown(self, small_datacenter):
+        """The cautious operator aborts chip sprinting and limps along at
+        normal capacity instead of going dark."""
+        baseline = small_datacenter.uncontrolled(stop_before_trip=True)
+        served = []
+        for t in range(1200):
+            served.append(baseline.step(2.6, float(t)).served)
+        assert not baseline.shut_down
+        # After the abort only normal capacity remains.
+        assert served[-1] == pytest.approx(1.0)
+        # But early on the full sprint performance was delivered.
+        assert max(served) > 1.5
+
+    def test_demand_following_degree(self, small_datacenter):
+        baseline = small_datacenter.uncontrolled()
+        step = baseline.step(1.8, 0.0)
+        expected = small_datacenter.cluster.degree_for_demand(1.8)
+        assert step.degree == pytest.approx(expected)
+
+    def test_reset(self, small_datacenter):
+        baseline = small_datacenter.uncontrolled()
+        for t in range(1200):
+            baseline.step(2.6, float(t))
+        baseline.reset()
+        assert not baseline.shut_down
+        assert baseline.trip_time_s is None
+        assert baseline.history == []
+        step = baseline.step(0.9, 0.0)
+        assert step.served == pytest.approx(0.9)

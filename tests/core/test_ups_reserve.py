@@ -1,0 +1,86 @@
+"""Tests for the UPS outage-reserve option."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import ControllerSettings, SprintingController
+from repro.core.strategies import GreedyStrategy
+from repro.errors import ConfigurationError
+from repro.power.utility import DieselGenerator, bridge_outage
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+
+def run_with_reserve(reserve_fraction, seconds=900, demand=3.0):
+    dc = build_datacenter(SMALL)
+    controller = SprintingController(
+        cluster=dc.cluster,
+        topology=dc.topology,
+        cooling=dc.cooling,
+        strategy=GreedyStrategy(),
+        settings=ControllerSettings(
+            ups_outage_reserve_fraction=reserve_fraction
+        ),
+    )
+    for t in range(seconds):
+        controller.step(demand, float(t))
+    return dc, controller
+
+
+class TestUpsReserve:
+    def test_reserve_never_breached(self):
+        dc, _ = run_with_reserve(0.5)
+        assert dc.topology.pdu.ups.state_of_charge >= 0.5 - 1e-9
+
+    def test_zero_reserve_drains_fully(self):
+        dc, _ = run_with_reserve(0.0)
+        assert dc.topology.pdu.ups.state_of_charge < 0.05
+
+    def test_reserve_shortens_the_sprint(self):
+        _, without = run_with_reserve(0.0)
+        _, with_reserve = run_with_reserve(0.5)
+        served_without = without.admission.served_integral
+        served_with = with_reserve.admission.served_integral
+        assert served_with < served_without
+
+    def test_reserved_energy_still_bridges_an_outage(self):
+        """The point of the reserve: even right after a hard sprint, the
+        protected energy carries the critical load through the diesel
+        start."""
+        dc, _ = run_with_reserve(0.5)
+        remaining_j = dc.topology.ups_energy_j
+        critical_load_w = dc.cluster.peak_normal_power_w
+        generator = DieselGenerator(
+            rated_power_w=critical_load_w, startup_time_s=30.0
+        )
+        steps = bridge_outage(
+            critical_load_w=critical_load_w,
+            outage_duration_s=120.0,
+            ups_energy_j=remaining_j,
+            generator=generator,
+        )
+        assert all(s.served for s in steps)
+
+    def test_unreserved_facility_cannot_bridge_after_sprint(self):
+        dc, _ = run_with_reserve(0.0)
+        remaining_j = dc.topology.ups_energy_j
+        critical_load_w = dc.cluster.peak_normal_power_w
+        generator = DieselGenerator(
+            rated_power_w=critical_load_w, startup_time_s=30.0
+        )
+        steps = bridge_outage(
+            critical_load_w=critical_load_w,
+            outage_duration_s=120.0,
+            ups_energy_j=remaining_j,
+            generator=generator,
+        )
+        assert not all(s.served for s in steps)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ControllerSettings(ups_outage_reserve_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            ControllerSettings(ups_outage_reserve_fraction=-0.1)

@@ -1,0 +1,90 @@
+"""Tests for the Fig. 5 analysis and the Section V-D trace example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.economics.analysis import (
+    EconomicsPoint,
+    fig5_analysis,
+    monthly_revenue_for_trace,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.ms_trace import default_ms_trace
+
+
+class TestFig5Analysis:
+    @pytest.fixture(scope="class")
+    def fig5a(self):
+        return fig5_analysis(users_ratio=4.0)
+
+    @pytest.fixture(scope="class")
+    def fig5b(self):
+        return fig5_analysis(users_ratio=6.0)
+
+    def grid(self, points, utilization):
+        return {
+            p.max_sprinting_degree: p
+            for p in points
+            if p.utilization_fraction == utilization
+        }
+
+    def test_grid_size(self, fig5a):
+        assert len(fig5a) == 6 * 3
+
+    def test_r100_profitable_at_every_degree(self, fig5a):
+        """Fig. 5a: bursts that fully utilise the extra cores make more
+        than $0.4 M/month of profit at high degrees."""
+        r100 = self.grid(fig5a, 1.0)
+        assert all(p.profit_usd > 0 for p in r100.values())
+        assert r100[4.0].profit_usd > 400_000.0
+
+    def test_r50_profit_shrinks_at_high_degrees(self, fig5a):
+        """Fig. 5a: low bursts leave extra cores idle — once the retention
+        component saturates, each further core costs more than it earns,
+        so the R50 profit peaks before N=4 and declines after."""
+        r50 = self.grid(fig5a, 0.5)
+        best_n = max(r50, key=lambda n: r50[n].profit_usd)
+        assert best_n < 4.0
+        assert r50[4.0].profit_usd < r50[best_n].profit_usd
+
+    def test_profit_per_cost_dollar_declines_with_degree(self, fig5a):
+        """Every extra dark core is less profitable than the last."""
+        r50 = self.grid(fig5a, 0.5)
+        degrees = sorted(n for n in r50 if n > 1.0)
+        ratios = [r50[n].profit_usd / r50[n].cost_usd for n in degrees]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_cost_grows_linearly_with_degree(self, fig5a):
+        r100 = self.grid(fig5a, 1.0)
+        assert r100[4.0].cost_usd == pytest.approx(3.0 * r100[2.0].cost_usd)
+
+    def test_more_users_reduces_retention_component(self, fig5a, fig5b):
+        """Fig. 5b: with U_t = 6U_0 the revenue per point is at most the
+        Fig. 5a value."""
+        a100 = self.grid(fig5a, 1.0)
+        b100 = self.grid(fig5b, 1.0)
+        for n in a100:
+            assert b100[n].revenue_usd <= a100[n].revenue_usd + 1e-9
+
+    def test_invalid_grids(self):
+        with pytest.raises(ConfigurationError):
+            fig5_analysis(degrees=())
+
+
+class TestTraceRevenueExample:
+    def test_paper_19_million_example(self):
+        """Section V-D: the Fig. 1 workload with N=4, U_t=4U_0 earns on
+        the order of $19 M a month."""
+        revenue = monthly_revenue_for_trace(default_ms_trace())
+        assert 14e6 < revenue < 24e6
+
+    def test_far_exceeds_core_cost(self):
+        """'...while the monthly cost of additional cores is only $0.47M.'"""
+        revenue = monthly_revenue_for_trace(default_ms_trace())
+        assert revenue > 30 * 468_750.0
+
+    def test_higher_degree_recovers_more(self):
+        low = monthly_revenue_for_trace(default_ms_trace(), max_sprinting_degree=2.0)
+        high = monthly_revenue_for_trace(default_ms_trace(), max_sprinting_degree=4.0)
+        assert high > low

@@ -1,0 +1,45 @@
+"""Tests for the dark-core provisioning cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.economics.cost import CoreProvisioningCost
+from repro.errors import ConfigurationError
+
+
+class TestCoreProvisioningCost:
+    def test_paper_per_server_formula(self):
+        """$40 x 10(N-1)/48 = $8.3(N-1) per server per month."""
+        cost = CoreProvisioningCost()
+        assert cost.monthly_cost_per_server_usd(2.0) == pytest.approx(
+            40.0 * 10.0 / 48.0
+        )
+        assert cost.monthly_cost_per_server_usd(2.0) == pytest.approx(
+            8.33, abs=0.01
+        )
+
+    def test_paper_per_datacenter_formula(self):
+        """$8.3(N-1) x 18,750 servers = $156,250(N-1)."""
+        cost = CoreProvisioningCost()
+        assert cost.monthly_cost_usd(2.0) == pytest.approx(156_250.0)
+        assert cost.monthly_cost_usd(4.0) == pytest.approx(468_750.0)
+
+    def test_no_extra_cores_no_cost(self):
+        assert CoreProvisioningCost().monthly_cost_usd(1.0) == 0.0
+
+    def test_additional_cores_per_server(self):
+        cost = CoreProvisioningCost()
+        assert cost.additional_cores_per_server(4.0) == pytest.approx(30.0)
+
+    def test_degree_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreProvisioningCost().monthly_cost_usd(0.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            CoreProvisioningCost(core_cost_usd=0.0)
+        with pytest.raises(ConfigurationError):
+            CoreProvisioningCost(amortization_months=0)
+        with pytest.raises(ConfigurationError):
+            CoreProvisioningCost(n_servers=0)

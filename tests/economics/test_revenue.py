@@ -1,0 +1,90 @@
+"""Tests for the sprinting revenue model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.economics.revenue import (
+    SprintingRevenue,
+    burst_magnitude_for_utilization,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRetentionStake:
+    def test_paper_monthly_stake(self):
+        """$7,900/min x 43,200 min x 0.2 % = $682,560 (Section V-D)."""
+        rev = SprintingRevenue()
+        assert rev.monthly_retention_stake_usd == pytest.approx(682_560.0)
+
+
+class TestHandlingRevenue:
+    def test_paper_formula(self):
+        """$7,900 x L x (M-1) x K."""
+        rev = SprintingRevenue()
+        assert rev.handling_revenue_usd(4.0, 5.0, 3) == pytest.approx(
+            7_900.0 * 5.0 * 3.0 * 3
+        )
+
+    def test_no_burst_no_revenue(self):
+        assert SprintingRevenue().handling_revenue_usd(1.0, 5.0, 3) == 0.0
+
+    def test_zero_bursts(self):
+        assert SprintingRevenue().handling_revenue_usd(3.0, 5.0, 0) == 0.0
+
+
+class TestRetentionRevenue:
+    def test_saturates_at_full_user_base(self):
+        """min[U_0 (M-1) K, U_t]: heavy bursts expose every user."""
+        rev = SprintingRevenue(users_ratio=4.0)
+        # (4-1) x 3 = 9 U_0 > 4 U_0 = U_t: capped.
+        assert rev.retention_revenue_usd(4.0, 3) == pytest.approx(682_560.0)
+
+    def test_partial_exposure(self):
+        rev = SprintingRevenue(users_ratio=4.0)
+        # (2-1) x 2 = 2 U_0 of 4 U_0: half the stake.
+        assert rev.retention_revenue_usd(2.0, 2) == pytest.approx(
+            682_560.0 / 2.0
+        )
+
+    def test_larger_user_base_dilutes_retention(self):
+        """Fig. 5b: with U_t = 6U_0 the same bursts touch a smaller share
+        of the users, so the retention revenue shrinks."""
+        small = SprintingRevenue(users_ratio=4.0)
+        large = SprintingRevenue(users_ratio=6.0)
+        assert large.retention_revenue_usd(2.0, 2) < (
+            small.retention_revenue_usd(2.0, 2)
+        )
+
+
+class TestTotalRevenue:
+    def test_paper_r100_n4_example(self):
+        """R100 at N=4, U_t=4U_0: the profit exceeds $0.4 M against the
+        $468,750 cost (Section V-D / Fig. 5a)."""
+        rev = SprintingRevenue(users_ratio=4.0)
+        total = rev.monthly_revenue_usd(4.0, 5.0, 3)
+        assert total - 468_750.0 > 400_000.0
+
+    def test_components_sum(self):
+        rev = SprintingRevenue()
+        total = rev.monthly_revenue_usd(3.0, 5.0, 3)
+        assert total == pytest.approx(
+            rev.handling_revenue_usd(3.0, 5.0, 3)
+            + rev.retention_revenue_usd(3.0, 3)
+        )
+
+
+class TestBurstMagnitude:
+    def test_full_utilisation(self):
+        """R100: the burst magnitude reaches the maximum degree."""
+        assert burst_magnitude_for_utilization(4.0, 1.0) == pytest.approx(4.0)
+
+    def test_half_utilisation(self):
+        """R50: M = 1 + 0.5 x (N-1)."""
+        assert burst_magnitude_for_utilization(4.0, 0.5) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            burst_magnitude_for_utilization(4.0, 1.5)
+        with pytest.raises(ConfigurationError):
+            burst_magnitude_for_utilization(0.5, 0.5)

@@ -1,0 +1,183 @@
+"""End-to-end reproduction checks against the paper's reported results.
+
+These tests assert the *shape* of every headline claim: who wins, by
+roughly what factor, and where the crossovers fall.  Absolute values are
+asserted with generous bands because the substrate is a simulator, not the
+authors' testbed (see EXPERIMENTS.md for measured-vs-paper numbers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies import FixedUpperBoundStrategy, GreedyStrategy
+from repro.simulation.engine import (
+    oracle_for_trace,
+    simulate_strategy,
+)
+from repro.simulation.datacenter import build_datacenter
+from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+ORACLE_GRID = (2.0, 2.5, 3.0, 3.5, 4.0)
+
+
+@pytest.fixture(scope="module")
+def ms_greedy(ms_trace):
+    return simulate_strategy(ms_trace, GreedyStrategy())
+
+
+@pytest.fixture(scope="module")
+def ms_oracle(ms_trace):
+    return oracle_for_trace(ms_trace, candidates=ORACLE_GRID)
+
+
+class TestUncontrolledBaseline:
+    """Fig. 8a: uncontrolled chip sprinting trips a breaker ~5 min 20 s in."""
+
+    def test_trip_time_near_five_minutes_twenty(self, ms_trace):
+        dc = build_datacenter()
+        baseline = dc.uncontrolled()
+        for i, demand in enumerate(ms_trace):
+            baseline.step(demand, float(i))
+        assert baseline.trip_time_s is not None
+        assert 280.0 <= baseline.trip_time_s <= 340.0
+
+    def test_controlled_sprinting_survives_the_whole_trace(self, ms_trace):
+        """Fig. 8b: Data Center Sprinting sustains where uncontrolled
+        sprinting shuts the facility down."""
+        dc = build_datacenter()
+        controller = dc.controller(GreedyStrategy())
+        for i, demand in enumerate(ms_trace):
+            controller.step(demand, float(i))
+        assert not dc.topology.pdu.breaker.tripped
+        assert not dc.topology.dc_breaker.tripped
+        room = dc.cooling.room
+        assert room.peak_temperature_c < room.threshold_c
+
+
+class TestMsTraceResults:
+    """Fig. 9 region: strategies on the MS trace."""
+
+    def test_greedy_improvement_in_paper_band(self, ms_greedy):
+        """The paper reports 1.62-1.76x on the MS trace; our simulator
+        lands in the same neighbourhood."""
+        assert 1.55 <= ms_greedy.average_performance <= 2.1
+
+    def test_oracle_beats_greedy(self, ms_greedy, ms_oracle):
+        assert ms_oracle.achieved_performance > (
+            ms_greedy.average_performance + 0.02
+        )
+
+    def test_oracle_bound_is_interior(self, ms_oracle):
+        """Constrained sprinting wins: the optimal bound is below the chip
+        maximum (Section V-A's thesis)."""
+        assert 2.0 <= ms_oracle.upper_bound < 4.0
+
+    def test_energy_split_ups_dominates(self, ms_greedy):
+        """Section VII-A: the UPS provides the largest share of additional
+        energy (54 % in the paper), the TES a minor share (13 %)."""
+        shares = ms_greedy.energy_shares
+        assert shares["ups"] > shares["tes"]
+        assert shares["ups"] > 0.2
+        assert 0.0 < shares["tes"] < 0.35
+
+
+class TestYahooTraceResults:
+    """Fig. 10: burst degree/duration sweep on the Yahoo trace."""
+
+    def test_short_burst_greedy_equals_oracle(self):
+        """Fig. 10a: for 5-minute bursts the stored energy is not
+        exhausted, so Greedy matches the Oracle."""
+        trace = generate_yahoo_trace(burst_degree=3.2, burst_duration_min=5)
+        greedy = simulate_strategy(trace, GreedyStrategy())
+        oracle = oracle_for_trace(trace, candidates=ORACLE_GRID)
+        assert greedy.average_performance == pytest.approx(
+            oracle.achieved_performance, rel=0.02
+        )
+
+    def test_long_burst_oracle_beats_greedy(self):
+        """Fig. 10b: at 15 minutes the Greedy strategy is significantly
+        degraded while constrained bounds keep serving."""
+        trace = generate_yahoo_trace(burst_degree=3.2, burst_duration_min=15)
+        greedy = simulate_strategy(trace, GreedyStrategy())
+        oracle = oracle_for_trace(trace, candidates=ORACLE_GRID)
+        assert oracle.achieved_performance > greedy.average_performance * 1.05
+        assert oracle.upper_bound < 4.0
+
+    def test_improvement_factors_in_paper_band(self):
+        """The paper reports 1.75-2.45x across the Yahoo sweeps."""
+        perfs = []
+        for degree in (2.6, 3.2, 3.6):
+            for duration in (5, 15):
+                trace = generate_yahoo_trace(
+                    burst_degree=degree, burst_duration_min=duration
+                )
+                perfs.append(
+                    simulate_strategy(trace, GreedyStrategy()).average_performance
+                )
+        assert min(perfs) >= 1.6
+        assert max(perfs) <= 2.5
+        assert max(perfs) >= 2.2
+
+    def test_best_case_hits_capacity_ceiling(self):
+        """The 2.45x best case is the throughput ceiling at full degree."""
+        trace = generate_yahoo_trace(burst_degree=3.2, burst_duration_min=5)
+        result = simulate_strategy(trace, GreedyStrategy())
+        assert result.average_performance <= 2.45 + 1e-6
+        assert result.average_performance > 2.3
+
+    def test_greedy_degrades_with_degree_on_long_bursts(self):
+        """Fig. 10b: higher burst degree wastes stored energy faster under
+        Greedy."""
+        low = simulate_strategy(
+            generate_yahoo_trace(burst_degree=2.6, burst_duration_min=15),
+            GreedyStrategy(),
+        )
+        high = simulate_strategy(
+            generate_yahoo_trace(burst_degree=3.6, burst_duration_min=15),
+            GreedyStrategy(),
+        )
+        assert high.average_performance < low.average_performance
+
+
+class TestSensitivity:
+    """Section VI-A: headroom (0-20 %) and PUE sensitivity."""
+
+    def test_more_headroom_helps(self, ms_trace):
+        from repro.simulation.config import DataCenterConfig
+
+        tight = simulate_strategy(
+            ms_trace, GreedyStrategy(), DataCenterConfig(dc_headroom_fraction=0.0)
+        )
+        roomy = simulate_strategy(
+            ms_trace, GreedyStrategy(), DataCenterConfig(dc_headroom_fraction=0.20)
+        )
+        assert roomy.average_performance >= tight.average_performance
+
+    def test_pue_shifts_sprinting_headroom(self, ms_trace):
+        """Higher PUE means the infrastructure is rated for a larger
+        facility feed AND the TES can shave a larger absolute chiller
+        draw in Phase 3 — so, counter-intuitively, sprinting headroom
+        *grows* with PUE (within a couple of percent across 1.2-1.8)."""
+        from repro.simulation.config import DataCenterConfig
+
+        perfs = {
+            pue: simulate_strategy(
+                ms_trace, GreedyStrategy(), DataCenterConfig(pue=pue)
+            ).average_performance
+            for pue in (1.2, 1.53, 1.8)
+        }
+        assert perfs[1.8] >= perfs[1.53] >= perfs[1.2]
+        assert perfs[1.8] - perfs[1.2] < 0.15
+
+    def test_no_tes_still_sprints_but_shorter(self, ms_trace):
+        """Section V: without TES sprinting still works (the room's thermal
+        capacitance buys time) but less demand is served."""
+        from repro.simulation.config import DataCenterConfig
+
+        with_tes = simulate_strategy(ms_trace, GreedyStrategy())
+        without = simulate_strategy(
+            ms_trace, GreedyStrategy(), DataCenterConfig(has_tes=False)
+        )
+        assert without.average_performance > 1.2
+        assert without.average_performance < with_tes.average_performance

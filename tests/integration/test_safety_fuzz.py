@@ -1,0 +1,136 @@
+"""Property-based safety fuzzing: no workload may break the controller.
+
+The controller's central promise is unconditional: whatever the demand
+trajectory, bounded breaker overload plus UPS/TES dispatch never trips a
+breaker and never crosses the thermal threshold.  Hypothesis generates
+adversarial demand traces (spikes, square waves, ramps, noise) against a
+small facility and asserts the promise plus basic conservation laws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.strategies import GreedyStrategy
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+#: Piecewise demand segments: (level, duration in seconds).
+segment = st.tuples(
+    st.floats(min_value=0.0, max_value=4.0),
+    st.integers(min_value=5, max_value=120),
+)
+
+
+def run_trace(levels):
+    dc = build_datacenter(SMALL)
+    controller = dc.controller(GreedyStrategy())
+    t = 0.0
+    for level, duration in levels:
+        for _ in range(duration):
+            controller.step(level, t)
+            t += 1.0
+    return dc, controller
+
+
+class TestControllerSafetyFuzz:
+    @given(segments=st.lists(segment, min_size=1, max_size=12))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_never_trips_never_overheats(self, segments):
+        dc, _ = run_trace(segments)
+        assert not dc.topology.pdu.breaker.tripped
+        assert not dc.topology.dc_breaker.tripped
+        room = dc.cooling.room
+        assert room.peak_temperature_c < room.threshold_c
+
+    @given(segments=st.lists(segment, min_size=1, max_size=12))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_accounting_invariants(self, segments):
+        _, controller = run_trace(segments)
+        admission = controller.admission
+        # Served + dropped = offered, exactly.
+        assert (
+            admission.served_integral + admission.dropped_integral
+        ) == pytest.approx(admission.demand_integral)
+        # Served never exceeds what the chips can possibly deliver.
+        max_capacity = 2.45
+        for step in controller.history:
+            assert step.served <= min(step.demand, max_capacity) + 1e-9
+            assert step.degree <= 4.0 + 1e-9
+            assert step.ups_w >= -1e-9
+
+    @given(segments=st.lists(segment, min_size=1, max_size=8))
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_energy_stores_never_negative(self, segments):
+        dc, _ = run_trace(segments)
+        assert dc.topology.ups_energy_j >= -1e-6
+        assert dc.cooling.tes.energy_j >= -1e-6
+
+    def test_worst_case_square_wave(self):
+        """A pathological 4x square wave at the detector hold-off period."""
+        segments = [(4.0, 110), (0.0, 110)] * 8
+        dc, controller = run_trace(segments)
+        assert not dc.topology.pdu.breaker.tripped
+        assert not dc.topology.dc_breaker.tripped
+        room = dc.cooling.room
+        assert room.peak_temperature_c < room.threshold_c
+
+    @given(
+        demands=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=4.0),
+                st.floats(min_value=0.0, max_value=4.0),
+                st.floats(min_value=0.0, max_value=4.0),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_multigroup_never_trips_under_random_skew(self, demands):
+        """The multi-group coordinator holds the same promise under
+        arbitrary per-group demand skew."""
+        from repro.core.multigroup import build_multigroup
+
+        controller = build_multigroup(n_groups=3, servers_per_group=50)
+        t = 0.0
+        for trio in demands:
+            for _ in range(60):
+                controller.step(list(trio), t)
+                t += 1.0
+        assert not controller.topology.dc_breaker.tripped
+        assert not any(
+            p.breaker.tripped for p in controller.topology.pdus
+        )
+        room = controller.cooling.room
+        assert room.peak_temperature_c < room.threshold_c
+
+    def test_sustained_maximum_demand_for_an_hour(self):
+        dc, controller = run_trace([(4.0, 3600)])
+        assert not dc.topology.pdu.breaker.tripped
+        assert not dc.topology.dc_breaker.tripped
+        # Long after exhaustion the facility settles at a sustainable
+        # degree at or slightly above normal.
+        late_degrees = [s.degree for s in controller.history[-300:]]
+        assert max(late_degrees) < 1.6
+        assert min(late_degrees) >= 1.0 - 1e-9

@@ -1,0 +1,152 @@
+"""End-to-end runs of every strategy on the evaluation workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptivePredictionStrategy,
+    RecedingHorizonStrategy,
+)
+from repro.core.strategies import (
+    FixedUpperBoundStrategy,
+    GreedyStrategy,
+    HeuristicStrategy,
+    PredictionStrategy,
+    UpperBoundTable,
+)
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import simulate_strategy
+from repro.workloads.forecasting import BurstDurationEstimator
+from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+
+@pytest.fixture(scope="module")
+def long_burst():
+    return generate_yahoo_trace(burst_degree=3.2, burst_duration_min=15)
+
+
+@pytest.fixture(scope="module")
+def small_cluster():
+    return build_datacenter(SMALL).cluster
+
+
+def small_table():
+    table = UpperBoundTable()
+    table.set(300.0, 3.2, 4.0)
+    table.set(600.0, 3.2, 3.0)
+    table.set(900.0, 3.2, 2.5)
+    return table
+
+
+class TestEveryStrategyRuns:
+    def test_all_strategies_complete_and_sprint(self, long_burst, small_cluster):
+        strategies = [
+            GreedyStrategy(),
+            FixedUpperBoundStrategy(2.5),
+            PredictionStrategy(
+                small_table(), long_burst.over_capacity_time_s()
+            ),
+            HeuristicStrategy(
+                2.4, small_cluster.additional_power_at_degree_w
+            ),
+            AdaptivePredictionStrategy(small_table()),
+            RecedingHorizonStrategy(
+                small_cluster,
+                predicted_burst_duration_s=long_burst.over_capacity_time_s(),
+            ),
+        ]
+        for strategy in strategies:
+            result = simulate_strategy(long_burst, strategy, SMALL)
+            assert result.average_performance > 1.3, strategy.name
+            assert result.peak_degree > 1.5, strategy.name
+
+    def test_constrained_family_beats_greedy_on_long_bursts(
+        self, long_burst, small_cluster
+    ):
+        greedy = simulate_strategy(long_burst, GreedyStrategy(), SMALL)
+        for strategy in (
+            PredictionStrategy(
+                small_table(), long_burst.over_capacity_time_s()
+            ),
+            HeuristicStrategy(
+                2.4, small_cluster.additional_power_at_degree_w
+            ),
+            RecedingHorizonStrategy(
+                small_cluster,
+                predicted_burst_duration_s=long_burst.over_capacity_time_s(),
+            ),
+        ):
+            result = simulate_strategy(long_burst, strategy, SMALL)
+            assert result.average_performance > greedy.average_performance, (
+                strategy.name
+            )
+
+
+class TestAdaptiveRecedingHorizon:
+    def test_estimator_driven_variant(self, long_burst, small_cluster):
+        """The adaptive receding-horizon flavour works from an estimator
+        prior instead of an exact duration."""
+        estimator = BurstDurationEstimator(prior_duration_s=600.0)
+        strategy = RecedingHorizonStrategy(
+            small_cluster, estimator=estimator
+        )
+        result = simulate_strategy(long_burst, strategy, SMALL)
+        assert result.average_performance > 1.4
+
+    def test_estimator_learns_from_episode(self, small_cluster):
+        import numpy as np
+
+        from repro.workloads.traces import Trace
+
+        episode = [0.7] * 300 + [3.0] * 480
+        trace = Trace(
+            np.asarray(episode * 2 + [0.7] * 300, dtype=float), 1.0, "x2"
+        )
+        estimator = BurstDurationEstimator(prior_duration_s=60.0)
+        strategy = RecedingHorizonStrategy(
+            small_cluster, estimator=estimator
+        )
+        simulate_strategy(trace, strategy, SMALL)
+        # The completed first episode entered the history.
+        assert estimator.historical_mean_s > 300.0
+
+
+class TestRechargePlannerAlternatives:
+    def test_tes_priority_branch(self):
+        """With ups_priority=False the tank fills first."""
+        from repro.cooling.crac import CoolingPlant
+        from repro.cooling.recharge import RechargePlanner
+        from repro.cooling.tes import TesTank
+        from repro.power.topology import PowerTopology
+
+        topo = PowerTopology(n_pdus=2, servers_per_pdu=50)
+        tes = TesTank.sized_for(topo.peak_normal_it_power_w)
+        plant = CoolingPlant(
+            peak_normal_it_power_w=topo.peak_normal_it_power_w, tes=tes
+        )
+        topo.pdu.ups.discharge_up_to(topo.pdu.ups.available_power_w(), 30.0)
+        tes.absorb_up_to(tes.max_discharge_w, 300.0)
+        planner = RechargePlanner(topo, plant, ups_priority=False)
+        allocation = planner.plan(
+            current_feed_w=100.0, current_heat_w=100.0
+        )
+        assert allocation.tes_electric_w > 0.0
+        # With TES first and a small budget, the batteries get the rest.
+        assert allocation.total_electric_w <= planner.electric_slack_w(100.0)
+
+
+class TestExportFieldCoverage:
+    def test_step_fields_exist_on_control_step(self):
+        """The CSV schema never drifts from the ControlStep definition."""
+        from repro.core.controller import ControlStep
+        from repro.simulation.export import STEP_FIELDS
+
+        import dataclasses
+
+        field_names = {f.name for f in dataclasses.fields(ControlStep)}
+        for name in STEP_FIELDS:
+            assert name in field_names, name

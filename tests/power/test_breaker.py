@@ -1,0 +1,207 @@
+"""Tests for the circuit-breaker trip-curve and thermal-accumulator model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BreakerTrippedError, ConfigurationError
+from repro.power.breaker import (
+    CircuitBreaker,
+    DEFAULT_TRIP_CONSTANT_S,
+    TripCurve,
+)
+
+
+class TestTripCurve:
+    def test_paper_calibration_60_percent_one_minute(self):
+        curve = TripCurve()
+        assert curve.trip_time_s(0.60) == pytest.approx(60.0)
+
+    def test_paper_calibration_30_percent_four_minutes(self):
+        curve = TripCurve()
+        assert curve.trip_time_s(0.30) == pytest.approx(240.0)
+
+    def test_halving_overload_quadruples_trip_time(self):
+        curve = TripCurve()
+        assert curve.trip_time_s(0.2) == pytest.approx(
+            4.0 * curve.trip_time_s(0.4)
+        )
+
+    def test_hold_region_never_trips(self):
+        curve = TripCurve()
+        assert math.isinf(curve.trip_time_s(0.0))
+        assert math.isinf(curve.trip_time_s(curve.hold_threshold))
+
+    def test_magnetic_region_trips_within_one_cycle(self):
+        curve = TripCurve()
+        t = curve.trip_time_s(curve.instant_trip_multiple - 1.0)
+        assert t == curve.instant_trip_time_s
+
+    def test_trip_time_monotone_decreasing(self):
+        curve = TripCurve()
+        overloads = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2]
+        times = [curve.trip_time_s(o) for o in overloads]
+        assert times == sorted(times, reverse=True)
+
+    def test_max_overload_inverts_trip_time(self):
+        curve = TripCurve()
+        for t in (30.0, 60.0, 240.0, 1000.0):
+            o = curve.max_overload_for_trip_time(t)
+            assert curve.trip_time_s(o) >= t * (1.0 - 1e-9)
+
+    def test_max_overload_clamps_to_hold_threshold(self):
+        curve = TripCurve()
+        o = curve.max_overload_for_trip_time(1e9)
+        assert o == pytest.approx(curve.hold_threshold, rel=1e-6)
+        # The clamped overload must land inside the hold region.
+        assert math.isinf(curve.trip_time_s(o))
+
+    def test_max_overload_for_tiny_time_is_magnetic_limit(self):
+        curve = TripCurve()
+        o = curve.max_overload_for_trip_time(0.01)
+        assert o == pytest.approx(curve.instant_trip_multiple - 1.0, rel=1e-6)
+
+    def test_negative_overload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TripCurve().trip_time_s(-0.1)
+
+    def test_invalid_curve_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TripCurve(trip_constant_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TripCurve(instant_trip_multiple=1.0)
+
+    @given(o=st.floats(min_value=0.05, max_value=3.9))
+    @settings(max_examples=50)
+    def test_round_trip_overload(self, o):
+        curve = TripCurve()
+        t = curve.trip_time_s(o)
+        if math.isfinite(t) and t > curve.instant_trip_time_s:
+            recovered = curve.max_overload_for_trip_time(t)
+            assert recovered == pytest.approx(o, rel=1e-6)
+
+
+class TestCircuitBreaker:
+    def make(self, rated=1000.0):
+        return CircuitBreaker(name="test", rated_power_w=rated)
+
+    def test_within_rating_never_trips(self):
+        cb = self.make()
+        for _ in range(10_000):
+            cb.step(1000.0, 1.0)
+        assert not cb.tripped
+        assert cb.trip_fraction == 0.0
+
+    def test_constant_overload_trips_at_curve_time(self):
+        cb = self.make()
+        # 60 % overload trips at 60 s.
+        with pytest.raises(BreakerTrippedError) as err:
+            for _ in range(100):
+                cb.step(1600.0, 1.0)
+        assert cb.tripped
+        assert err.value.time_s == pytest.approx(59.0, abs=1.5)
+
+    def test_trip_latches(self):
+        cb = self.make()
+        with pytest.raises(BreakerTrippedError):
+            for _ in range(100):
+                cb.step(1600.0, 1.0)
+        with pytest.raises(BreakerTrippedError):
+            cb.step(500.0, 1.0)
+
+    def test_zero_load_after_trip_is_allowed(self):
+        cb = self.make()
+        with pytest.raises(BreakerTrippedError):
+            for _ in range(100):
+                cb.step(1600.0, 1.0)
+        cb.step(0.0, 1.0)  # open circuit: no error
+
+    def test_remaining_trip_time_shrinks_under_overload(self):
+        cb = self.make()
+        before = cb.remaining_trip_time_s(1300.0)
+        cb.step(1300.0, 30.0)
+        after = cb.remaining_trip_time_s(1300.0)
+        assert after == pytest.approx(before - 30.0, rel=1e-6)
+
+    def test_cooldown_restores_budget(self):
+        cb = self.make()
+        cb.step(1600.0, 30.0)  # half the 60 s budget
+        consumed = cb.trip_fraction
+        assert consumed == pytest.approx(0.5, rel=1e-6)
+        cb.step(900.0, cb.cooldown_tau_s)  # one time constant within rating
+        assert cb.trip_fraction == pytest.approx(
+            consumed * math.exp(-1.0), rel=1e-6
+        )
+
+    def test_max_load_for_trip_time_honours_reserve(self):
+        cb = self.make()
+        load = cb.max_load_for_trip_time(60.0)
+        assert cb.remaining_trip_time_s(load) >= 60.0 * (1.0 - 1e-9)
+        # 60 s reserve on a cold breaker = 60 % overload.
+        assert load == pytest.approx(1600.0, rel=1e-6)
+
+    def test_max_load_decreases_as_budget_burns(self):
+        cb = self.make()
+        bound0 = cb.max_load_for_trip_time(60.0)
+        cb.step(bound0, 20.0)
+        bound1 = cb.max_load_for_trip_time(60.0)
+        assert bound1 < bound0
+
+    def test_running_at_reserve_bound_never_trips(self):
+        cb = self.make()
+        for _ in range(3600):
+            cb.step(cb.max_load_for_trip_time(60.0), 1.0)
+        assert not cb.tripped
+        # The bound converges to the hold region, sustainable forever.
+        final_bound = cb.max_load_for_trip_time(60.0)
+        assert final_bound >= cb.rated_power_w
+
+    def test_magnetic_load_trips_instantly(self):
+        cb = self.make()
+        with pytest.raises(BreakerTrippedError):
+            cb.step(6000.0, 1.0)
+
+    def test_reset(self):
+        cb = self.make()
+        with pytest.raises(BreakerTrippedError):
+            for _ in range(100):
+                cb.step(1600.0, 1.0)
+        cb.reset()
+        assert not cb.tripped
+        assert cb.trip_fraction == 0.0
+        cb.step(1600.0, 1.0)  # usable again
+
+    def test_time_varying_overload_accumulates(self):
+        """Alternating overloads consume budget additively."""
+        cb = self.make()
+        # 15 s at 60 % (quarter budget) + 60 s at 30 % (quarter budget).
+        cb.step(1600.0, 15.0)
+        cb.step(1300.0, 60.0)
+        assert cb.trip_fraction == pytest.approx(0.5, rel=1e-6)
+
+    def test_overload_fraction(self):
+        cb = self.make()
+        assert cb.overload_fraction(1500.0) == pytest.approx(0.5)
+        assert cb.overload_fraction(800.0) == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(name="bad", rated_power_w=0.0)
+
+    @given(
+        loads=st.lists(
+            st.floats(min_value=0.0, max_value=1550.0), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=30)
+    def test_trip_fraction_stays_in_unit_interval(self, loads):
+        cb = self.make()
+        for load in loads:
+            try:
+                cb.step(load, 1.0)
+            except BreakerTrippedError:
+                break
+        assert 0.0 <= cb.trip_fraction <= 1.0

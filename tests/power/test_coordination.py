@@ -1,0 +1,178 @@
+"""Tests for explicit multi-PDU coordination (Section V-B, skewed load)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BreakerTrippedError, ConfigurationError
+from repro.power.coordination import (
+    MultiPduTopology,
+    allocate_grid_budget,
+)
+from repro.power.pdu import Pdu
+
+
+def make_topology(n=4, servers=50):
+    pdus = [Pdu(name=f"pdu{i}", n_servers=servers) for i in range(n)]
+    rated_total = sum(p.rated_power_w for p in pdus)
+    # Substation rated at 90 % of the PDU sum: the parent genuinely binds.
+    return MultiPduTopology(pdus=pdus, dc_rated_power_w=rated_total * 0.9)
+
+
+class TestAllocateGridBudget:
+    def test_everything_fits(self):
+        grants = allocate_grid_budget(
+            demands_w=[100.0, 200.0],
+            own_bounds_w=[300.0, 300.0],
+            rated_w=[250.0, 250.0],
+            parent_budget_w=1000.0,
+        )
+        assert grants == [100.0, 200.0]
+
+    def test_own_bound_caps_each_child(self):
+        grants = allocate_grid_budget(
+            demands_w=[500.0, 100.0],
+            own_bounds_w=[300.0, 300.0],
+            rated_w=[250.0, 250.0],
+            parent_budget_w=1000.0,
+        )
+        assert grants == [300.0, 100.0]
+
+    def test_parent_budget_shrinks_overloads_proportionally(self):
+        grants = allocate_grid_budget(
+            demands_w=[350.0, 350.0],
+            own_bounds_w=[400.0, 400.0],
+            rated_w=[250.0, 250.0],
+            parent_budget_w=600.0,
+        )
+        # Within-rating power (250 each) kept whole; 100 of overload budget
+        # split across 200 requested: half each.
+        assert grants == pytest.approx([300.0, 300.0])
+        assert sum(grants) == pytest.approx(600.0)
+
+    def test_increase_on_one_child_decreases_others(self):
+        """The paper's invariant: with the parent budget saturated, demand
+        growth on one child is paid for by the others."""
+        before = allocate_grid_budget(
+            [300.0, 300.0], [400.0, 400.0], [250.0, 250.0], 550.0
+        )
+        after = allocate_grid_budget(
+            [380.0, 300.0], [400.0, 400.0], [250.0, 250.0], 550.0
+        )
+        assert sum(before) == pytest.approx(550.0)
+        assert sum(after) == pytest.approx(550.0)
+        assert after[0] > before[0]
+        assert after[1] < before[1]
+
+    def test_within_rating_never_sacrificed_for_overload(self):
+        grants = allocate_grid_budget(
+            demands_w=[250.0, 400.0],
+            own_bounds_w=[400.0, 400.0],
+            rated_w=[250.0, 250.0],
+            parent_budget_w=520.0,
+        )
+        # Child 0 keeps its full within-rating draw.
+        assert grants[0] == pytest.approx(250.0)
+        assert grants[1] == pytest.approx(270.0)
+
+    def test_severe_shortage_sheds_proportionally(self):
+        grants = allocate_grid_budget(
+            demands_w=[200.0, 200.0],
+            own_bounds_w=[300.0, 300.0],
+            rated_w=[250.0, 250.0],
+            parent_budget_w=200.0,
+        )
+        assert grants == pytest.approx([100.0, 100.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            allocate_grid_budget([1.0], [1.0, 2.0], [1.0, 2.0], 10.0)
+
+    @given(
+        demands=st.lists(
+            st.floats(min_value=0.0, max_value=500.0), min_size=2, max_size=6
+        ),
+        budget=st.floats(min_value=0.0, max_value=1500.0),
+    )
+    @settings(max_examples=60)
+    def test_invariants_hold_for_random_inputs(self, demands, budget):
+        n = len(demands)
+        bounds = [400.0] * n
+        rated = [250.0] * n
+        grants = allocate_grid_budget(demands, bounds, rated, budget)
+        assert sum(grants) <= max(budget, 0.0) + 1e-6 or sum(grants) <= sum(
+            min(d, b) for d, b in zip(demands, bounds)
+        )
+        for g, d, b in zip(grants, demands, bounds):
+            assert g <= min(d, b) + 1e-9
+            assert g >= -1e-9
+        assert sum(grants) <= budget + 1e-6
+
+
+class TestMultiPduTopology:
+    def test_skewed_burst_served_by_shifting_budget(self):
+        """A burst on one PDU group draws overload budget the idle groups
+        are not using."""
+        topo = make_topology()
+        demands = [topo.pdus[0].rated_power_w * 1.5] + [
+            p.peak_normal_power_w * 0.5 for p in topo.pdus[1:]
+        ]
+        flow = topo.step(demands, cooling_w=0.0, reserve_trip_time_s=60.0, dt_s=1.0)
+        assert flow.splits[0].grid_w > topo.pdus[0].rated_power_w
+        assert flow.deficit_w == pytest.approx(0.0)
+
+    def test_parent_budget_never_exceeded(self):
+        topo = make_topology()
+        demands = [p.rated_power_w * 1.6 for p in topo.pdus]
+        for t in range(120):
+            parent = topo.dc_breaker.max_load_for_trip_time(60.0)
+            flow = topo.step(demands, 0.0, 60.0, 1.0)
+            assert flow.dc_feed_w <= parent * (1.0 + 1e-9)
+        assert not topo.dc_breaker.tripped
+
+    def test_sustained_coordinated_overload_never_trips(self):
+        topo = make_topology()
+        demands = [p.rated_power_w * 1.4 for p in topo.pdus]
+        for t in range(900):
+            topo.step(demands, 0.0, 60.0, 1.0)
+        assert not topo.dc_breaker.tripped
+        assert not any(p.breaker.tripped for p in topo.pdus)
+
+    def test_heterogeneous_groups(self):
+        pdus = [
+            Pdu(name="big", n_servers=100),
+            Pdu(name="small", n_servers=25),
+        ]
+        topo = MultiPduTopology(
+            pdus=pdus,
+            dc_rated_power_w=sum(p.rated_power_w for p in pdus),
+        )
+        flow = topo.step(
+            [pdus[0].peak_normal_power_w, pdus[1].peak_normal_power_w],
+            0.0,
+            60.0,
+            1.0,
+        )
+        assert flow.deficit_w == 0.0
+        assert flow.splits[0].grid_w > flow.splits[1].grid_w
+
+    def test_demand_count_validated(self):
+        topo = make_topology(n=3)
+        with pytest.raises(ConfigurationError):
+            topo.step([1.0, 2.0], 0.0, 60.0, 1.0)
+
+    def test_cooling_reduces_child_budget(self):
+        topo = make_topology()
+        without = topo.coordinated_bounds_w(60.0, 0.0)
+        with_cooling = topo.coordinated_bounds_w(60.0, topo.dc_rated_power_w * 0.4)
+        assert all(b <= a for a, b in zip(without, with_cooling))
+
+    def test_reset(self):
+        topo = make_topology()
+        demands = [p.rated_power_w * 1.4 for p in topo.pdus]
+        for t in range(60):
+            topo.step(demands, 0.0, 60.0, 1.0)
+        topo.reset()
+        assert topo.dc_breaker.trip_fraction == 0.0
+        assert all(p.breaker.trip_fraction == 0.0 for p in topo.pdus)

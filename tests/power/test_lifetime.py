@@ -1,0 +1,109 @@
+"""Tests for the battery lifetime budgeting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.lifetime import BatteryLifetimeTracker, RATED_CYCLES
+from repro.power.ups import BatteryChemistry
+
+
+class TestBudgetTracking:
+    def test_within_free_budget(self):
+        """Ten full discharges a month cost no battery life ([18])."""
+        tracker = BatteryLifetimeTracker()
+        for _ in range(10):
+            tracker.record_discharge(100.0, 100.0)
+        assert tracker.within_free_budget
+        assert tracker.excess_cycles == 0.0
+
+    def test_eleventh_discharge_exceeds_budget(self):
+        tracker = BatteryLifetimeTracker()
+        for _ in range(11):
+            tracker.record_discharge(100.0, 100.0)
+        assert not tracker.within_free_budget
+        assert tracker.excess_cycles == pytest.approx(1.0)
+
+    def test_paper_month_stays_free(self):
+        """The paper's calibration anchor: 200 bursts a month discharging
+        26 % each 'has no impact on UPS lifetime according to [18]' —
+        depth-weighted wear keeps them inside the 10-cycle budget."""
+        tracker = BatteryLifetimeTracker()
+        for _ in range(200):
+            tracker.record_discharge(26.0, 100.0)
+        assert tracker.within_free_budget
+        assert tracker.cycles_this_month == pytest.approx(
+            200 * 0.26 ** 2.3, rel=1e-9
+        )
+
+    def test_shallow_cycles_wear_sublinearly(self):
+        shallow = BatteryLifetimeTracker()
+        deep = BatteryLifetimeTracker()
+        for _ in range(4):
+            shallow.record_discharge(25.0, 100.0)
+        deep.record_discharge(100.0, 100.0)
+        # Four quarter-discharges cost far less than one full discharge.
+        assert shallow.cycles_this_month < deep.cycles_this_month
+
+    def test_depth_capped_at_full(self):
+        tracker = BatteryLifetimeTracker()
+        tracker.record_discharge(150.0, 100.0)
+        assert tracker.cycles_this_month == pytest.approx(1.0)
+
+    def test_depth_exponent_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatteryLifetimeTracker(depth_wear_exponent=0.5)
+
+    def test_remaining_free_cycles(self):
+        tracker = BatteryLifetimeTracker()
+        for _ in range(4):
+            tracker.record_discharge(100.0, 100.0)
+        assert tracker.remaining_free_cycles() == pytest.approx(6.0)
+
+    def test_close_month_rolls_over(self):
+        tracker = BatteryLifetimeTracker()
+        for _ in range(12):
+            tracker.record_discharge(100.0, 100.0)
+        excess = tracker.close_month()
+        assert excess == pytest.approx(2.0)
+        assert tracker.cycles_this_month == 0.0
+        assert tracker.months_elapsed == 1
+        assert tracker.lifetime_cycles == pytest.approx(12.0)
+
+    def test_reset(self):
+        tracker = BatteryLifetimeTracker()
+        tracker.record_discharge(100.0, 100.0)
+        tracker.close_month()
+        tracker.reset()
+        assert tracker.lifetime_cycles == 0.0
+        assert tracker.months_elapsed == 0
+
+
+class TestServiceLifeProjection:
+    def test_free_usage_keeps_calendar_life(self):
+        """Within the free budget, LFP lasts its 8 calendar years and LA
+        its 4 (Section III-B)."""
+        lfp = BatteryLifetimeTracker(chemistry=BatteryChemistry.LFP)
+        la = BatteryLifetimeTracker(chemistry=BatteryChemistry.LEAD_ACID)
+        assert lfp.projected_service_life_years(10.0) == 8.0
+        assert la.projected_service_life_years(10.0) == 4.0
+
+    def test_heavy_cycling_shortens_life(self):
+        tracker = BatteryLifetimeTracker(chemistry=BatteryChemistry.LFP)
+        heavy = tracker.projected_service_life_years(100.0)
+        assert heavy < 8.0
+        assert heavy == pytest.approx(
+            RATED_CYCLES[BatteryChemistry.LFP] / (100.0 * 12.0)
+        )
+
+    def test_lead_acid_wears_faster(self):
+        la = BatteryLifetimeTracker(chemistry=BatteryChemistry.LEAD_ACID)
+        lfp = BatteryLifetimeTracker(chemistry=BatteryChemistry.LFP)
+        assert la.projected_service_life_years(50.0) < (
+            lfp.projected_service_life_years(50.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatteryLifetimeTracker(free_cycles_per_month=0.0)

@@ -1,0 +1,78 @@
+"""Tests for the power-meter abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.meter import PowerMeter
+
+
+class TestPowerMeter:
+    def test_ideal_meter_reads_exactly(self):
+        meter = PowerMeter(name="m", noise_std_w=0.0)
+        assert meter.sample(123.4, 0.0) == pytest.approx(123.4)
+        assert meter.latest_w == pytest.approx(123.4)
+
+    def test_noisy_meter_is_reproducible(self):
+        a = PowerMeter(name="a", noise_std_w=1.0, seed=7)
+        b = PowerMeter(name="b", noise_std_w=1.0, seed=7)
+        readings_a = [a.sample(100.0, float(t)) for t in range(20)]
+        readings_b = [b.sample(100.0, float(t)) for t in range(20)]
+        assert readings_a == readings_b
+
+    def test_noisy_readings_never_negative(self):
+        meter = PowerMeter(name="m", noise_std_w=50.0, seed=3)
+        for t in range(200):
+            assert meter.sample(1.0, float(t)) >= 0.0
+
+    def test_window_average(self):
+        meter = PowerMeter(name="m", window_s=10.0)
+        for t in range(5):
+            meter.sample(100.0, float(t))
+        assert meter.window_average_w == pytest.approx(100.0)
+
+    def test_window_eviction(self):
+        meter = PowerMeter(name="m", window_s=10.0)
+        meter.sample(500.0, 0.0)
+        for t in range(11, 16):
+            meter.sample(100.0, float(t))
+        assert meter.window_peak_w == pytest.approx(100.0)
+        assert meter.n_samples == 5
+
+    def test_window_peak(self):
+        meter = PowerMeter(name="m")
+        meter.sample(50.0, 0.0)
+        meter.sample(150.0, 1.0)
+        meter.sample(100.0, 2.0)
+        assert meter.window_peak_w == pytest.approx(150.0)
+
+    def test_energy_in_window_trapezoid(self):
+        meter = PowerMeter(name="m")
+        meter.sample(100.0, 0.0)
+        meter.sample(100.0, 10.0)
+        assert meter.energy_in_window_j() == pytest.approx(1000.0)
+
+    def test_energy_needs_two_samples(self):
+        meter = PowerMeter(name="m")
+        assert meter.energy_in_window_j() == 0.0
+        meter.sample(100.0, 0.0)
+        assert meter.energy_in_window_j() == 0.0
+
+    def test_empty_meter_defaults(self):
+        meter = PowerMeter(name="m")
+        assert meter.latest_w == 0.0
+        assert meter.window_average_w == 0.0
+        assert meter.window_peak_w == 0.0
+
+    def test_reset(self):
+        meter = PowerMeter(name="m")
+        meter.sample(100.0, 0.0)
+        meter.reset()
+        assert meter.n_samples == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            PowerMeter(name="m", window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerMeter(name="m", noise_std_w=-1.0)

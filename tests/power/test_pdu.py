@@ -1,0 +1,88 @@
+"""Tests for the PDU model: rating, power sourcing splits, UPS fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BreakerTrippedError, ConfigurationError
+from repro.power.pdu import NEC_PROVISIONING_FACTOR, Pdu
+
+
+def make_pdu():
+    return Pdu(name="pdu0")
+
+
+class TestPduSizing:
+    def test_paper_rating_13_75_kw(self):
+        """55 W x 200 servers x 1.25 NEC factor = 13.75 kW (Section VI-A)."""
+        assert make_pdu().rated_power_w == pytest.approx(13_750.0)
+
+    def test_peak_normal_power(self):
+        assert make_pdu().peak_normal_power_w == pytest.approx(11_000.0)
+
+    def test_nec_factor(self):
+        assert NEC_PROVISIONING_FACTOR == pytest.approx(1.25)
+
+    def test_ups_fleet_sized_per_server(self):
+        pdu = make_pdu()
+        assert pdu.ups.n_batteries == 200
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Pdu(name="bad", n_servers=0)
+
+
+class TestPduSourcing:
+    def test_within_rating_all_from_grid(self):
+        pdu = make_pdu()
+        split = pdu.source_power(11_000.0, grid_bound_w=13_750.0, dt_s=1.0)
+        assert split.grid_w == pytest.approx(11_000.0)
+        assert split.ups_w == 0.0
+        assert split.fully_served
+
+    def test_demand_above_bound_uses_ups(self):
+        pdu = make_pdu()
+        split = pdu.source_power(20_000.0, grid_bound_w=15_000.0, dt_s=1.0)
+        assert split.grid_w == pytest.approx(15_000.0)
+        assert split.ups_w == pytest.approx(5_000.0)
+        assert split.fully_served
+
+    def test_deficit_when_ups_empty(self):
+        pdu = make_pdu()
+        # Drain the fleet (200 x 19.8 kJ = 3.96 MJ); the discharge rate is
+        # capped, so empty it at the rate limit over a full minute.
+        pdu.ups.discharge_up_to(pdu.ups.available_power_w(), 60.0)
+        assert pdu.ups.is_empty
+        split = pdu.source_power(20_000.0, grid_bound_w=15_000.0, dt_s=1.0)
+        assert split.deficit_w == pytest.approx(5_000.0)
+        assert not split.fully_served
+
+    def test_grid_overload_eventually_trips_breaker(self):
+        pdu = make_pdu()
+        # 60 % overload with no UPS assistance trips in ~60 s.
+        with pytest.raises(BreakerTrippedError):
+            for _ in range(120):
+                pdu.source_power(22_000.0, grid_bound_w=22_000.0, dt_s=1.0)
+
+    def test_grid_bound_honours_reserve(self):
+        pdu = make_pdu()
+        bound = pdu.grid_power_bound_w(60.0)
+        assert pdu.breaker.remaining_trip_time_s(bound) >= 60.0 * (1 - 1e-9)
+
+    def test_recharge_ups(self):
+        pdu = make_pdu()
+        pdu.ups.discharge_up_to(10_000.0, 10.0)
+        stored = pdu.recharge_ups(1_000.0, 10.0)
+        assert stored > 0.0
+
+    def test_reset_restores_everything(self):
+        pdu = make_pdu()
+        pdu.source_power(20_000.0, grid_bound_w=15_000.0, dt_s=30.0)
+        pdu.reset()
+        assert pdu.breaker.trip_fraction == 0.0
+        assert pdu.ups.state_of_charge == pytest.approx(1.0)
+
+    def test_split_drop_fraction_property(self):
+        pdu = make_pdu()
+        split = pdu.source_power(0.0, grid_bound_w=13_750.0, dt_s=1.0)
+        assert split.fully_served

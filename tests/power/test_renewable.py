@@ -1,0 +1,110 @@
+"""Tests for the renewable-supply models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.renewable import (
+    RenewableSupply,
+    SolarProfile,
+    WindProfile,
+    sustainable_power_profile,
+)
+
+NOON_S = 12.0 * 3600.0
+MIDNIGHT_S = 0.0
+
+
+class TestSolarProfile:
+    def test_zero_at_night(self):
+        solar = SolarProfile()
+        assert solar.output_fraction(MIDNIGHT_S) == 0.0
+        assert solar.output_fraction(22.0 * 3600.0) == 0.0
+
+    def test_peak_at_noon(self):
+        solar = SolarProfile(peak_fraction=0.9)
+        assert solar.output_fraction(NOON_S) == pytest.approx(0.9)
+
+    def test_symmetric_shoulders(self):
+        solar = SolarProfile()
+        morning = solar.output_fraction(9.0 * 3600.0)
+        afternoon = solar.output_fraction(15.0 * 3600.0)
+        assert morning == pytest.approx(afternoon)
+
+    def test_periodic_across_days(self):
+        solar = SolarProfile()
+        assert solar.output_fraction(NOON_S) == pytest.approx(
+            solar.output_fraction(NOON_S + 86_400.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SolarProfile(sunrise_s=19 * 3600.0, sunset_s=6 * 3600.0)
+
+
+class TestWindProfile:
+    def test_bounded(self):
+        wind = WindProfile()
+        for t in range(0, 86_400, 600):
+            value = wind.output_fraction(float(t))
+            assert wind.floor_fraction <= value <= 1.0
+
+    def test_gusty(self):
+        wind = WindProfile()
+        values = {round(wind.output_fraction(float(t)), 3)
+                  for t in range(0, 20_000, 500)}
+        assert len(values) > 10
+
+    def test_deterministic(self):
+        a = WindProfile().output_fraction(1234.0)
+        b = WindProfile().output_fraction(1234.0)
+        assert a == b
+
+
+class TestRenewableSupply:
+    def test_grid_plus_solar(self):
+        supply = RenewableSupply(
+            grid_power_w=5e6, renewable_nameplate_w=5e6, solar=SolarProfile()
+        )
+        assert supply.available_power_w(MIDNIGHT_S) == pytest.approx(5e6)
+        assert supply.available_power_w(NOON_S) == pytest.approx(10e6)
+
+    def test_renewable_share(self):
+        supply = RenewableSupply(
+            grid_power_w=5e6, renewable_nameplate_w=5e6, solar=SolarProfile()
+        )
+        assert supply.renewable_share(MIDNIGHT_S) == 0.0
+        assert supply.renewable_share(NOON_S) == pytest.approx(0.5)
+
+    def test_defaults_to_solar(self):
+        supply = RenewableSupply(grid_power_w=1e6, renewable_nameplate_w=1e6)
+        assert supply.solar is not None
+
+    def test_wind_supply(self):
+        supply = RenewableSupply(
+            grid_power_w=0.0,
+            renewable_nameplate_w=1e6,
+            solar=None,
+            wind=WindProfile(),
+        )
+        assert supply.available_power_w(0.0) > 0.0
+
+
+class TestSustainableProfile:
+    def test_profile_normalised_to_peak(self):
+        supply = RenewableSupply(grid_power_w=5e6, renewable_nameplate_w=5e6)
+        trace = sustainable_power_profile(supply, 86_400.0)
+        assert trace.peak == pytest.approx(1.0)
+        assert trace.samples.min() == pytest.approx(0.5)
+
+    def test_diurnal_structure(self):
+        supply = RenewableSupply(grid_power_w=2e6, renewable_nameplate_w=8e6)
+        trace = sustainable_power_profile(supply, 86_400.0, dt_s=600.0)
+        noon_idx = int(NOON_S / 600.0)
+        assert trace.samples[noon_idx] > trace.samples[0] * 2.0
+
+    def test_zero_supply_rejected(self):
+        supply = RenewableSupply(grid_power_w=0.0, renewable_nameplate_w=0.0)
+        with pytest.raises(ConfigurationError):
+            sustainable_power_profile(supply, 3600.0)

@@ -1,0 +1,124 @@
+"""Tests for the hierarchical power topology and its coordination rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BreakerTrippedError, ConfigurationError
+from repro.power.pdu import Pdu
+from repro.power.topology import PowerTopology
+
+
+def make_topology(**kwargs):
+    return PowerTopology(**kwargs)
+
+
+class TestTopologySizing:
+    def test_paper_fleet_size(self):
+        topo = make_topology()
+        assert topo.n_servers == 180_000
+
+    def test_peak_normal_it_power_10mw(self):
+        topo = make_topology()
+        assert topo.peak_normal_it_power_w == pytest.approx(9.9e6)
+
+    def test_facility_power_with_pue(self):
+        topo = make_topology()
+        assert topo.peak_normal_facility_power_w == pytest.approx(
+            9.9e6 * 1.53
+        )
+
+    def test_dc_breaker_rating_includes_headroom(self):
+        topo = make_topology(dc_headroom_fraction=0.10)
+        assert topo.dc_breaker.rated_power_w == pytest.approx(
+            9.9e6 * 1.53 * 1.10
+        )
+
+    def test_headroom_sweep_changes_rating(self):
+        low = make_topology(dc_headroom_fraction=0.0)
+        high = make_topology(dc_headroom_fraction=0.20)
+        assert high.dc_breaker.rated_power_w > low.dc_breaker.rated_power_w
+
+    def test_ups_capacity_aggregates(self):
+        topo = make_topology()
+        assert topo.ups_capacity_j == pytest.approx(180_000 * 19_800.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            make_topology(n_pdus=0)
+        with pytest.raises(ConfigurationError):
+            make_topology(pue=0.9)
+
+
+class TestCoordination:
+    def test_coordinated_bound_respects_both_levels(self):
+        """The Section V-B invariant: children sum within the parent."""
+        topo = make_topology()
+        cooling = 5.25e6
+        bound = topo.coordinated_pdu_bound_w(60.0, cooling)
+        assert bound <= topo.pdu_grid_bound_w(60.0) + 1e-9
+        total = bound * topo.n_pdus + cooling
+        assert total <= topo.dc_grid_bound_w(60.0) * (1.0 + 1e-9)
+
+    def test_parent_binds_when_cooling_is_heavy(self):
+        topo = make_topology()
+        generous = topo.coordinated_pdu_bound_w(60.0, 0.0)
+        squeezed = topo.coordinated_pdu_bound_w(60.0, 12.0e6)
+        assert squeezed < generous
+
+    def test_running_at_coordinated_bound_trips_nothing(self):
+        topo = make_topology()
+        cooling = 5.25e6
+        for _ in range(600):
+            bound = topo.coordinated_pdu_bound_w(60.0, cooling)
+            demand = bound * topo.n_pdus  # exactly at the bound
+            topo.step(demand, bound, cooling, 1.0)
+        assert not topo.pdu.breaker.tripped
+        assert not topo.dc_breaker.tripped
+
+    def test_unbounded_overload_trips_dc_breaker(self):
+        topo = make_topology()
+        demand = topo.peak_normal_it_power_w * 2.6  # full sprint
+        with pytest.raises(BreakerTrippedError):
+            for _ in range(600):
+                topo.step(demand, demand / topo.n_pdus, 5.25e6, 1.0)
+
+
+class TestTopologyFlows:
+    def test_flow_accounting(self):
+        topo = make_topology()
+        demand = 12.0e6
+        bound = topo.coordinated_pdu_bound_w(60.0, 5.25e6)
+        flow = topo.step(demand, bound, 5.25e6, 1.0)
+        assert flow.server_demand_w == pytest.approx(demand)
+        assert flow.dc_feed_w == pytest.approx(flow.pdu_grid_w + 5.25e6)
+        assert flow.pdu_grid_w + flow.ups_w + flow.deficit_w == pytest.approx(
+            demand
+        )
+
+    def test_representative_pdu_matches_explicit_pdu(self):
+        """The O(1) representative-PDU arithmetic equals a real PDU's."""
+        topo = make_topology()
+        explicit = Pdu(name="explicit")
+        demand_total = 14.0e6
+        bound = 14_500.0
+        flow = topo.step(demand_total, bound, 0.0, 1.0)
+        split = explicit.source_power(
+            demand_total / topo.n_pdus, bound, 1.0
+        )
+        assert flow.pdu_grid_w == pytest.approx(split.grid_w * topo.n_pdus)
+        assert flow.ups_w == pytest.approx(split.ups_w * topo.n_pdus)
+
+    def test_recharge_scales_to_fleet(self):
+        topo = make_topology()
+        topo.pdu.ups.discharge_up_to(1e6, 10.0)
+        stored = topo.recharge_ups(9.0e5, 10.0)
+        assert stored == pytest.approx(9.0e5 * 10.0 * 0.9)
+
+    def test_reset(self):
+        topo = make_topology()
+        topo.step(14.0e6, 15_000.0, 5.25e6, 30.0)
+        topo.reset()
+        assert topo.pdu.breaker.trip_fraction == 0.0
+        assert topo.dc_breaker.trip_fraction == 0.0
+        assert topo.ups_energy_j == pytest.approx(topo.ups_capacity_j)

@@ -1,0 +1,157 @@
+"""Tests for the UPS battery and distributed-fleet models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BatteryDepletedError, ConfigurationError
+from repro.power.ups import (
+    BatteryChemistry,
+    DistributedUpsFleet,
+    UpsBattery,
+    SAFE_FULL_DISCHARGES_PER_MONTH,
+)
+
+
+class TestUpsBattery:
+    def test_paper_sizing_six_minutes_at_peak_normal(self):
+        """0.5 Ah sustains the 55 W peak-normal server power ~6 minutes."""
+        battery = UpsBattery()
+        assert battery.runtime_at_power_s(55.0) == pytest.approx(360.0)
+
+    def test_capacity_in_joules(self):
+        battery = UpsBattery(capacity_ah=0.5, voltage_v=11.0)
+        assert battery.capacity_j == pytest.approx(19_800.0)
+
+    def test_starts_full(self):
+        assert UpsBattery().state_of_charge == pytest.approx(1.0)
+
+    def test_discharge_reduces_energy(self):
+        battery = UpsBattery()
+        delivered = battery.discharge(55.0, 60.0)
+        assert delivered == pytest.approx(55.0 * 60.0)
+        assert battery.energy_j == pytest.approx(
+            battery.capacity_j - delivered
+        )
+
+    def test_discharge_beyond_energy_raises(self):
+        battery = UpsBattery()
+        with pytest.raises(BatteryDepletedError):
+            battery.discharge(100.0, 1000.0)
+
+    def test_discharge_beyond_rate_raises(self):
+        battery = UpsBattery()
+        with pytest.raises(BatteryDepletedError):
+            battery.discharge(battery.max_discharge_power_w * 2.0, 1.0)
+
+    def test_discharge_up_to_is_best_effort(self):
+        battery = UpsBattery()
+        battery.discharge_up_to(55.0, 300.0)
+        # Almost drained; the next big request delivers only what remains.
+        delivered = battery.discharge_up_to(330.0, 60.0)
+        assert delivered < 330.0
+        assert battery.is_empty
+
+    def test_discharge_up_to_zero_power(self):
+        battery = UpsBattery()
+        assert battery.discharge_up_to(0.0, 1.0) == 0.0
+
+    def test_recharge_restores_energy_with_losses(self):
+        battery = UpsBattery(efficiency=0.9)
+        battery.discharge(55.0, 180.0)
+        stored = battery.recharge(100.0, 10.0)
+        assert stored == pytest.approx(100.0 * 10.0 * 0.9)
+
+    def test_recharge_saturates_at_capacity(self):
+        battery = UpsBattery()
+        stored = battery.recharge(1e6, 100.0)
+        assert stored == 0.0
+        assert battery.state_of_charge == pytest.approx(1.0)
+
+    def test_cycle_accounting(self):
+        battery = UpsBattery()
+        battery.discharge_up_to(55.0, 360.0)
+        assert battery.equivalent_full_cycles == pytest.approx(1.0, rel=1e-6)
+
+    def test_runtime_zero_power_is_infinite(self):
+        assert math.isinf(UpsBattery().runtime_at_power_s(0.0))
+
+    def test_runtime_above_rate_limit_is_zero(self):
+        battery = UpsBattery()
+        assert battery.runtime_at_power_s(battery.max_discharge_power_w * 2) == 0.0
+
+    def test_chemistry_service_life(self):
+        assert BatteryChemistry.LEAD_ACID.service_life_years == 4
+        assert BatteryChemistry.LFP.service_life_years == 8
+
+    def test_safe_discharge_budget_constant(self):
+        assert SAFE_FULL_DISCHARGES_PER_MONTH == 10
+
+    def test_reset(self):
+        battery = UpsBattery()
+        battery.discharge_up_to(55.0, 100.0)
+        battery.reset()
+        assert battery.state_of_charge == pytest.approx(1.0)
+        assert battery.equivalent_full_cycles == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            UpsBattery(capacity_ah=0.0)
+        with pytest.raises(ConfigurationError):
+            UpsBattery(efficiency=1.5)
+
+    @given(
+        draws=st.lists(
+            st.floats(min_value=0.0, max_value=300.0), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=40)
+    def test_energy_conservation(self, draws):
+        """Delivered energy never exceeds the initial capacity."""
+        battery = UpsBattery()
+        total = 0.0
+        for power in draws:
+            total += battery.discharge_up_to(power, 10.0) * 10.0
+        assert total <= battery.capacity_j * (1.0 + 1e-9)
+        assert battery.energy_j >= -1e-9
+
+
+class TestDistributedUpsFleet:
+    def test_aggregates_capacity(self):
+        fleet = DistributedUpsFleet(n_batteries=200)
+        assert fleet.capacity_j == pytest.approx(200 * 19_800.0)
+
+    def test_discharge_scales(self):
+        fleet = DistributedUpsFleet(n_batteries=10)
+        delivered = fleet.discharge_up_to(550.0, 60.0)
+        assert delivered == pytest.approx(550.0)
+        assert fleet.energy_j == pytest.approx(
+            fleet.capacity_j - 550.0 * 60.0
+        )
+
+    def test_fleet_runtime_matches_single_battery_ratio(self):
+        """The fleet drains exactly like one battery under per-server load."""
+        fleet = DistributedUpsFleet(n_batteries=200)
+        single = UpsBattery()
+        fleet.discharge_up_to(55.0 * 200, 100.0)
+        single.discharge_up_to(55.0, 100.0)
+        assert fleet.state_of_charge == pytest.approx(single.state_of_charge)
+
+    def test_recharge_scales(self):
+        fleet = DistributedUpsFleet(n_batteries=10)
+        fleet.discharge_up_to(550.0, 60.0)
+        stored = fleet.recharge(100.0, 10.0)
+        assert stored == pytest.approx(100.0 * 10.0 * 0.9)
+
+    def test_reset(self):
+        fleet = DistributedUpsFleet(n_batteries=5)
+        fleet.discharge_up_to(100.0, 10.0)
+        fleet.reset()
+        assert fleet.state_of_charge == pytest.approx(1.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            DistributedUpsFleet(n_batteries=0)

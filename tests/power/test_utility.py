@@ -1,0 +1,171 @@
+"""Tests for utility-feed events and the diesel generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.utility import (
+    DieselGenerator,
+    GeneratorState,
+    UtilityEvent,
+    UtilityEventKind,
+    UtilityFeed,
+    bridge_outage,
+)
+
+
+class TestUtilityFeed:
+    def make_feed(self):
+        feed = UtilityFeed(nominal_capacity_w=1000.0)
+        feed.add_event(UtilityEvent(UtilityEventKind.OUTAGE, 100.0, 50.0))
+        feed.add_event(UtilityEvent(UtilityEventKind.SAG, 300.0, 60.0, 0.7))
+        feed.add_event(UtilityEvent(UtilityEventKind.SPIKE, 500.0, 10.0, 1.2))
+        return feed
+
+    def test_nominal_when_healthy(self):
+        feed = self.make_feed()
+        assert feed.available_power_w(0.0) == 1000.0
+        assert feed.is_healthy(0.0)
+
+    def test_outage_zeroes_supply(self):
+        feed = self.make_feed()
+        assert feed.available_power_w(120.0) == 0.0
+        assert not feed.is_healthy(120.0)
+
+    def test_event_window_boundaries(self):
+        feed = self.make_feed()
+        assert feed.available_power_w(99.9) == 1000.0
+        assert feed.available_power_w(100.0) == 0.0
+        assert feed.available_power_w(150.0) == 1000.0
+
+    def test_sag_scales_supply(self):
+        feed = self.make_feed()
+        assert feed.available_power_w(320.0) == pytest.approx(700.0)
+
+    def test_spike_raises_load_multiplier(self):
+        feed = self.make_feed()
+        assert feed.load_multiplier(505.0) == pytest.approx(1.2)
+        assert feed.load_multiplier(0.0) == 1.0
+
+    def test_spike_does_not_cut_supply(self):
+        feed = self.make_feed()
+        assert feed.available_power_w(505.0) == 1000.0
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            UtilityEvent(UtilityEventKind.OUTAGE, -1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            UtilityEvent(UtilityEventKind.SAG, 0.0, 0.0)
+
+
+class TestDieselGenerator:
+    def test_startup_sequence(self):
+        gen = DieselGenerator(rated_power_w=500.0, startup_time_s=30.0)
+        assert gen.state is GeneratorState.OFF
+        gen.start()
+        assert gen.state is GeneratorState.STARTING
+        for _ in range(29):
+            gen.step(1.0)
+        assert gen.available_power_w() == 0.0
+        gen.step(1.0)
+        assert gen.state is GeneratorState.RUNNING
+        assert gen.available_power_w() == 500.0
+
+    def test_start_is_idempotent(self):
+        gen = DieselGenerator(rated_power_w=500.0, startup_time_s=10.0)
+        gen.start()
+        for _ in range(5):
+            gen.step(1.0)
+        gen.start()  # must not restart the sequence
+        for _ in range(5):
+            gen.step(1.0)
+        assert gen.state is GeneratorState.RUNNING
+
+    def test_draw_limited_by_rating(self):
+        gen = DieselGenerator(rated_power_w=500.0, startup_time_s=1.0)
+        gen.start()
+        gen.step(1.0)
+        assert gen.draw(800.0, 1.0) == pytest.approx(500.0)
+
+    def test_fuel_burn(self):
+        gen = DieselGenerator(
+            rated_power_w=100.0, startup_time_s=1.0, fuel_capacity_j=250.0
+        )
+        gen.start()
+        gen.step(1.0)
+        assert gen.draw(100.0, 1.0) == pytest.approx(100.0)
+        assert gen.fuel_j == pytest.approx(150.0)
+        gen.draw(100.0, 1.0)
+        # Only 50 J left: partial delivery on the third second.
+        assert gen.draw(100.0, 1.0) == pytest.approx(50.0)
+        assert gen.available_power_w() == 0.0
+
+    def test_stop(self):
+        gen = DieselGenerator(rated_power_w=100.0, startup_time_s=1.0)
+        gen.start()
+        gen.step(1.0)
+        gen.stop()
+        assert gen.available_power_w() == 0.0
+
+    def test_reset(self):
+        gen = DieselGenerator(
+            rated_power_w=100.0, startup_time_s=1.0, fuel_capacity_j=100.0
+        )
+        gen.start()
+        gen.step(1.0)
+        gen.draw(100.0, 1.0)
+        gen.reset()
+        assert gen.state is GeneratorState.OFF
+        assert gen.fuel_j == pytest.approx(100.0)
+
+
+class TestBridgeOutage:
+    def test_classic_bridge_succeeds(self):
+        """Section III-B: the UPS carries the load for the tens of seconds
+        the diesel needs to start."""
+        gen = DieselGenerator(rated_power_w=1000.0, startup_time_s=30.0)
+        # 6 minutes of UPS at the critical load (the paper's sizing).
+        steps = bridge_outage(
+            critical_load_w=1000.0,
+            outage_duration_s=300.0,
+            ups_energy_j=1000.0 * 360.0,
+            generator=gen,
+        )
+        assert all(s.served for s in steps)
+        # UPS carried the start window, diesel the rest.
+        assert steps[10].ups_w == pytest.approx(1000.0)
+        assert steps[10].generator_w == 0.0
+        assert steps[60].generator_w == pytest.approx(1000.0)
+        assert steps[60].ups_w == 0.0
+
+    def test_depleted_ups_fails_the_bridge(self):
+        """A UPS drained by sprinting just before an outage cannot bridge
+        the diesel start — the operational risk behind keeping a reserve."""
+        gen = DieselGenerator(rated_power_w=1000.0, startup_time_s=30.0)
+        steps = bridge_outage(
+            critical_load_w=1000.0,
+            outage_duration_s=60.0,
+            ups_energy_j=1000.0 * 5.0,  # five seconds of charge left
+            generator=gen,
+        )
+        assert not all(s.served for s in steps)
+        unserved = [s for s in steps if not s.served]
+        # The gap opens after the UPS dies and before the diesel is up.
+        assert unserved[0].time_s >= 5.0
+        assert unserved[-1].time_s < 31.0
+
+    def test_slow_generator_needs_more_ups(self):
+        fast = DieselGenerator(rated_power_w=1000.0, startup_time_s=10.0)
+        slow = DieselGenerator(rated_power_w=1000.0, startup_time_s=60.0)
+        ups_j = 1000.0 * 30.0
+        ok_fast = all(
+            s.served
+            for s in bridge_outage(1000.0, 120.0, ups_j, fast)
+        )
+        ok_slow = all(
+            s.served
+            for s in bridge_outage(1000.0, 120.0, ups_j, slow)
+        )
+        assert ok_fast
+        assert not ok_slow

@@ -1,0 +1,97 @@
+"""Tests for the many-core chip power model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.servers.chip import ChipModel
+
+
+class TestChipPaperNumbers:
+    def test_full_utilisation_125w(self):
+        """48 cores fully utilised: 5 + 48 x 2.5 = 125 W (Section VI-A)."""
+        assert ChipModel().full_power_w == pytest.approx(125.0)
+
+    def test_all_cores_inactive_5w(self):
+        assert ChipModel().power_w(0) == pytest.approx(5.0)
+
+    def test_normal_operation_35w(self):
+        """12 normal cores: 5 + 12 x 2.5 = 35 W."""
+        assert ChipModel().normal_power_w == pytest.approx(35.0)
+
+    def test_max_sprinting_degree_is_four(self):
+        assert ChipModel().max_sprinting_degree == pytest.approx(4.0)
+
+
+class TestDegreeArithmetic:
+    def test_cores_for_degree_one(self):
+        assert ChipModel().cores_for_degree(1.0) == 12
+
+    def test_cores_for_degree_four(self):
+        assert ChipModel().cores_for_degree(4.0) == 48
+
+    def test_cores_round_up(self):
+        """Fractional degrees round up so capacity is never short."""
+        assert ChipModel().cores_for_degree(1.01) == 13
+
+    def test_cores_clamped_to_chip(self):
+        assert ChipModel().cores_for_degree(10.0) == 48
+
+    def test_degree_for_cores(self):
+        chip = ChipModel()
+        assert chip.degree_for_cores(24) == pytest.approx(2.0)
+        assert chip.degree_for_cores(48) == pytest.approx(4.0)
+
+    def test_degree_for_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            ChipModel().degree_for_cores(49)
+
+    @given(degree=st.floats(min_value=0.1, max_value=4.0))
+    @settings(max_examples=50)
+    def test_cores_for_degree_covers_request(self, degree):
+        chip = ChipModel()
+        cores = chip.cores_for_degree(degree)
+        assert chip.degree_for_cores(cores) >= min(degree, 4.0) - 1e-9
+
+
+class TestChipPower:
+    def test_power_scales_with_utilisation(self):
+        chip = ChipModel()
+        assert chip.power_w(48, utilization=0.5) == pytest.approx(
+            5.0 + 48 * 2.5 * 0.5
+        )
+
+    def test_power_at_continuous_degree(self):
+        chip = ChipModel()
+        assert chip.power_at_degree_w(2.0) == pytest.approx(5.0 + 24 * 2.5)
+        assert chip.power_at_degree_w(1.5) == pytest.approx(5.0 + 18 * 2.5)
+
+    def test_power_at_degree_beyond_max_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChipModel().power_at_degree_w(4.5)
+
+    def test_power_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            ChipModel().power_w(-1)
+        with pytest.raises(ConfigurationError):
+            ChipModel().power_w(49)
+
+    def test_power_invalid_utilisation(self):
+        with pytest.raises(ConfigurationError):
+            ChipModel().power_w(12, utilization=1.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ChipModel(normal_cores=0)
+        with pytest.raises(ConfigurationError):
+            ChipModel(normal_cores=49)
+
+    @given(d=st.floats(min_value=0.0, max_value=4.0))
+    @settings(max_examples=50)
+    def test_power_monotone_in_degree(self, d):
+        chip = ChipModel()
+        assert chip.power_at_degree_w(d) <= chip.power_at_degree_w(
+            min(4.0, d + 0.1)
+        ) + 1e-9

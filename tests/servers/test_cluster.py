@@ -1,0 +1,81 @@
+"""Tests for the server-fleet aggregate model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.servers.cluster import ServerCluster
+from repro.servers.performance import ThroughputModel
+
+
+class TestClusterPaperNumbers:
+    def test_fleet_peak_normal_power_near_10mw(self):
+        """180,000 servers x 55 W = 9.9 MW (the paper's 10 MW facility)."""
+        assert ServerCluster().peak_normal_power_w == pytest.approx(9.9e6)
+
+    def test_full_sprint_power(self):
+        assert ServerCluster().full_sprint_power_w == pytest.approx(26.1e6)
+
+    def test_max_additional_power(self):
+        assert ServerCluster().max_additional_power_w == pytest.approx(16.2e6)
+
+
+class TestClusterPower:
+    def test_power_at_degree_scales(self):
+        cluster = ServerCluster()
+        assert cluster.power_at_degree_w(2.0) == pytest.approx(
+            180_000 * 85.0
+        )
+
+    def test_degree_for_power_inverts_power_at_degree(self):
+        cluster = ServerCluster()
+        for degree in (0.5, 1.0, 1.7, 2.5, 4.0):
+            power = cluster.power_at_degree_w(degree)
+            assert cluster.degree_for_power(power) == pytest.approx(
+                degree, rel=1e-9
+            )
+
+    def test_degree_for_power_clamps(self):
+        cluster = ServerCluster()
+        assert cluster.degree_for_power(1e12) == pytest.approx(4.0)
+        assert cluster.degree_for_power(0.0) == 0.0
+
+    @given(degree=st.floats(min_value=0.1, max_value=4.0))
+    @settings(max_examples=50)
+    def test_power_degree_round_trip(self, degree):
+        cluster = ServerCluster()
+        power = cluster.power_at_degree_w(degree)
+        assert cluster.degree_for_power(power) == pytest.approx(
+            degree, rel=1e-9
+        )
+
+
+class TestClusterCapacity:
+    def test_capacity_at_degree(self):
+        cluster = ServerCluster()
+        assert cluster.capacity_at_degree(1.0) == pytest.approx(1.0)
+        assert cluster.capacity_at_degree(4.0) == pytest.approx(
+            cluster.max_capacity
+        )
+
+    def test_degree_for_demand(self):
+        cluster = ServerCluster()
+        demand = 1.8
+        degree = cluster.degree_for_demand(demand)
+        assert cluster.capacity_at_degree(degree) == pytest.approx(demand)
+
+    def test_demand_beyond_ceiling_needs_max_degree(self):
+        cluster = ServerCluster()
+        assert cluster.degree_for_demand(3.2) == pytest.approx(4.0)
+
+
+class TestClusterValidation:
+    def test_throughput_degree_must_match_chip(self):
+        with pytest.raises(ConfigurationError):
+            ServerCluster(throughput=ThroughputModel(max_degree=3.0))
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            ServerCluster(n_servers=0)

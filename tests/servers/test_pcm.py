@@ -1,0 +1,139 @@
+"""Tests for the chip-level PCM heat sink and its controller coupling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.strategies import GreedyStrategy
+from repro.errors import ConfigurationError
+from repro.servers.chip import ChipModel
+from repro.servers.pcm import PcmHeatSink
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+
+
+def make_pcm(endurance_min=30.0):
+    chip = ChipModel()
+    excess = chip.full_power_w - chip.normal_power_w
+    return PcmHeatSink(chip=chip, latent_budget_j=excess * endurance_min * 60.0)
+
+
+class TestPcmPhysics:
+    def test_default_full_sprint_endurance(self):
+        pcm = make_pcm(endurance_min=30.0)
+        assert pcm.endurance_s(4.0) == pytest.approx(30.0 * 60.0)
+
+    def test_normal_operation_never_melts(self):
+        pcm = make_pcm()
+        for _ in range(10_000):
+            pcm.step(1.0, 1.0)
+        assert pcm.melted_fraction == 0.0
+        assert math.isinf(pcm.endurance_s(1.0))
+
+    def test_sprinting_melts_then_exhausts(self):
+        pcm = make_pcm(endurance_min=1.0)
+        for _ in range(59):
+            pcm.step(4.0, 1.0)
+        assert not pcm.exhausted
+        pcm.step(4.0, 1.0)
+        assert pcm.exhausted
+
+    def test_lower_degree_lasts_longer(self):
+        pcm = make_pcm()
+        assert pcm.endurance_s(2.0) > pcm.endurance_s(4.0)
+
+    def test_refreeze_during_normal_operation(self):
+        pcm = make_pcm(endurance_min=1.0)
+        for _ in range(30):
+            pcm.step(4.0, 1.0)
+        melted = pcm.melted_j
+        pcm.step(1.0, 10.0)
+        assert pcm.melted_j < melted
+
+    def test_refreeze_saturates_at_solid(self):
+        pcm = make_pcm()
+        pcm.step(1.0, 1e6)
+        assert pcm.melted_j == 0.0
+
+    def test_max_sustainable_degree_shrinks_with_melt(self):
+        pcm = make_pcm(endurance_min=1.0)
+        fresh = pcm.max_sustainable_degree(120.0)
+        for _ in range(30):
+            pcm.step(4.0, 1.0)
+        worn = pcm.max_sustainable_degree(120.0)
+        assert worn < fresh
+
+    def test_exhaustion_latches_until_fully_solid(self):
+        """The Section IV rule ends the sprinting episode; a sliver of
+        re-frozen material must not flicker it back on."""
+        pcm = make_pcm(endurance_min=1.0)
+        for _ in range(60):
+            pcm.step(4.0, 1.0)
+        assert pcm.exhausted
+        pcm.step(1.0, 5.0)  # partially re-frozen
+        assert pcm.melted_fraction < 1.0
+        assert pcm.exhausted  # still latched
+        pcm.step(1.0, 1e6)  # fully solid again
+        assert not pcm.exhausted
+
+    def test_exhausted_pcm_allows_only_normal(self):
+        pcm = make_pcm(endurance_min=1.0)
+        for _ in range(60):
+            pcm.step(4.0, 1.0)
+        assert pcm.max_sustainable_degree(10.0) == pytest.approx(1.0)
+
+    def test_reset(self):
+        pcm = make_pcm(endurance_min=1.0)
+        for _ in range(30):
+            pcm.step(4.0, 1.0)
+        pcm.reset()
+        assert pcm.melted_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PcmHeatSink(latent_budget_j=-1.0)
+
+
+class TestControllerCoupling:
+    def test_small_pcm_ends_dc_sprinting(self):
+        """Section IV: exhausted chip-level sprinting finishes DC
+        sprinting, whatever the data-center-level budgets still hold."""
+        config = DataCenterConfig(
+            n_pdus=2, servers_per_pdu=50, chip_sprint_endurance_min=2.0
+        )
+        dc = build_datacenter(config)
+        controller = dc.controller(GreedyStrategy())
+        degrees = [controller.step(3.0, float(t)).degree for t in range(600)]
+        assert max(degrees[:60]) > 2.0  # sprinting initially
+        assert max(degrees[-120:]) <= 1.0 + 1e-9  # ended by the chip limit
+
+    def test_default_endurance_never_binds(self):
+        """At the default 30-minute budget the DC-level constraints bind
+        first — the paper's operating assumption."""
+        config = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+        dc = build_datacenter(config)
+        controller = dc.controller(GreedyStrategy())
+        for t in range(1800):
+            controller.step(3.0, float(t))
+        assert not controller.pcm.exhausted
+
+    def test_can_be_disabled(self):
+        config = DataCenterConfig(
+            n_pdus=2, servers_per_pdu=50, enforce_chip_thermal=False
+        )
+        dc = build_datacenter(config)
+        controller = dc.controller(GreedyStrategy())
+        assert controller.pcm is None
+
+    def test_reset_refreezes(self):
+        config = DataCenterConfig(
+            n_pdus=2, servers_per_pdu=50, chip_sprint_endurance_min=2.0
+        )
+        dc = build_datacenter(config)
+        controller = dc.controller(GreedyStrategy())
+        for t in range(300):
+            controller.step(3.0, float(t))
+        controller.reset()
+        assert controller.pcm.melted_fraction == 0.0

@@ -1,0 +1,45 @@
+"""Tests for the server power model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.servers.server import ServerModel
+
+
+class TestServerPaperNumbers:
+    def test_peak_normal_55w(self):
+        """20 W non-CPU + 5 W idle chip + 12 x 2.5 W = 55 W (Section VI-A)."""
+        assert ServerModel().peak_normal_power_w == pytest.approx(55.0)
+
+    def test_full_sprint_145w(self):
+        """20 W non-CPU + 125 W chip = 145 W."""
+        assert ServerModel().full_sprint_power_w == pytest.approx(145.0)
+
+    def test_max_additional_90w(self):
+        assert ServerModel().max_additional_power_w == pytest.approx(90.0)
+
+
+class TestServerPower:
+    def test_power_at_degree(self):
+        server = ServerModel()
+        assert server.power_at_degree_w(1.0) == pytest.approx(55.0)
+        assert server.power_at_degree_w(2.0) == pytest.approx(85.0)
+        assert server.power_at_degree_w(4.0) == pytest.approx(145.0)
+
+    def test_additional_power_at_degree(self):
+        server = ServerModel()
+        assert server.additional_power_at_degree_w(1.0) == 0.0
+        assert server.additional_power_at_degree_w(3.0) == pytest.approx(60.0)
+
+    def test_additional_power_below_normal_is_zero(self):
+        assert ServerModel().additional_power_at_degree_w(0.5) == 0.0
+
+    def test_power_with_utilisation(self):
+        server = ServerModel()
+        assert server.power_w(12, utilization=0.0) == pytest.approx(25.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ServerModel(non_cpu_power_w=-1.0)

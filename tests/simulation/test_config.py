@@ -1,0 +1,64 @@
+"""Tests for the Section VI-A configuration object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.config import DEFAULT_CONFIG, DataCenterConfig
+
+
+class TestPaperDefaults:
+    def test_fleet_of_180k_servers(self):
+        assert DEFAULT_CONFIG.n_servers == 180_000
+
+    def test_peak_normal_server_power_55w(self):
+        assert DEFAULT_CONFIG.peak_normal_server_power_w == pytest.approx(55.0)
+
+    def test_peak_normal_it_power_near_10mw(self):
+        assert DEFAULT_CONFIG.peak_normal_it_power_w == pytest.approx(9.9e6)
+
+    def test_pue(self):
+        assert DEFAULT_CONFIG.pue == pytest.approx(1.53)
+
+    def test_default_headroom_10_percent(self):
+        assert DEFAULT_CONFIG.dc_headroom_fraction == pytest.approx(0.10)
+
+    def test_max_sprinting_degree_four(self):
+        assert DEFAULT_CONFIG.max_sprinting_degree == pytest.approx(4.0)
+
+    def test_ups_half_amp_hour(self):
+        assert DEFAULT_CONFIG.ups_capacity_ah == pytest.approx(0.5)
+
+    def test_tes_twelve_minutes(self):
+        assert DEFAULT_CONFIG.tes_runtime_min == pytest.approx(12.0)
+
+    def test_one_minute_reserve(self):
+        assert DEFAULT_CONFIG.reserve_trip_time_s == pytest.approx(60.0)
+
+
+class TestConfigMechanics:
+    def test_with_changes(self):
+        swept = DEFAULT_CONFIG.with_changes(dc_headroom_fraction=0.2)
+        assert swept.dc_headroom_fraction == pytest.approx(0.2)
+        assert swept.pue == DEFAULT_CONFIG.pue
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.pue = 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DataCenterConfig(n_pdus=0)
+        with pytest.raises(ConfigurationError):
+            DataCenterConfig(normal_cores=0)
+        with pytest.raises(ConfigurationError):
+            DataCenterConfig(normal_cores=49)
+        with pytest.raises(ConfigurationError):
+            DataCenterConfig(pue=0.9)
+        with pytest.raises(ConfigurationError):
+            DataCenterConfig(chiller_margin=0.8)
+        with pytest.raises(ConfigurationError):
+            DataCenterConfig(throughput_max_capacity=1.0)
+        with pytest.raises(ConfigurationError):
+            DataCenterConfig(dt_s=0.0)

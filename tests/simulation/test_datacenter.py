@@ -1,0 +1,62 @@
+"""Tests for the facility assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies import GreedyStrategy
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+
+
+class TestBuildDatacenter:
+    def test_substrate_sizes_consistent(self, datacenter):
+        assert datacenter.cluster.n_servers == datacenter.topology.n_servers
+        assert datacenter.cluster.peak_normal_power_w == pytest.approx(
+            datacenter.topology.peak_normal_it_power_w
+        )
+
+    def test_tes_built_by_default(self, datacenter):
+        assert datacenter.cooling.has_tes
+        assert datacenter.cooling.tes.runtime_at_load_s(
+            datacenter.cluster.peak_normal_power_w
+        ) == pytest.approx(12 * 60.0)
+
+    def test_no_tes_config(self):
+        dc = build_datacenter(DataCenterConfig(has_tes=False))
+        assert not dc.cooling.has_tes
+
+    def test_controller_wiring(self, datacenter):
+        controller = datacenter.controller(GreedyStrategy())
+        assert controller.settings.reserve_trip_time_s == pytest.approx(60.0)
+        assert controller.cluster is datacenter.cluster
+
+    def test_uncontrolled_wiring(self, datacenter):
+        baseline = datacenter.uncontrolled()
+        assert baseline.cluster is datacenter.cluster
+
+    def test_reset(self, small_datacenter):
+        controller = small_datacenter.controller(GreedyStrategy())
+        for t in range(120):
+            controller.step(2.6, float(t))
+        small_datacenter.reset()
+        assert small_datacenter.topology.ups_energy_j == pytest.approx(
+            small_datacenter.topology.ups_capacity_j
+        )
+
+    def test_headroom_sweep_builds(self):
+        for headroom in (0.0, 0.10, 0.20):
+            dc = build_datacenter(
+                DataCenterConfig(dc_headroom_fraction=headroom)
+            )
+            expected = 9.9e6 * 1.53 * (1.0 + headroom)
+            assert dc.topology.dc_breaker.rated_power_w == pytest.approx(
+                expected
+            )
+
+    def test_pue_sweep_builds(self):
+        for pue in (1.2, 1.53, 1.8):
+            dc = build_datacenter(DataCenterConfig(pue=pue))
+            assert dc.cooling.chiller.cooling_overhead == pytest.approx(
+                pue - 1.0
+            )

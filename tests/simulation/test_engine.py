@@ -1,0 +1,126 @@
+"""Tests for the simulation engine, Oracle search and the bound table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import FixedUpperBoundStrategy, GreedyStrategy
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import (
+    build_upper_bound_table,
+    evaluate_upper_bound,
+    oracle_for_trace,
+    run_simulation,
+    simulate_strategy,
+)
+from repro.workloads.traces import Trace
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+
+def burst_trace(level=2.2, burst_s=300, total_s=600):
+    values = [0.8] * 60 + [level] * burst_s
+    values += [0.8] * (total_s - len(values))
+    return Trace(np.asarray(values), 1.0, "burst")
+
+
+class TestRunSimulation:
+    def test_back_to_back_runs_are_independent(self, small_datacenter):
+        trace = burst_trace()
+        first = run_simulation(small_datacenter, trace, GreedyStrategy())
+        second = run_simulation(small_datacenter, trace, GreedyStrategy())
+        assert first.served.tolist() == second.served.tolist()
+
+    def test_simulate_strategy_builds_fresh_facility(self):
+        trace = burst_trace()
+        a = simulate_strategy(trace, GreedyStrategy(), SMALL)
+        b = simulate_strategy(trace, GreedyStrategy(), SMALL)
+        assert a.average_performance == pytest.approx(b.average_performance)
+
+    def test_strategy_name_recorded(self):
+        result = simulate_strategy(burst_trace(), GreedyStrategy(), SMALL)
+        assert result.strategy_name == "greedy"
+
+    def test_trace_dt_must_match_controller_step(self):
+        """A coarser trace on a 1-second controller would silently distort
+        the breaker thermal integration: the engine refuses it."""
+        from repro.errors import ConfigurationError
+
+        coarse = burst_trace().resampled(5.0)
+        with pytest.raises(ConfigurationError, match="sampling period"):
+            simulate_strategy(coarse, GreedyStrategy(), SMALL)
+
+    def test_coarse_trace_runs_with_matching_config(self):
+        coarse = burst_trace().resampled(5.0)
+        config = DataCenterConfig(n_pdus=2, servers_per_pdu=50, dt_s=5.0)
+        result = simulate_strategy(coarse, GreedyStrategy(), config)
+        assert result.average_performance > 1.0
+
+    def test_integration_step_invariance(self):
+        """The physics integrate consistently across step sizes: a 5 s
+        controller on the resampled trace lands within a few percent of
+        the 1 s reference."""
+        trace = burst_trace(level=2.6, burst_s=600, total_s=900)
+        fine = simulate_strategy(trace, GreedyStrategy(), SMALL)
+        coarse_config = DataCenterConfig(
+            n_pdus=2, servers_per_pdu=50, dt_s=5.0
+        )
+        coarse = simulate_strategy(
+            trace.resampled(5.0), GreedyStrategy(), coarse_config
+        )
+        assert coarse.average_performance == pytest.approx(
+            fine.average_performance, rel=0.05
+        )
+
+
+class TestOracleSearch:
+    def test_oracle_at_least_as_good_as_greedy(self):
+        """The Oracle dominates by construction whenever the candidate set
+        includes the unconstrained bound."""
+        trace = burst_trace(level=3.0, burst_s=900, total_s=1100)
+        oracle = oracle_for_trace(trace, SMALL, candidates=(2.0, 3.0, 4.0))
+        greedy = simulate_strategy(trace, GreedyStrategy(), SMALL)
+        assert oracle.achieved_performance >= (
+            greedy.average_performance - 1e-9
+        )
+
+    def test_long_burst_prefers_interior_bound(self):
+        """Section V-A's thesis: constrained degree wins on long bursts."""
+        trace = burst_trace(level=3.0, burst_s=900, total_s=1100)
+        oracle = oracle_for_trace(trace, SMALL, candidates=(2.0, 2.5, 3.0, 4.0))
+        assert oracle.upper_bound < 4.0
+
+    def test_short_burst_is_unconstrained(self):
+        """Fig. 10a: Greedy equals Oracle when energy is not exhausted."""
+        trace = burst_trace(level=3.0, burst_s=120, total_s=400)
+        oracle = oracle_for_trace(trace, SMALL, candidates=(2.0, 3.0, 4.0))
+        greedy = simulate_strategy(trace, GreedyStrategy(), SMALL)
+        assert oracle.achieved_performance == pytest.approx(
+            greedy.average_performance, rel=1e-6
+        )
+
+    def test_evaluate_upper_bound_matches_fixed_strategy(self):
+        trace = burst_trace()
+        direct = simulate_strategy(trace, FixedUpperBoundStrategy(2.5), SMALL)
+        assert evaluate_upper_bound(trace, 2.5, SMALL) == pytest.approx(
+            direct.average_performance
+        )
+
+
+class TestUpperBoundTable:
+    def test_build_small_table(self):
+        table = build_upper_bound_table(
+            config=SMALL,
+            burst_durations_min=(2.0, 10.0),
+            burst_degrees=(3.0,),
+            candidates=(2.0, 3.0, 4.0),
+            trace_factory=lambda degree, dur: burst_trace(
+                level=degree, burst_s=int(dur * 60), total_s=int(dur * 60) + 300
+            ),
+        )
+        assert len(table) == 2
+        short = table.lookup(120.0, 3.0)
+        long = table.lookup(600.0, 3.0)
+        assert short >= long

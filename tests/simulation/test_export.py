@@ -1,0 +1,95 @@
+"""Tests for result export (CSV/JSON)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import GreedyStrategy
+from repro.errors import ConfigurationError
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.engine import simulate_strategy
+from repro.simulation.export import (
+    STEP_FIELDS,
+    result_summary_dict,
+    result_to_records,
+    write_steps_csv,
+    write_summary_json,
+)
+from repro.simulation.metrics import SimulationResult
+from repro.workloads.traces import Trace
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+
+@pytest.fixture(scope="module")
+def result():
+    values = [0.8] * 30 + [2.2] * 120 + [0.8] * 30
+    trace = Trace(np.asarray(values, dtype=float), 1.0, "export-test")
+    return simulate_strategy(trace, GreedyStrategy(), SMALL)
+
+
+class TestRecords:
+    def test_one_record_per_step(self, result):
+        records = result_to_records(result)
+        assert len(records) == len(result.steps)
+
+    def test_record_fields(self, result):
+        record = result_to_records(result)[0]
+        for field in STEP_FIELDS:
+            assert field in record
+        assert "phase" in record
+
+    def test_values_are_plain_python(self, result):
+        record = result_to_records(result)[100]
+        for key, value in record.items():
+            assert isinstance(value, (float, str)), key
+
+
+class TestCsv:
+    def test_round_trip(self, result, tmp_path):
+        path = write_steps_csv(result, tmp_path / "steps.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(result.steps)
+        assert float(rows[100]["served"]) == pytest.approx(
+            result.steps[100].served
+        )
+        assert rows[100]["phase"] == result.steps[100].phase.value
+
+    def test_empty_result_rejected(self, result, tmp_path):
+        empty = SimulationResult(
+            trace=result.trace,
+            strategy_name="x",
+            steps=[],
+            energy_shares={},
+            time_in_phase_s={},
+            dropped_integral=0.0,
+            served_integral=0.0,
+            demand_integral=0.0,
+        )
+        with pytest.raises(ConfigurationError):
+            write_steps_csv(empty, tmp_path / "nope.csv")
+
+
+class TestJson:
+    def test_summary_dict_is_json_safe(self, result):
+        payload = result_summary_dict(result)
+        text = json.dumps(payload)  # must not raise
+        restored = json.loads(text)
+        assert restored["strategy"] == "greedy"
+        assert restored["average_performance"] > 1.0
+        assert "phase2-ups" in restored["time_in_phase_s"]
+
+    def test_write_summary_json(self, result, tmp_path):
+        path = write_summary_json([result, result], tmp_path / "summary.json")
+        payload = json.loads(path.read_text())
+        assert len(payload) == 2
+        assert payload[0]["trace"] == "export-test"
+
+    def test_empty_list_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_summary_json([], tmp_path / "nope.json")

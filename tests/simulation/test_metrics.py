@@ -1,0 +1,103 @@
+"""Tests for performance metrics and the result container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import GreedyStrategy
+from repro.errors import ConfigurationError
+from repro.simulation.engine import run_simulation
+from repro.simulation.metrics import (
+    average_performance_improvement,
+    baseline_served,
+)
+from repro.workloads.traces import Trace
+
+
+def make_trace(values):
+    return Trace(np.asarray(values, dtype=float), 1.0, "t")
+
+
+class TestBaseline:
+    def test_baseline_caps_at_one(self):
+        trace = make_trace([0.5, 1.5, 3.0])
+        assert baseline_served(trace).tolist() == [0.5, 1.0, 1.0]
+
+
+class TestAveragePerformance:
+    def test_no_sprinting_equals_one(self):
+        trace = make_trace([0.5, 1.5, 2.0])
+        served = [0.5, 1.0, 1.0]
+        assert average_performance_improvement(served, trace) == (
+            pytest.approx(1.0)
+        )
+
+    def test_burst_window_restriction(self):
+        """Only over-capacity samples count in the paper's metric."""
+        trace = make_trace([0.5, 2.0, 2.0])
+        served = [0.5, 2.0, 1.0]
+        # Burst samples served (2.0 + 1.0)/2 against baseline 1.0.
+        assert average_performance_improvement(served, trace) == (
+            pytest.approx(1.5)
+        )
+
+    def test_whole_trace_metric(self):
+        trace = make_trace([0.5, 2.0])
+        served = [0.5, 2.0]
+        value = average_performance_improvement(
+            served, trace, burst_window_only=False
+        )
+        assert value == pytest.approx(2.5 / 1.5)
+
+    def test_trace_without_bursts_returns_one(self):
+        trace = make_trace([0.5, 0.8])
+        assert average_performance_improvement([0.5, 0.8], trace) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        trace = make_trace([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            average_performance_improvement([1.0], trace)
+
+
+class TestSimulationResult:
+    @pytest.fixture()
+    def result(self, small_datacenter):
+        trace = make_trace([0.8] * 30 + [2.2] * 120 + [0.8] * 30)
+        return run_simulation(small_datacenter, trace, GreedyStrategy())
+
+    def test_series_lengths(self, result):
+        assert len(result.served) == len(result.trace)
+        assert len(result.degrees) == len(result.trace)
+
+    def test_average_performance_above_one(self, result):
+        assert result.average_performance > 1.0
+
+    def test_overall_performance_differs_from_burst_metric(self, result):
+        assert result.overall_performance != result.average_performance
+
+    def test_peak_degree(self, result):
+        assert result.peak_degree > 1.0
+
+    def test_sprint_duration_positive(self, result):
+        assert 0.0 < result.sprint_duration_s <= 120.0 + 1.0
+
+    def test_drop_fraction_in_range(self, result):
+        assert 0.0 <= result.drop_fraction < 1.0
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        for key in (
+            "average_performance",
+            "drop_fraction",
+            "peak_degree",
+            "sprint_duration_s",
+            "ups_energy_share",
+            "tes_energy_share",
+            "cb_energy_share",
+            "peak_room_temperature_c",
+        ):
+            assert key in summary
+
+    def test_served_never_exceeds_demand(self, result):
+        assert (result.served <= result.demand + 1e-9).all()

@@ -1,0 +1,101 @@
+"""Tests for capacity planning (storage sizing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.planning import (
+    evaluate_sizing,
+    sizing_frontier,
+    smallest_ups_for_target,
+)
+from repro.workloads.traces import Trace
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+
+def burst_trace():
+    values = [0.8] * 60 + [2.6] * 600 + [0.8] * 60
+    return Trace(np.asarray(values, dtype=float), 1.0, "planning")
+
+
+class TestEvaluateSizing:
+    def test_returns_full_point(self):
+        point = evaluate_sizing(burst_trace(), 0.5, 12.0, SMALL)
+        assert point.ups_capacity_ah == 0.5
+        assert point.tes_runtime_min == 12.0
+        assert point.average_performance > 1.0
+        assert 0.0 <= point.drop_fraction < 1.0
+
+    def test_bigger_battery_serves_more(self):
+        small = evaluate_sizing(burst_trace(), 0.25, 12.0, SMALL)
+        big = evaluate_sizing(burst_trace(), 2.0, 12.0, SMALL)
+        assert big.average_performance > small.average_performance
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_sizing(burst_trace(), 0.0, 12.0, SMALL)
+
+
+class TestSmallestUps:
+    def test_finds_smallest_sufficient_battery(self):
+        trace = burst_trace()
+        # Pick a target the mid-size batteries can reach.
+        generous = evaluate_sizing(trace, 4.0, 12.0, SMALL)
+        modest_target = 1.0 + 0.7 * (generous.average_performance - 1.0)
+        point = smallest_ups_for_target(
+            trace, modest_target, candidates_ah=(0.25, 0.5, 1.0, 2.0, 4.0),
+            config=SMALL,
+        )
+        assert point is not None
+        assert point.average_performance >= modest_target
+        # Minimality: the next size down misses the target.
+        smaller_candidates = [
+            c for c in (0.25, 0.5, 1.0, 2.0) if c < point.ups_capacity_ah
+        ]
+        if smaller_candidates:
+            below = evaluate_sizing(
+                trace, smaller_candidates[-1], 12.0, SMALL
+            )
+            assert below.average_performance < modest_target
+
+    def test_unreachable_target_returns_none(self):
+        point = smallest_ups_for_target(
+            burst_trace(), 5.0, candidates_ah=(0.25, 0.5), config=SMALL
+        )
+        assert point is None
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            smallest_ups_for_target(burst_trace(), 1.5, candidates_ah=(),
+                                    config=SMALL)
+
+
+class TestFrontier:
+    def test_full_grid_evaluated(self):
+        points = sizing_frontier(
+            burst_trace(),
+            ups_candidates_ah=(0.25, 0.5),
+            tes_candidates_min=(6.0, 12.0),
+            config=SMALL,
+        )
+        assert len(points) == 4
+        combos = {(p.ups_capacity_ah, p.tes_runtime_min) for p in points}
+        assert combos == {(0.25, 6.0), (0.25, 12.0), (0.5, 6.0), (0.5, 12.0)}
+
+    def test_performance_monotone_in_both_axes(self):
+        points = sizing_frontier(
+            burst_trace(),
+            ups_candidates_ah=(0.25, 1.0),
+            tes_candidates_min=(6.0, 24.0),
+            config=SMALL,
+        )
+        by_combo = {
+            (p.ups_capacity_ah, p.tes_runtime_min): p.average_performance
+            for p in points
+        }
+        assert by_combo[(1.0, 24.0)] >= by_combo[(0.25, 24.0)]
+        assert by_combo[(1.0, 24.0)] >= by_combo[(1.0, 6.0)]

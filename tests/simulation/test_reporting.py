@@ -1,0 +1,54 @@
+"""Tests for the one-shot reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.reporting import (
+    ReportLine,
+    collect_report_lines,
+    render_report,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def lines():
+    return collect_report_lines()
+
+
+class TestCollect:
+    def test_all_headline_checks_hold(self, lines):
+        """The packaged calibration passes its own report."""
+        failing = [line for line in lines if not line.holds]
+        assert failing == []
+
+    def test_covers_the_headline_experiments(self, lines):
+        experiments = {line.experiment for line in lines}
+        for needed in ("Fig. 8a", "Fig. 8b", "Fig. 9", "Fig. 11b",
+                       "Fig. 5a", "Headline", "Sec. V-D"):
+            assert needed in experiments
+
+
+class TestRender:
+    def test_markdown_table(self, lines):
+        text = render_report(lines)
+        assert text.startswith("# Data Center Sprinting")
+        assert "| experiment |" in text
+        assert f"{len(lines)}/{len(lines)} headline checks hold" in text
+
+    def test_failures_are_flagged(self):
+        bad = [ReportLine("X", "q", "p", "m", False)]
+        text = render_report(bad)
+        assert "0/1" in text
+        assert "| NO |" in text
+
+
+class TestWrite:
+    def test_write_report(self, tmp_path, lines):
+        # Reuse the collected lines via render to keep the test fast; the
+        # full write path is exercised once.
+        path = write_report(tmp_path / "report.md")
+        content = path.read_text()
+        assert "reproduction report" in content
+        assert "Fig. 11b" in content

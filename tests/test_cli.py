@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "180,000" in out
+        assert "1.53" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "average performance" in out
+        assert "x" in out
+
+    def test_uncontrolled(self, capsys):
+        assert main(["uncontrolled"]) == 0
+        out = capsys.readouterr().out
+        assert "tripped a breaker" in out
+
+    def test_strategies(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "MS" in out
+        assert "Yahoo" in out
+
+    def test_testbed(self, capsys):
+        assert main(["testbed"]) == 0
+        out = capsys.readouterr().out
+        assert "no-UPS trip" in out
+        assert "CB First" in out
+
+    def test_economics(self, capsys):
+        assert main(["economics"]) == 0
+        out = capsys.readouterr().out
+        assert "U_t = 4U_0" in out
+        assert "R100" in out
+
+    def test_sweep_headroom(self, capsys):
+        assert main(["sweep", "--headroom"]) == 0
+        out = capsys.readouterr().out
+        assert "headroom" in out
+        assert "20%" in out
+
+    def test_sweep_pue(self, capsys):
+        assert main(["sweep", "--pue"]) == 0
+        out = capsys.readouterr().out
+        assert "PUE" in out
+
+    def test_sweep_without_flags_errors(self, capsys):
+        assert main(["sweep"]) == 2
+
+    def test_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "steps.csv"
+        json_path = tmp_path / "summary.json"
+        assert main(["export", str(csv_path), "--json", str(json_path)]) == 0
+        assert csv_path.exists()
+        assert json_path.exists()
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "--target", "1.3", "--magnitude", "3.0"]) == 0
+        out = capsys.readouterr().out
+        assert "smallest battery" in out
+
+    def test_plan_unreachable_target(self, capsys):
+        assert main(["plan", "--target", "9.0"]) == 1
+
+    def test_report_wiring(self, capsys, tmp_path, monkeypatch):
+        """The report command writes the rendered lines and maps the
+        pass/fail count to its exit code (experiments stubbed for speed)."""
+        import repro.simulation.reporting as reporting
+        from repro.simulation.reporting import ReportLine
+
+        fake = [ReportLine("Fig. X", "quantity", "paper", "measured", True)]
+        monkeypatch.setattr(
+            reporting, "collect_report_lines", lambda *a, **k: fake
+        )
+        out_path = tmp_path / "report.md"
+        assert main(["report", str(out_path)]) == 0
+        assert "Fig. X" in out_path.read_text()
+        assert "1/1" in capsys.readouterr().out
+
+    def test_report_failures_exit_nonzero(self, capsys, tmp_path, monkeypatch):
+        import repro.simulation.reporting as reporting
+        from repro.simulation.reporting import ReportLine
+
+        fake = [ReportLine("Fig. X", "q", "p", "m", False)]
+        monkeypatch.setattr(
+            reporting, "collect_report_lines", lambda *a, **k: fake
+        )
+        assert main(["report", str(tmp_path / "r.md")]) == 1

@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.ConfigurationError,
+            errors.PowerSafetyError,
+            errors.BreakerTrippedError,
+            errors.EnergyStorageError,
+            errors.BatteryDepletedError,
+            errors.TankDepletedError,
+            errors.ThermalEmergencyError,
+            errors.SimulationError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        """Callers using plain ValueError handling still catch config bugs."""
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_breaker_tripped_is_power_safety(self):
+        assert issubclass(errors.BreakerTrippedError, errors.PowerSafetyError)
+
+    def test_storage_errors_grouped(self):
+        assert issubclass(errors.BatteryDepletedError, errors.EnergyStorageError)
+        assert issubclass(errors.TankDepletedError, errors.EnergyStorageError)
+
+
+class TestPayloads:
+    def test_breaker_tripped_carries_context(self):
+        err = errors.BreakerTrippedError("pdu-7/breaker", 312.0)
+        assert err.breaker_name == "pdu-7/breaker"
+        assert err.time_s == 312.0
+        assert "pdu-7/breaker" in str(err)
+        assert "312" in str(err)
+
+    def test_breaker_tripped_default_time(self):
+        err = errors.BreakerTrippedError("b")
+        assert math.isnan(err.time_s)
+
+    def test_thermal_emergency_carries_temperatures(self):
+        err = errors.ThermalEmergencyError(41.2, 40.0)
+        assert err.temperature_c == 41.2
+        assert err.threshold_c == 40.0
+        assert "41.2" in str(err)

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+The examples are the library's front door; a refactor that breaks one must
+fail the suite.  Each is executed in-process via ``runpy`` with stdout
+captured (the heavyweight table-building examples run a trimmed scenario
+where they expose knobs; otherwise they run as shipped).
+"""
+
+from __future__ import annotations
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Examples fast enough to run as shipped on every test invocation.
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "ms_burst_response.py",
+    "testbed_replay.py",
+    "economics_analysis.py",
+    "outage_response.py",
+    "skewed_burst.py",
+    "visual_run.py",
+    "renewable_constrained.py",
+)
+
+#: Heavier examples (they build Oracle tables / sizing grids); still run,
+#: once each, because a broken front door is worse than a slow suite.
+SLOW_EXAMPLES = (
+    "strategy_comparison.py",
+    "online_prediction.py",
+    "capacity_planning.py",
+)
+
+
+def run_example(name: str) -> str:
+    """Execute one example as ``__main__``; returns its stdout."""
+    path = EXAMPLES_DIR / name
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(path), run_name="__main__")
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    output = run_example(name)
+    assert output.strip(), f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    output = run_example(name)
+    assert output.strip(), f"{name} produced no output"
+
+
+def test_every_example_is_covered():
+    """A new example must be added to one of the lists above."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+    assert on_disk == covered, on_disk ^ covered

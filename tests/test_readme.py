@@ -1,0 +1,44 @@
+"""Guards on the README: its code blocks must actually run."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_readme_exists_with_key_sections(self):
+        text = README.read_text()
+        for heading in ("## Install", "## Quickstart", "## Architecture",
+                        "## Reproducing the paper"):
+            assert heading in text
+
+    def test_quickstart_block_executes(self):
+        """The README's quickstart runs verbatim and prints a result."""
+        blocks = python_blocks()
+        assert blocks, "README has no python code block"
+        namespace = {}
+        exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+        result = namespace["result"]
+        assert result.average_performance > 1.0
+
+    def test_documented_cli_commands_exist(self):
+        """Every `python -m repro <cmd>` the README mentions parses."""
+        from repro.cli import build_parser
+
+        text = README.read_text()
+        commands = set(
+            re.findall(r"python -m repro (\w[\w-]*)", text)
+        )
+        parser = build_parser()
+        known = set(parser._subparsers._group_actions[0].choices)
+        assert commands <= known, commands - known

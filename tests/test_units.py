@@ -1,0 +1,108 @@
+"""Tests for unit conversions and validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro import units
+
+
+class TestConversions:
+    def test_watt_hours_to_joules(self):
+        assert units.watt_hours_to_joules(1.0) == 3600.0
+
+    def test_joules_to_watt_hours_round_trip(self):
+        assert units.joules_to_watt_hours(
+            units.watt_hours_to_joules(5.5)
+        ) == pytest.approx(5.5)
+
+    def test_amp_hours_to_joules_paper_battery(self):
+        """0.5 Ah at 11 V = 19.8 kJ = 55 W x 6 min (the paper's UPS)."""
+        assert units.amp_hours_to_joules(0.5, 11.0) == pytest.approx(19_800.0)
+
+    def test_minutes(self):
+        assert units.minutes(12.0) == 720.0
+        assert units.to_minutes(720.0) == 12.0
+
+    def test_minutes_per_month(self):
+        """The paper uses 43,200 minutes per month (Section V-D)."""
+        assert units.MINUTES_PER_MONTH == 43_200.0
+
+    @given(x=st.floats(min_value=0.0, max_value=1e12))
+    @settings(max_examples=30)
+    def test_wh_joule_round_trip(self, x):
+        assert units.joules_to_watt_hours(
+            units.watt_hours_to_joules(x)
+        ) == pytest.approx(x)
+
+
+class TestValidators:
+    def test_require_finite_rejects_nan_and_inf(self):
+        with pytest.raises(ConfigurationError):
+            units.require_finite(float("nan"), "x")
+        with pytest.raises(ConfigurationError):
+            units.require_finite(float("inf"), "x")
+
+    def test_require_finite_rejects_non_numbers(self):
+        with pytest.raises(ConfigurationError):
+            units.require_finite("5", "x")
+        with pytest.raises(ConfigurationError):
+            units.require_finite(True, "x")
+
+    def test_require_positive(self):
+        assert units.require_positive(1.5, "x") == 1.5
+        with pytest.raises(ConfigurationError):
+            units.require_positive(0.0, "x")
+        with pytest.raises(ConfigurationError):
+            units.require_positive(-1.0, "x")
+
+    def test_require_non_negative(self):
+        assert units.require_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ConfigurationError):
+            units.require_non_negative(-0.1, "x")
+
+    def test_require_fraction(self):
+        assert units.require_fraction(0.5, "x") == 0.5
+        assert units.require_fraction(0.0, "x") == 0.0
+        assert units.require_fraction(1.0, "x") == 1.0
+        with pytest.raises(ConfigurationError):
+            units.require_fraction(1.1, "x")
+
+    def test_require_int_positive(self):
+        assert units.require_int_positive(3, "x") == 3
+        with pytest.raises(ConfigurationError):
+            units.require_int_positive(0, "x")
+        with pytest.raises(ConfigurationError):
+            units.require_int_positive(2.0, "x")
+        with pytest.raises(ConfigurationError):
+            units.require_int_positive(True, "x")
+
+    def test_error_message_names_the_parameter(self):
+        with pytest.raises(ConfigurationError, match="voltage"):
+            units.require_positive(-1.0, "voltage")
+
+
+class TestClamp:
+    def test_clamp_inside(self):
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamp_edges(self):
+        assert units.clamp(-1.0, 0.0, 1.0) == 0.0
+        assert units.clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_clamp_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.clamp(0.5, 1.0, 0.0)
+
+    @given(
+        x=st.floats(allow_nan=False, allow_infinity=False),
+        lo=st.floats(min_value=-100, max_value=0),
+        hi=st.floats(min_value=0.001, max_value=100),
+    )
+    @settings(max_examples=40)
+    def test_clamp_always_within_bounds(self, x, lo, hi):
+        assert lo <= units.clamp(x, lo, hi) <= hi

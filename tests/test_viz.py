@@ -1,0 +1,95 @@
+"""Tests for the terminal visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import GreedyStrategy
+from repro.errors import ConfigurationError
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.engine import simulate_strategy
+from repro.viz import ascii_chart, phase_ribbon, render_run, sparkline
+from repro.workloads.traces import Trace
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+
+@pytest.fixture(scope="module")
+def result():
+    values = [0.8] * 60 + [2.4] * 300 + [0.8] * 60
+    trace = Trace(np.asarray(values, dtype=float), 1.0, "viz")
+    return simulate_strategy(trace, GreedyStrategy(), SMALL)
+
+
+class TestSparkline:
+    def test_width_respected(self):
+        line = sparkline(np.linspace(0, 1, 500), width=40)
+        assert len(line) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_monotone_series_renders_monotone(self):
+        line = sparkline(np.linspace(0, 1, 60), width=60)
+        assert list(line) == sorted(line, key="  ▁▂▃▄▅▆▇█".index)
+
+    def test_constant_series(self):
+        line = sparkline([2.0] * 10)
+        assert len(set(line)) == 1
+
+    def test_pinned_scale(self):
+        a = sparkline([0.0, 1.0], low=0.0, high=2.0)
+        assert a[-1] != "█"  # 1.0 of 2.0 is mid-scale
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestAsciiChart:
+    def test_dimensions(self):
+        chart = ascii_chart(np.linspace(0, 5, 100), width=50, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) >= 50 for line in lines)
+
+    def test_axis_labels(self):
+        chart = ascii_chart([0.0, 5.0], height=4)
+        assert "5.00" in chart
+        assert "0.00" in chart
+
+    def test_label_appended(self):
+        chart = ascii_chart([1.0, 2.0], label="demand")
+        assert chart.splitlines()[-1].strip() == "demand"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([])
+
+
+class TestRunRendering:
+    def test_phase_ribbon_contents(self, result):
+        ribbon = phase_ribbon(result, width=60)
+        assert len(ribbon) == 60
+        assert set(ribbon) <= {".", "1", "2", "3"}
+        assert "." in ribbon       # idle head/tail
+        assert "2" in ribbon       # UPS phase mid-burst
+
+    def test_render_run(self, result):
+        text = render_run(result, width=50)
+        lines = text.splitlines()
+        assert lines[0].startswith("demand")
+        assert lines[1].startswith("served")
+        assert lines[2].startswith("phase")
+        assert "avg perf" in lines[3]
+
+    def test_served_never_above_demand_visually(self, result):
+        """With a shared scale the served sparkline never exceeds the
+        demand sparkline's level in any bucket."""
+        order = "  ▁▂▃▄▅▆▇█"
+        text = render_run(result, width=50)
+        demand_line = text.splitlines()[0].split(None, 1)[1]
+        served_line = text.splitlines()[1].split(None, 1)[1]
+        for d, s in zip(demand_line, served_line):
+            assert order.index(s) <= order.index(d) + 1  # rounding slack

@@ -1,0 +1,107 @@
+"""Tests for the Fig. 11 sustained-time experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testbed.experiment import (
+    no_ups_trip_time_s,
+    run_reserve_sweep,
+    run_sustained_time,
+    testbed_utilization_trace,
+)
+from repro.testbed.policy import (
+    CbFirstPolicy,
+    NoUpsPolicy,
+    ReservedTripTimePolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def utilization():
+    return testbed_utilization_trace()
+
+
+@pytest.fixture(scope="module")
+def sweep(utilization):
+    return run_reserve_sweep(utilization=utilization)
+
+
+class TestUtilizationTrace:
+    def test_values_in_unit_interval(self, utilization):
+        assert (utilization.samples >= 0.0).all()
+        assert (utilization.samples <= 1.0).all()
+
+    def test_has_cheap_and_expensive_phases(self, utilization):
+        """The single-server load swings between near-idle and near-peak —
+        the structure the reserved-trip-time policy exploits."""
+        assert (utilization.samples < 0.2).mean() > 0.1
+        assert (utilization.samples > 0.6).mean() > 0.1
+
+    def test_deterministic(self):
+        a = testbed_utilization_trace()
+        b = testbed_utilization_trace()
+        assert a.samples.tolist() == b.samples.tolist()
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ConfigurationError):
+            testbed_utilization_trace(duration_s=10_000)
+
+
+class TestSustainedTime:
+    def test_no_ups_trips_in_about_a_minute_or_two(self, utilization):
+        """The paper's reference: without the UPS the CB trips quickly
+        (65 s on their rig; the same order of magnitude here)."""
+        trip = no_ups_trip_time_s(utilization)
+        assert 40.0 <= trip <= 180.0
+
+    def test_ups_extends_sustained_time_severalfold(self, utilization):
+        """Section VII-D: the no-UPS trip time is ~26 % of the full
+        solution's sustained time (i.e. the UPS roughly quadruples it)."""
+        no_ups = no_ups_trip_time_s(utilization)
+        ours = run_sustained_time(
+            ReservedTripTimePolicy(30.0), utilization
+        ).sustained_time_s
+        assert ours / no_ups > 3.0
+
+    def test_all_policies_eventually_trip(self, utilization):
+        for policy in (NoUpsPolicy(), CbFirstPolicy(), ReservedTripTimePolicy(30.0)):
+            result = run_sustained_time(policy, utilization)
+            assert result.tripped
+
+    def test_result_accounting(self, utilization):
+        result = run_sustained_time(ReservedTripTimePolicy(30.0), utilization)
+        assert result.cb_overload_seconds > 0.0
+        assert result.ups_seconds > 0.0
+        assert result.overload_seconds_above(375.0) <= (
+            result.cb_overload_seconds
+        )
+
+
+class TestReserveSweep(object):
+    def test_interior_optimum(self, sweep):
+        """Fig. 11b: the sustained time peaks at an intermediate reserve
+        (the paper's optimum is 30 s)."""
+        times = [p.ours_sustained_s for p in sweep]
+        best_idx = times.index(max(times))
+        assert 0 < best_idx < len(sweep) - 1
+        best_reserve = sweep[best_idx].reserved_trip_time_s
+        assert 10.0 <= best_reserve <= 60.0
+
+    def test_ours_beats_cb_first_at_best_reserve(self, sweep):
+        best = max(sweep, key=lambda p: p.ours_sustained_s)
+        assert best.ours_sustained_s > best.cb_first_sustained_s
+
+    def test_cb_first_constant_across_sweep(self, sweep):
+        values = {p.cb_first_sustained_s for p in sweep}
+        assert len(values) == 1
+
+    def test_no_ups_is_small_fraction_of_ours(self, sweep, utilization):
+        best = max(sweep, key=lambda p: p.ours_sustained_s)
+        ratio = no_ups_trip_time_s(utilization) / best.ours_sustained_s
+        assert 0.1 <= ratio <= 0.4  # the paper reports 26 %
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_reserve_sweep(())

@@ -1,0 +1,115 @@
+"""Tests for the emulated hardware testbed rig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testbed.hardware import (
+    TESTBED_CB_RATED_W,
+    TESTBED_IDLE_POWER_W,
+    TESTBED_PEAK_POWER_W,
+    TestbedRig,
+    TestbedServer,
+)
+
+
+class TestTestbedServer:
+    def test_paper_power_range(self):
+        server = TestbedServer()
+        assert server.power_w(0.0) == pytest.approx(273.0)
+        assert server.power_w(1.0) == pytest.approx(428.0)
+
+    def test_affine_in_utilisation(self):
+        server = TestbedServer()
+        assert server.power_w(0.5) == pytest.approx((273.0 + 428.0) / 2.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            TestbedServer(idle_power_w=500.0, peak_power_w=400.0)
+
+    def test_invalid_utilisation(self):
+        with pytest.raises(ConfigurationError):
+            TestbedServer().power_w(1.5)
+
+
+class TestTestbedRig:
+    def test_paper_constants(self):
+        assert TESTBED_CB_RATED_W == pytest.approx(232.0)
+        assert TESTBED_IDLE_POWER_W == pytest.approx(273.0)
+        assert TESTBED_PEAK_POWER_W == pytest.approx(428.0)
+
+    def test_idle_power_already_overloads_breaker(self):
+        """Section VII-D: the idle power (273 W) exceeds the CB capacity
+        (232 W), so the sprint effectively starts at the first second."""
+        assert TESTBED_IDLE_POWER_W > TESTBED_CB_RATED_W
+
+    def test_relay_open_cb_carries_everything(self):
+        rig = TestbedRig()
+        step = rig.step(0.5, close_relay=False, time_s=0.0)
+        assert step.cb_power_w == pytest.approx(step.server_power_w)
+        assert step.ups_power_w == 0.0
+        assert step.cb_overloaded
+
+    def test_relay_closed_splits_evenly(self):
+        """'The two power demands are approximately equal' (Section VI-B)."""
+        rig = TestbedRig()
+        step = rig.step(1.0, close_relay=True, time_s=0.0)
+        assert step.ups_power_w == pytest.approx(step.server_power_w / 2.0)
+        assert step.cb_power_w == pytest.approx(step.server_power_w / 2.0)
+
+    def test_relay_closed_never_overloads_at_peak(self):
+        """428/2 < 232: with the UPS sharing, the breaker is safe even at
+        peak server power (Section VII-D)."""
+        rig = TestbedRig()
+        step = rig.step(1.0, close_relay=True, time_s=0.0)
+        assert not step.cb_overloaded
+
+    def test_relay_switch_count(self):
+        rig = TestbedRig()
+        rig.step(0.5, True, 0.0)
+        rig.step(0.5, True, 1.0)
+        rig.step(0.5, False, 2.0)
+        assert rig.relay_switch_count == 2
+
+    def test_breaker_trips_under_sustained_overload(self):
+        rig = TestbedRig()
+        tripped_at = None
+        for t in range(300):
+            step = rig.step(0.9, close_relay=False, time_s=float(t))
+            if step.tripped:
+                tripped_at = t
+                break
+        assert tripped_at is not None
+
+    def test_trip_latches_rig_dead(self):
+        rig = TestbedRig()
+        for t in range(300):
+            if rig.step(0.9, False, float(t)).tripped:
+                break
+        step = rig.step(0.1, True, 301.0)
+        assert step.tripped
+        assert step.server_power_w == 0.0
+
+    def test_ups_empties_and_cb_takes_over(self):
+        rig = TestbedRig()
+        while not rig.ups_empty:
+            rig.step(1.0, close_relay=True, time_s=0.0)
+        step = rig.step(1.0, close_relay=True, time_s=1.0)
+        assert step.ups_power_w == pytest.approx(0.0, abs=1e-6)
+        assert step.cb_power_w == pytest.approx(step.server_power_w)
+
+    def test_meters_record(self):
+        rig = TestbedRig()
+        rig.step(0.5, True, 0.0)
+        assert rig.strip_meter.n_samples == 1
+        assert rig.ups_meter.n_samples == 1
+
+    def test_reset(self):
+        rig = TestbedRig()
+        for t in range(300):
+            rig.step(0.9, False, float(t))
+        rig.reset()
+        assert not rig.tripped
+        assert rig.ups.state_of_charge == pytest.approx(1.0)
+        assert rig.relay_switch_count == 0

@@ -1,0 +1,69 @@
+"""Tests for the relay policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testbed.hardware import TestbedRig
+from repro.testbed.policy import (
+    CbFirstPolicy,
+    NoUpsPolicy,
+    ReservedTripTimePolicy,
+)
+
+
+class TestReservedTripTimePolicy:
+    def test_fresh_breaker_low_power_stays_open(self):
+        """Plenty of margin at low power: overload the breaker."""
+        rig = TestbedRig()
+        policy = ReservedTripTimePolicy(30.0)
+        low_power = rig.server.power_w(0.1)
+        assert not policy.close_relay(rig, low_power)
+
+    def test_high_power_closes_relay(self):
+        """At peak power the remaining trip time is short: use the UPS."""
+        rig = TestbedRig()
+        policy = ReservedTripTimePolicy(60.0)
+        peak = rig.server.power_w(1.0)
+        assert rig.remaining_trip_time_s(peak) < 60.0
+        assert policy.close_relay(rig, peak)
+
+    def test_empty_ups_forces_open(self):
+        rig = TestbedRig()
+        while not rig.ups_empty:
+            rig.step(1.0, True, 0.0)
+        policy = ReservedTripTimePolicy(60.0)
+        assert not policy.close_relay(rig, rig.server.power_w(1.0))
+
+    def test_name_includes_reserve(self):
+        assert ReservedTripTimePolicy(30.0).name == "reserved-30s"
+
+    def test_invalid_reserve(self):
+        with pytest.raises(ConfigurationError):
+            ReservedTripTimePolicy(0.0)
+
+
+class TestCbFirstPolicy:
+    def test_fresh_breaker_stays_open_even_at_peak(self):
+        """CB First burns the breaker budget before touching the UPS."""
+        rig = TestbedRig()
+        policy = CbFirstPolicy()
+        peak = rig.server.power_w(1.0)
+        assert not policy.close_relay(rig, peak)
+
+    def test_switches_to_ups_when_nearly_tripped(self):
+        rig = TestbedRig()
+        policy = CbFirstPolicy()
+        power = rig.server.power_w(0.9)
+        # Burn the budget until the remaining trip time collapses.
+        while rig.remaining_trip_time_s(power) > 1.5:
+            rig.step(0.9, False, 0.0)
+        assert policy.close_relay(rig, power)
+
+
+class TestNoUpsPolicy:
+    def test_never_closes(self):
+        rig = TestbedRig()
+        policy = NoUpsPolicy()
+        assert not policy.close_relay(rig, rig.server.power_w(1.0))

@@ -1,0 +1,173 @@
+"""Tests for the online forecasting module."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.forecasting import (
+    BurstDurationEstimator,
+    EwmaForecaster,
+    HoltForecaster,
+    OnlineBurstForecaster,
+)
+
+
+class TestEwmaForecaster:
+    def test_first_observation_sets_level(self):
+        f = EwmaForecaster()
+        f.observe(2.0)
+        assert f.forecast() == pytest.approx(2.0)
+
+    def test_converges_to_constant_signal(self):
+        f = EwmaForecaster(alpha=0.3)
+        for _ in range(100):
+            f.observe(1.7)
+        assert f.forecast() == pytest.approx(1.7)
+
+    def test_tracks_level_changes(self):
+        f = EwmaForecaster(alpha=0.5)
+        for _ in range(20):
+            f.observe(1.0)
+        f.observe(3.0)
+        assert 1.0 < f.forecast() < 3.0
+
+    def test_forecast_before_data_is_zero(self):
+        assert EwmaForecaster().forecast() == 0.0
+
+    def test_reset(self):
+        f = EwmaForecaster()
+        f.observe(5.0)
+        f.reset()
+        assert f.forecast() == 0.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            EwmaForecaster(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EwmaForecaster(alpha=1.5)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=40)
+    def test_forecast_within_observed_range(self, values):
+        f = EwmaForecaster(alpha=0.4)
+        for v in values:
+            f.observe(v)
+        assert min(values) - 1e-9 <= f.forecast() <= max(values) + 1e-9
+
+
+class TestHoltForecaster:
+    def test_captures_a_ramp(self):
+        """On a linear ramp the trend estimate turns positive and the
+        multi-step forecast leads the signal."""
+        f = HoltForecaster(alpha=0.5, beta=0.3)
+        for t in range(50):
+            f.observe(1.0 + 0.05 * t)
+        assert f.trend > 0.0
+        assert f.forecast(horizon_steps=10) > f.forecast(horizon_steps=0)
+
+    def test_flat_signal_has_no_trend(self):
+        f = HoltForecaster()
+        for _ in range(100):
+            f.observe(2.0)
+        assert f.trend == pytest.approx(0.0, abs=1e-6)
+        assert f.forecast(5) == pytest.approx(2.0, abs=1e-3)
+
+    def test_forecast_floored_at_zero(self):
+        f = HoltForecaster(alpha=0.9, beta=0.9)
+        f.observe(5.0)
+        f.observe(0.0)
+        assert f.forecast(horizon_steps=100) >= 0.0
+
+    def test_negative_horizon_rejected(self):
+        f = HoltForecaster()
+        f.observe(1.0)
+        with pytest.raises(ConfigurationError):
+            f.forecast(horizon_steps=-1)
+
+    def test_reset(self):
+        f = HoltForecaster()
+        f.observe(1.0)
+        f.observe(2.0)
+        f.reset()
+        assert f.forecast() == 0.0
+        assert f.trend == 0.0
+
+
+class TestBurstDurationEstimator:
+    def test_prior_before_any_history(self):
+        est = BurstDurationEstimator(prior_duration_s=600.0)
+        assert est.predict_total_duration_s() == pytest.approx(600.0)
+
+    def test_learns_from_completed_bursts(self):
+        est = BurstDurationEstimator(prior_duration_s=600.0)
+        for d in (300.0, 320.0, 280.0):
+            est.record_completed_burst(d)
+        assert est.historical_mean_s == pytest.approx(300.0)
+        assert est.predict_total_duration_s() == pytest.approx(300.0)
+
+    def test_hazard_floor_stretches_with_elapsed_time(self):
+        """A burst that outlives the history stretches the estimate."""
+        est = BurstDurationEstimator(hazard_factor=1.3)
+        est.record_completed_burst(100.0)
+        assert est.predict_total_duration_s(elapsed_s=50.0) == pytest.approx(100.0)
+        assert est.predict_total_duration_s(elapsed_s=200.0) == pytest.approx(260.0)
+
+    def test_history_window_slides(self):
+        est = BurstDurationEstimator(history_size=2)
+        for d in (100.0, 200.0, 300.0):
+            est.record_completed_burst(d)
+        assert est.historical_mean_s == pytest.approx(250.0)
+
+    def test_reset(self):
+        est = BurstDurationEstimator(prior_duration_s=500.0)
+        est.record_completed_burst(100.0)
+        est.reset()
+        assert est.historical_mean_s == pytest.approx(500.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstDurationEstimator(prior_duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            BurstDurationEstimator(hazard_factor=0.9)
+        with pytest.raises(ConfigurationError):
+            BurstDurationEstimator(history_size=0)
+
+
+class TestOnlineBurstForecaster:
+    def test_records_completed_bursts(self):
+        fc = OnlineBurstForecaster()
+        fc.detector.hold_off_s = 5.0
+        # One 30-second burst, then quiet long enough to close it.
+        t = 0.0
+        for _ in range(30):
+            fc.observe(2.0, t)
+            t += 1.0
+        for _ in range(20):
+            fc.observe(0.5, t)
+            t += 1.0
+        # The recorded duration includes the detector's hold-off tail
+        # (the episode only closes once demand has stayed low that long).
+        assert fc.estimator.historical_mean_s == pytest.approx(
+            30.0 + fc.detector.hold_off_s, abs=2.0
+        )
+
+    def test_prediction_stretches_during_long_burst(self):
+        fc = OnlineBurstForecaster()
+        fc.estimator.record_completed_burst(60.0)
+        t = 0.0
+        for _ in range(200):
+            fc.observe(2.0, t)
+            t += 1.0
+        assert fc.predicted_burst_duration_s(t) > 200.0
+
+    def test_reset(self):
+        fc = OnlineBurstForecaster()
+        fc.observe(2.0, 0.0)
+        fc.reset()
+        assert not fc.detector.in_burst

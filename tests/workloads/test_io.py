@@ -1,0 +1,116 @@
+"""Tests for trace file I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.io import (
+    load_trace_csv,
+    load_trace_json,
+    save_trace_csv,
+    save_trace_json,
+)
+from repro.workloads.ms_trace import default_ms_trace
+from repro.workloads.traces import Trace
+
+
+def make_trace(dt=1.0):
+    return Trace(np.array([0.5, 1.5, 2.0, 0.8]), dt, "io-test")
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        original = make_trace()
+        path = save_trace_csv(original, tmp_path / "trace.csv")
+        restored = load_trace_csv(path)
+        assert np.allclose(restored.samples, original.samples)
+        assert restored.dt_s == original.dt_s
+
+    def test_round_trip_preserves_exact_values(self, tmp_path):
+        original = default_ms_trace()
+        path = save_trace_csv(original, tmp_path / "ms.csv")
+        restored = load_trace_csv(path)
+        assert np.array_equal(restored.samples, original.samples)
+
+    def test_dt_inferred_from_time_column(self, tmp_path):
+        original = make_trace(dt=5.0)
+        path = save_trace_csv(original, tmp_path / "trace.csv")
+        restored = load_trace_csv(path)
+        assert restored.dt_s == pytest.approx(5.0)
+
+    def test_demand_only_column(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("demand\n0.5\n1.5\n2.0\n")
+        trace = load_trace_csv(path, dt_s=2.0)
+        assert trace.samples.tolist() == [0.5, 1.5, 2.0]
+        assert trace.dt_s == 2.0
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "myworkload.csv"
+        path.write_text("demand\n1.0\n")
+        assert load_trace_csv(path).name == "myworkload"
+
+    def test_irregular_sampling_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,demand\n0,1.0\n1,1.0\n5,1.0\n")
+        with pytest.raises(ConfigurationError):
+            load_trace_csv(path)
+
+    def test_unknown_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("watts\n100\n")
+        with pytest.raises(ConfigurationError):
+            load_trace_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            load_trace_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("demand\n")
+        with pytest.raises(ConfigurationError):
+            load_trace_csv(path)
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path):
+        original = make_trace(dt=3.0)
+        path = save_trace_json(original, tmp_path / "trace.json")
+        restored = load_trace_json(path)
+        assert np.array_equal(restored.samples, original.samples)
+        assert restored.dt_s == original.dt_s
+        assert restored.name == original.name
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"dt_s": 1.0}')
+        with pytest.raises(ConfigurationError):
+            load_trace_json(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_trace_json(path)
+
+    def test_loaded_trace_runs_through_simulator(self, tmp_path):
+        from repro.core.strategies import GreedyStrategy
+        from repro.simulation.config import DataCenterConfig
+        from repro.simulation.engine import simulate_strategy
+
+        original = Trace(
+            np.array([0.8] * 30 + [2.2] * 60 + [0.8] * 30), 1.0, "user"
+        )
+        path = save_trace_json(original, tmp_path / "user.json")
+        restored = load_trace_json(path)
+        result = simulate_strategy(
+            restored,
+            GreedyStrategy(),
+            DataCenterConfig(n_pdus=2, servers_per_pdu=50),
+        )
+        assert result.average_performance > 1.0

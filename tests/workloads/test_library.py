@@ -1,0 +1,108 @@
+"""Tests for the additional workload families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.library import (
+    generate_batch_trace,
+    generate_diurnal_trace,
+    generate_flash_crowd_trace,
+)
+from repro.workloads.traces import find_bursts
+
+
+class TestFlashCrowd:
+    def test_shape(self):
+        trace = generate_flash_crowd_trace(spike_magnitude=3.4, onset_s=300.0)
+        assert trace.samples[:280].max() < 1.0
+        assert trace.peak == pytest.approx(3.4, rel=0.1)
+        # The spike decays: later demand is between baseline and peak.
+        assert trace.samples[1500] < trace.samples[400]
+
+    def test_near_instant_onset(self):
+        trace = generate_flash_crowd_trace(onset_s=300.0, rise_s=30.0)
+        assert trace.samples[295] < 1.0
+        assert trace.samples[340] > 2.5
+
+    def test_one_dominant_burst(self):
+        """Noise frays the decay tail into slivers, but one interval
+        holds nearly all the over-capacity time."""
+        trace = generate_flash_crowd_trace()
+        bursts = find_bursts(trace)
+        main = max(bursts, key=lambda b: b.duration_s)
+        assert main.start_s == pytest.approx(305.0, abs=10.0)
+        assert main.duration_s >= 0.8 * trace.over_capacity_time_s()
+
+    def test_decay_tau_controls_burst_length(self):
+        short = generate_flash_crowd_trace(decay_tau_s=200.0)
+        long = generate_flash_crowd_trace(decay_tau_s=900.0)
+        assert long.over_capacity_time_s() > short.over_capacity_time_s()
+
+    def test_deterministic(self):
+        a = generate_flash_crowd_trace()
+        b = generate_flash_crowd_trace()
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_flash_crowd_trace(spike_magnitude=0.9)
+        with pytest.raises(ConfigurationError):
+            generate_flash_crowd_trace(onset_s=5000.0, duration_s=1000.0)
+
+
+class TestDiurnal:
+    def test_never_exceeds_capacity(self):
+        trace = generate_diurnal_trace()
+        assert trace.peak <= 1.0
+
+    def test_day_night_contrast(self):
+        trace = generate_diurnal_trace(dt_s=10.0)
+        hour = 360  # samples per hour
+        night = trace.samples[3 * hour:4 * hour].mean()
+        morning = trace.samples[10 * hour:11 * hour].mean()
+        assert morning > 2.0 * night
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_diurnal_trace(low=0.9, high=0.5)
+
+
+class TestBatch:
+    def test_plateaus_below_capacity(self):
+        trace = generate_batch_trace()
+        assert trace.over_capacity_time_s() <= 5.0
+
+    def test_levels_visible(self):
+        trace = generate_batch_trace(levels=(0.5, 0.9))
+        first_half = trace.samples[: len(trace) // 2 - 10].mean()
+        second_half = trace.samples[len(trace) // 2 + 10:].mean()
+        assert second_half > first_half
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_batch_trace(levels=(1.2,))
+        with pytest.raises(ConfigurationError):
+            generate_batch_trace(levels=())
+
+
+class TestSprintingValueByFamily:
+    def test_sprinting_helps_flash_crowds_not_batch(self):
+        """Sprinting exists for the flash crowd; on pure batch load it
+        (correctly) changes nothing."""
+        from repro.core.strategies import GreedyStrategy
+        from repro.simulation.config import DataCenterConfig
+        from repro.simulation.engine import simulate_strategy
+
+        small = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+        crowd = simulate_strategy(
+            generate_flash_crowd_trace(), GreedyStrategy(), small
+        )
+        batch = simulate_strategy(
+            generate_batch_trace(), GreedyStrategy(), small
+        )
+        assert crowd.average_performance > 1.5
+        assert batch.average_performance == pytest.approx(1.0)
+        assert batch.peak_degree <= 1.0 + 1e-9

@@ -1,0 +1,88 @@
+"""Tests for the synthetic MS-style trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.ms_trace import (
+    MS_REAL_BURST_DURATION_S,
+    MS_TRACE_DURATION_S,
+    default_ms_trace,
+    generate_ms_family_trace,
+    generate_ms_trace,
+)
+
+
+class TestReferenceTrace:
+    def test_duration_is_30_minutes(self, ms_trace):
+        assert ms_trace.duration_s == pytest.approx(1800.0)
+
+    def test_deterministic(self):
+        a = generate_ms_trace()
+        b = generate_ms_trace()
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_different_seeds_differ(self):
+        a = generate_ms_trace(seed=1)
+        b = generate_ms_trace(seed=2)
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_over_capacity_time_near_paper_value(self, ms_trace):
+        """The paper's MS trace has a 16.2-minute aggregated burst time."""
+        oc_min = ms_trace.over_capacity_time_s() / 60.0
+        assert MS_REAL_BURST_DURATION_S / 60.0 == pytest.approx(16.2)
+        assert 15.0 <= oc_min <= 18.5
+
+    def test_peak_above_three(self, ms_trace):
+        """The raw trace peaks above 3x of the no-sprinting capacity."""
+        assert 3.0 < ms_trace.peak < 3.9
+
+    def test_bursty_structure(self, ms_trace):
+        """Both lulls (below 1) and bursts (above 2) are present."""
+        assert (ms_trace.samples < 1.0).mean() > 0.2
+        assert (ms_trace.samples > 2.0).mean() > 0.2
+
+    def test_default_equals_generate(self, ms_trace):
+        assert np.array_equal(ms_trace.samples, default_ms_trace().samples)
+
+    def test_non_negative(self, ms_trace):
+        assert (ms_trace.samples >= 0.0).all()
+
+    def test_longer_duration_repeats_pattern(self):
+        long = generate_ms_trace(duration_s=3600)
+        assert long.duration_s == pytest.approx(3600.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_ms_trace(duration_s=0)
+
+
+class TestFamilyTraces:
+    def test_burst_duration_tracks_request(self):
+        for target_min in (10.0, 17.0, 30.0):
+            trace = generate_ms_family_trace(target_min * 60.0)
+            measured = trace.over_capacity_time_s() / 60.0
+            assert measured == pytest.approx(target_min, rel=0.2)
+
+    def test_long_family_trace_extends_window(self):
+        trace = generate_ms_family_trace(70 * 60.0)
+        assert trace.duration_s > MS_TRACE_DURATION_S
+
+    def test_short_family_trace_keeps_30_minutes(self):
+        trace = generate_ms_family_trace(10 * 60.0)
+        assert trace.duration_s == pytest.approx(1800.0)
+
+    def test_family_keeps_reference_prefix_structure(self):
+        """The opening bursts match the reference trace's shape."""
+        family = generate_ms_family_trace(17 * 60.0)
+        reference = default_ms_trace()
+        # Compare the pre-central window (before 480 s).
+        assert np.allclose(
+            family.samples[:450], reference.samples[:450], atol=0.02
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            generate_ms_family_trace(0.0)

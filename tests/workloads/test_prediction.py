@@ -1,0 +1,87 @@
+"""Tests for burst predictors and the online burst detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.prediction import (
+    ErroredPredictor,
+    OnlineBurstDetector,
+    predicted_burst_duration_s,
+)
+from repro.workloads.traces import Trace
+
+import numpy as np
+
+
+class TestErroredPredictor:
+    def test_zero_error_is_exact(self):
+        assert ErroredPredictor(100.0, 0.0).predict() == pytest.approx(100.0)
+
+    def test_positive_error_overestimates(self):
+        assert ErroredPredictor(100.0, 0.6).predict() == pytest.approx(160.0)
+
+    def test_minus_100_percent_predicts_zero(self):
+        assert ErroredPredictor(100.0, -1.0).predict() == 0.0
+
+    def test_error_below_minus_100_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ErroredPredictor(100.0, -1.1)
+
+    def test_predicted_burst_duration_from_trace(self):
+        trace = Trace(np.array([0.5, 1.5, 1.5, 0.5]), 1.0)
+        assert predicted_burst_duration_s(trace, 0.0) == pytest.approx(2.0)
+        assert predicted_burst_duration_s(trace, 0.5) == pytest.approx(3.0)
+
+
+class TestOnlineBurstDetector:
+    def test_detects_burst_start(self):
+        det = OnlineBurstDetector()
+        assert not det.observe(0.8, 0.0)
+        assert det.observe(1.2, 1.0)
+        assert det.burst_started_at_s == pytest.approx(1.0)
+
+    def test_time_in_burst(self):
+        det = OnlineBurstDetector()
+        det.observe(1.5, 10.0)
+        assert det.time_in_burst_s(25.0) == pytest.approx(15.0)
+
+    def test_no_burst_time_outside_burst(self):
+        det = OnlineBurstDetector()
+        det.observe(0.5, 0.0)
+        assert det.time_in_burst_s(10.0) == 0.0
+
+    def test_short_valley_does_not_end_burst(self):
+        """Valleys shorter than the hold-off keep the episode alive — the
+        MS trace's consecutive bursts are one sprinting episode."""
+        det = OnlineBurstDetector(hold_off_s=120.0)
+        det.observe(1.5, 0.0)
+        for t in range(1, 100):
+            det.observe(0.8, float(t))
+        assert det.in_burst
+        assert det.observe(1.5, 100.0)
+        assert det.burst_started_at_s == pytest.approx(0.0)
+
+    def test_long_valley_ends_burst(self):
+        det = OnlineBurstDetector(hold_off_s=120.0)
+        det.observe(1.5, 0.0)
+        in_burst = True
+        for t in range(1, 200):
+            in_burst = det.observe(0.8, float(t))
+        assert not in_burst
+
+    def test_new_burst_after_gap_restarts_clock(self):
+        det = OnlineBurstDetector(hold_off_s=10.0)
+        det.observe(1.5, 0.0)
+        for t in range(1, 20):
+            det.observe(0.5, float(t))
+        det.observe(1.5, 100.0)
+        assert det.burst_started_at_s == pytest.approx(100.0)
+
+    def test_reset(self):
+        det = OnlineBurstDetector()
+        det.observe(1.5, 0.0)
+        det.reset()
+        assert not det.in_burst
+        assert det.burst_started_at_s is None

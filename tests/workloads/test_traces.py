@@ -1,0 +1,147 @@
+"""Tests for the Trace container and burst analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.traces import BurstInterval, Trace, find_bursts
+
+
+def make_trace(values, dt=1.0):
+    return Trace(np.asarray(values, dtype=float), dt, "t")
+
+
+class TestTraceBasics:
+    def test_length_and_duration(self):
+        trace = make_trace([1.0, 2.0, 3.0], dt=2.0)
+        assert len(trace) == 3
+        assert trace.duration_s == pytest.approx(6.0)
+
+    def test_at_zero_order_hold(self):
+        trace = make_trace([1.0, 2.0, 3.0])
+        assert trace.at(0.0) == 1.0
+        assert trace.at(1.5) == 2.0
+        assert trace.at(99.0) == 3.0  # clamped to the end
+
+    def test_iteration(self):
+        assert list(make_trace([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_peak_and_mean(self):
+        trace = make_trace([1.0, 3.0, 2.0])
+        assert trace.peak == 3.0
+        assert trace.mean == pytest.approx(2.0)
+
+    def test_times(self):
+        trace = make_trace([1.0, 1.0], dt=5.0)
+        assert trace.times_s().tolist() == [0.0, 5.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_trace([])
+        with pytest.raises(ConfigurationError):
+            make_trace([-1.0])
+        with pytest.raises(ConfigurationError):
+            make_trace([float("nan")])
+        with pytest.raises(ConfigurationError):
+            Trace(np.ones((2, 2)), 1.0)
+
+
+class TestTraceStatistics:
+    def test_over_capacity_time(self):
+        trace = make_trace([0.5, 1.5, 2.0, 0.9, 1.1])
+        assert trace.over_capacity_time_s() == pytest.approx(3.0)
+
+    def test_over_capacity_with_custom_threshold(self):
+        trace = make_trace([0.5, 1.5, 2.0])
+        assert trace.over_capacity_time_s(1.6) == pytest.approx(1.0)
+
+    def test_excess_demand_integral(self):
+        trace = make_trace([0.5, 1.5, 2.0])
+        assert trace.excess_demand_integral() == pytest.approx(1.5)
+
+    def test_mean_over_capacity(self):
+        trace = make_trace([0.5, 1.5, 2.5])
+        assert trace.mean_over_capacity() == pytest.approx(2.0)
+
+    def test_mean_over_capacity_no_burst(self):
+        assert make_trace([0.5, 0.9]).mean_over_capacity() == 0.0
+
+
+class TestTraceTransformations:
+    def test_scaled(self):
+        trace = make_trace([1.0, 2.0]).scaled(2.0)
+        assert trace.peak == pytest.approx(4.0)
+
+    def test_normalized_to_peak(self):
+        trace = make_trace([2.0, 4.0]).normalized_to_peak()
+        assert trace.peak == pytest.approx(1.0)
+        assert trace.samples[0] == pytest.approx(0.5)
+
+    def test_normalize_zero_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_trace([0.0, 0.0]).normalized_to_peak()
+
+    def test_window(self):
+        trace = make_trace([1.0, 2.0, 3.0, 4.0])
+        window = trace.window(1.0, 3.0)
+        assert window.samples.tolist() == [2.0, 3.0]
+
+    def test_window_validation(self):
+        trace = make_trace([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            trace.window(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            trace.window(10.0, 20.0)
+
+    def test_resampled_coarser(self):
+        trace = make_trace([1.0, 2.0, 3.0, 4.0])
+        coarse = trace.resampled(2.0)
+        assert len(coarse) == 2
+        assert coarse.samples.tolist() == [1.0, 3.0]
+
+    def test_resampled_finer(self):
+        trace = make_trace([1.0, 2.0])
+        fine = trace.resampled(0.5)
+        assert len(fine) == 4
+        assert fine.samples.tolist() == [1.0, 1.0, 2.0, 2.0]
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=5.0), min_size=2, max_size=40
+        )
+    )
+    @settings(max_examples=40)
+    def test_window_preserves_samples(self, values):
+        trace = make_trace(values)
+        window = trace.window(0.0, trace.duration_s)
+        assert window.samples.tolist() == trace.samples.tolist()
+
+
+class TestFindBursts:
+    def test_no_bursts(self):
+        assert find_bursts(make_trace([0.5, 0.9, 1.0])) == []
+
+    def test_single_burst(self):
+        bursts = find_bursts(make_trace([0.5, 1.5, 2.0, 0.5]))
+        assert len(bursts) == 1
+        assert bursts[0].start_s == pytest.approx(1.0)
+        assert bursts[0].end_s == pytest.approx(3.0)
+        assert bursts[0].peak == pytest.approx(2.0)
+        assert bursts[0].duration_s == pytest.approx(2.0)
+
+    def test_burst_at_trace_end(self):
+        bursts = find_bursts(make_trace([0.5, 1.5, 2.0]))
+        assert len(bursts) == 1
+        assert bursts[0].end_s == pytest.approx(3.0)
+
+    def test_multiple_bursts(self):
+        bursts = find_bursts(make_trace([1.5, 0.5, 1.5, 0.5, 1.5]))
+        assert len(bursts) == 3
+
+    def test_burst_durations_sum_to_over_capacity_time(self):
+        trace = make_trace([0.5, 1.5, 2.0, 0.9, 1.1, 3.0, 0.2])
+        total = sum(b.duration_s for b in find_bursts(trace))
+        assert total == pytest.approx(trace.over_capacity_time_s())

@@ -1,0 +1,143 @@
+"""Tests for the synthetic Yahoo-style trace and burst injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.traces import find_bursts
+from repro.workloads.yahoo_trace import (
+    BURST_START_S,
+    generate_yahoo_aggregate,
+    generate_yahoo_trace,
+    inject_burst,
+)
+
+
+class TestAggregate:
+    def test_normalised_to_unit_peak(self):
+        agg = generate_yahoo_aggregate()
+        assert agg.peak == pytest.approx(1.0)
+
+    def test_smooth_compared_to_ms(self, ms_trace):
+        """The 70-server aggregate 'does not change so severely'."""
+        agg = generate_yahoo_aggregate()
+        agg_steps = np.abs(np.diff(agg.samples)).mean()
+        ms_steps = np.abs(np.diff(ms_trace.samples)).mean()
+        assert agg_steps < ms_steps
+
+    def test_duration(self):
+        assert generate_yahoo_aggregate().duration_s == pytest.approx(1800.0)
+
+    def test_deterministic(self):
+        a = generate_yahoo_aggregate()
+        b = generate_yahoo_aggregate()
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_no_over_capacity_without_burst(self):
+        agg = generate_yahoo_aggregate()
+        assert agg.over_capacity_time_s() <= 2.0
+
+
+class TestBurstInjection:
+    def test_burst_window_position(self):
+        trace = generate_yahoo_trace(burst_degree=3.2, burst_duration_min=15)
+        bursts = find_bursts(trace)
+        assert len(bursts) >= 1
+        main = max(bursts, key=lambda b: b.duration_s)
+        assert main.start_s == pytest.approx(BURST_START_S, abs=5.0)
+        assert main.duration_s == pytest.approx(15 * 60.0, rel=0.05)
+
+    def test_burst_peak_tracks_degree(self):
+        for degree in (2.6, 3.2, 3.6):
+            trace = generate_yahoo_trace(burst_degree=degree)
+            assert trace.peak == pytest.approx(degree, rel=0.15)
+
+    def test_burst_multiplies_base_shape(self):
+        """Demand during the burst is the base shape times the degree."""
+        agg = generate_yahoo_aggregate()
+        trace = inject_burst(agg, 3.0, 10.0)
+        i0 = int(BURST_START_S)
+        i1 = i0 + 600
+        ratio = trace.samples[i0:i1] / np.maximum(agg.samples[i0:i1], 1e-9)
+        assert np.median(ratio) == pytest.approx(3.0, rel=0.05)
+
+    def test_outside_burst_unchanged(self):
+        agg = generate_yahoo_aggregate()
+        trace = inject_burst(agg, 3.0, 5.0)
+        assert np.array_equal(trace.samples[:299], agg.samples[:299])
+        assert np.array_equal(trace.samples[610:], agg.samples[610:])
+
+    def test_duration_sweep(self):
+        for dur in (1, 5, 10, 15):
+            trace = generate_yahoo_trace(burst_degree=3.0, burst_duration_min=dur)
+            oc = trace.over_capacity_time_s()
+            assert oc == pytest.approx(dur * 60.0, rel=0.1, abs=10.0)
+
+    def test_burst_degree_must_exceed_one(self):
+        agg = generate_yahoo_aggregate()
+        with pytest.raises(ConfigurationError):
+            inject_burst(agg, 1.0, 5.0)
+
+    def test_burst_must_fit_in_trace(self):
+        agg = generate_yahoo_aggregate()
+        with pytest.raises(ConfigurationError):
+            inject_burst(agg, 3.0, 60.0)
+
+    def test_deterministic(self):
+        a = generate_yahoo_trace()
+        b = generate_yahoo_trace()
+        assert np.array_equal(a.samples, b.samples)
+
+
+class TestServerDecomposition:
+    def test_seventy_servers_by_default(self):
+        from repro.workloads.yahoo_trace import generate_yahoo_server_traces
+
+        servers = generate_yahoo_server_traces()
+        assert len(servers) == 70
+
+    def test_sum_reproduces_aggregate_exactly(self):
+        from repro.workloads.yahoo_trace import (
+            generate_yahoo_aggregate,
+            generate_yahoo_server_traces,
+        )
+
+        servers = generate_yahoo_server_traces(n_servers=10)
+        total = np.sum([s.samples for s in servers], axis=0)
+        aggregate = generate_yahoo_aggregate()
+        assert np.allclose(total, aggregate.samples, rtol=1e-9)
+
+    def test_individual_servers_are_burstier_than_aggregate(self):
+        """Section VI-C's premise: single-server traces swing far more
+        than the 70-server aggregate."""
+        from repro.workloads.yahoo_trace import (
+            generate_yahoo_aggregate,
+            generate_yahoo_server_traces,
+        )
+
+        servers = generate_yahoo_server_traces(n_servers=10)
+        aggregate = generate_yahoo_aggregate()
+
+        def relative_variation(trace):
+            return float(np.std(trace.samples) / np.mean(trace.samples))
+
+        agg_variation = relative_variation(aggregate)
+        server_variations = [relative_variation(s) for s in servers]
+        assert min(server_variations) > agg_variation
+
+    def test_deterministic(self):
+        from repro.workloads.yahoo_trace import generate_yahoo_server_traces
+
+        a = generate_yahoo_server_traces(n_servers=5)
+        b = generate_yahoo_server_traces(n_servers=5)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.samples, tb.samples)
+
+    def test_invalid_count(self):
+        from repro.errors import ConfigurationError
+        from repro.workloads.yahoo_trace import generate_yahoo_server_traces
+
+        with pytest.raises(ConfigurationError):
+            generate_yahoo_server_traces(n_servers=0)
