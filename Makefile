@@ -1,6 +1,6 @@
 # Convenience targets for the Data Center Sprinting reproduction.
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench report examples sweep-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,20 @@ bench:
 report:
 	python -m repro report REPORT.md
 
+# Exercise the parallel sweep engine end-to-end: a 2-worker Oracle-table
+# build on a small grid, once cold and once from the warm cache.
+sweep-smoke:
+	rm -rf .repro-sweep-smoke
+	python -m repro sweep --table --workers 2 \
+		--cache-dir .repro-sweep-smoke \
+		--durations 1,5 --degrees 2.8,3.2 --candidates 2.0,3.0,4.0
+	python -m repro sweep --table --workers 2 \
+		--cache-dir .repro-sweep-smoke \
+		--durations 1,5 --degrees 2.8,3.2 --candidates 2.0,3.0,4.0 \
+		| tee /dev/stderr | grep -q "0 miss(es)"
+	rm -rf .repro-sweep-smoke
+	@echo "sweep smoke ok: warm rerun answered entirely from cache"
+
 examples:
 	@for ex in examples/*.py; do \
 		echo "== $$ex"; \
@@ -23,3 +37,4 @@ examples:
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +
 	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	rm -rf .repro-sweep-cache .repro-sweep-smoke

@@ -10,23 +10,18 @@ Shape targets from the paper:
   exhausted), Prediction/Heuristic close behind;
 * 15-minute bursts — Greedy significantly degraded; Prediction >= Heuristic
   > Greedy thanks to constrained sprinting degree.
+
+Runs on the batch sweep engine (:mod:`repro.simulation.batch`): the Oracle
+candidate evaluations, the Greedy/Prediction/Heuristic runs and the
+upper-bound table all go through one cached, process-parallel
+:class:`~repro.simulation.batch.SweepRunner`.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.core.strategies import (
-    GreedyStrategy,
-    HeuristicStrategy,
-    PredictionStrategy,
-)
-from repro.simulation.datacenter import build_datacenter
-from repro.simulation.engine import (
-    build_upper_bound_table,
-    oracle_for_trace,
-    simulate_strategy,
-)
+from repro.simulation.batch import StrategySpec, SweepRunner, SweepTask
 from repro.workloads.yahoo_trace import generate_yahoo_trace
 
 from _tables import print_table
@@ -36,61 +31,50 @@ CANDIDATES = (2.0, 2.5, 3.0, 3.5, 4.0)
 
 
 @lru_cache(maxsize=1)
+def _runner():
+    return SweepRunner.from_env()
+
+
+@lru_cache(maxsize=1)
 def _table():
     """Oracle upper-bound table over the Yahoo burst family."""
-    return build_upper_bound_table(
+    return _runner().build_upper_bound_table(
         burst_durations_min=(1.0, 5.0, 10.0, 15.0),
         burst_degrees=(2.6, 3.0, 3.4),
         candidates=CANDIDATES,
     )
 
 
-@lru_cache(maxsize=1)
-def _cluster():
-    return build_datacenter().cluster
-
-
 def evaluate_point(degree, duration_min):
     """One (degree, duration) grid point: (G, P, H, O) performances."""
+    runner = _runner()
     trace = generate_yahoo_trace(
         burst_degree=degree, burst_duration_min=duration_min
     )
-    greedy = simulate_strategy(trace, GreedyStrategy()).average_performance
-    oracle = oracle_for_trace(trace, candidates=CANDIDATES)
-    prediction = simulate_strategy(
-        trace,
-        PredictionStrategy(
-            _table(),
-            predicted_burst_duration_s=trace.over_capacity_time_s(),
-            max_degree=4.0,
-        ),
-    ).average_performance
+    oracle = runner.oracle_search(trace, candidates=CANDIDATES)
     # Zero-error Heuristic: the true best average degree comes from the
-    # Oracle run itself.
-    oracle_run = simulate_strategy(
-        trace,
-        type(
-            "_Fixed",
-            (),
-            {
-                "name": "oracle-run",
-                "degree_upper_bound": lambda self, obs: min(
-                    oracle.upper_bound, obs.max_degree
+    # Oracle run itself (a cache hit — the search just evaluated it).
+    oracle_run = runner.simulate(trace, StrategySpec.fixed(oracle.upper_bound))
+    outcomes = runner.run_tasks(
+        [
+            SweepTask(trace, StrategySpec.greedy()),
+            SweepTask(
+                trace,
+                StrategySpec.prediction(
+                    _table(),
+                    predicted_burst_duration_s=trace.over_capacity_time_s(),
+                    max_degree=4.0,
                 ),
-                "notify_realized": lambda self, *a, **k: None,
-                "reset": lambda self: None,
-            },
-        )(),
+            ),
+            SweepTask(
+                trace,
+                StrategySpec.heuristic(
+                    estimated_best_degree=oracle_run.mean_burst_degree
+                ),
+            ),
+        ]
     )
-    in_burst = oracle_run.demand > 1.0
-    sde_true = float(oracle_run.degrees[in_burst].mean())
-    heuristic = simulate_strategy(
-        trace,
-        HeuristicStrategy(
-            estimated_best_degree=sde_true,
-            additional_power_fn=_cluster().additional_power_at_degree_w,
-        ),
-    ).average_performance
+    greedy, prediction, heuristic = (o.average_performance for o in outcomes)
     return greedy, prediction, heuristic, oracle.achieved_performance
 
 

@@ -6,24 +6,18 @@ The errored quantity is the Prediction strategy's burst duration ``BDu_p``
 and the Heuristic strategy's best average degree ``SDe_p``
 (``value = real x (1 + error)``, Section VII-B); Greedy and Oracle need no
 estimates and are flat.
+
+Runs on the batch sweep engine (:mod:`repro.simulation.batch`): every
+(strategy, error) evaluation is an independent cached task, so a repeat
+run of the harness is near-free.  ``REPRO_SWEEP_WORKERS`` /
+``REPRO_SWEEP_CACHE_DIR`` control parallelism and cache placement.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.core.strategies import (
-    FixedUpperBoundStrategy,
-    GreedyStrategy,
-    HeuristicStrategy,
-    PredictionStrategy,
-)
-from repro.simulation.datacenter import build_datacenter
-from repro.simulation.engine import (
-    build_upper_bound_table,
-    oracle_for_trace,
-    simulate_strategy,
-)
+from repro.simulation.batch import StrategySpec, SweepRunner, SweepTask
 from repro.workloads.ms_trace import default_ms_trace, generate_ms_family_trace
 
 from _tables import print_table
@@ -36,15 +30,20 @@ CANDIDATES = (2.0, 2.5, 3.0, 3.5, 4.0)
 
 
 @lru_cache(maxsize=1)
+def _runner():
+    return SweepRunner.from_env()
+
+
+@lru_cache(maxsize=1)
 def _context():
     """Everything the sweep shares: trace, oracle, table, ground truth."""
+    runner = _runner()
     trace = default_ms_trace()
-    oracle = oracle_for_trace(trace, candidates=CANDIDATES)
-    oracle_run = simulate_strategy(trace, FixedUpperBoundStrategy(oracle.upper_bound))
-    in_burst = oracle_run.demand > 1.0
-    true_best_degree = float(oracle_run.degrees[in_burst].mean())
+    oracle = runner.oracle_search(trace, candidates=CANDIDATES)
+    oracle_run = runner.simulate(trace, StrategySpec.fixed(oracle.upper_bound))
+    true_best_degree = oracle_run.mean_burst_degree
     true_duration_s = trace.over_capacity_time_s()
-    table = build_upper_bound_table(
+    table = runner.build_upper_bound_table(
         burst_durations_min=(8.0, 12.0, 17.0, 23.0, 30.0, 45.0),
         burst_degrees=(3.4,),
         candidates=CANDIDATES,
@@ -52,35 +51,27 @@ def _context():
             dur_min * 60.0
         ),
     )
-    greedy_perf = simulate_strategy(trace, GreedyStrategy()).average_performance
-    cluster = build_datacenter().cluster
-    return (
-        trace,
-        oracle,
-        table,
-        true_best_degree,
-        true_duration_s,
-        greedy_perf,
-        cluster,
-    )
+    greedy_perf = runner.simulate(
+        trace, StrategySpec.greedy()
+    ).average_performance
+    return trace, oracle, table, true_best_degree, true_duration_s, greedy_perf
 
 
 def evaluate_error(error):
     """One x-axis point: (prediction perf, heuristic perf)."""
-    trace, _, table, sde_true, bdu_true, _, cluster = _context()
-    prediction = PredictionStrategy(
+    trace, _, table, sde_true, bdu_true, _ = _context()
+    prediction = StrategySpec.prediction(
         table,
         predicted_burst_duration_s=max(0.0, bdu_true * (1.0 + error)),
         max_degree=4.0,
     )
-    heuristic = HeuristicStrategy(
-        estimated_best_degree=max(0.0, sde_true * (1.0 + error)),
-        additional_power_fn=cluster.additional_power_at_degree_w,
+    heuristic = StrategySpec.heuristic(
+        estimated_best_degree=max(0.0, sde_true * (1.0 + error))
     )
-    return (
-        simulate_strategy(trace, prediction).average_performance,
-        simulate_strategy(trace, heuristic).average_performance,
+    outcomes = _runner().run_tasks(
+        [SweepTask(trace, prediction), SweepTask(trace, heuristic)]
     )
+    return outcomes[0].average_performance, outcomes[1].average_performance
 
 
 def bench_fig9_strategies(benchmark):
@@ -88,7 +79,7 @@ def bench_fig9_strategies(benchmark):
     _context()  # warm the shared cache outside the timed region
     benchmark.pedantic(evaluate_error, args=(0.0,), rounds=3, iterations=1)
 
-    trace, oracle, _, sde_true, bdu_true, greedy_perf, _ = _context()
+    trace, oracle, _, sde_true, bdu_true, greedy_perf = _context()
     rows = []
     for error in ESTIMATION_ERRORS:
         pred_perf, heur_perf = evaluate_error(error)
@@ -109,7 +100,8 @@ def bench_fig9_strategies(benchmark):
     print(
         f"(oracle bound {oracle.upper_bound:g}; true burst duration "
         f"{bdu_true / 60:.1f} min; true best average degree {sde_true:.2f}; "
-        f"paper band: 1.62-1.76x)"
+        f"paper band: 1.62-1.76x; sweep cache: {_runner().hits} hit(s), "
+        f"{_runner().misses} miss(es))"
     )
 
     zero_idx = ESTIMATION_ERRORS.index(0.0)

@@ -5,12 +5,15 @@ computing performance of a data center by a factor of 1.62 to 2.45 for 5 to
 30 minutes" (Abstract / Section VIII).  This harness sweeps both workload
 families and reports the improvement-factor range alongside the sprint
 durations that produced it.
+
+Runs on the batch sweep engine: all Greedy runs and Oracle candidate
+evaluations across both workload families execute as one cached,
+process-parallel batch.
 """
 
 from __future__ import annotations
 
-from repro.core.strategies import GreedyStrategy
-from repro.simulation.engine import oracle_for_trace, simulate_strategy
+from repro.simulation.batch import StrategySpec, SweepRunner
 from repro.workloads.ms_trace import default_ms_trace
 from repro.workloads.yahoo_trace import generate_yahoo_trace
 
@@ -19,13 +22,14 @@ from _tables import print_table
 CANDIDATES = (2.0, 2.5, 3.0, 3.5, 4.0)
 
 
-def sweep_workloads():
+def sweep_workloads(runner=None):
     """Improvement factor and sprint duration across both trace families."""
+    runner = runner or SweepRunner.from_env()
     rows = []
 
     ms = default_ms_trace()
-    greedy = simulate_strategy(ms, GreedyStrategy())
-    oracle = oracle_for_trace(ms, candidates=CANDIDATES)
+    greedy = runner.simulate(ms, StrategySpec.greedy())
+    oracle = runner.oracle_search(ms, candidates=CANDIDATES)
     rows.append(
         ("MS", "-", greedy.average_performance, oracle.achieved_performance,
          greedy.sprint_duration_s / 60.0)
@@ -36,8 +40,8 @@ def sweep_workloads():
             trace = generate_yahoo_trace(
                 burst_degree=degree, burst_duration_min=duration
             )
-            g = simulate_strategy(trace, GreedyStrategy())
-            o = oracle_for_trace(trace, candidates=CANDIDATES)
+            g = runner.simulate(trace, StrategySpec.greedy())
+            o = runner.oracle_search(trace, candidates=CANDIDATES)
             rows.append(
                 (
                     f"Yahoo {degree:g}x",

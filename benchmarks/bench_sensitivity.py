@@ -5,13 +5,17 @@ peak-normal power (default 10 %) and tests different PUE values.  This
 harness regenerates both sweeps on the MS trace with the Greedy strategy,
 plus the with/without-TES ablation the design discussion calls out
 (Section V: facilities without TES still sprint, for shorter durations).
+
+Each sweep is one batch on the sweep engine — the per-configuration runs
+are independent, so they parallelise and cache per grid point.
 """
 
 from __future__ import annotations
 
-from repro.core.strategies import GreedyStrategy
+from functools import lru_cache
+
+from repro.simulation.batch import StrategySpec, SweepRunner, SweepTask
 from repro.simulation.config import DataCenterConfig
-from repro.simulation.engine import simulate_strategy
 from repro.workloads.ms_trace import default_ms_trace
 
 from _tables import print_table
@@ -20,48 +24,50 @@ HEADROOMS = (0.0, 0.05, 0.10, 0.15, 0.20)
 PUES = (1.2, 1.4, 1.53, 1.7, 1.9)
 
 
-def sweep_headroom():
+@lru_cache(maxsize=1)
+def _runner():
+    return SweepRunner.from_env()
+
+
+def _greedy_batch(configs):
+    """Greedy outcomes for one trace across a list of configurations."""
     trace = default_ms_trace()
+    return _runner().run_tasks(
+        [SweepTask(trace, StrategySpec.greedy(), config) for config in configs]
+    )
+
+
+def sweep_headroom():
+    outcomes = _greedy_batch(
+        [DataCenterConfig(dc_headroom_fraction=h) for h in HEADROOMS]
+    )
     return [
-        (
-            f"{h * 100:.0f}%",
-            simulate_strategy(
-                trace, GreedyStrategy(), DataCenterConfig(dc_headroom_fraction=h)
-            ).average_performance,
-        )
-        for h in HEADROOMS
+        (f"{h * 100:.0f}%", outcome.average_performance)
+        for h, outcome in zip(HEADROOMS, outcomes)
     ]
 
 
 def sweep_pue():
-    trace = default_ms_trace()
+    outcomes = _greedy_batch([DataCenterConfig(pue=pue) for pue in PUES])
     return [
-        (
-            pue,
-            simulate_strategy(
-                trace, GreedyStrategy(), DataCenterConfig(pue=pue)
-            ).average_performance,
-        )
-        for pue in PUES
+        (pue, outcome.average_performance)
+        for pue, outcome in zip(PUES, outcomes)
     ]
 
 
 def tes_ablation():
-    trace = default_ms_trace()
-    rows = []
-    for has_tes, label in ((True, "with TES"), (False, "without TES")):
-        result = simulate_strategy(
-            trace, GreedyStrategy(), DataCenterConfig(has_tes=has_tes)
+    outcomes = _greedy_batch(
+        [DataCenterConfig(has_tes=True), DataCenterConfig(has_tes=False)]
+    )
+    return [
+        (
+            label,
+            outcome.average_performance,
+            outcome.sprint_duration_s / 60.0,
+            outcome.peak_room_temperature_c,
         )
-        rows.append(
-            (
-                label,
-                result.average_performance,
-                result.sprint_duration_s / 60.0,
-                result.peak_room_temperature_c,
-            )
-        )
-    return rows
+        for label, outcome in zip(("with TES", "without TES"), outcomes)
+    ]
 
 
 def bench_headroom_sweep(benchmark):

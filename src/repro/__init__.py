@@ -56,6 +56,10 @@ from repro.simulation import (
     DataCenterConfig,
     DEFAULT_CONFIG,
     SimulationResult,
+    StrategySpec,
+    SweepOutcome,
+    SweepRunner,
+    SweepTask,
     build_datacenter,
     build_upper_bound_table,
     oracle_for_trace,
@@ -98,6 +102,10 @@ __all__ = [
     "SprintPhase",
     "SprintingController",
     "SprintingStrategy",
+    "StrategySpec",
+    "SweepOutcome",
+    "SweepRunner",
+    "SweepTask",
     "TankDepletedError",
     "ThermalEmergencyError",
     "Trace",

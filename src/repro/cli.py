@@ -10,6 +10,13 @@ Usage::
     python -m repro economics                # the Fig. 5 cost/revenue table
     python -m repro sweep --headroom         # sensitivity sweeps
     python -m repro sweep --pue
+    python -m repro sweep --table            # Oracle upper-bound table
+    python -m repro sweep --table --workers 4 --cache-dir /tmp/sweeps
+
+The ``sweep`` subcommand runs on the batch engine
+(:mod:`repro.simulation.batch`): ``--workers`` fans the independent runs
+out over a process pool and results are memoised in a content-addressed
+on-disk cache (``--no-cache`` disables it, ``--cache-dir`` relocates it).
 
 Heavy figure regenerations (Figs. 9 and 10) live in the benchmark harness:
 ``pytest benchmarks/ --benchmark-only -s``.
@@ -181,27 +188,78 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if held == len(lines) else 1
 
 
+def _parse_float_list(raw: str, flag: str) -> List[float]:
+    try:
+        values = [float(token) for token in raw.split(",") if token.strip()]
+    except ValueError:
+        values = []
+    if not values:
+        raise SystemExit(f"{flag} expects a comma-separated list of numbers")
+    return values
+
+
+def _sweep_runner(args: argparse.Namespace) -> "SweepRunner":
+    from repro.simulation.batch import DEFAULT_CACHE_DIRNAME, SweepRunner
+
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIRNAME
+    return SweepRunner(max_workers=args.workers, cache_dir=cache_dir)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    trace = default_ms_trace()
-    if args.headroom:
-        print("DC headroom sweep (MS trace, Greedy):")
-        for headroom in (0.0, 0.05, 0.10, 0.15, 0.20):
-            result = simulate_strategy(
-                trace,
-                GreedyStrategy(),
-                DataCenterConfig(dc_headroom_fraction=headroom),
-            )
-            print(f"  {headroom:>5.0%} : {result.average_performance:.3f}x")
-    if args.pue:
-        print("PUE sweep (MS trace, Greedy):")
-        for pue in (1.2, 1.4, 1.53, 1.7, 1.9):
-            result = simulate_strategy(
-                trace, GreedyStrategy(), DataCenterConfig(pue=pue)
-            )
-            print(f"  {pue:>5.2f} : {result.average_performance:.3f}x")
-    if not args.headroom and not args.pue:
-        print("nothing to sweep: pass --headroom and/or --pue")
+    from repro.simulation.batch import StrategySpec, SweepTask
+
+    if not (args.headroom or args.pue or args.table):
+        print("nothing to sweep: pass --headroom, --pue and/or --table")
         return 2
+    runner = _sweep_runner(args)
+    if args.headroom or args.pue:
+        trace = default_ms_trace()
+    if args.headroom:
+        headrooms = (0.0, 0.05, 0.10, 0.15, 0.20)
+        outcomes = runner.run_tasks(
+            [
+                SweepTask(
+                    trace,
+                    StrategySpec.greedy(),
+                    DataCenterConfig(dc_headroom_fraction=h),
+                )
+                for h in headrooms
+            ]
+        )
+        print("DC headroom sweep (MS trace, Greedy):")
+        for headroom, outcome in zip(headrooms, outcomes):
+            print(f"  {headroom:>5.0%} : {outcome.average_performance:.3f}x")
+    if args.pue:
+        pues = (1.2, 1.4, 1.53, 1.7, 1.9)
+        outcomes = runner.run_tasks(
+            [
+                SweepTask(trace, StrategySpec.greedy(), DataCenterConfig(pue=p))
+                for p in pues
+            ]
+        )
+        print("PUE sweep (MS trace, Greedy):")
+        for pue, outcome in zip(pues, outcomes):
+            print(f"  {pue:>5.2f} : {outcome.average_performance:.3f}x")
+    if args.table:
+        durations = _parse_float_list(args.durations, "--durations")
+        degrees = _parse_float_list(args.degrees, "--degrees")
+        candidates = _parse_float_list(args.candidates, "--candidates")
+        table = runner.build_upper_bound_table(
+            burst_durations_min=durations,
+            burst_degrees=degrees,
+            candidates=candidates,
+        )
+        print("Oracle upper-bound table (Yahoo burst family):")
+        print(f"  {'duration':>10} {'degree':>8} {'bound':>7}")
+        for duration_s, degree, bound in table.entries():
+            print(f"  {duration_s / 60:>6.1f} min {degree:>8.2f} {bound:>7.2f}")
+    print(
+        f"(sweep engine: {runner.max_workers} worker(s), "
+        f"{runner.hits} cache hit(s), {runner.misses} miss(es))"
+    )
     return 0
 
 
@@ -233,12 +291,31 @@ def build_parser() -> argparse.ArgumentParser:
     ).set_defaults(func=_cmd_economics)
 
     sweep = subparsers.add_parser(
-        "sweep", help="sensitivity sweeps on the MS trace"
+        "sweep",
+        help="batched sweeps: sensitivity studies and the Oracle table",
     )
     sweep.add_argument("--headroom", action="store_true",
                        help="sweep the DC headroom 0-20%%")
     sweep.add_argument("--pue", action="store_true",
                        help="sweep the PUE 1.2-1.9")
+    sweep.add_argument("--table", action="store_true",
+                       help="build the Oracle upper-bound table")
+    sweep.add_argument("--durations", default="1,5,10,15",
+                       help="--table burst durations, minutes "
+                            "(comma-separated; default 1,5,10,15)")
+    sweep.add_argument("--degrees", default="2.6,3.0,3.4",
+                       help="--table burst degrees "
+                            "(comma-separated; default 2.6,3.0,3.4)")
+    sweep.add_argument("--candidates", default="2.0,2.5,3.0,3.5,4.0",
+                       help="--table Oracle candidate bounds "
+                            "(comma-separated; default 2.0,2.5,3.0,3.5,4.0)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: all cores)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result-cache directory "
+                            "(default .repro-sweep-cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
     sweep.set_defaults(func=_cmd_sweep)
 
     export = subparsers.add_parser(

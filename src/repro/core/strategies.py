@@ -204,6 +204,17 @@ class UpperBoundTable:
         nearest_degree = min(self.degrees, key=lambda g: abs(g - degree))
         return self._entries[(nearest_duration, nearest_degree)]
 
+    def entries(self) -> List[Tuple[float, float, float]]:
+        """All grid points as sorted ``(duration_s, degree, bound)`` rows.
+
+        The batch sweep layer uses this to flatten a table into plain,
+        picklable data (and to compare tables entry-wise in tests).
+        """
+        return sorted(
+            (duration_s, degree, bound)
+            for (duration_s, degree), bound in self._entries.items()
+        )
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -1,5 +1,12 @@
 """Simulation layer: configuration, facility assembly, engine, metrics."""
 
+from repro.simulation.batch import (
+    StrategySpec,
+    SweepOutcome,
+    SweepRunner,
+    SweepTask,
+    execute_task,
+)
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
 from repro.simulation.datacenter import DataCenter, build_datacenter
 from repro.simulation.engine import (
@@ -46,6 +53,11 @@ __all__ = [
     "ReportLine",
     "SimulationResult",
     "SizingPoint",
+    "StrategySpec",
+    "SweepOutcome",
+    "SweepRunner",
+    "SweepTask",
+    "execute_task",
     "collect_report_lines",
     "render_report",
     "write_report",

@@ -1,0 +1,567 @@
+"""Parallel sweep engine with deterministic result caching.
+
+Every headline experiment (the Fig. 9 strategy comparison, the Fig. 10
+burst sweep, the Section V-A upper-bound table) re-runs hundreds of
+*independent* full simulations.  This module turns those nested Python
+loops into declarative batches:
+
+* a :class:`SweepTask` names one run — ``(config, trace, strategy spec)`` —
+  in a fully picklable, hashable form;
+* a :class:`SweepRunner` fans batches out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``max_workers=1`` is a
+  pure in-process serial path, so parallel output can be checked
+  element-wise against serial output), and memoises every outcome in a
+  content-addressed on-disk cache keyed by a deterministic hash of the
+  task, so repeated Oracle searches and upper-bound-table builds are
+  near-free across benchmark runs.
+
+Strategies are described by :class:`StrategySpec` rather than live
+objects: a spec is plain data (safe to hash and to ship to a worker
+process) and is materialised into a real
+:class:`~repro.core.strategies.SprintingStrategy` inside the worker.
+
+Environment knobs
+-----------------
+``REPRO_SWEEP_WORKERS``
+    Default worker count for :meth:`SweepRunner.from_env` (falls back to
+    ``os.cpu_count()``; ``1`` forces the serial path).
+``REPRO_SWEEP_CACHE_DIR``
+    Cache directory for :meth:`SweepRunner.from_env`; the value ``off``
+    disables caching entirely.  Defaults to ``.repro-sweep-cache`` under
+    the current working directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.strategies import (
+    DEFAULT_FLEXIBILITY_PERCENT,
+    FixedUpperBoundStrategy,
+    GreedyStrategy,
+    HeuristicStrategy,
+    OracleStrategy,
+    PredictionStrategy,
+    SprintingStrategy,
+    UpperBoundTable,
+)
+from repro.errors import ConfigurationError
+from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import DEFAULT_ORACLE_GRID, simulate_strategy
+from repro.workloads.traces import Trace
+from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+#: Bump when the cached payload layout (or anything that changes simulated
+#: outcomes) changes incompatibly: old entries then miss instead of lying.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable naming the default worker count.
+ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+
+#: Environment variable naming the cache directory (``off`` disables).
+ENV_CACHE_DIR = "REPRO_SWEEP_CACHE_DIR"
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIRNAME = ".repro-sweep-cache"
+
+
+# ---------------------------------------------------------------------------
+# Strategy specifications
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class StrategySpec:
+    """A declarative, picklable description of one sprinting strategy.
+
+    Use the constructors (:meth:`greedy`, :meth:`fixed`, :meth:`prediction`,
+    :meth:`heuristic`) rather than filling fields by hand; :meth:`build`
+    materialises the live strategy object inside a worker process.  The
+    Heuristic strategy's ``additional_power_fn`` is rebuilt from the
+    facility configuration at materialisation time, which is what makes the
+    spec picklable where the live strategy is not.
+    """
+
+    kind: str
+    upper_bound: Optional[float] = None
+    predicted_burst_duration_s: Optional[float] = None
+    estimated_best_degree: Optional[float] = None
+    flexibility_percent: float = DEFAULT_FLEXIBILITY_PERCENT
+    max_degree: float = 4.0
+    #: Flattened upper-bound table: ((duration_s, degree, bound), ...).
+    table_entries: Optional[Tuple[Tuple[float, float, float], ...]] = None
+
+    @classmethod
+    def greedy(cls) -> "StrategySpec":
+        """The unconstrained Greedy strategy."""
+        return cls(kind="greedy")
+
+    @classmethod
+    def fixed(cls, upper_bound: float) -> "StrategySpec":
+        """A constant upper bound (the Oracle's output format)."""
+        return cls(kind="fixed", upper_bound=float(upper_bound))
+
+    @classmethod
+    def prediction(
+        cls,
+        table: UpperBoundTable,
+        predicted_burst_duration_s: float,
+        max_degree: float = 4.0,
+    ) -> "StrategySpec":
+        """The Prediction strategy, with the table flattened to plain data."""
+        entries = tuple(
+            (float(d), float(g), float(ub)) for d, g, ub in table.entries()
+        )
+        return cls(
+            kind="prediction",
+            predicted_burst_duration_s=float(predicted_burst_duration_s),
+            max_degree=float(max_degree),
+            table_entries=entries,
+        )
+
+    @classmethod
+    def heuristic(
+        cls,
+        estimated_best_degree: float,
+        flexibility_percent: float = DEFAULT_FLEXIBILITY_PERCENT,
+        max_degree: float = 4.0,
+    ) -> "StrategySpec":
+        """The Heuristic strategy (power model supplied by the config)."""
+        return cls(
+            kind="heuristic",
+            estimated_best_degree=float(estimated_best_degree),
+            flexibility_percent=float(flexibility_percent),
+            max_degree=float(max_degree),
+        )
+
+    def build(self, config: DataCenterConfig) -> SprintingStrategy:
+        """Materialise the live strategy object for ``config``."""
+        if self.kind == "greedy":
+            return GreedyStrategy()
+        if self.kind == "fixed":
+            if self.upper_bound is None:
+                raise ConfigurationError("fixed spec needs an upper_bound")
+            return FixedUpperBoundStrategy(self.upper_bound)
+        if self.kind == "prediction":
+            if self.table_entries is None:
+                raise ConfigurationError("prediction spec needs table_entries")
+            if self.predicted_burst_duration_s is None:
+                raise ConfigurationError(
+                    "prediction spec needs predicted_burst_duration_s"
+                )
+            table = UpperBoundTable()
+            for duration_s, degree, bound in self.table_entries:
+                table.set(duration_s=duration_s, degree=degree, upper_bound=bound)
+            return PredictionStrategy(
+                table,
+                predicted_burst_duration_s=self.predicted_burst_duration_s,
+                max_degree=self.max_degree,
+            )
+        if self.kind == "heuristic":
+            if self.estimated_best_degree is None:
+                raise ConfigurationError(
+                    "heuristic spec needs estimated_best_degree"
+                )
+            cluster = build_datacenter(config).cluster
+            return HeuristicStrategy(
+                estimated_best_degree=self.estimated_best_degree,
+                additional_power_fn=cluster.additional_power_at_degree_w,
+                flexibility_percent=self.flexibility_percent,
+                max_degree=self.max_degree,
+            )
+        raise ConfigurationError(f"unknown strategy spec kind {self.kind!r}")
+
+    def canonical(self) -> Dict:
+        """JSON-serialisable canonical form (feeds the cache key)."""
+        return {
+            "kind": self.kind,
+            "upper_bound": self.upper_bound,
+            "predicted_burst_duration_s": self.predicted_burst_duration_s,
+            "estimated_best_degree": self.estimated_best_degree,
+            "flexibility_percent": self.flexibility_percent,
+            "max_degree": self.max_degree,
+            "table_entries": (
+                None
+                if self.table_entries is None
+                else [list(entry) for entry in self.table_entries]
+            ),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Tasks and outcomes
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent simulation run, in shippable form."""
+
+    trace: Trace
+    spec: StrategySpec
+    config: DataCenterConfig = DEFAULT_CONFIG
+
+    def cache_key(self) -> str:
+        """Deterministic content hash of everything that shapes the outcome.
+
+        Covers every configuration field, the trace *content* (samples and
+        sampling period — the display name is deliberately excluded, it
+        cannot influence the dynamics) and the full strategy spec, plus a
+        format version so stale layouts miss instead of lying.
+        """
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "config": self.config.to_dict(),
+            "trace": {
+                "dt_s": self.trace.dt_s,
+                "n_samples": len(self.trace),
+                "samples_sha256": hashlib.sha256(
+                    self.trace.samples.tobytes()
+                ).hexdigest(),
+            },
+            "spec": self.spec.canonical(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """The scalar results one sweep consumer needs from one run.
+
+    Deliberately compact — a few floats rather than per-step telemetry —
+    so outcomes are cheap to cache, compare bit-for-bit, and ship back
+    from worker processes.  Use :func:`repro.simulation.engine.simulate_strategy`
+    directly when per-step series are needed.
+    """
+
+    strategy_name: str
+    average_performance: float
+    overall_performance: float
+    drop_fraction: float
+    peak_degree: float
+    sprint_duration_s: float
+    #: Mean realised degree over the samples where demand exceeds 1.0
+    #: (NaN when the trace never exceeds capacity).
+    mean_burst_degree: float
+    peak_room_temperature_c: float
+    energy_shares: Tuple[Tuple[str, float], ...] = field(default_factory=tuple)
+
+    def energy_share(self, source: str) -> float:
+        """Energy share of one source (0.0 when absent)."""
+        return dict(self.energy_shares).get(source, 0.0)
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form for the on-disk cache."""
+        return {
+            "strategy_name": self.strategy_name,
+            "average_performance": self.average_performance,
+            "overall_performance": self.overall_performance,
+            "drop_fraction": self.drop_fraction,
+            "peak_degree": self.peak_degree,
+            "sprint_duration_s": self.sprint_duration_s,
+            "mean_burst_degree": self.mean_burst_degree,
+            "peak_room_temperature_c": self.peak_room_temperature_c,
+            "energy_shares": [list(pair) for pair in self.energy_shares],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SweepOutcome":
+        """Inverse of :meth:`to_dict`; raises on malformed payloads."""
+        shares = tuple(
+            (str(name), float(value)) for name, value in payload["energy_shares"]
+        )
+        return cls(
+            strategy_name=str(payload["strategy_name"]),
+            average_performance=float(payload["average_performance"]),
+            overall_performance=float(payload["overall_performance"]),
+            drop_fraction=float(payload["drop_fraction"]),
+            peak_degree=float(payload["peak_degree"]),
+            sprint_duration_s=float(payload["sprint_duration_s"]),
+            mean_burst_degree=float(payload["mean_burst_degree"]),
+            peak_room_temperature_c=float(payload["peak_room_temperature_c"]),
+            energy_shares=shares,
+        )
+
+
+def execute_task(task: SweepTask) -> SweepOutcome:
+    """Run one task to completion (the worker-process entry point).
+
+    This is the *only* compute path — the serial runner, the process pool
+    and the cache-miss refill all call it — which is what makes parallel
+    and cached results bit-identical to serial ones.
+    """
+    result = simulate_strategy(task.trace, task.spec.build(task.config), task.config)
+    demand = result.demand
+    degrees = result.degrees
+    burst_mask = demand > 1.0
+    mean_burst_degree = (
+        float(degrees[burst_mask].mean()) if burst_mask.any() else float("nan")
+    )
+    return SweepOutcome(
+        strategy_name=result.strategy_name,
+        average_performance=result.average_performance,
+        overall_performance=result.overall_performance,
+        drop_fraction=result.drop_fraction,
+        peak_degree=result.peak_degree,
+        sprint_duration_s=result.sprint_duration_s,
+        mean_burst_degree=mean_burst_degree,
+        peak_room_temperature_c=result.peak_room_temperature_c,
+        energy_shares=tuple(sorted(result.energy_shares.items())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+class SweepRunner:
+    """Fan independent simulation runs out over processes, with caching.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count for batches.  ``1`` (the default) runs everything
+        in-process — the reference serial path parallel output is tested
+        against.  ``None`` resolves to ``os.cpu_count()``.
+    cache_dir:
+        Directory for the content-addressed outcome cache; created on
+        first write.  ``None`` disables caching.
+
+    The cache stores one small JSON file per task, named by the task's
+    SHA-256 :meth:`~SweepTask.cache_key`.  Corrupt, truncated or
+    key-mismatched files are detected on read and silently recomputed
+    (and rewritten).  ``runner.hits`` / ``runner.misses`` count cache
+    traffic for reporting.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = 1,
+        cache_dir: Optional[os.PathLike] = None,
+    ):
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers!r}"
+            )
+        self.max_workers = int(max_workers)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls) -> "SweepRunner":
+        """Build a runner from the environment knobs (benchmark default).
+
+        Workers default to ``os.cpu_count()``; caching defaults to *on*
+        in ``.repro-sweep-cache`` under the working directory, and is
+        disabled by ``REPRO_SWEEP_CACHE_DIR=off``.
+        """
+        workers_env = os.environ.get(ENV_WORKERS, "").strip()
+        max_workers = int(workers_env) if workers_env else None
+        cache_env = os.environ.get(ENV_CACHE_DIR, "").strip()
+        if cache_env.lower() in ("off", "0", "none", "disabled"):
+            cache_dir: Optional[Path] = None
+        elif cache_env:
+            cache_dir = Path(cache_env)
+        else:
+            cache_dir = Path(DEFAULT_CACHE_DIRNAME)
+        return cls(max_workers=max_workers, cache_dir=cache_dir)
+
+    # ------------------------------------------------------------------
+    # Core batch execution
+    # ------------------------------------------------------------------
+    def run_tasks(self, tasks: Sequence[SweepTask]) -> List[SweepOutcome]:
+        """Run a batch, preserving input order.
+
+        Cached outcomes are returned without recomputation; the remainder
+        is executed on the process pool (or in-process for a serial
+        runner) and written back to the cache.
+        """
+        outcomes: List[Optional[SweepOutcome]] = [None] * len(tasks)
+        pending: List[Tuple[int, SweepTask, str]] = []
+        for i, task in enumerate(tasks):
+            key = task.cache_key()
+            cached = self._cache_load(key)
+            if cached is not None:
+                self.hits += 1
+                outcomes[i] = cached
+            else:
+                self.misses += 1
+                pending.append((i, task, key))
+
+        if pending:
+            pending_tasks = [task for _, task, _ in pending]
+            if self.max_workers > 1 and len(pending_tasks) > 1:
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    computed = list(pool.map(execute_task, pending_tasks))
+            else:
+                computed = [execute_task(task) for task in pending_tasks]
+            for (i, _, key), outcome in zip(pending, computed):
+                outcomes[i] = outcome
+                self._cache_store(key, outcome)
+
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def simulate(
+        self,
+        trace: Trace,
+        spec: StrategySpec,
+        config: DataCenterConfig = DEFAULT_CONFIG,
+    ) -> SweepOutcome:
+        """Run (or recall) a single task."""
+        return self.run_tasks([SweepTask(trace, spec, config)])[0]
+
+    # ------------------------------------------------------------------
+    # The paper's sweeps, batched
+    # ------------------------------------------------------------------
+    def evaluate_upper_bounds(
+        self,
+        trace: Trace,
+        bounds: Sequence[float],
+        config: DataCenterConfig = DEFAULT_CONFIG,
+    ) -> List[float]:
+        """Average performance of each constant upper bound on ``trace``."""
+        tasks = [
+            SweepTask(trace, StrategySpec.fixed(bound), config)
+            for bound in bounds
+        ]
+        return [outcome.average_performance for outcome in self.run_tasks(tasks)]
+
+    def oracle_search(
+        self,
+        trace: Trace,
+        candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
+        config: DataCenterConfig = DEFAULT_CONFIG,
+    ) -> OracleStrategy:
+        """Exhaustive Oracle search (Section V-A), batched.
+
+        Ties break towards the earlier candidate — exactly like the serial
+        :func:`repro.core.strategies.oracle_search` — so the result is
+        independent of worker count.
+        """
+        if not candidates:
+            raise ConfigurationError("candidates must be non-empty")
+        performances = self.evaluate_upper_bounds(trace, candidates, config)
+        best_idx = 0
+        for i, perf in enumerate(performances):
+            if perf > performances[best_idx]:
+                best_idx = i
+        return OracleStrategy(
+            float(candidates[best_idx]),
+            achieved_performance=performances[best_idx],
+        )
+
+    def build_upper_bound_table(
+        self,
+        config: DataCenterConfig = DEFAULT_CONFIG,
+        burst_durations_min: Sequence[float] = (1.0, 5.0, 10.0, 15.0),
+        burst_degrees: Sequence[float] = (2.6, 2.8, 3.0, 3.2, 3.4, 3.6),
+        candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
+        trace_factory=None,
+    ) -> UpperBoundTable:
+        """Pre-compute the Oracle upper-bound table (Section V-A), batched.
+
+        The entire ``durations x degrees x candidates`` product is
+        flattened into one batch so the pool never idles between grid
+        points; the per-point argmax reduction afterwards matches the
+        serial search's tie-breaking.
+        """
+        if not candidates:
+            raise ConfigurationError("candidates must be non-empty")
+        factory = trace_factory or (
+            lambda degree, duration_min: generate_yahoo_trace(
+                burst_degree=degree, burst_duration_min=duration_min
+            )
+        )
+        points = [
+            (duration_min, degree)
+            for duration_min in burst_durations_min
+            for degree in burst_degrees
+        ]
+        traces = {point: factory(point[1], point[0]) for point in points}
+        tasks = [
+            SweepTask(traces[point], StrategySpec.fixed(candidate), config)
+            for point in points
+            for candidate in candidates
+        ]
+        outcomes = self.run_tasks(tasks)
+
+        table = UpperBoundTable()
+        n_candidates = len(candidates)
+        for p, (duration_min, degree) in enumerate(points):
+            chunk = outcomes[p * n_candidates:(p + 1) * n_candidates]
+            best_idx = 0
+            for i, outcome in enumerate(chunk):
+                if outcome.average_performance > chunk[best_idx].average_performance:
+                    best_idx = i
+            table.set(
+                duration_s=duration_min * 60.0,
+                degree=degree,
+                upper_bound=float(candidates[best_idx]),
+            )
+        return table
+
+    # ------------------------------------------------------------------
+    # On-disk cache
+    # ------------------------------------------------------------------
+    def _cache_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def _cache_load(self, key: str) -> Optional[SweepOutcome]:
+        """Load one cached outcome; any malformed entry reads as a miss."""
+        path = self._cache_path(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload["version"] != CACHE_FORMAT_VERSION:
+                return None
+            if payload["key"] != key:
+                return None
+            return SweepOutcome.from_dict(payload["outcome"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Truncated JSON, tampered fields, wrong types: recompute.
+            return None
+
+    def _cache_store(self, key: str, outcome: SweepOutcome) -> None:
+        """Atomically persist one outcome (write-to-temp + rename)."""
+        path = self._cache_path(key)
+        if path is None:
+            return
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "outcome": outcome.to_dict(),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except OSError:
+            # Caching is an optimisation; never fail the sweep over it.
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+
+def config_fields() -> Tuple[str, ...]:
+    """Names of every :class:`DataCenterConfig` field (cache-key surface).
+
+    Exposed so the key-coverage property tests can insist that adding a
+    configuration field comes with a matching perturbation case.
+    """
+    return tuple(f.name for f in fields(DataCenterConfig))

@@ -16,7 +16,8 @@ Every number below is quoted from the paper's simulation setup:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Mapping
 
 from repro.errors import ConfigurationError
 from repro.units import require_non_negative, require_positive
@@ -116,6 +117,28 @@ class DataCenterConfig:
     def with_changes(self, **changes) -> "DataCenterConfig":
         """Return a copy with the given fields replaced (sweep helper)."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialisation (the batch sweep cache keys off this)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Every field as plain JSON-serialisable data, in field order.
+
+        This is the canonical form the sweep cache hashes: all fields are
+        present, so perturbing any one of them changes the cache key.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DataCenterConfig":
+        """Rebuild a (validated) configuration from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown configuration fields: {sorted(unknown)}"
+            )
+        return cls(**dict(payload))
 
 
 #: The paper's default configuration, shared by experiments and tests.

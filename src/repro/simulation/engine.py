@@ -18,13 +18,12 @@ from repro.core.strategies import (
     OracleStrategy,
     SprintingStrategy,
     UpperBoundTable,
-    oracle_search,
 )
+from repro.errors import ConfigurationError
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
 from repro.simulation.datacenter import DataCenter, build_datacenter
 from repro.simulation.metrics import SimulationResult
 from repro.workloads.traces import Trace
-from repro.workloads.yahoo_trace import generate_yahoo_trace
 
 #: Default candidate grid for the Oracle's exhaustive search.
 DEFAULT_ORACLE_GRID = tuple(np.arange(1.0, 4.01, 0.25).tolist())
@@ -50,8 +49,6 @@ def run_simulation(
     datacenter.reset()
     controller = datacenter.controller(strategy)
     if abs(trace.dt_s - controller.settings.dt_s) > 1e-9:
-        from repro.errors import ConfigurationError
-
         raise ConfigurationError(
             f"trace sampling period ({trace.dt_s:g} s) does not match the "
             f"controller step ({controller.settings.dt_s:g} s); resample "
@@ -93,10 +90,22 @@ def evaluate_upper_bound(
     return result.average_performance
 
 
+def _default_runner():
+    """The serial, cache-less runner behind the plain engine functions.
+
+    Imported lazily: :mod:`repro.simulation.batch` imports this module, so
+    a module-level import would be circular.
+    """
+    from repro.simulation.batch import SweepRunner
+
+    return SweepRunner(max_workers=1, cache_dir=None)
+
+
 def oracle_for_trace(
     trace: Trace,
     config: DataCenterConfig = DEFAULT_CONFIG,
     candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
+    runner=None,
 ) -> OracleStrategy:
     """Exhaustive Oracle search over constant upper bounds for a trace.
 
@@ -104,11 +113,17 @@ def oracle_for_trace(
     search, with the assumption that the burst degree and burst duration
     can be perfectly predicted" (Section V-A) — perfect prediction here
     means evaluating every candidate on the actual trace.
+
+    Parameters
+    ----------
+    runner:
+        Optional :class:`~repro.simulation.batch.SweepRunner` to fan the
+        candidate evaluations out over worker processes and/or the result
+        cache; the default is a serial, cache-less runner whose output is
+        bit-identical to the historical in-process loop.
     """
-    return oracle_search(
-        evaluate=lambda ub: evaluate_upper_bound(trace, ub, config),
-        candidates=candidates,
-    )
+    runner = runner or _default_runner()
+    return runner.oracle_search(trace, candidates=candidates, config=config)
 
 
 def build_upper_bound_table(
@@ -117,6 +132,7 @@ def build_upper_bound_table(
     burst_degrees: Sequence[float] = (2.6, 2.8, 3.0, 3.2, 3.4, 3.6),
     candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
     trace_factory: Optional[Callable[[float, float], Trace]] = None,
+    runner=None,
 ) -> UpperBoundTable:
     """Pre-compute the Oracle upper-bound table (Section V-A).
 
@@ -130,20 +146,17 @@ def build_upper_bound_table(
     trace_factory:
         Optional override mapping ``(degree, duration_min)`` to a trace;
         defaults to :func:`repro.workloads.yahoo_trace.generate_yahoo_trace`.
+    runner:
+        Optional :class:`~repro.simulation.batch.SweepRunner`; the full
+        ``durations x degrees x candidates`` product then runs as one
+        parallel, cached batch.  The default is a serial, cache-less
+        runner whose output is bit-identical to the historical loop.
     """
-    factory = trace_factory or (
-        lambda degree, duration_min: generate_yahoo_trace(
-            burst_degree=degree, burst_duration_min=duration_min
-        )
+    runner = runner or _default_runner()
+    return runner.build_upper_bound_table(
+        config=config,
+        burst_durations_min=burst_durations_min,
+        burst_degrees=burst_degrees,
+        candidates=candidates,
+        trace_factory=trace_factory,
     )
-    table = UpperBoundTable()
-    for duration_min in burst_durations_min:
-        for degree in burst_degrees:
-            trace = factory(degree, duration_min)
-            oracle = oracle_for_trace(trace, config, candidates)
-            table.set(
-                duration_s=duration_min * 60.0,
-                degree=degree,
-                upper_bound=oracle.upper_bound,
-            )
-    return table

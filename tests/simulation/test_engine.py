@@ -52,6 +52,28 @@ class TestRunSimulation:
         with pytest.raises(ConfigurationError, match="sampling period"):
             simulate_strategy(coarse, GreedyStrategy(), SMALL)
 
+    def test_dt_mismatch_message_names_both_periods(self):
+        """The error message quotes both the trace period and the
+        controller step, and says how to reconcile them — that is what
+        makes the failure actionable."""
+        from repro.errors import ConfigurationError
+
+        coarse = burst_trace().resampled(5.0)
+        with pytest.raises(ConfigurationError) as excinfo:
+            simulate_strategy(coarse, GreedyStrategy(), SMALL)
+        message = str(excinfo.value)
+        assert "5 s" in message
+        assert "1 s" in message
+        assert "resample" in message
+
+    def test_configuration_error_importable_at_module_level(self):
+        """The dt-mismatch guard must not rely on a function-local import:
+        the exception class is part of the engine module's namespace."""
+        import repro.simulation.engine as engine_module
+        from repro.errors import ConfigurationError
+
+        assert engine_module.ConfigurationError is ConfigurationError
+
     def test_coarse_trace_runs_with_matching_config(self):
         coarse = burst_trace().resampled(5.0)
         config = DataCenterConfig(n_pdus=2, servers_per_pdu=50, dt_s=5.0)
@@ -107,6 +129,26 @@ class TestOracleSearch:
         assert evaluate_upper_bound(trace, 2.5, SMALL) == pytest.approx(
             direct.average_performance
         )
+
+
+class TestEngineRunnerDelegation:
+    def test_explicit_runner_is_used(self, tmp_path):
+        """Passing a caching runner through the engine wrappers hits the
+        cache on the second call."""
+        from repro.simulation.batch import SweepRunner
+
+        trace = burst_trace()
+        runner = SweepRunner(max_workers=1, cache_dir=tmp_path)
+        first = oracle_for_trace(
+            trace, SMALL, candidates=(2.0, 3.0), runner=runner
+        )
+        assert runner.misses == 2 and runner.hits == 0
+        second = oracle_for_trace(
+            trace, SMALL, candidates=(2.0, 3.0), runner=runner
+        )
+        assert runner.hits == 2
+        assert first.upper_bound == second.upper_bound
+        assert first.achieved_performance == second.achieved_performance
 
 
 class TestUpperBoundTable:

@@ -53,16 +53,36 @@ class TestCommands:
         assert "U_t = 4U_0" in out
         assert "R100" in out
 
-    def test_sweep_headroom(self, capsys):
-        assert main(["sweep", "--headroom"]) == 0
+    def test_sweep_headroom(self, capsys, tmp_path):
+        args = ["sweep", "--headroom", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
         out = capsys.readouterr().out
         assert "headroom" in out
         assert "20%" in out
+        assert "miss(es)" in out
+        # The cache was populated; a rerun answers from it.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "5 cache hit(s), 0 miss(es)" in out
 
     def test_sweep_pue(self, capsys):
-        assert main(["sweep", "--pue"]) == 0
+        assert main(["sweep", "--pue", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "PUE" in out
+
+    def test_sweep_table(self, capsys):
+        assert main([
+            "sweep", "--table", "--no-cache", "--workers", "1",
+            "--durations", "1", "--degrees", "2.8",
+            "--candidates", "2.0,4.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "upper-bound table" in out
+        assert "1.0 min" in out
+
+    def test_sweep_bad_float_list_errors(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--table", "--no-cache", "--durations", "abc"])
 
     def test_sweep_without_flags_errors(self, capsys):
         assert main(["sweep"]) == 2
