@@ -1,6 +1,6 @@
 # Convenience targets for the Data Center Sprinting reproduction.
 
-.PHONY: install test bench report examples sweep-smoke clean
+.PHONY: install test bench report examples sweep-smoke fault-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -27,6 +27,17 @@ sweep-smoke:
 		| tee /dev/stderr | grep -q "0 miss(es)"
 	rm -rf .repro-sweep-smoke
 	@echo "sweep smoke ok: warm rerun answered entirely from cache"
+
+# Exercise fault injection and graceful degradation end-to-end: a fault
+# mid-sprint must degrade the run, not crash it, and a faulted sweep must
+# not be answered from the clean-run cache.
+fault-smoke:
+	python -m repro simulate --fault breaker@120s:fraction=0.5 \
+		| tee /dev/stderr | grep -q "degraded to admission-control-only"
+	python -m repro sweep --headroom --no-cache \
+		--fault chiller@300s \
+		| tee /dev/stderr | grep -q "degraded at"
+	@echo "fault smoke ok: faulted runs degrade gracefully and complete"
 
 examples:
 	@for ex in examples/*.py; do \

@@ -8,8 +8,11 @@ Usage::
     python -m repro strategies               # Greedy vs Oracle on both traces
     python -m repro testbed                  # the Fig. 11 reserve sweep
     python -m repro economics                # the Fig. 5 cost/revenue table
+    python -m repro simulate                 # one run, with fault injection:
+    python -m repro simulate --fault breaker@120s --fault chiller@300s
     python -m repro sweep --headroom         # sensitivity sweeps
     python -m repro sweep --pue
+    python -m repro sweep --headroom --fault-plan plan.json
     python -m repro sweep --table            # Oracle upper-bound table
     python -m repro sweep --table --workers 4 --cache-dir /tmp/sweeps
 
@@ -143,6 +146,65 @@ def _cmd_economics(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_by_name(name: str):
+    if name == "ms":
+        return default_ms_trace()
+    if name == "yahoo5":
+        return generate_yahoo_trace(3.2, 5.0)
+    if name == "yahoo15":
+        return generate_yahoo_trace(3.2, 15.0)
+    raise SystemExit(f"unknown trace {name!r} (expected ms, yahoo5 or yahoo15)")
+
+
+def _fault_plan_from_args(args: argparse.Namespace):
+    """Combine ``--fault-plan FILE`` and repeatable ``--fault SPEC`` flags."""
+    from repro.errors import ConfigurationError
+    from repro.simulation.faults import FaultEvent, FaultPlan
+
+    events = []
+    try:
+        if getattr(args, "fault_plan", None):
+            events.extend(FaultPlan.load(args.fault_plan).events)
+        for spec in getattr(args, "fault", None) or ():
+            events.append(FaultEvent.parse(spec))
+    except (OSError, ConfigurationError) as exc:
+        raise SystemExit(f"bad fault plan: {exc}")
+    return FaultPlan(tuple(events)) if events else None
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.strategies import FixedUpperBoundStrategy
+
+    trace = _trace_by_name(args.trace)
+    if args.strategy == "greedy":
+        strategy = GreedyStrategy()
+    elif args.strategy == "fixed":
+        strategy = FixedUpperBoundStrategy(args.bound)
+    else:
+        raise SystemExit(f"unknown strategy {args.strategy!r}")
+    plan = _fault_plan_from_args(args)
+    result = simulate_strategy(trace, strategy, fault_plan=plan)
+    summary = result.summary()
+    print(f"trace: {trace.name}, strategy: {result.strategy_name}")
+    print(f"average performance : {summary['average_performance']:.2f}x")
+    print(f"dropped demand      : {100 * summary['drop_fraction']:.1f}%")
+    print(f"peak degree         : {summary['peak_degree']:.2f}")
+    print(f"peak room temp      : {summary['peak_room_temperature_c']:.1f} C")
+    if plan is not None:
+        if result.fault_events:
+            print(f"fault events ({len(result.fault_events)}):")
+            for record in result.fault_events:
+                print(f"  t={record.time_s:>7.1f}s {record.kind:<22} "
+                      f"{record.detail}")
+        else:
+            print("fault events: none applied")
+        if result.aborted_at_s is not None:
+            print(f"degraded to admission-control-only at "
+                  f"{result.aborted_at_s:.1f} s; the run still completed "
+                  f"({len(result.steps)}/{len(trace)} samples)")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.simulation.export import write_steps_csv, write_summary_json
 
@@ -208,6 +270,17 @@ def _sweep_runner(args: argparse.Namespace) -> "SweepRunner":
     return SweepRunner(max_workers=args.workers, cache_dir=cache_dir)
 
 
+def _sweep_cell(result) -> str:
+    """One table cell: a performance figure or a structured failure."""
+    if result.failed:
+        where = "" if result.time_s is None else f" at t={result.time_s:.0f}s"
+        return f"FAILED ({result.error_type}{where}: {result.message})"
+    cell = f"{result.average_performance:.3f}x"
+    if result.aborted_at_s is not None:
+        cell += f" (degraded at {result.aborted_at_s:.0f}s)"
+    return cell
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.simulation.batch import StrategySpec, SweepTask
 
@@ -215,6 +288,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("nothing to sweep: pass --headroom, --pue and/or --table")
         return 2
     runner = _sweep_runner(args)
+    fault_plan = _fault_plan_from_args(args)
     if args.headroom or args.pue:
         trace = default_ms_trace()
     if args.headroom:
@@ -225,24 +299,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     trace,
                     StrategySpec.greedy(),
                     DataCenterConfig(dc_headroom_fraction=h),
+                    fault_plan,
                 )
                 for h in headrooms
             ]
         )
         print("DC headroom sweep (MS trace, Greedy):")
         for headroom, outcome in zip(headrooms, outcomes):
-            print(f"  {headroom:>5.0%} : {outcome.average_performance:.3f}x")
+            print(f"  {headroom:>5.0%} : {_sweep_cell(outcome)}")
     if args.pue:
         pues = (1.2, 1.4, 1.53, 1.7, 1.9)
         outcomes = runner.run_tasks(
             [
-                SweepTask(trace, StrategySpec.greedy(), DataCenterConfig(pue=p))
+                SweepTask(
+                    trace,
+                    StrategySpec.greedy(),
+                    DataCenterConfig(pue=p),
+                    fault_plan,
+                )
                 for p in pues
             ]
         )
         print("PUE sweep (MS trace, Greedy):")
         for pue, outcome in zip(pues, outcomes):
-            print(f"  {pue:>5.2f} : {outcome.average_performance:.3f}x")
+            print(f"  {pue:>5.2f} : {_sweep_cell(outcome)}")
     if args.table:
         durations = _parse_float_list(args.durations, "--durations")
         degrees = _parse_float_list(args.degrees, "--degrees")
@@ -290,6 +370,27 @@ def build_parser() -> argparse.ArgumentParser:
         "economics", help="the Fig. 5 cost/revenue table"
     ).set_defaults(func=_cmd_economics)
 
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="one run with optional fault injection",
+    )
+    simulate.add_argument("--trace", default="ms",
+                          choices=("ms", "yahoo5", "yahoo15"),
+                          help="workload trace (default ms)")
+    simulate.add_argument("--strategy", default="greedy",
+                          choices=("greedy", "fixed"),
+                          help="sprinting strategy (default greedy)")
+    simulate.add_argument("--bound", type=float, default=3.0,
+                          help="upper bound for --strategy fixed "
+                               "(default 3.0)")
+    simulate.add_argument("--fault", action="append", metavar="SPEC",
+                          help="inject a fault, e.g. breaker@120s, "
+                               "chiller@300s:fraction=0.5,duration=120, "
+                               "breaker@60s:target=dc (repeatable)")
+    simulate.add_argument("--fault-plan", metavar="FILE",
+                          help="JSON fault-plan file (see docs/API.md)")
+    simulate.set_defaults(func=_cmd_simulate)
+
     sweep = subparsers.add_parser(
         "sweep",
         help="batched sweeps: sensitivity studies and the Oracle table",
@@ -316,6 +417,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default .repro-sweep-cache)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk result cache")
+    sweep.add_argument("--fault", action="append", metavar="SPEC",
+                       help="inject a fault into every sensitivity-sweep "
+                            "run (repeatable; same grammar as simulate)")
+    sweep.add_argument("--fault-plan", metavar="FILE",
+                       help="JSON fault-plan applied to every "
+                            "sensitivity-sweep run")
     sweep.set_defaults(func=_cmd_sweep)
 
     export = subparsers.add_parser(

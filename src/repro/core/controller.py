@@ -173,6 +173,8 @@ class SprintingController:
         )
         self.history: List[ControlStep] = []
         self._burst_was_active = False
+        #: Absolute serving capacity while degraded, None when healthy.
+        self._degraded_capacity: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Main loop entry
@@ -415,6 +417,78 @@ class SprintingController:
         )
 
     # ------------------------------------------------------------------
+    # Graceful degradation (fault injection)
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the controller has fallen back to admission-only mode."""
+        return self._degraded_capacity is not None
+
+    def enter_degraded(
+        self, surviving_capacity: float, time_s: float, reason: str
+    ) -> None:
+        """Fall back to admission control on ``surviving_capacity``.
+
+        Called by the engine when a substrate component faults under an
+        active fault plan.  ``surviving_capacity`` is in the same demand
+        units the trace uses (1.0 = peak-normal facility capacity); no
+        sprinting is attempted from here on, the controller only admits
+        what the surviving fleet can serve at the normal degree.
+        """
+        require_non_negative(surviving_capacity, "surviving_capacity")
+        self._degraded_capacity = surviving_capacity
+        self.safety.record_fault(
+            time_s,
+            f"degraded to admission-control-only on "
+            f"{surviving_capacity:g} capacity: {reason}",
+        )
+
+    def degraded_step(self, demand: float, time_s: float) -> ControlStep:
+        """One admission-control-only period on the surviving capacity.
+
+        The substrate is not stepped (a dark facility has no power flows
+        and a shut-down one generates no heat); only the admission
+        integrals and phase clock advance so the run's metrics stay
+        well defined and ``history`` keeps one entry per trace sample.
+        """
+        if self._degraded_capacity is None:
+            raise ConfigurationError(
+                "degraded_step called on a healthy controller; call "
+                "enter_degraded first"
+            )
+        require_non_negative(demand, "demand")
+        require_non_negative(time_s, "time_s")
+        dt = self.settings.dt_s
+        capacity = self._degraded_capacity
+        decision = self.admission.admit(demand, capacity, dt)
+        self.phases.record(SprintPhase.IDLE, dt)
+        base = self.cluster.capacity_at_degree(1.0)
+        degree = min(1.0, capacity / base) if base > 0.0 else 0.0
+        it_power_w = self.cluster.power_at_degree_w(degree) if degree > 0.0 else 0.0
+        step = ControlStep(
+            time_s=time_s,
+            demand=demand,
+            upper_bound=1.0,
+            degree=degree,
+            capacity=capacity,
+            served=decision.served,
+            dropped=decision.dropped,
+            phase=SprintPhase.IDLE,
+            in_burst=False,
+            it_power_w=it_power_w,
+            grid_w=0.0,
+            ups_w=0.0,
+            cb_overload_w=0.0,
+            tes_heat_w=0.0,
+            tes_electric_saved_w=0.0,
+            cooling_electric_w=0.0,
+            room_temperature_c=self.cooling.room.temperature_c,
+            pdu_grid_bound_w=0.0,
+        )
+        self.history.append(step)
+        return step
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -431,3 +505,4 @@ class SprintingController:
             self.pcm.reset()
         self.history.clear()
         self._burst_was_active = False
+        self._degraded_capacity = None

@@ -75,6 +75,15 @@ class SafetyMonitor:
         """Whether an external emergency is latched."""
         return self._emergency_latched
 
+    def record_fault(self, time_s: float, detail: str) -> None:
+        """Log an injected/substrate fault without latching an emergency.
+
+        Fault-injection degradations are handled by the engine (the
+        controller stops sprinting entirely), so unlike
+        :meth:`declare_emergency` this only keeps the audit trail.
+        """
+        self.events.append(SafetyEvent(time_s, "fault", detail))
+
     # ------------------------------------------------------------------
     # Checks
     # ------------------------------------------------------------------

@@ -239,8 +239,12 @@ class CircuitBreaker:
         o = self.overload_fraction(load_w)
         trip_time = self.curve.trip_time_s(o)
         if math.isinf(trip_time):
-            # Within rating (or hold region): the thermal element cools.
-            self.trip_fraction *= math.exp(-dt_s / self.cooldown_tau_s)
+            # UL489's "holds indefinitely" is an equilibrium, not a reset:
+            # at or above rated load (the 100-104 % hold region) the bimetal
+            # element stays where it is; only a load strictly below rating
+            # lets it cool.
+            if load_w < self.rated_power_w:
+                self.trip_fraction *= math.exp(-dt_s / self.cooldown_tau_s)
             self._time_s += dt_s
             return
 
@@ -254,6 +258,37 @@ class CircuitBreaker:
             raise BreakerTrippedError(self.name, self.tripped_at_s)
         self.trip_fraction += dt_s / trip_time
         self._time_s += dt_s
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def force_trip(self, time_s: float = math.nan) -> None:
+        """Latch the breaker open immediately (fault injection).
+
+        Models an external forced trip — a ground fault, a maintenance
+        error, a shunt-trip command — rather than thermal exhaustion.  Any
+        subsequent :meth:`step` with a positive load raises
+        :class:`~repro.errors.BreakerTrippedError`, exactly like a thermal
+        trip; clear with :meth:`reset`.
+        """
+        self.trip_fraction = 1.0
+        self.tripped = True
+        self.tripped_at_s = time_s if not math.isnan(time_s) else self._time_s
+
+    def derate(self, factor: float) -> None:
+        """Reduce the rated power to ``factor`` of its current value.
+
+        Fault injection for a partially failed or thermally impaired
+        breaker: the trip curve keeps its shape but every overload fraction
+        is computed against the reduced rating, so the same absolute load
+        now consumes trip budget faster (or trips outright).
+        """
+        require_positive(factor, "factor")
+        if factor > 1.0:
+            raise ConfigurationError(
+                f"derate factor must be <= 1, got {factor!r}"
+            )
+        self.rated_power_w *= factor
 
     def reset(self) -> None:
         """Manually reset the breaker (after a trip or between experiments)."""

@@ -206,6 +206,20 @@ class UpsBattery:
         self.total_discharged_j += energy_j
         self.equivalent_full_cycles += energy_j / self.capacity_j
 
+    def fail_fraction(self, fraction: float) -> None:
+        """Permanently lose ``fraction`` of capacity, charge and rate.
+
+        Fault injection: a share of the (aggregated) battery fails open.
+        Capacity, stored energy and the discharge-rate limit all scale by
+        the surviving share; a tiny floor keeps the capacity positive so
+        state-of-charge arithmetic stays well defined even at 100 % loss.
+        """
+        require_fraction(fraction, "fraction")
+        surviving = max(1.0 - fraction, 1e-9)
+        self.capacity_ah *= surviving
+        self.max_discharge_power_w *= surviving
+        self.energy_j = min(self.energy_j * surviving, self.capacity_j)
+
     def reset(self) -> None:
         """Restore a full charge and clear cycle counters."""
         self.energy_j = self.capacity_j
@@ -284,6 +298,15 @@ class DistributedUpsFleet:
         per_battery = require_non_negative(power_w, "power_w") / self.n_batteries
         stored = self.battery.recharge(per_battery, dt_s)
         return stored * self.n_batteries
+
+    def fail_fraction(self, fraction: float) -> None:
+        """Lose ``fraction`` of the fleet (fault injection).
+
+        Because the fleet is modelled as one pooled battery, failing a
+        share of the batteries is exactly a proportional loss of pooled
+        capacity, charge and rate — delegated to the prototype.
+        """
+        self.battery.fail_fraction(fraction)
 
     def reset(self) -> None:
         """Restore full charge across the fleet."""

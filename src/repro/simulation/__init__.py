@@ -1,6 +1,7 @@
 """Simulation layer: configuration, facility assembly, engine, metrics."""
 
 from repro.simulation.batch import (
+    RunFailure,
     StrategySpec,
     SweepOutcome,
     SweepRunner,
@@ -9,6 +10,14 @@ from repro.simulation.batch import (
 )
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
 from repro.simulation.datacenter import DataCenter, build_datacenter
+from repro.simulation.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    RECOVERABLE_FAULT_ERRORS,
+)
 from repro.simulation.engine import (
     DEFAULT_ORACLE_GRID,
     build_upper_bound_table,
@@ -48,9 +57,16 @@ from repro.simulation.scenarios import (
 __all__ = [
     "DEFAULT_CONFIG",
     "DEFAULT_ORACLE_GRID",
+    "FAULT_KINDS",
+    "RECOVERABLE_FAULT_ERRORS",
     "DataCenter",
     "DataCenterConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
     "ReportLine",
+    "RunFailure",
     "SimulationResult",
     "SizingPoint",
     "StrategySpec",

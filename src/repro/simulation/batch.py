@@ -40,7 +40,7 @@ import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.strategies import (
     DEFAULT_FLEXIBILITY_PERCENT,
@@ -52,16 +52,19 @@ from repro.core.strategies import (
     SprintingStrategy,
     UpperBoundTable,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
 from repro.simulation.datacenter import build_datacenter
 from repro.simulation.engine import DEFAULT_ORACLE_GRID, simulate_strategy
+from repro.simulation.faults import FaultPlan
 from repro.workloads.traces import Trace
 from repro.workloads.yahoo_trace import generate_yahoo_trace
 
 #: Bump when the cached payload layout (or anything that changes simulated
 #: outcomes) changes incompatibly: old entries then miss instead of lying.
-CACHE_FORMAT_VERSION = 1
+#: v2: fault plans join the key, payloads carry a status (ok | failure),
+#: and outcomes gained fault telemetry fields.
+CACHE_FORMAT_VERSION = 2
 
 #: Environment variable naming the default worker count.
 ENV_WORKERS = "REPRO_SWEEP_WORKERS"
@@ -204,14 +207,17 @@ class SweepTask:
     trace: Trace
     spec: StrategySpec
     config: DataCenterConfig = DEFAULT_CONFIG
+    fault_plan: Optional[FaultPlan] = None
 
     def cache_key(self) -> str:
         """Deterministic content hash of everything that shapes the outcome.
 
         Covers every configuration field, the trace *content* (samples and
         sampling period — the display name is deliberately excluded, it
-        cannot influence the dynamics) and the full strategy spec, plus a
-        format version so stale layouts miss instead of lying.
+        cannot influence the dynamics), the full strategy spec, and the
+        fault plan (``None`` and the empty plan hash differently from any
+        non-trivial plan), plus a format version so stale layouts miss
+        instead of lying.
         """
         payload = {
             "version": CACHE_FORMAT_VERSION,
@@ -224,6 +230,9 @@ class SweepTask:
                 ).hexdigest(),
             },
             "spec": self.spec.canonical(),
+            "fault_plan": (
+                None if self.fault_plan is None else self.fault_plan.canonical()
+            ),
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -250,6 +259,15 @@ class SweepOutcome:
     mean_burst_degree: float
     peak_room_temperature_c: float
     energy_shares: Tuple[Tuple[str, float], ...] = field(default_factory=tuple)
+    #: Time at which the run degraded to admission-only (None = never).
+    aborted_at_s: Optional[float] = None
+    #: Number of fault events applied during the run.
+    n_fault_events: int = 0
+
+    @property
+    def failed(self) -> bool:
+        """A completed run (even a degraded one) is not a failure."""
+        return False
 
     def energy_share(self, source: str) -> float:
         """Energy share of one source (0.0 when absent)."""
@@ -267,6 +285,8 @@ class SweepOutcome:
             "mean_burst_degree": self.mean_burst_degree,
             "peak_room_temperature_c": self.peak_room_temperature_c,
             "energy_shares": [list(pair) for pair in self.energy_shares],
+            "aborted_at_s": self.aborted_at_s,
+            "n_fault_events": self.n_fault_events,
         }
 
     @classmethod
@@ -275,6 +295,7 @@ class SweepOutcome:
         shares = tuple(
             (str(name), float(value)) for name, value in payload["energy_shares"]
         )
+        aborted = payload["aborted_at_s"]
         return cls(
             strategy_name=str(payload["strategy_name"]),
             average_performance=float(payload["average_performance"]),
@@ -285,17 +306,85 @@ class SweepOutcome:
             mean_burst_degree=float(payload["mean_burst_degree"]),
             peak_room_temperature_c=float(payload["peak_room_temperature_c"]),
             energy_shares=shares,
+            aborted_at_s=None if aborted is None else float(aborted),
+            n_fault_events=int(payload["n_fault_events"]),
         )
 
 
-def execute_task(task: SweepTask) -> SweepOutcome:
+@dataclass(frozen=True)
+class RunFailure:
+    """A grid point whose simulation raised instead of completing.
+
+    Failed points used to surface as bare ``null``\\ s (or kill the whole
+    sweep); a structured record keeps the batch rectangular, caches like
+    any outcome, and tells the consumer exactly what went wrong where.
+    """
+
+    strategy_name: str
+    error_type: str
+    message: str
+    time_s: Optional[float] = None
+
+    @property
+    def failed(self) -> bool:
+        """Always True — the counterpart of ``SweepOutcome.failed``."""
+        return True
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form for the on-disk cache."""
+        return {
+            "strategy_name": self.strategy_name,
+            "error_type": self.error_type,
+            "message": self.message,
+            "time_s": self.time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunFailure":
+        """Inverse of :meth:`to_dict`; raises on malformed payloads."""
+        time_s = payload["time_s"]
+        return cls(
+            strategy_name=str(payload["strategy_name"]),
+            error_type=str(payload["error_type"]),
+            message=str(payload["message"]),
+            time_s=None if time_s is None else float(time_s),
+        )
+
+
+#: What one grid point yields: a completed outcome or a structured failure.
+TaskResult = Union[SweepOutcome, RunFailure]
+
+
+def execute_task(task: SweepTask) -> TaskResult:
     """Run one task to completion (the worker-process entry point).
 
     This is the *only* compute path — the serial runner, the process pool
     and the cache-miss refill all call it — which is what makes parallel
     and cached results bit-identical to serial ones.
+
+    A simulation-level :class:`~repro.errors.ReproError` (a breaker trip
+    in an uncovered scenario, a depleted battery, a thermal emergency)
+    becomes a structured :class:`RunFailure` instead of propagating, so
+    one bad grid point cannot destroy a batch.
+    :class:`~repro.errors.ConfigurationError` still raises — a malformed
+    task is a programming error, not a simulation outcome.
     """
-    result = simulate_strategy(task.trace, task.spec.build(task.config), task.config)
+    try:
+        result = simulate_strategy(
+            task.trace,
+            task.spec.build(task.config),
+            task.config,
+            fault_plan=task.fault_plan,
+        )
+    except ConfigurationError:
+        raise
+    except ReproError as exc:
+        return RunFailure(
+            strategy_name=task.spec.kind,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            time_s=getattr(exc, "time_s", None),
+        )
     demand = result.demand
     degrees = result.degrees
     burst_mask = demand > 1.0
@@ -312,6 +401,8 @@ def execute_task(task: SweepTask) -> SweepOutcome:
         mean_burst_degree=mean_burst_degree,
         peak_room_temperature_c=result.peak_room_temperature_c,
         energy_shares=tuple(sorted(result.energy_shares.items())),
+        aborted_at_s=result.aborted_at_s,
+        n_fault_events=len(result.fault_events),
     )
 
 
@@ -376,14 +467,17 @@ class SweepRunner:
     # ------------------------------------------------------------------
     # Core batch execution
     # ------------------------------------------------------------------
-    def run_tasks(self, tasks: Sequence[SweepTask]) -> List[SweepOutcome]:
+    def run_tasks(self, tasks: Sequence[SweepTask]) -> List[TaskResult]:
         """Run a batch, preserving input order.
 
-        Cached outcomes are returned without recomputation; the remainder
+        Cached results are returned without recomputation; the remainder
         is executed on the process pool (or in-process for a serial
-        runner) and written back to the cache.
+        runner) and written back to the cache.  Failed grid points come
+        back as :class:`RunFailure` records (also cached — a
+        deterministic failure recomputes exactly as pointlessly as a
+        deterministic success), never as ``None``.
         """
-        outcomes: List[Optional[SweepOutcome]] = [None] * len(tasks)
+        outcomes: List[Optional[TaskResult]] = [None] * len(tasks)
         pending: List[Tuple[int, SweepTask, str]] = []
         for i, task in enumerate(tasks):
             key = task.cache_key()
@@ -414,9 +508,10 @@ class SweepRunner:
         trace: Trace,
         spec: StrategySpec,
         config: DataCenterConfig = DEFAULT_CONFIG,
-    ) -> SweepOutcome:
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> TaskResult:
         """Run (or recall) a single task."""
-        return self.run_tasks([SweepTask(trace, spec, config)])[0]
+        return self.run_tasks([SweepTask(trace, spec, config, fault_plan)])[0]
 
     # ------------------------------------------------------------------
     # The paper's sweeps, batched
@@ -426,13 +521,21 @@ class SweepRunner:
         trace: Trace,
         bounds: Sequence[float],
         config: DataCenterConfig = DEFAULT_CONFIG,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> List[float]:
-        """Average performance of each constant upper bound on ``trace``."""
+        """Average performance of each constant upper bound on ``trace``.
+
+        A bound whose run failed maps to NaN (not 0.0 — a failure is not
+        a measured performance of zero).
+        """
         tasks = [
-            SweepTask(trace, StrategySpec.fixed(bound), config)
+            SweepTask(trace, StrategySpec.fixed(bound), config, fault_plan)
             for bound in bounds
         ]
-        return [outcome.average_performance for outcome in self.run_tasks(tasks)]
+        return [
+            float("nan") if result.failed else result.average_performance
+            for result in self.run_tasks(tasks)
+        ]
 
     def oracle_search(
         self,
@@ -449,10 +552,17 @@ class SweepRunner:
         if not candidates:
             raise ConfigurationError("candidates must be non-empty")
         performances = self.evaluate_upper_bounds(trace, candidates, config)
-        best_idx = 0
+        best_idx: Optional[int] = None
         for i, perf in enumerate(performances):
-            if perf > performances[best_idx]:
+            if perf != perf:  # NaN: this candidate's run failed
+                continue
+            if best_idx is None or perf > performances[best_idx]:
                 best_idx = i
+        if best_idx is None:
+            raise SimulationError(
+                "oracle search failed: every candidate upper bound's run "
+                f"failed on trace {trace.name!r}"
+            )
         return OracleStrategy(
             float(candidates[best_idx]),
             achieved_performance=performances[best_idx],
@@ -497,10 +607,22 @@ class SweepRunner:
         n_candidates = len(candidates)
         for p, (duration_min, degree) in enumerate(points):
             chunk = outcomes[p * n_candidates:(p + 1) * n_candidates]
-            best_idx = 0
+            best_idx: Optional[int] = None
             for i, outcome in enumerate(chunk):
-                if outcome.average_performance > chunk[best_idx].average_performance:
+                if outcome.failed:
+                    continue
+                if (
+                    best_idx is None
+                    or outcome.average_performance
+                    > chunk[best_idx].average_performance
+                ):
                     best_idx = i
+            if best_idx is None:
+                raise SimulationError(
+                    "upper-bound table: every candidate failed at grid "
+                    f"point (duration={duration_min:g} min, "
+                    f"degree={degree:g})"
+                )
             table.set(
                 duration_s=duration_min * 60.0,
                 degree=degree,
@@ -516,8 +638,14 @@ class SweepRunner:
             return None
         return self.cache_dir / f"{key}.json"
 
-    def _cache_load(self, key: str) -> Optional[SweepOutcome]:
-        """Load one cached outcome; any malformed entry reads as a miss."""
+    def _cache_load(self, key: str) -> Optional[TaskResult]:
+        """Load one cached result; any malformed entry reads as a miss.
+
+        Entries carry a ``status``: ``"ok"`` payloads decode to a
+        :class:`SweepOutcome`, ``"failure"`` payloads to a
+        :class:`RunFailure` (failures are as deterministic as successes,
+        so they cache identically).
+        """
         path = self._cache_path(key)
         if path is None or not path.is_file():
             return None
@@ -527,19 +655,24 @@ class SweepRunner:
                 return None
             if payload["key"] != key:
                 return None
+            if payload["status"] == "failure":
+                return RunFailure.from_dict(payload["outcome"])
+            if payload["status"] != "ok":
+                return None
             return SweepOutcome.from_dict(payload["outcome"])
         except (OSError, ValueError, KeyError, TypeError):
             # Truncated JSON, tampered fields, wrong types: recompute.
             return None
 
-    def _cache_store(self, key: str, outcome: SweepOutcome) -> None:
-        """Atomically persist one outcome (write-to-temp + rename)."""
+    def _cache_store(self, key: str, outcome: TaskResult) -> None:
+        """Atomically persist one result (write-to-temp + rename)."""
         path = self._cache_path(key)
         if path is None:
             return
         payload = {
             "version": CACHE_FORMAT_VERSION,
             "key": key,
+            "status": "failure" if outcome.failed else "ok",
             "outcome": outcome.to_dict(),
         }
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -22,6 +22,12 @@ from repro.core.strategies import (
 from repro.errors import ConfigurationError
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
 from repro.simulation.datacenter import DataCenter, build_datacenter
+from repro.simulation.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    RECOVERABLE_FAULT_ERRORS,
+)
 from repro.simulation.metrics import SimulationResult
 from repro.workloads.traces import Trace
 
@@ -33,6 +39,7 @@ def run_simulation(
     datacenter: DataCenter,
     trace: Trace,
     strategy: SprintingStrategy,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Run one full trace through a fresh controller on ``datacenter``.
 
@@ -45,6 +52,16 @@ def run_simulation(
     integration and energy accounting.  Resample the trace
     (:meth:`~repro.workloads.traces.Trace.resampled`) or change the
     config's ``dt_s`` to reconcile them.
+
+    With a ``fault_plan``, the plan's events are injected into the
+    substrate as time advances, and recoverable substrate failures
+    (breaker trips, battery/tank depletion, thermal emergencies — see
+    :data:`~repro.simulation.faults.RECOVERABLE_FAULT_ERRORS`) no longer
+    escape: the controller degrades to admission-control-only on the
+    surviving capacity and the run completes, with the fault telemetry
+    reported via ``fault_events`` / ``aborted_at_s`` on the result.
+    Without a plan the historical behaviour is preserved bit-for-bit
+    (including the exceptions).
     """
     datacenter.reset()
     controller = datacenter.controller(strategy)
@@ -55,8 +72,16 @@ def run_simulation(
             "the trace or set the config's dt_s accordingly"
         )
     controller.strategy.reset()
-    for i, demand in enumerate(trace):
-        controller.step(demand, time_s=i * trace.dt_s)
+
+    fault_events: list = []
+    aborted_at_s: Optional[float] = None
+    if fault_plan is None:
+        for i, demand in enumerate(trace):
+            controller.step(demand, time_s=i * trace.dt_s)
+    else:
+        aborted_at_s, fault_events = _run_with_faults(
+            datacenter, controller, trace, fault_plan
+        )
     return SimulationResult(
         trace=trace,
         strategy_name=strategy.name,
@@ -66,16 +91,77 @@ def run_simulation(
         dropped_integral=controller.admission.dropped_integral,
         served_integral=controller.admission.served_integral,
         demand_integral=controller.admission.demand_integral,
+        fault_events=fault_events,
+        aborted_at_s=aborted_at_s,
     )
+
+
+def _run_with_faults(
+    datacenter: DataCenter,
+    controller,
+    trace: Trace,
+    fault_plan: FaultPlan,
+):
+    """Drive the trace with fault injection and graceful degradation.
+
+    Every trace sample produces exactly one ``ControlStep`` (healthy or
+    degraded), so downstream series accessors keep their alignment.  A
+    capacity-destroying fault degrades the controller on the *same*
+    sample — there is no step on which the error silently disappears.
+    """
+    injector = FaultInjector(fault_plan, datacenter)
+    aborted_at_s = None
+    try:
+        for i, demand in enumerate(trace):
+            time_s = i * trace.dt_s
+            injector.apply_due(time_s)
+            effective = injector.effective_demand(demand, time_s)
+            if not controller.degraded:
+                degradation = injector.take_degradation()
+                if degradation is not None:
+                    surviving_fraction, reason = degradation
+                    aborted_at_s = time_s
+                    base = controller.cluster.capacity_at_degree(1.0)
+                    controller.enter_degraded(
+                        surviving_fraction * base, time_s, reason
+                    )
+                    injector.records.append(
+                        FaultRecord(time_s, "degraded", reason)
+                    )
+            if controller.degraded:
+                controller.degraded_step(effective, time_s)
+                continue
+            try:
+                controller.step(effective, time_s=time_s)
+            except RECOVERABLE_FAULT_ERRORS as exc:
+                surviving_fraction = injector.surviving_capacity_for(exc)
+                aborted_at_s = time_s
+                base = controller.cluster.capacity_at_degree(1.0)
+                reason = f"{type(exc).__name__}: {exc}"
+                controller.enter_degraded(
+                    surviving_fraction * base, time_s, reason
+                )
+                injector.records.append(
+                    FaultRecord(time_s, "degraded", reason)
+                )
+                controller.degraded_step(effective, time_s)
+    finally:
+        # Ratings/capacities mutated by the plan are restored so the
+        # facility object can be reused (reset() only restores state).
+        injector.restore_substrate()
+    return aborted_at_s, injector.records
 
 
 def simulate_strategy(
     trace: Trace,
     strategy: SprintingStrategy,
     config: DataCenterConfig = DEFAULT_CONFIG,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a fresh facility and run the trace."""
-    return run_simulation(build_datacenter(config), trace, strategy)
+    return run_simulation(
+        build_datacenter(config), trace, strategy, fault_plan=fault_plan
+    )
 
 
 def evaluate_upper_bound(

@@ -8,14 +8,16 @@ capacity of 1.0 is dropped).  Figures 9 and 10 plot exactly this quantity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.controller import ControlStep
 from repro.core.phases import SprintPhase
 from repro.errors import ConfigurationError
+from repro.simulation.faults import FaultRecord
 from repro.workloads.traces import Trace
 
 
@@ -73,6 +75,12 @@ class SimulationResult:
     dropped_integral: float
     served_integral: float
     demand_integral: float
+    #: Faults injected (and degradations entered) during the run, in time
+    #: order.  Empty for a fault-free run.
+    fault_events: List[FaultRecord] = field(default_factory=list)
+    #: Simulation time at which the controller degraded to
+    #: admission-control-only, or None if the run completed normally.
+    aborted_at_s: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Series accessors
@@ -124,9 +132,19 @@ class SimulationResult:
         return self.dropped_integral / self.demand_integral
 
     @property
+    def degraded(self) -> bool:
+        """Whether the run fell back to admission-control-only at any point."""
+        return self.aborted_at_s is not None
+
+    @property
     def peak_degree(self) -> float:
-        """Highest sprinting degree reached."""
-        return float(self.degrees.max()) if self.steps else 0.0
+        """Highest sprinting degree reached, NaN for an empty run.
+
+        An empty run has no observed degrees; returning 0.0 would fabricate
+        a data point (and a suspiciously healthy one).  NaN propagates the
+        missing-data fact through any downstream aggregation.
+        """
+        return float(self.degrees.max()) if self.steps else math.nan
 
     @property
     def sprint_duration_s(self) -> float:
@@ -136,11 +154,23 @@ class SimulationResult:
 
     @property
     def peak_room_temperature_c(self) -> float:
-        """Hottest room temperature seen during the run."""
-        return float(self.series("room_temperature_c").max()) if self.steps else 0.0
+        """Hottest room temperature seen during the run, NaN if empty.
+
+        A run with no steps never observed the room; 0 °C would read as a
+        (remarkably cold) measurement, so the missing value is explicit.
+        """
+        if not self.steps:
+            return math.nan
+        return float(self.series("room_temperature_c").max())
 
     def summary(self) -> Dict[str, float]:
-        """Compact summary used by the benchmark harness printouts."""
+        """Compact summary used by the benchmark harness printouts.
+
+        Peak metrics are NaN (not 0.0) when the run recorded no steps, so
+        a faulted or empty run cannot masquerade as a healthy one; the
+        fault telemetry is included so degraded runs are visible at a
+        glance.
+        """
         return {
             "average_performance": self.average_performance,
             "drop_fraction": self.drop_fraction,
@@ -150,4 +180,8 @@ class SimulationResult:
             "tes_energy_share": self.energy_shares.get("tes", 0.0),
             "cb_energy_share": self.energy_shares.get("cb", 0.0),
             "peak_room_temperature_c": self.peak_room_temperature_c,
+            "n_fault_events": float(len(self.fault_events)),
+            "aborted_at_s": (
+                math.nan if self.aborted_at_s is None else self.aborted_at_s
+            ),
         }

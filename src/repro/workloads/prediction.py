@@ -91,7 +91,10 @@ class OnlineBurstDetector:
         elif self.in_burst:
             if self._below_since_s is None:
                 self._below_since_s = time_s
-            elif time_s - self._below_since_s >= self.hold_off_s:
+            # Checked on the same sample that started the hold-off window:
+            # with hold_off_s=0 the burst must end on the *first*
+            # at-or-below-capacity sample, not one step later.
+            if time_s - self._below_since_s >= self.hold_off_s:
                 self.in_burst = False
                 self._below_since_s = None
         return self.in_burst

@@ -250,3 +250,72 @@ class TestHeuristic:
         strategy.set_budget_scale(1e9)
         strategy.reset()
         assert strategy._predicted_duration_s is None
+
+
+class TestMinus100PercentEstimates:
+    """Fig. 9's left end: a -100 % estimation error predicts zero burst
+    duration / zero best degree.  Both predicted-input strategies must
+    degrade gracefully — finite bounds, no division by zero — because the
+    error sweep drives them all the way to that edge."""
+
+    def _table(self):
+        table = UpperBoundTable()
+        table.set(300.0, 3.0, 4.0)
+        table.set(900.0, 3.0, 3.0)
+        return table
+
+    def test_prediction_with_zero_duration_never_divides_by_zero(self):
+        strategy = PredictionStrategy(
+            self._table(), predicted_burst_duration_s=0.0
+        )
+        for t in range(0, 600, 60):
+            bound = strategy.degree_upper_bound(
+                obs(time_in_burst_s=float(t))
+            )
+            assert math.isfinite(bound)
+            assert bound == 4.0
+            strategy.notify_realized(bound, 60.0, in_burst=True)
+
+    def test_prediction_equivalent_duration_stays_finite(self):
+        strategy = PredictionStrategy(
+            self._table(), predicted_burst_duration_s=0.0
+        )
+        strategy.notify_realized(2.0, 100.0, in_burst=True)
+        assert strategy.equivalent_duration_s() == 0.0
+
+    def test_heuristic_with_zero_estimate_never_divides_by_zero(self):
+        strategy = HeuristicStrategy(
+            estimated_best_degree=0.0,
+            additional_power_fn=additional_power,
+        )
+        strategy.set_budget_scale(1e9)
+        for t in range(0, 600, 60):
+            for budget in (1.0, 0.5, 0.0):
+                bound = strategy.degree_upper_bound(
+                    obs(time_in_burst_s=float(t), budget=budget)
+                )
+                assert math.isfinite(bound)
+                assert bound == 1.0
+
+    def test_heuristic_estimate_at_one_predicts_no_drain(self):
+        """SDe_p = 1 means no additional power: the plan duration is
+        infinite and the RE/RT correction degenerates to the initial
+        bound instead of dividing by zero."""
+        strategy = HeuristicStrategy(
+            estimated_best_degree=1.0,
+            additional_power_fn=additional_power,
+        )
+        strategy.set_budget_scale(1e9)
+        bound = strategy.degree_upper_bound(obs(time_in_burst_s=300.0))
+        assert math.isfinite(bound)
+        assert bound == pytest.approx(strategy.initial_bound)
+
+    def test_heuristic_with_zero_budget_scale(self):
+        strategy = HeuristicStrategy(
+            estimated_best_degree=2.4,
+            additional_power_fn=additional_power,
+        )
+        strategy.set_budget_scale(0.0)
+        bound = strategy.degree_upper_bound(obs(budget=0.0))
+        assert math.isfinite(bound)
+        assert 1.0 <= bound <= 4.0

@@ -1,0 +1,144 @@
+"""Fault matrix: every fault kind against every strategy must complete.
+
+The acceptance bar for graceful degradation: with a fault plan active no
+substrate exception escapes :func:`run_simulation`, every run returns a
+:class:`SimulationResult` with one ControlStep per trace sample, and the
+fault telemetry (``fault_events`` / ``aborted_at_s``) is coherent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.strategies import (
+    FixedUpperBoundStrategy,
+    GreedyStrategy,
+    HeuristicStrategy,
+    PredictionStrategy,
+    UpperBoundTable,
+)
+from repro.simulation.config import DEFAULT_CONFIG
+from repro.simulation.datacenter import build_datacenter
+from repro.simulation.engine import run_simulation, simulate_strategy
+from repro.simulation.faults import FaultPlan
+from repro.simulation.metrics import SimulationResult
+from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+#: One representative spec per fault kind, all striking mid-burst.
+FAULT_SPECS = {
+    "breaker_trip": "breaker@400s:fraction=0.5",
+    "breaker_trip_dc": "breaker@400s:target=dc",
+    "breaker_derate": "derate@400s:fraction=0.25",
+    "ups_failure": "ups@400s:fraction=0.5",
+    "chiller_outage": "chiller@400s",
+    "tes_valve_stuck": "tes@400s",
+    "trace_gap": "gap@400s:duration=120",
+}
+
+
+def _table():
+    table = UpperBoundTable()
+    table.set(300.0, 3.2, 4.0)
+    table.set(600.0, 3.2, 3.0)
+    table.set(900.0, 3.2, 2.5)
+    return table
+
+
+def _strategies(trace):
+    cluster = build_datacenter(DEFAULT_CONFIG).cluster
+    return [
+        GreedyStrategy(),
+        FixedUpperBoundStrategy(3.0),
+        PredictionStrategy(_table(), trace.over_capacity_time_s()),
+        HeuristicStrategy(2.4, cluster.additional_power_at_degree_w),
+    ]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_yahoo_trace(burst_degree=3.2, burst_duration_min=15)
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("fault_key", sorted(FAULT_SPECS))
+    def test_every_fault_against_every_strategy(self, trace, fault_key):
+        plan = FaultPlan.from_specs([FAULT_SPECS[fault_key]])
+        for strategy in _strategies(trace):
+            result = simulate_strategy(trace, strategy, fault_plan=plan)
+            assert isinstance(result, SimulationResult)
+            assert len(result.steps) == len(trace)
+            assert any(r.kind != "degraded" for r in result.fault_events)
+            if result.aborted_at_s is not None:
+                assert result.aborted_at_s >= 400.0
+                assert result.degraded
+                assert any(
+                    r.kind == "degraded" for r in result.fault_events
+                )
+            # Performance stays a finite number even for a dark facility.
+            assert math.isfinite(result.average_performance)
+
+    def test_forced_pdu_trip_degrades_on_the_fault_sample(self, trace):
+        plan = FaultPlan.from_specs(["breaker@400s:fraction=0.5"])
+        result = simulate_strategy(trace, GreedyStrategy(), fault_plan=plan)
+        assert result.aborted_at_s == pytest.approx(400.0)
+        # Half the fleet survives: served demand caps at 0.5 afterwards.
+        post_fault = result.served[401:]
+        assert max(post_fault) <= 0.5 + 1e-9
+
+    def test_dc_breaker_trip_leaves_facility_dark(self, trace):
+        plan = FaultPlan.from_specs(["breaker@400s:target=dc"])
+        result = simulate_strategy(trace, GreedyStrategy(), fault_plan=plan)
+        assert result.aborted_at_s == pytest.approx(400.0)
+        assert max(result.served[401:]) == 0.0
+
+    def test_chiller_outage_degrades_organically(self, trace):
+        """A dead chiller heats the room until the thermal emergency
+        triggers degradation — later than the outage itself."""
+        plan = FaultPlan.from_specs(["chiller@400s"])
+        result = simulate_strategy(trace, GreedyStrategy(), fault_plan=plan)
+        assert result.aborted_at_s is not None
+        assert result.aborted_at_s > 400.0
+        degraded = [r for r in result.fault_events if r.kind == "degraded"]
+        assert "ThermalEmergencyError" in degraded[0].detail
+
+    def test_short_chiller_outage_recovers_without_abort(self, trace):
+        """An outage shorter than the room's thermal slack never degrades."""
+        plan = FaultPlan.from_specs(["chiller@400s:duration=30"])
+        result = simulate_strategy(trace, GreedyStrategy(), fault_plan=plan)
+        assert result.aborted_at_s is None
+        kinds = [r.kind for r in result.fault_events]
+        assert kinds == ["chiller_outage", "chiller_outage:restored"]
+
+    def test_storage_depletion_survives_at_normal_capacity(self, trace):
+        """A UPS fleet loss mid-sprint depletes the battery early; the run
+        degrades to normal (non-sprinting) capacity, not to zero."""
+        plan = FaultPlan.from_specs(["ups@400s:fraction=0.9"])
+        result = simulate_strategy(trace, GreedyStrategy(), fault_plan=plan)
+        assert len(result.steps) == len(trace)
+        if result.aborted_at_s is not None:
+            post_fault = result.served[int(result.aborted_at_s) + 1:]
+            assert max(post_fault) == pytest.approx(1.0)
+
+
+class TestNoPlanEquivalence:
+    def test_empty_plan_is_bit_identical_to_no_plan(self, trace):
+        baseline = simulate_strategy(trace, GreedyStrategy())
+        empty = simulate_strategy(
+            trace, GreedyStrategy(), fault_plan=FaultPlan()
+        )
+        assert empty.steps == baseline.steps
+        assert empty.fault_events == []
+        assert empty.aborted_at_s is None
+
+    def test_faulted_facility_is_reusable_afterwards(self, trace):
+        """restore_substrate() leaves the facility ready for a clean run."""
+        dc = build_datacenter(DEFAULT_CONFIG)
+        baseline = run_simulation(dc, trace, GreedyStrategy())
+        plan = FaultPlan.from_specs(
+            ["derate@400s:fraction=0.5", "ups@400s", "chiller@500s", "tes@10s"]
+        )
+        run_simulation(dc, trace, GreedyStrategy(), fault_plan=plan)
+        again = run_simulation(dc, trace, GreedyStrategy())
+        assert again.steps == baseline.steps

@@ -36,14 +36,21 @@ CANDIDATES = (2.0, 2.5, 3.0, 3.5, 4.0)
 #: Golden pins, reproduced on the reference traces with the default
 #: Section VI-A configuration.  Update deliberately, never casually: a
 #: change here means the reproduced physics changed.
+#:
+#: Last deliberate update: the UL489 hold-region fix.  The breaker's
+#: 100-104 % hold region used to cool the thermal accumulator like idle
+#: load; it now (correctly) holds the trip fraction flat, so runs that
+#: park at the rating retain their thermal history and the achievable
+#: performance dips slightly on the MS and Yahoo-15min workloads.  Both
+#: stay inside the paper band.
 GOLDEN = {
-    "ms_greedy_performance": 1.797960559021792,
+    "ms_greedy_performance": 1.7880068803881823,
     "ms_oracle_bound": 3.0,
-    "ms_oracle_performance": 1.998863208411708,
+    "ms_oracle_performance": 1.9941688273969485,
     "ms_greedy_sprint_min": 17.283333333333335,
-    "yahoo15_greedy_performance": 1.7853639307281786,
+    "yahoo15_greedy_performance": 1.7540118088104402,
     "yahoo15_oracle_bound": 2.5,
-    "yahoo15_oracle_performance": 1.9838033854498942,
+    "yahoo15_oracle_performance": 1.9661287934272929,
     "yahoo5_greedy_performance": 2.405137631297763,
 }
 

@@ -205,3 +205,173 @@ class TestCircuitBreaker:
             except BreakerTrippedError:
                 break
         assert 0.0 <= cb.trip_fraction <= 1.0
+
+
+class TestHoldRegionEquilibrium:
+    """UL489's hold region is an equilibrium: the bimetal element neither
+    heats nor cools while the load sits between 100 % and 104 % of rating.
+
+    Regression test for a bug where the hold region was treated like idle
+    load and silently decayed the accumulated trip fraction, letting a
+    sprint that parked at 100-104 % of rating launder away its thermal
+    history.
+    """
+
+    def make(self, rated=1000.0):
+        return CircuitBreaker(name="test", rated_power_w=rated)
+
+    def heat(self, cb, fraction=0.5):
+        """Burn roughly ``fraction`` of the trip budget with a 60 % overload."""
+        while cb.trip_fraction < fraction:
+            cb.step(1600.0, 1.0)
+        return cb.trip_fraction
+
+    def test_exactly_rated_load_holds_flat(self):
+        cb = self.make()
+        h = self.heat(cb)
+        for _ in range(600):
+            cb.step(1000.0, 1.0)
+        assert cb.trip_fraction == h
+
+    def test_hold_region_top_holds_flat(self):
+        cb = self.make()
+        h = self.heat(cb)
+        for _ in range(600):
+            cb.step(1040.0, 1.0)
+        assert cb.trip_fraction == h
+        assert not cb.tripped
+
+    def test_strictly_below_rated_still_cools(self):
+        cb = self.make()
+        h = self.heat(cb)
+        cb.step(999.0, 60.0)
+        assert cb.trip_fraction < h
+        expected = h * math.exp(-60.0 / cb.cooldown_tau_s)
+        assert cb.trip_fraction == pytest.approx(expected)
+
+    def test_hold_then_overload_trips_sooner_than_cold(self):
+        """The preserved history shortens the next overload's trip time."""
+        cb = self.make()
+        self.heat(cb, 0.5)
+        cb.step(1040.0, 300.0)  # park in the hold region
+        remaining_hot = cb.remaining_trip_time_s(1600.0)
+        cold = self.make()
+        assert remaining_hot < cold.remaining_trip_time_s(1600.0) / 1.9
+
+
+class TestTripLatchSemantics:
+    def make(self, rated=1000.0):
+        return CircuitBreaker(name="test", rated_power_w=rated)
+
+    def test_latched_breaker_at_zero_load_advances_time(self):
+        cb = self.make()
+        with pytest.raises(BreakerTrippedError):
+            cb.step(5000.1, 1.0)
+        before = cb._time_s
+        cb.step(0.0, 5.0)  # de-energised branch: no raise
+        assert cb._time_s == before + 5.0
+        assert cb.tripped
+
+    def test_latched_breaker_raises_on_any_positive_load(self):
+        cb = self.make()
+        with pytest.raises(BreakerTrippedError):
+            cb.step(5000.1, 1.0)
+        with pytest.raises(BreakerTrippedError):
+            cb.step(1e-9, 1.0)
+
+    def test_tripped_at_interpolates_inside_the_step(self):
+        """A 60 % overload trips at exactly 60 s even when the step size
+        does not divide the trip time."""
+        cb = self.make()
+        for _ in range(8):
+            cb.step(1600.0, 7.0)  # 56 s of heating
+        with pytest.raises(BreakerTrippedError):
+            cb.step(1600.0, 7.0)  # budget runs out 4 s into this step
+        assert cb.tripped_at_s == pytest.approx(60.0)
+
+    def test_trip_error_carries_interpolated_time(self):
+        cb = self.make()
+        for _ in range(8):
+            cb.step(1600.0, 7.0)
+        with pytest.raises(BreakerTrippedError) as excinfo:
+            cb.step(1600.0, 7.0)
+        assert excinfo.value.time_s == pytest.approx(60.0)
+        assert excinfo.value.breaker_name == "test"
+
+
+class TestMaxLoadNearExhaustion:
+    def make(self, rated=1000.0):
+        return CircuitBreaker(name="test", rated_power_w=rated)
+
+    def test_exhausted_budget_allows_rated_load(self):
+        """With zero thermal budget left (but not yet tripped) the breaker
+        can still carry rated load forever — the bound is the rating, not
+        zero and not an overload."""
+        cb = self.make()
+        cb.trip_fraction = 1.0
+        assert cb.max_load_for_trip_time(60.0) == cb.rated_power_w
+
+    def test_nearly_exhausted_budget_falls_back_to_hold_region(self):
+        cb = self.make()
+        cb.trip_fraction = 1.0 - 1e-9
+        bound = cb.max_load_for_trip_time(60.0)
+        assert cb.rated_power_w <= bound
+        assert bound <= cb.rated_power_w * (1.0 + cb.curve.hold_threshold)
+        # The returned bound is indefinitely sustainable.
+        assert math.isinf(cb.remaining_trip_time_s(bound))
+
+    def test_bound_is_continuous_toward_exhaustion(self):
+        """The bound decreases monotonically as the budget burns away."""
+        cb = self.make()
+        bounds = []
+        for fraction in (0.0, 0.5, 0.9, 0.99, 1.0 - 1e-9):
+            cb.trip_fraction = fraction
+            bounds.append(cb.max_load_for_trip_time(60.0))
+        assert bounds == sorted(bounds, reverse=True)
+        assert all(b >= cb.rated_power_w for b in bounds)
+
+
+class TestFaultInjectionHooks:
+    def make(self, rated=1000.0):
+        return CircuitBreaker(name="test", rated_power_w=rated)
+
+    def test_force_trip_latches_open(self):
+        cb = self.make()
+        cb.force_trip(42.0)
+        assert cb.tripped
+        assert cb.trip_fraction == 1.0
+        assert cb.tripped_at_s == 42.0
+        with pytest.raises(BreakerTrippedError):
+            cb.step(100.0, 1.0)
+
+    def test_force_trip_defaults_to_internal_clock(self):
+        cb = self.make()
+        cb.step(1000.0, 30.0)
+        cb.force_trip()
+        assert cb.tripped_at_s == 30.0
+
+    def test_force_trip_clears_on_reset(self):
+        cb = self.make()
+        cb.force_trip()
+        cb.reset()
+        assert not cb.tripped
+        assert cb.trip_fraction == 0.0
+        cb.step(1000.0, 1.0)
+
+    def test_derate_scales_rating(self):
+        cb = self.make(rated=1000.0)
+        cb.derate(0.5)
+        assert cb.rated_power_w == 500.0
+        # The old rated load is now a 100 % overload: magnetic or thermal
+        # territory, consuming budget immediately.
+        cb.step(1000.0, 1.0)
+        assert cb.trip_fraction > 0.0
+
+    def test_derate_rejects_out_of_range_factors(self):
+        cb = self.make()
+        with pytest.raises(ConfigurationError):
+            cb.derate(0.0)
+        with pytest.raises(ConfigurationError):
+            cb.derate(1.5)
+        with pytest.raises(ConfigurationError):
+            cb.derate(-0.1)

@@ -13,13 +13,19 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    BreakerTrippedError,
+    ConfigurationError,
+    SimulationError,
+)
 from repro.simulation.batch import (
     CACHE_FORMAT_VERSION,
+    RunFailure,
     StrategySpec,
     SweepOutcome,
     SweepRunner,
@@ -27,6 +33,7 @@ from repro.simulation.batch import (
     config_fields,
     execute_task,
 )
+from repro.simulation.faults import FaultPlan
 from repro.simulation.config import DataCenterConfig
 from repro.simulation.engine import (
     build_upper_bound_table,
@@ -359,3 +366,129 @@ class TestRunnerApi:
             for ub in bounds
         ]
         assert performances == direct
+
+
+# ---------------------------------------------------------------------------
+# Fault plans and structured failures
+# ---------------------------------------------------------------------------
+class TestFaultPlanCacheKey:
+    def task(self, fault_plan=None):
+        return SweepTask(
+            burst_trace(), StrategySpec.greedy(), SMALL, fault_plan
+        )
+
+    def test_no_plan_and_empty_plan_hash_differently(self):
+        assert self.task().cache_key() != self.task(FaultPlan()).cache_key()
+
+    def test_plan_content_changes_the_key(self):
+        a = self.task(FaultPlan.from_specs(["breaker@120s"]))
+        b = self.task(FaultPlan.from_specs(["breaker@121s"]))
+        assert a.cache_key() != b.cache_key()
+
+    def test_equal_plans_hash_equal(self):
+        a = self.task(FaultPlan.from_specs(["chiller@60s", "ups@10s"]))
+        b = self.task(FaultPlan.from_specs(["ups@10s", "chiller@60s"]))
+        assert a.cache_key() == b.cache_key()
+
+
+class TestRunFailure:
+    def test_round_trips_through_json(self):
+        failure = RunFailure(
+            strategy_name="greedy",
+            error_type="BreakerTrippedError",
+            message="circuit breaker 'pdu' tripped at t=42.0s",
+            time_s=42.0,
+        )
+        payload = json.loads(json.dumps(failure.to_dict()))
+        assert RunFailure.from_dict(payload) == failure
+        assert failure.failed
+
+    def test_none_time_round_trips(self):
+        failure = RunFailure("greedy", "TankDepletedError", "empty")
+        assert RunFailure.from_dict(failure.to_dict()).time_s is None
+
+    def test_outcome_is_not_failed(self):
+        result = execute_task(SweepTask(burst_trace(), StrategySpec.greedy(), SMALL))
+        assert not result.failed
+
+
+class TestExecuteTaskFailureHandling:
+    def test_repro_error_becomes_run_failure(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise BreakerTrippedError("pdu/breaker", time_s=42.0)
+
+        monkeypatch.setattr(
+            "repro.simulation.batch.simulate_strategy", boom
+        )
+        result = execute_task(
+            SweepTask(burst_trace(), StrategySpec.greedy(), SMALL)
+        )
+        assert isinstance(result, RunFailure)
+        assert result.error_type == "BreakerTrippedError"
+        assert result.time_s == pytest.approx(42.0)
+        assert result.strategy_name == "greedy"
+
+    def test_configuration_error_still_raises(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise ConfigurationError("malformed task")
+
+        monkeypatch.setattr(
+            "repro.simulation.batch.simulate_strategy", boom
+        )
+        with pytest.raises(ConfigurationError):
+            execute_task(SweepTask(burst_trace(), StrategySpec.greedy(), SMALL))
+
+    def test_failures_cache_and_reload(self, tmp_path, monkeypatch):
+        calls = []
+
+        def boom(*args, **kwargs):
+            calls.append(1)
+            raise BreakerTrippedError("pdu/breaker", time_s=7.0)
+
+        monkeypatch.setattr(
+            "repro.simulation.batch.simulate_strategy", boom
+        )
+        runner = SweepRunner(max_workers=1, cache_dir=tmp_path)
+        task = SweepTask(burst_trace(), StrategySpec.greedy(), SMALL)
+        first = runner.run_tasks([task])[0]
+        again = runner.run_tasks([task])[0]
+        assert isinstance(first, RunFailure)
+        assert again == first
+        assert len(calls) == 1  # the rerun was answered from the cache
+        assert runner.hits == 1 and runner.misses == 1
+
+
+class TestFailureAwareSearch:
+    def _failing_runner(self, monkeypatch, failing_bounds, tmp_path=None):
+        real = execute_task
+
+        def selective(task):
+            if task.spec.upper_bound in failing_bounds:
+                return RunFailure(
+                    task.spec.kind, "BreakerTrippedError", "injected", 1.0
+                )
+            return real(task)
+
+        monkeypatch.setattr("repro.simulation.batch.execute_task", selective)
+        return SweepRunner(max_workers=1, cache_dir=tmp_path)
+
+    def test_evaluate_upper_bounds_maps_failures_to_nan(self, monkeypatch):
+        runner = self._failing_runner(monkeypatch, {3.0})
+        perfs = runner.evaluate_upper_bounds(burst_trace(), CANDIDATES, SMALL)
+        assert math.isnan(perfs[1])
+        assert all(math.isfinite(p) for i, p in enumerate(perfs) if i != 1)
+
+    def test_oracle_search_skips_failed_candidates(self, monkeypatch):
+        trace = burst_trace()
+        full = SweepRunner(max_workers=1).oracle_search(
+            trace, CANDIDATES, SMALL
+        )
+        runner = self._failing_runner(monkeypatch, {full.upper_bound})
+        partial = runner.oracle_search(trace, CANDIDATES, SMALL)
+        assert partial.upper_bound != full.upper_bound
+        assert math.isfinite(partial.achieved_performance)
+
+    def test_oracle_search_raises_when_every_candidate_fails(self, monkeypatch):
+        runner = self._failing_runner(monkeypatch, set(CANDIDATES))
+        with pytest.raises(SimulationError):
+            runner.oracle_search(burst_trace(), CANDIDATES, SMALL)

@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.core.strategies import GreedyStrategy
 from repro.errors import ConfigurationError
 from repro.simulation.engine import run_simulation
+from repro.simulation.faults import FaultPlan
 from repro.simulation.metrics import (
+    SimulationResult,
     average_performance_improvement,
     baseline_served,
 )
@@ -101,3 +105,60 @@ class TestSimulationResult:
 
     def test_served_never_exceeds_demand(self, result):
         assert (result.served <= result.demand + 1e-9).all()
+
+
+class TestEmptyResult:
+    """Peak statistics of a run with no steps are explicit NaN, not a crash.
+
+    Regression tests for ``peak_degree`` / ``peak_room_temperature_c``
+    raising on empty arrays (``max()`` of a zero-length ndarray).
+    """
+
+    def empty(self):
+        return SimulationResult(
+            trace=make_trace([1.0]),
+            strategy_name="greedy",
+            steps=[],
+            energy_shares={},
+            time_in_phase_s={},
+            dropped_integral=0.0,
+            served_integral=0.0,
+            demand_integral=0.0,
+        )
+
+    def test_peak_degree_is_nan(self):
+        assert math.isnan(self.empty().peak_degree)
+
+    def test_peak_room_temperature_is_nan(self):
+        assert math.isnan(self.empty().peak_room_temperature_c)
+
+    def test_sprint_duration_is_zero(self):
+        assert self.empty().sprint_duration_s == 0.0
+
+
+class TestFaultTelemetry:
+    @pytest.fixture()
+    def result(self, small_datacenter):
+        trace = make_trace([0.8] * 30 + [2.2] * 120 + [0.8] * 30)
+        return run_simulation(small_datacenter, trace, GreedyStrategy())
+
+    def test_clean_run_has_no_fault_telemetry(self, result):
+        assert result.fault_events == []
+        assert result.aborted_at_s is None
+        assert not result.degraded
+
+    def test_summary_reports_fault_fields(self, result):
+        summary = result.summary()
+        assert summary["n_fault_events"] == 0.0
+        assert math.isnan(summary["aborted_at_s"])
+
+    def test_degraded_run_summary(self, small_datacenter):
+        trace = make_trace([0.8] * 30 + [2.2] * 120 + [0.8] * 30)
+        plan = FaultPlan.from_specs(["breaker@50s:fraction=0.5"])
+        result = run_simulation(
+            small_datacenter, trace, GreedyStrategy(), fault_plan=plan
+        )
+        assert result.degraded
+        summary = result.summary()
+        assert summary["aborted_at_s"] == pytest.approx(50.0)
+        assert summary["n_fault_events"] >= 2.0

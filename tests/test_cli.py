@@ -128,3 +128,65 @@ class TestCommands:
             reporting, "collect_report_lines", lambda *a, **k: fake
         )
         assert main(["report", str(tmp_path / "r.md")]) == 1
+
+
+class TestSimulateCommand:
+    def test_clean_run(self, capsys):
+        assert main(["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "average performance" in out
+        assert "fault events" not in out
+
+    def test_fixed_strategy_with_bound(self, capsys):
+        assert main(["simulate", "--strategy", "fixed", "--bound", "2.5"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy: fixed" in out
+
+    def test_fault_spec_degrades_but_completes(self, capsys):
+        args = ["simulate", "--fault", "breaker@120s:fraction=0.5"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "fault events (2)" in out
+        assert "breaker_trip" in out
+        assert "degraded to admission-control-only at 120.0 s" in out
+        assert "1800/1800 samples" in out
+
+    def test_fault_plan_file(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"events": [{"kind": "chiller_outage", "time_s": 60.0,'
+            ' "duration_s": 30.0}]}'
+        )
+        assert main(["simulate", "--fault-plan", str(plan)]) == 0
+        out = capsys.readouterr().out
+        assert "chiller_outage" in out
+        assert "restored" in out
+
+    def test_bad_fault_spec_exits_with_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--fault", "warp@120s"])
+
+    def test_missing_fault_plan_file_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--fault-plan", "/no/such/plan.json"])
+
+
+class TestSweepFaults:
+    def test_headroom_sweep_with_fault(self, capsys):
+        args = [
+            "sweep", "--headroom", "--no-cache",
+            "--fault", "breaker@120s:fraction=0.5",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "degraded at 120s" in out
+
+    def test_fault_changes_cached_identity(self, capsys, tmp_path):
+        base = ["sweep", "--headroom", "--cache-dir", str(tmp_path)]
+        assert main(base) == 0
+        capsys.readouterr()
+        faulted = base + ["--fault", "chiller@300s"]
+        assert main(faulted) == 0
+        out = capsys.readouterr().out
+        # The faulted sweep must not be answered from the clean cache.
+        assert "0 cache hit(s)" in out

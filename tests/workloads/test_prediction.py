@@ -85,3 +85,45 @@ class TestOnlineBurstDetector:
         det.reset()
         assert not det.in_burst
         assert det.burst_started_at_s is None
+
+
+class TestHoldOffBoundaries:
+    """Regression tests for the hold-off window's edge cases.
+
+    The detector used to record the start of a below-capacity spell and
+    only *check* the elapsed hold-off on the following sample, so a
+    ``hold_off_s=0`` detector reported one extra in-burst sample after
+    demand fell back to capacity.
+    """
+
+    def test_zero_hold_off_ends_burst_immediately(self):
+        det = OnlineBurstDetector(hold_off_s=0.0)
+        assert det.observe(1.5, 0.0)
+        assert det.observe(0.9, 1.0) is False
+
+    def test_zero_hold_off_tracks_every_crossing(self):
+        det = OnlineBurstDetector(hold_off_s=0.0)
+        demands = [1.5, 0.9, 1.5, 0.9]
+        states = [det.observe(d, float(t)) for t, d in enumerate(demands)]
+        assert states == [True, False, True, False]
+
+    def test_demand_exactly_at_capacity_never_starts_a_burst(self):
+        """A burst needs demand strictly above capacity; == capacity is
+        the baseline serving exactly at its limit."""
+        det = OnlineBurstDetector(hold_off_s=0.0)
+        assert det.observe(1.0, 0.0) is False
+        assert not det.in_burst
+
+    def test_demand_falling_to_capacity_ends_the_burst(self):
+        det = OnlineBurstDetector(hold_off_s=0.0)
+        assert det.observe(1.1, 0.0)
+        assert det.observe(1.0, 1.0) is False
+
+    def test_hold_off_expires_on_the_exact_boundary_sample(self):
+        """With hold_off_s=2 the burst ends on the sample where the
+        below-capacity spell reaches exactly 2 s, not one sample later."""
+        det = OnlineBurstDetector(hold_off_s=2.0)
+        det.observe(1.5, 0.0)
+        assert det.observe(0.9, 1.0) is True    # spell starts
+        assert det.observe(0.9, 2.0) is True    # 1 s elapsed
+        assert det.observe(0.9, 3.0) is False   # 2 s elapsed: over
