@@ -8,8 +8,13 @@ install:
 test:
 	pytest tests/
 
+# Engine throughput first (recording machine-readable numbers into
+# BENCH_engine.json — see docs/PERFORMANCE.md), then the figure suite.
 bench:
-	pytest benchmarks/ --benchmark-only -s
+	pytest benchmarks/bench_engine_performance.py --benchmark-only -s \
+		--benchmark-json=BENCH_engine.json
+	pytest benchmarks/ --benchmark-only -s \
+		--ignore=benchmarks/bench_engine_performance.py
 
 report:
 	python -m repro report REPORT.md

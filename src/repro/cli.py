@@ -15,6 +15,8 @@ Usage::
     python -m repro sweep --headroom --fault-plan plan.json
     python -m repro sweep --table            # Oracle upper-bound table
     python -m repro sweep --table --workers 4 --cache-dir /tmp/sweeps
+    python -m repro profile                  # hot functions of the loop
+    python -m repro profile --reference      # ... of the pre-kernel path
 
 The ``sweep`` subcommand runs on the batch engine
 (:mod:`repro.simulation.batch`): ``--workers`` fans the independent runs
@@ -202,6 +204,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"degraded to admission-control-only at "
                   f"{result.aborted_at_s:.1f} s; the run still completed "
                   f"({len(result.steps)}/{len(trace)} samples)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the control loop and print the hottest functions.
+
+    The profiled workload is the standard full-facility run (one trace
+    through ``run_simulation``); ``--reference`` profiles the
+    method-dispatched reference step instead of the precomputed kernel,
+    which is how the kernel's hot spots were found in the first place.
+    """
+    import cProfile
+    import pstats
+
+    from repro.simulation.engine import run_simulation
+
+    trace = _trace_by_name(args.trace)
+    dc = build_datacenter()
+    use_kernel = not args.reference
+    # Warm-up outside the profile: facility construction, kernel
+    # precomputation and numpy allocator effects would otherwise drown
+    # the steady-state loop the profile is meant to show.
+    run_simulation(dc, trace, GreedyStrategy(), use_kernel=use_kernel)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(args.repeat):
+        run_simulation(dc, trace, GreedyStrategy(), use_kernel=use_kernel)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    path = "reference step" if args.reference else "kernel step"
+    print(f"profiled {args.repeat} x {len(trace)} steps on "
+          f"{trace.name!r} ({path}), top {args.top} by {args.sort}:")
+    stats.print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"wrote raw profile to {args.output} "
+              f"(inspect with python -m pstats)")
     return 0
 
 
@@ -424,6 +466,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON fault-plan applied to every "
                             "sensitivity-sweep run")
     sweep.set_defaults(func=_cmd_sweep)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="cProfile the control loop and print the hottest functions",
+    )
+    profile.add_argument("--trace", default="ms",
+                         choices=("ms", "yahoo5", "yahoo15"),
+                         help="workload trace to drive (default ms)")
+    profile.add_argument("--repeat", type=int, default=3,
+                         help="profiled full runs (default 3)")
+    profile.add_argument("--top", type=int, default=25,
+                         help="rows of the stats table to print "
+                              "(default 25)")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime", "ncalls"),
+                         help="pstats sort key (default cumulative)")
+    profile.add_argument("--reference", action="store_true",
+                         help="profile the method-dispatched reference "
+                              "step instead of the precomputed kernel")
+    profile.add_argument("--output", metavar="FILE",
+                         help="also dump the raw profile for pstats/"
+                              "snakeviz")
+    profile.set_defaults(func=_cmd_profile)
 
     export = subparsers.add_parser(
         "export", help="run the MS trace and export telemetry"

@@ -28,7 +28,7 @@ CHILLER_SHARE_OF_COOLING_POWER = 2.0 / 3.0
 DEFAULT_PUE = 1.53
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoolingStep:
     """Outcome of one cooling-plant step.
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.units import require_non_negative, require_positive
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AdmissionDecision:
     """Outcome of one admission step (all values in normalised demand)."""
 

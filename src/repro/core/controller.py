@@ -26,15 +26,17 @@ thermal threshold — the uncontrolled baseline in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.cooling.crac import CoolingPlant
 from repro.cooling.thermal import tes_activation_time_s
 from repro.errors import ConfigurationError
 from repro.core.admission import AdmissionController
 from repro.core.budget import EnergyBudget
+from repro.core.kernel import StepKernel
 from repro.core.phases import PhaseTracker, SprintPhase, classify_phase
 from repro.core.safety import SafetyMonitor
+from repro.core.steplog import StepLog
 from repro.core.strategies import SprintingStrategy, StrategyObservation
 from repro.power.topology import PowerTopology
 from repro.servers.cluster import ServerCluster
@@ -46,7 +48,7 @@ from repro.workloads.prediction import OnlineBurstDetector
 _SPRINT_DEGREE_EPS = 1e-6
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControllerSettings:
     """Tunable knobs of the sprinting controller.
 
@@ -90,7 +92,7 @@ class ControllerSettings:
             )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControlStep:
     """Full telemetry of one committed control period."""
 
@@ -134,6 +136,15 @@ class SprintingController:
         One of the four sprinting-degree strategies.
     settings:
         Controller knobs.
+    use_kernel:
+        Run steps through the precomputed :class:`StepKernel` fast path
+        (bit-identical to the reference path; the differential tests
+        assert element-wise equality).  Disable to force the reference
+        implementation.
+    kernel:
+        A prebuilt kernel for this substrate (e.g. cached by the
+        :class:`~repro.simulation.datacenter.DataCenter`); built on
+        demand when omitted and ``use_kernel`` is set.
     """
 
     def __init__(
@@ -144,6 +155,8 @@ class SprintingController:
         strategy: SprintingStrategy,
         settings: Optional[ControllerSettings] = None,
         pcm: Optional[PcmHeatSink] = None,
+        use_kernel: bool = True,
+        kernel: Optional[StepKernel] = None,
     ):
         self.cluster = cluster
         self.topology = topology
@@ -171,16 +184,33 @@ class SprintingController:
         self.tes_activation_s = tes_activation_time_s(
             cluster.peak_normal_power_w, cluster.max_additional_power_w
         )
-        self.history: List[ControlStep] = []
+        self.history = StepLog()
         self._burst_was_active = False
         #: Absolute serving capacity while degraded, None when healthy.
         self._degraded_capacity: Optional[float] = None
+        if kernel is not None:
+            self._kernel: Optional[StepKernel] = kernel
+        elif use_kernel:
+            self._kernel = StepKernel(cluster, topology, cooling)
+        else:
+            self._kernel = None
 
     # ------------------------------------------------------------------
     # Main loop entry
     # ------------------------------------------------------------------
     def step(self, demand: float, time_s: float) -> ControlStep:
         """Run one control period; returns the committed step telemetry."""
+        kernel = self._kernel
+        if kernel is not None:
+            return kernel.step(self, demand, time_s)
+        return self._step_reference(demand, time_s)
+
+    def _step_reference(self, demand: float, time_s: float) -> ControlStep:
+        """Reference (method-dispatched) control period.
+
+        The :class:`StepKernel` fast path replicates this sequence of
+        floating-point operations exactly; keep the two in lockstep.
+        """
         require_non_negative(demand, "demand")
         require_non_negative(time_s, "time_s")
         dt = self.settings.dt_s

@@ -1,0 +1,660 @@
+"""Precomputed physics kernel for the sprinting control loop.
+
+Profiling a full trace run shows the inner loop spends most of its time in
+attribute chains, ``require_*`` re-validation of values that are validated
+once at construction, and property recomputation of loop invariants (trip
+curve constants, the cluster's affine degree<->power mapping, the cooling
+coefficients, the UPS floor).  :class:`StepKernel` is built once per
+facility, hoists every such invariant, and executes one control period with
+the *identical* sequence of floating-point operations as
+:meth:`repro.core.controller.SprintingController.step` — bit-for-bit, as
+the differential property tests assert.
+
+What may NOT be hoisted is anything fault injection can mutate mid-run:
+breaker ``rated_power_w``/trip state, battery ``capacity_ah``/
+``max_discharge_power_w``/charge, chiller ``rated_removal_w``, TES
+``max_discharge_w``/charge, and the room temperature are all read live
+every step.  Strategy and safety-monitor calls are kept as method calls
+because they carry side effects (plan state, safety events).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.phases import SprintPhase
+from repro.core.strategies import StrategyObservation
+from repro.errors import (
+    BreakerTrippedError,
+    ConfigurationError,
+    TankDepletedError,
+    ThermalEmergencyError,
+)
+from repro.units import require_non_negative
+
+#: Degree above which a step counts as sprinting (1.0 + controller epsilon).
+_SPRINT_THRESHOLD = 1.0 + 1e-6
+
+#: Phase-classification noise floor (mirrors ``repro.core.phases``).
+_ACTIVE_POWER_EPS_W = 1e-6
+
+_IDLE = SprintPhase.IDLE
+_PHASE1 = SprintPhase.PHASE1_CB
+_PHASE2 = SprintPhase.PHASE2_UPS
+_PHASE3 = SprintPhase.PHASE3_TES
+
+
+class _BreakerConsts:
+    """Hoisted trip-curve constants of one breaker (curves are frozen)."""
+
+    __slots__ = (
+        "K",
+        "hold",
+        "hold_hi",
+        "hold_lo",
+        "hold_p12",
+        "inst_mult",
+        "inst_time",
+        "inst_o",
+        "inst_cap",
+        "cooldown_tau",
+    )
+
+    def __init__(self, breaker) -> None:
+        curve = breaker.curve
+        self.K = curve.trip_constant_s
+        self.hold = curve.hold_threshold
+        self.hold_hi = curve.hold_threshold * (1.0 + 1e-9)
+        self.hold_lo = curve.hold_threshold * (1.0 - 1e-9)
+        self.hold_p12 = curve.hold_threshold + 1e-12
+        self.inst_mult = curve.instant_trip_multiple
+        self.inst_time = curve.instant_trip_time_s
+        self.inst_o = curve.instant_trip_multiple - 1.0
+        self.inst_cap = curve.instant_trip_multiple - 1.0 - 1e-9
+        self.cooldown_tau = breaker.cooldown_tau_s
+
+
+class StepKernel:
+    """One facility's control-loop fast path.
+
+    Built from the same ``(cluster, topology, cooling)`` triple a
+    :class:`~repro.core.controller.SprintingController` drives; safe to
+    share between controllers over the same substrate (it holds no per-run
+    state of its own — all mutable state lives in the substrate and the
+    controller passed to :meth:`step`).
+    """
+
+    def __init__(self, cluster, topology, cooling) -> None:
+        # Lazy import: controller.py imports this module at load time.
+        from repro.core.controller import ControlStep
+
+        self._ControlStep = ControlStep
+
+        # --- cluster / chip (all frozen dataclasses) -------------------
+        server = cluster.server
+        chip = server.chip
+        self._n_servers = cluster.n_servers
+        self._non_cpu_power_w = server.non_cpu_power_w
+        self._idle_chip_power_w = chip.idle_chip_power_w
+        self._core_power_w = chip.core_power_w
+        self._normal_cores = chip.normal_cores
+        self._total_cores_f = float(chip.total_cores)
+        self._chip_max_degree = chip.max_sprinting_degree
+        self._chip_max_eps = self._chip_max_degree + 1e-9
+        self._fixed_per_server = server.non_cpu_power_w + chip.idle_chip_power_w
+        self._per_degree_w = chip.core_power_w * chip.normal_cores
+
+        # --- throughput quadratic --------------------------------------
+        tp = cluster.throughput
+        self._tp_max_capacity = tp.max_capacity
+        self._tp_max_degree = tp.max_degree
+        self._tp_max_eps = tp.max_degree + 1e-9
+        gain = tp.max_capacity - 1.0
+        span = tp.max_degree - 1.0
+        self._tp_b = 2.0 * gain / span
+        self._tp_c = gain / (span * span)
+        self._tp_b_sq = self._tp_b * self._tp_b
+        self._tp_four_c = 4.0 * self._tp_c
+        self._tp_two_c = 2.0 * self._tp_c
+
+        # --- power topology --------------------------------------------
+        self._topology = topology
+        self._n_pdus = topology.n_pdus
+        self._pdu = topology.pdu
+        self._pdu_breaker = topology.pdu.breaker
+        self._dc_breaker = topology.dc_breaker
+        self._pdu_consts = _BreakerConsts(topology.pdu.breaker)
+        self._dc_consts = _BreakerConsts(topology.dc_breaker)
+        fleet = topology.pdu.ups
+        self._n_batteries = fleet.n_batteries
+        self._battery = fleet.battery
+        self._voltage_v = fleet.battery.voltage_v
+        self._efficiency = fleet.battery.efficiency
+
+        # --- cooling plant ---------------------------------------------
+        self._cooling = cooling
+        self._chiller = cooling.chiller
+        self._overhead = cooling.chiller.pue - 1.0
+        self._chiller_share = cooling.chiller.chiller_share
+        self._aux_share = 1.0 - cooling.chiller.chiller_share
+        self._tes_saving = self._overhead * cooling.chiller.chiller_share
+        self._tes = cooling.tes
+        room = cooling.room
+        self._room = room
+        self._room_hc = room.heat_capacity_j_per_k
+        self._setpoint = room.setpoint_c
+        self._threshold = room.threshold_c
+        self._room_tau = room.recovery_tau_s
+
+    # ------------------------------------------------------------------
+    # Cluster arithmetic (inlined ServerCluster / ChipModel / Throughput)
+    # ------------------------------------------------------------------
+    def _power_at_degree(self, degree: float) -> float:
+        if not degree >= 0.0:
+            require_non_negative(degree, "degree")
+        if degree > self._chip_max_eps:
+            raise ConfigurationError(
+                f"degree {degree!r} exceeds the chip maximum "
+                f"{self._chip_max_degree!r}"
+            )
+        active = min(degree * self._normal_cores, self._total_cores_f)
+        chip_p = self._idle_chip_power_w + self._core_power_w * active
+        return self._n_servers * (self._non_cpu_power_w + chip_p)
+
+    def _degree_for_power(self, fleet_power_w: float) -> float:
+        if not fleet_power_w >= 0.0:
+            require_non_negative(fleet_power_w, "fleet_power_w")
+        per_server = fleet_power_w / self._n_servers
+        degree = (per_server - self._fixed_per_server) / self._per_degree_w
+        return max(0.0, min(degree, self._chip_max_degree))
+
+    def _capacity_at_degree(self, degree: float) -> float:
+        if not degree >= 0.0:
+            require_non_negative(degree, "degree")
+        if degree > self._tp_max_eps:
+            raise ConfigurationError(
+                f"degree {degree!r} exceeds max_degree {self._tp_max_degree!r}"
+            )
+        if degree <= 1.0:
+            return degree
+        x = degree - 1.0
+        return 1.0 + self._tp_b * x - self._tp_c * x * x
+
+    def _degree_for_capacity(self, c_val: float) -> float:
+        if c_val <= 1.0:
+            return c_val
+        if c_val >= self._tp_max_capacity:
+            return self._tp_max_degree
+        discriminant = self._tp_b_sq - self._tp_four_c * (c_val - 1.0)
+        x = (self._tp_b - math.sqrt(max(0.0, discriminant))) / self._tp_two_c
+        return min(1.0 + x, self._tp_max_degree)
+
+    # ------------------------------------------------------------------
+    # Breaker arithmetic (inlined CircuitBreaker / TripCurve)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _max_load_for_trip_time(breaker, c: _BreakerConsts, reserve_s: float) -> float:
+        if breaker.tripped:
+            return 0.0
+        head = 1.0 - breaker.trip_fraction
+        if head <= 0.0:
+            return math.nextafter(breaker.rated_power_w, 0.0)
+        t = reserve_s / head
+        if t <= c.inst_time:
+            o = c.inst_o
+        else:
+            o = math.sqrt(c.K / t)
+            o = max(o, c.hold_lo)
+            o = min(o, c.inst_cap)
+        return breaker.rated_power_w * (1.0 + o)
+
+    @staticmethod
+    def _breaker_step(breaker, c: _BreakerConsts, load_w: float, dt_s: float) -> None:
+        if breaker.tripped:
+            if load_w > 0.0:
+                raise BreakerTrippedError(breaker.name, breaker.tripped_at_s)
+            breaker._time_s += dt_s
+            return
+        rated = breaker.rated_power_w
+        o = max(0.0, load_w / rated - 1.0)
+        if o <= c.hold_hi:
+            # Hold region: at/above rated is equilibrium, below rating cools.
+            if load_w < rated:
+                breaker.trip_fraction *= math.exp(-dt_s / c.cooldown_tau)
+            breaker._time_s += dt_s
+            return
+        if 1.0 + o >= c.inst_mult:
+            trip_time = c.inst_time
+        else:
+            trip_time = c.K / (o * o)
+        budget_left = 1.0 - breaker.trip_fraction
+        time_to_trip = budget_left * trip_time
+        if time_to_trip <= dt_s:
+            breaker.trip_fraction = 1.0
+            breaker.tripped = True
+            breaker.tripped_at_s = breaker._time_s + time_to_trip
+            breaker._time_s += dt_s
+            raise BreakerTrippedError(breaker.name, breaker.tripped_at_s)
+        breaker.trip_fraction += dt_s / trip_time
+        breaker._time_s += dt_s
+
+    @staticmethod
+    def _cb_deliverable(breaker, c: _BreakerConsts, horizon_s: float, reserve_s: float) -> float:
+        if breaker.tripped:
+            return 0.0
+        head = 1.0 - breaker.trip_fraction
+        if head <= 0.0:
+            return 0.0
+        t = (horizon_s + reserve_s) / head
+        if t <= c.inst_time:
+            o_star = c.inst_o
+        else:
+            o_star = math.sqrt(c.K / t)
+            o_star = max(o_star, c.hold_lo)
+            o_star = min(o_star, c.inst_cap)
+        if o_star <= c.hold_p12:
+            return breaker.rated_power_w * c.hold * horizon_s
+        if o_star <= c.hold_hi:
+            trip_time = math.inf
+        elif 1.0 + o_star >= c.inst_mult:
+            trip_time = c.inst_time
+        else:
+            trip_time = c.K / (o_star * o_star)
+        run_time = min(horizon_s, head * trip_time - reserve_s)
+        run_time = max(0.0, run_time)
+        return breaker.rated_power_w * o_star * run_time
+
+    # ------------------------------------------------------------------
+    # Budget (inlined EnergyBudget)
+    # ------------------------------------------------------------------
+    def _remaining_j(self, budget) -> float:
+        ups_e = (self._battery.energy_j * self._n_batteries) * self._n_pdus
+        tes = self._tes
+        tes_e = 0.0 if tes is None else tes.energy_j * self._tes_saving
+        horizon = budget.horizon_s
+        reserve = budget.reserve_s
+        pdu_total = (
+            self._cb_deliverable(self._pdu_breaker, self._pdu_consts, horizon, reserve)
+            * self._n_pdus
+        )
+        dc_total = self._cb_deliverable(
+            self._dc_breaker, self._dc_consts, horizon, reserve
+        )
+        return ups_e + tes_e + min(pdu_total, dc_total)
+
+    # ------------------------------------------------------------------
+    # Cooling (inlined CoolingPlant / ChillerPlant / TesTank / Room)
+    # ------------------------------------------------------------------
+    def _cooling_split(self, it_heat_w: float, dt_s: float, use_tes: bool):
+        heat_via_tes = 0.0
+        tes = self._tes
+        if use_tes and tes is not None:
+            energy = tes.energy_j
+            avail = 0.0 if energy <= 1e-9 else tes.max_discharge_w
+            heat_via_tes = min(it_heat_w, avail, energy / dt_s)
+            heat_via_tes = max(0.0, heat_via_tes)
+        remaining = it_heat_w - heat_via_tes
+        excess_k = self._room.temperature_c - self._setpoint
+        if excess_k <= 0.0:
+            recovery = 0.0
+        else:
+            recovery = self._room_hc * excess_k / self._room_tau
+        heat_via_chiller = min(
+            remaining + recovery, self._chiller.rated_removal_w
+        )
+        electric = self._overhead * (
+            heat_via_chiller + self._aux_share * heat_via_tes
+        )
+        return heat_via_chiller, heat_via_tes, electric
+
+    def _tes_absorb(self, heat_w: float, dt_s: float) -> None:
+        tes = self._tes
+        if heat_w > tes.max_discharge_w * (1.0 + 1e-9):
+            raise TankDepletedError(
+                f"requested {heat_w:.0f} W exceeds the tank's "
+                f"{tes.max_discharge_w:.0f} W absorption limit"
+            )
+        needed = heat_w * dt_s
+        if needed > tes.energy_j + 1e-6:
+            raise TankDepletedError(
+                f"requested {needed:.0f} J but only {tes.energy_j:.0f} J stored"
+            )
+        tes.energy_j = max(0.0, tes.energy_j - needed)
+        tes.total_absorbed_j += needed
+
+    def _room_step(self, heat_generation_w: float, heat_removal_w: float, dt_s: float) -> None:
+        room = self._room
+        gap_w = heat_generation_w - heat_removal_w
+        if gap_w >= 0.0:
+            room.temperature_c += gap_w * dt_s / self._room_hc
+        else:
+            excess = room.temperature_c - self._setpoint
+            if excess > 0.0:
+                decay = 1.0 - pow(2.718281828459045, -dt_s / self._room_tau)
+                cooling_capacity_k = -gap_w * dt_s / self._room_hc
+                room.temperature_c -= min(excess * decay, cooling_capacity_k)
+        temperature = room.temperature_c
+        room.peak_temperature_c = max(room.peak_temperature_c, temperature)
+        if temperature >= self._threshold:
+            raise ThermalEmergencyError(temperature, self._threshold)
+
+    # ------------------------------------------------------------------
+    # Controller internals (inlined _fit_power / _fit_thermal)
+    # ------------------------------------------------------------------
+    def _fit_power(self, degree, use_tes, dt, reserve, ups_floor_per_pdu_j):
+        battery = self._battery
+        n_batteries = self._n_batteries
+        n_pdus = self._n_pdus
+        pdu_bound = 0.0
+        cooling_w = 0.0
+        for _ in range(3):
+            it_power = self._power_at_degree(degree)
+            _, _, cooling_w = self._cooling_split(it_power, dt, use_tes)
+            own = self._max_load_for_trip_time(
+                self._pdu_breaker, self._pdu_consts, reserve
+            )
+            parent_total = self._max_load_for_trip_time(
+                self._dc_breaker, self._dc_consts, reserve
+            )
+            parent_share = max(0.0, parent_total - cooling_w) / n_pdus
+            pdu_bound = min(own, parent_share)
+            usable_j = max(
+                0.0, battery.energy_j * n_batteries - ups_floor_per_pdu_j
+            )
+            if battery.energy_j <= 1e-9:
+                avail_w = 0.0 * n_batteries
+            else:
+                avail_w = battery.max_discharge_power_w * n_batteries
+            ups_power = min(avail_w, usable_j / dt)
+            available = (pdu_bound + ups_power) * n_pdus
+            if it_power <= available * (1.0 + 1e-12):
+                break
+            degree = min(degree, self._degree_for_power(available))
+        return degree, pdu_bound, cooling_w
+
+    def _fit_thermal(self, ctrl, degree, use_tes, time_s):
+        if self._threshold - self._room.temperature_c > ctrl.settings.thermal_margin_k:
+            return degree, use_tes
+        removal = self._chiller.rated_removal_w
+        tes = self._tes
+        if tes is not None and not tes.energy_j <= 1e-9:
+            use_tes = True
+            removal += tes.max_discharge_w
+        safe_degree = self._degree_for_power(removal)
+        if safe_degree < degree:
+            ctrl.safety.thermal_degree_is_safe(ctrl.cooling, use_tes, time_s)
+            degree = min(degree, max(1.0, safe_degree))
+        return degree, use_tes
+
+    # ------------------------------------------------------------------
+    # The control period
+    # ------------------------------------------------------------------
+    def step(self, ctrl, demand: float, time_s: float):
+        """Run one control period for ``ctrl``; bit-identical to the
+        reference :meth:`SprintingController._step_reference`."""
+        require_non_negative(demand, "demand")
+        require_non_negative(time_s, "time_s")
+        settings = ctrl.settings
+        dt = settings.dt_s
+        battery = self._battery
+        n_pdus = self._n_pdus
+        n_batteries = self._n_batteries
+
+        # --- burst detector (inlined OnlineBurstDetector.observe) -------
+        detector = ctrl.detector
+        if demand > detector.capacity:
+            if not detector.in_burst:
+                detector.in_burst = True
+                detector.burst_started_at_s = time_s
+            detector._below_since_s = None
+        elif detector.in_burst:
+            if detector._below_since_s is None:
+                detector._below_since_s = time_s
+            if time_s - detector._below_since_s >= detector.hold_off_s:
+                detector.in_burst = False
+                detector._below_since_s = None
+        in_burst = detector.in_burst
+
+        # --- burst edges (snapshot / clear the energy budget) -----------
+        budget = ctrl.budget
+        strategy = ctrl.strategy
+        if in_burst and not ctrl._burst_was_active:
+            total = self._remaining_j(budget)
+            budget._snapshot_total_j = total
+            set_scale = getattr(strategy, "set_budget_scale", None)
+            if callable(set_scale):
+                set_scale(total)
+        elif not in_burst and ctrl._burst_was_active:
+            budget._snapshot_total_j = None
+        ctrl._burst_was_active = in_burst
+
+        # --- time in burst ----------------------------------------------
+        started = detector.burst_started_at_s
+        if not in_burst or started is None:
+            time_in_burst = 0.0
+        else:
+            time_in_burst = max(0.0, time_s - started)
+
+        # --- budget fraction (inlined EnergyBudget.fraction_remaining) --
+        snap = budget._snapshot_total_j
+        if snap is None:
+            remaining = self._remaining_j(budget)
+            if remaining <= 0.0:
+                budget_fraction = 0.0
+            else:
+                budget_fraction = max(0.0, min(1.0, remaining / remaining))
+        else:
+            if snap <= 0.0:
+                budget_fraction = 0.0
+            else:
+                budget_fraction = max(
+                    0.0, min(1.0, self._remaining_j(budget) / snap)
+                )
+
+        obs = StrategyObservation(
+            time_s=time_s,
+            demand=demand,
+            in_burst=in_burst,
+            time_in_burst_s=time_in_burst,
+            budget_fraction_remaining=budget_fraction,
+            max_degree=self._tp_max_degree,
+        )
+        upper_bound = strategy.degree_upper_bound(obs)
+
+        needed = self._degree_for_capacity(demand)
+        degree = min(needed, upper_bound)
+        if ctrl.safety._emergency_latched:
+            degree = min(degree, 1.0)
+        pcm = ctrl.pcm
+        if pcm is not None:
+            latent = pcm.latent_budget_j
+            melted = pcm.melted_j
+            if melted >= latent * (1.0 - 1e-12) or pcm._latched:
+                degree = min(degree, 1.0)
+            else:
+                remaining_j = latent - melted
+                if remaining_j <= 0.0:
+                    sustainable = 1.0
+                else:
+                    chip = pcm.chip
+                    per_degree = chip.core_power_w * chip.normal_cores
+                    sustainable = 1.0 + (remaining_j / settings.dt_s) / per_degree
+                    sustainable = min(
+                        sustainable, chip.total_cores / chip.normal_cores
+                    )
+                degree = min(degree, sustainable)
+
+        tes = self._tes
+        use_tes = (
+            in_burst
+            and tes is not None
+            and not tes.energy_j <= 1e-9
+            and time_in_burst >= ctrl.tes_activation_s
+            and degree > _SPRINT_THRESHOLD
+        )
+
+        reserve = settings.reserve_trip_time_s
+        ups_floor_total = settings.ups_outage_reserve_fraction * (
+            (battery.capacity_ah * self._voltage_v * 3600.0 * n_batteries)
+            * n_pdus
+        )
+        ups_floor_per_pdu = ups_floor_total / n_pdus
+
+        degree, pdu_bound, _ = self._fit_power(
+            degree, use_tes, dt, reserve, ups_floor_per_pdu
+        )
+        degree, use_tes = self._fit_thermal(ctrl, degree, use_tes, time_s)
+        degree, pdu_bound, _ = self._fit_power(
+            degree, use_tes, dt, reserve, ups_floor_per_pdu
+        )
+
+        # --- commit (inlined SprintingController._commit) ---------------
+        it_power = self._power_at_degree(degree)
+        heat_via_chiller, heat_via_tes, cooling_electric = self._cooling_split(
+            it_power, dt, use_tes
+        )
+        if heat_via_tes > 0.0:
+            self._tes_absorb(heat_via_tes, dt)
+        self._room_step(it_power, heat_via_chiller + heat_via_tes, dt)
+
+        recharge_w = 0.0
+        if settings.recharge_when_idle and not in_burst:
+            capacity_j = battery.capacity_ah * self._voltage_v * 3600.0
+            if battery.energy_j / capacity_j < 1.0:
+                per_pdu_load = it_power / n_pdus
+                spare = max(0.0, self._pdu_breaker.rated_power_w - per_pdu_load)
+                recharge_w = spare * settings.max_recharge_fraction
+                if recharge_w > 0.0:
+                    facility_w = recharge_w * n_pdus
+                    per_battery_w = (facility_w / n_pdus) / n_batteries
+                    stored = per_battery_w * dt * self._efficiency
+                    stored = min(stored, capacity_j - battery.energy_j)
+                    battery.energy_j += stored
+
+        # --- power topology (inlined PowerTopology.step / Pdu) ----------
+        server_demand = it_power + recharge_w * n_pdus
+        grid_bound = pdu_bound + recharge_w
+        per_pdu_demand = server_demand / n_pdus
+        grid_w = min(per_pdu_demand, grid_bound)
+        shortfall_w = per_pdu_demand - grid_w
+        ups_w = 0.0
+        if shortfall_w > 0.0:
+            per_battery_w = shortfall_w / n_batteries
+            per_floor_j = ups_floor_per_pdu / n_batteries
+            usable_j = max(0.0, battery.energy_j - per_floor_j)
+            deliverable = min(per_battery_w, battery.max_discharge_power_w)
+            deliverable = min(deliverable, usable_j / dt)
+            deliverable = max(0.0, deliverable)
+            if deliverable > 0.0:
+                drawn_j = deliverable * dt
+                battery.energy_j -= drawn_j
+                battery.energy_j = max(0.0, battery.energy_j)
+                battery.total_discharged_j += drawn_j
+                battery.equivalent_full_cycles += drawn_j / (
+                    battery.capacity_ah * self._voltage_v * 3600.0
+                )
+            ups_w = deliverable * n_batteries
+        deficit_per_pdu = max(0.0, per_pdu_demand - grid_w - ups_w)
+        self._breaker_step(self._pdu_breaker, self._pdu_consts, grid_w, dt)
+        pdu_grid_total = grid_w * n_pdus
+        ups_total = ups_w * n_pdus
+        deficit_total = deficit_per_pdu * n_pdus
+        dc_feed = pdu_grid_total + cooling_electric
+        self._breaker_step(self._dc_breaker, self._dc_consts, dc_feed, dt)
+
+        # --- admission + telemetry --------------------------------------
+        effective_power = it_power - deficit_total
+        if deficit_total <= 1e-9:
+            effective_degree = degree
+        else:
+            effective_degree = self._degree_for_power(effective_power)
+        capacity = self._capacity_at_degree(effective_degree)
+
+        admission = ctrl.admission
+        served = min(demand, capacity)
+        dropped = demand - served
+        admission.served_integral += served * dt
+        admission.dropped_integral += dropped * dt
+        admission.demand_integral += demand * dt
+
+        pdu_rated_total = self._pdu_breaker.rated_power_w * n_pdus
+        pdu_overload_w = max(0.0, pdu_grid_total - pdu_rated_total)
+        dc_overload_w = max(0.0, dc_feed - self._dc_breaker.rated_power_w)
+        cb_overload_w = max(pdu_overload_w, dc_overload_w)
+        electric_without_tes = self._overhead * min(
+            it_power, self._chiller.rated_removal_w
+        )
+        tes_saved_w = max(0.0, electric_without_tes - cooling_electric)
+
+        sprinting = effective_degree > _SPRINT_THRESHOLD
+        if not sprinting:
+            phase = _IDLE
+        elif heat_via_tes > _ACTIVE_POWER_EPS_W:
+            phase = _PHASE3
+        elif ups_total > _ACTIVE_POWER_EPS_W:
+            phase = _PHASE2
+        else:
+            phase = _PHASE1
+        phases = ctrl.phases
+        phases.current_phase = phase
+        phases.time_in_phase_s[phase] += dt
+        phases.cb_overload_energy_j += (
+            cb_overload_w if sprinting else 0.0
+        ) * dt
+        phases.ups_energy_j += ups_total * dt
+        phases.tes_electric_energy_j += tes_saved_w * dt
+
+        step = self._ControlStep(
+            time_s=time_s,
+            demand=demand,
+            upper_bound=upper_bound,
+            degree=effective_degree,
+            capacity=capacity,
+            served=served,
+            dropped=dropped,
+            phase=phase,
+            in_burst=in_burst,
+            it_power_w=effective_power,
+            grid_w=pdu_grid_total,
+            ups_w=ups_total,
+            cb_overload_w=cb_overload_w,
+            tes_heat_w=heat_via_tes,
+            tes_electric_saved_w=tes_saved_w,
+            cooling_electric_w=cooling_electric,
+            room_temperature_c=self._room.temperature_c,
+            pdu_grid_bound_w=pdu_bound,
+        )
+
+        # --- chip-level PCM (inlined PcmHeatSink.step) ------------------
+        if pcm is not None:
+            d = effective_degree
+            chip = pcm.chip
+            if not d >= 0.0:
+                require_non_negative(d, "degree")
+            chip_max = chip.total_cores / chip.normal_cores
+            if d > chip_max + 1e-9:
+                raise ConfigurationError(
+                    f"degree {d!r} exceeds the chip maximum {chip_max!r}"
+                )
+            active = min(d * chip.normal_cores, float(chip.total_cores))
+            power = chip.idle_chip_power_w + chip.core_power_w * active
+            normal_p = chip.idle_chip_power_w + (
+                chip.core_power_w * chip.normal_cores * 1.0
+            )
+            excess = max(0.0, power - normal_p)
+            if excess > 0.0:
+                pcm.melted_j = min(
+                    pcm.latent_budget_j, pcm.melted_j + excess * dt
+                )
+                if pcm.melted_j >= pcm.latent_budget_j * (1.0 - 1e-12):
+                    pcm._latched = True
+            else:
+                pcm.melted_j = max(
+                    0.0, pcm.melted_j - pcm.refreeze_power_w * dt
+                )
+                if pcm.melted_j == 0.0:
+                    pcm._latched = False
+
+        strategy.notify_realized(effective_degree, dt, in_burst)
+        ctrl.history.append(step)
+        return step

@@ -45,7 +45,7 @@ DEFAULT_FLEXIBILITY_PERCENT = 10.0
 _RT_FLOOR = 0.02
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StrategyObservation:
     """Everything a strategy may look at in one control period.
 

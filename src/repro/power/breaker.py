@@ -62,7 +62,7 @@ DEFAULT_INSTANT_TRIP_TIME_S = 0.02
 DEFAULT_COOLDOWN_TAU_S = 120.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TripCurve:
     """Inverse-time trip curve of a molded-case circuit breaker.
 
@@ -129,7 +129,7 @@ class TripCurve:
         return min(o, self.instant_trip_multiple - 1.0 - 1e-9)
 
 
-@dataclass
+@dataclass(slots=True)
 class CircuitBreaker:
     """A circuit breaker with thermal trip-state memory.
 
@@ -204,7 +204,11 @@ class CircuitBreaker:
             return 0.0
         head = 1.0 - self.trip_fraction
         if head <= 0.0:
-            return self.rated_power_w
+            # An exhausted thermal budget grants no overload headroom.  The
+            # bound sits one ulp below rating: at exactly rated power the
+            # hold region neither trips nor cools the element, while any
+            # load strictly below rating lets the trip fraction decay.
+            return math.nextafter(self.rated_power_w, 0.0)
         # remaining = head * K / o^2 >= reserve  =>  o <= sqrt(head*K/reserve)
         equivalent_full_trip_s = reserve_s / head
         o = self.curve.max_overload_for_trip_time(equivalent_full_trip_s)

@@ -29,7 +29,7 @@ DEFAULT_SERVERS_PER_PDU = 200
 NEC_PROVISIONING_FACTOR = 1.25
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PduPowerSplit:
     """How one step's server demand was sourced.
 

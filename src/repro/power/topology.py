@@ -30,7 +30,7 @@ from repro.power.ups import UpsBattery
 from repro.units import require_non_negative, require_positive
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TopologyPowerFlow:
     """Power flows realised in one simulation step, data-center wide.
 

@@ -51,7 +51,7 @@ class BatteryChemistry(Enum):
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class UpsBattery:
     """A single UPS battery with state-of-charge and cycle accounting.
 
@@ -227,7 +227,7 @@ class UpsBattery:
         self.equivalent_full_cycles = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class DistributedUpsFleet:
     """Aggregate view over the per-server UPS batteries of a whole PDU group.
 

@@ -54,8 +54,12 @@ from repro.core.strategies import (
 )
 from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
-from repro.simulation.datacenter import build_datacenter
-from repro.simulation.engine import DEFAULT_ORACLE_GRID, simulate_strategy
+from repro.simulation.datacenter import DataCenter, build_datacenter
+from repro.simulation.engine import (
+    DEFAULT_ORACLE_GRID,
+    run_simulation,
+    simulate_strategy,
+)
 from repro.simulation.faults import FaultPlan
 from repro.workloads.traces import Trace
 from repro.workloads.yahoo_trace import generate_yahoo_trace
@@ -143,8 +147,18 @@ class StrategySpec:
             max_degree=float(max_degree),
         )
 
-    def build(self, config: DataCenterConfig) -> SprintingStrategy:
-        """Materialise the live strategy object for ``config``."""
+    def build(
+        self,
+        config: DataCenterConfig,
+        cluster=None,
+    ) -> SprintingStrategy:
+        """Materialise the live strategy object for ``config``.
+
+        ``cluster`` optionally supplies an already-built facility's server
+        cluster so the Heuristic strategy's power model does not rebuild
+        the whole substrate; the result is identical (the model is a pure
+        function of the configuration).
+        """
         if self.kind == "greedy":
             return GreedyStrategy()
         if self.kind == "fixed":
@@ -171,7 +185,8 @@ class StrategySpec:
                 raise ConfigurationError(
                     "heuristic spec needs estimated_best_degree"
                 )
-            cluster = build_datacenter(config).cluster
+            if cluster is None:
+                cluster = build_datacenter(config).cluster
             return HeuristicStrategy(
                 estimated_best_degree=self.estimated_best_degree,
                 additional_power_fn=cluster.additional_power_at_degree_w,
@@ -355,36 +370,8 @@ class RunFailure:
 TaskResult = Union[SweepOutcome, RunFailure]
 
 
-def execute_task(task: SweepTask) -> TaskResult:
-    """Run one task to completion (the worker-process entry point).
-
-    This is the *only* compute path — the serial runner, the process pool
-    and the cache-miss refill all call it — which is what makes parallel
-    and cached results bit-identical to serial ones.
-
-    A simulation-level :class:`~repro.errors.ReproError` (a breaker trip
-    in an uncovered scenario, a depleted battery, a thermal emergency)
-    becomes a structured :class:`RunFailure` instead of propagating, so
-    one bad grid point cannot destroy a batch.
-    :class:`~repro.errors.ConfigurationError` still raises — a malformed
-    task is a programming error, not a simulation outcome.
-    """
-    try:
-        result = simulate_strategy(
-            task.trace,
-            task.spec.build(task.config),
-            task.config,
-            fault_plan=task.fault_plan,
-        )
-    except ConfigurationError:
-        raise
-    except ReproError as exc:
-        return RunFailure(
-            strategy_name=task.spec.kind,
-            error_type=type(exc).__name__,
-            message=str(exc),
-            time_s=getattr(exc, "time_s", None),
-        )
+def _outcome_from_result(result) -> SweepOutcome:
+    """Reduce one :class:`SimulationResult` to its sweep outcome."""
     demand = result.demand
     degrees = result.degrees
     burst_mask = demand > 1.0
@@ -404,6 +391,118 @@ def execute_task(task: SweepTask) -> TaskResult:
         aborted_at_s=result.aborted_at_s,
         n_fault_events=len(result.fault_events),
     )
+
+
+def _failure_from_error(task: SweepTask, exc: ReproError) -> RunFailure:
+    """Reduce one simulation-level exception to its failure record."""
+    return RunFailure(
+        strategy_name=task.spec.kind,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        time_s=getattr(exc, "time_s", None),
+    )
+
+
+def execute_task(task: SweepTask) -> TaskResult:
+    """Run one task to completion on a fresh facility.
+
+    This is the reference compute path — the serial runner and the
+    cache-miss refill call it directly, and the pooled worker path
+    (:func:`_execute_shipped`) must stay element-wise identical to it.
+
+    A simulation-level :class:`~repro.errors.ReproError` (a breaker trip
+    in an uncovered scenario, a depleted battery, a thermal emergency)
+    becomes a structured :class:`RunFailure` instead of propagating, so
+    one bad grid point cannot destroy a batch.
+    :class:`~repro.errors.ConfigurationError` still raises — a malformed
+    task is a programming error, not a simulation outcome.
+    """
+    try:
+        result = simulate_strategy(
+            task.trace,
+            task.spec.build(task.config),
+            task.config,
+            fault_plan=task.fault_plan,
+        )
+    except ConfigurationError:
+        raise
+    except ReproError as exc:
+        return _failure_from_error(task, exc)
+    return _outcome_from_result(result)
+
+
+# ---------------------------------------------------------------------------
+# Pooled worker path
+# ---------------------------------------------------------------------------
+# Per-worker state, populated by the pool initializer and the first task
+# to need a given facility.  Shipping each trace once at worker start-up
+# (instead of pickling it into all of its tasks) and rebuilding the
+# substrate once per configuration (instead of once per run) is what makes
+# warm sweeps cheap; ``run_simulation`` resets the substrate and the fault
+# injector restores mutated ratings, so facility reuse is outcome-neutral.
+_WORKER_TRACES: Dict[str, Trace] = {}
+_WORKER_FACILITIES: Dict[str, DataCenter] = {}
+
+
+def _trace_content_key(trace: Trace) -> str:
+    """Content hash a worker can look a shipped trace up by."""
+    header = f"{trace.name}\x00{trace.dt_s!r}\x00".encode("utf-8")
+    return hashlib.sha256(header + trace.samples.tobytes()).hexdigest()
+
+
+@dataclass(frozen=True)
+class _ShippedTask:
+    """A :class:`SweepTask` with its trace replaced by a content key."""
+
+    trace_key: str
+    spec: StrategySpec
+    config: DataCenterConfig
+    fault_plan: Optional[FaultPlan]
+
+
+def _init_worker(traces: Tuple[Tuple[str, Trace], ...]) -> None:
+    """Pool initializer: install the batch's traces in this worker."""
+    _WORKER_TRACES.clear()
+    _WORKER_TRACES.update(traces)
+    _WORKER_FACILITIES.clear()
+
+
+def _facility_for(config: DataCenterConfig) -> DataCenter:
+    """This worker's cached facility for ``config`` (built on first use)."""
+    key = json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
+    datacenter = _WORKER_FACILITIES.get(key)
+    if datacenter is None:
+        datacenter = build_datacenter(config)
+        _WORKER_FACILITIES[key] = datacenter
+    return datacenter
+
+
+def _execute_shipped(shipped: _ShippedTask) -> TaskResult:
+    """Worker-process entry point: run one shipped task on cached state.
+
+    Must produce results element-wise identical to :func:`execute_task`:
+    the facility is reset before every run and the strategy is rebuilt
+    per task, so only the construction cost is amortised, not any state.
+    """
+    task = SweepTask(
+        _WORKER_TRACES[shipped.trace_key],
+        shipped.spec,
+        shipped.config,
+        shipped.fault_plan,
+    )
+    datacenter = _facility_for(task.config)
+    try:
+        result = run_simulation(
+            datacenter,
+            task.trace,
+            task.spec.build(task.config, cluster=datacenter.cluster),
+            fault_plan=task.fault_plan,
+        )
+    except ConfigurationError:
+        raise
+    except ReproError as exc:
+        return _failure_from_error(task, exc)
+    return _outcome_from_result(result)
 
 
 # ---------------------------------------------------------------------------
@@ -444,6 +543,8 @@ class SweepRunner:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.hits = 0
         self.misses = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_traces: Dict[str, Trace] = {}
 
     @classmethod
     def from_env(cls) -> "SweepRunner":
@@ -492,8 +593,7 @@ class SweepRunner:
         if pending:
             pending_tasks = [task for _, task, _ in pending]
             if self.max_workers > 1 and len(pending_tasks) > 1:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    computed = list(pool.map(execute_task, pending_tasks))
+                computed = self._run_on_pool(pending_tasks)
             else:
                 computed = [execute_task(task) for task in pending_tasks]
             for (i, _, key), outcome in zip(pending, computed):
@@ -502,6 +602,72 @@ class SweepRunner:
 
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
+
+    def _run_on_pool(self, tasks: Sequence[SweepTask]) -> List[TaskResult]:
+        """Execute a batch on the persistent process pool.
+
+        Traces are shipped to the workers once per pool (by content hash,
+        via the initializer) rather than pickled into every task, and
+        submissions are chunked so the IPC round-trips scale with the
+        worker count, not the task count.  The pool survives across
+        batches; it is only rebuilt when a batch introduces a trace the
+        workers have not seen.
+        """
+        traces: Dict[str, Trace] = {}
+        shipped = []
+        for task in tasks:
+            key = _trace_content_key(task.trace)
+            traces[key] = task.trace
+            shipped.append(
+                _ShippedTask(key, task.spec, task.config, task.fault_plan)
+            )
+        pool = self._pool_for(traces)
+        chunksize = max(1, len(shipped) // (self.max_workers * 4))
+        try:
+            return list(
+                pool.map(_execute_shipped, shipped, chunksize=chunksize)
+            )
+        except Exception:
+            # A broken pool (killed worker, unpicklable crash) cannot be
+            # reused; drop it so the next batch starts a fresh one.
+            self.close()
+            raise
+
+    def _pool_for(self, traces: Dict[str, Trace]) -> ProcessPoolExecutor:
+        """The persistent pool, rebuilt only when new traces must ship."""
+        new = {
+            key: trace
+            for key, trace in traces.items()
+            if key not in self._pool_traces
+        }
+        if self._pool is None or new:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+            self._pool_traces.update(new)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_worker,
+                initargs=(tuple(self._pool_traces.items()),),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent).
+
+        Serial runners hold no pool, so this is a no-op for them; parallel
+        runners release their worker processes and forget the shipped
+        traces, and the next batch transparently starts a fresh pool.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            self._pool_traces = {}
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def simulate(
         self,

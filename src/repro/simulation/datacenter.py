@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.cooling.crac import CoolingPlant
 from repro.cooling.tes import TesTank
 from repro.core.capping import PowerCappingBaseline
 from repro.core.controller import ControllerSettings, SprintingController
+from repro.core.kernel import StepKernel
 from repro.core.strategies import SprintingStrategy
 from repro.core.uncontrolled import UncontrolledSprinting
 from repro.power.topology import PowerTopology
@@ -36,8 +38,15 @@ class DataCenter:
     topology: PowerTopology
     cooling: CoolingPlant
 
+    #: Step kernel shared by every controller built over this substrate;
+    #: built lazily (the precomputed invariants depend only on the
+    #: substrate objects, which controllers share anyway).
+    _kernel: Optional[StepKernel] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     def controller(
-        self, strategy: SprintingStrategy
+        self, strategy: SprintingStrategy, use_kernel: bool = True
     ) -> SprintingController:
         """Create a sprinting controller over this facility."""
         settings = ControllerSettings(
@@ -55,6 +64,13 @@ class DataCenter:
                 * self.config.chip_sprint_endurance_min
                 * 60.0,
             )
+        kernel = None
+        if use_kernel:
+            if self._kernel is None:
+                self._kernel = StepKernel(
+                    self.cluster, self.topology, self.cooling
+                )
+            kernel = self._kernel
         return SprintingController(
             cluster=self.cluster,
             topology=self.topology,
@@ -62,6 +78,8 @@ class DataCenter:
             strategy=strategy,
             settings=settings,
             pcm=pcm,
+            use_kernel=use_kernel,
+            kernel=kernel,
         )
 
     def uncontrolled(self, stop_before_trip: bool = False) -> UncontrolledSprinting:

@@ -31,8 +31,12 @@ from repro.simulation.faults import (
 from repro.simulation.metrics import SimulationResult
 from repro.workloads.traces import Trace
 
-#: Default candidate grid for the Oracle's exhaustive search.
-DEFAULT_ORACLE_GRID = tuple(np.arange(1.0, 4.01, 0.25).tolist())
+#: Default candidate grid for the Oracle's exhaustive search: 13 evenly
+#: spaced upper bounds from the normal degree to the chip maximum.
+#: ``linspace`` states the endpoint contract directly (``arange`` with a
+#: float step only includes 4.0 through rounding luck); the values are
+#: identical and pinned by ``tests/simulation/test_engine_grid.py``.
+DEFAULT_ORACLE_GRID = tuple(np.linspace(1.0, 4.0, 13).tolist())
 
 
 def run_simulation(
@@ -40,6 +44,7 @@ def run_simulation(
     trace: Trace,
     strategy: SprintingStrategy,
     fault_plan: Optional[FaultPlan] = None,
+    use_kernel: bool = True,
 ) -> SimulationResult:
     """Run one full trace through a fresh controller on ``datacenter``.
 
@@ -64,7 +69,7 @@ def run_simulation(
     (including the exceptions).
     """
     datacenter.reset()
-    controller = datacenter.controller(strategy)
+    controller = datacenter.controller(strategy, use_kernel=use_kernel)
     if abs(trace.dt_s - controller.settings.dt_s) > 1e-9:
         raise ConfigurationError(
             f"trace sampling period ({trace.dt_s:g} s) does not match the "
@@ -85,7 +90,7 @@ def run_simulation(
     return SimulationResult(
         trace=trace,
         strategy_name=strategy.name,
-        steps=list(controller.history),
+        steps=controller.history.snapshot(),
         energy_shares=controller.phases.energy_shares(),
         time_in_phase_s=dict(controller.phases.time_in_phase_s),
         dropped_integral=controller.admission.dropped_integral,
@@ -157,10 +162,15 @@ def simulate_strategy(
     strategy: SprintingStrategy,
     config: DataCenterConfig = DEFAULT_CONFIG,
     fault_plan: Optional[FaultPlan] = None,
+    use_kernel: bool = True,
 ) -> SimulationResult:
     """Convenience wrapper: build a fresh facility and run the trace."""
     return run_simulation(
-        build_datacenter(config), trace, strategy, fault_plan=fault_plan
+        build_datacenter(config),
+        trace,
+        strategy,
+        fault_plan=fault_plan,
+        use_kernel=use_kernel,
     )
 
 

@@ -82,12 +82,37 @@ class SimulationResult:
     #: admission-control-only, or None if the run completed normally.
     aborted_at_s: Optional[float] = None
 
+    #: Per-attribute cache for :meth:`series`.  ``steps`` never changes
+    #: after construction, so invalidation is by construction: a new run
+    #: produces a new result with an empty cache.
+    _series_cache: Dict[str, np.ndarray] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
     # ------------------------------------------------------------------
     # Series accessors
     # ------------------------------------------------------------------
     def series(self, attribute: str) -> np.ndarray:
-        """Extract one :class:`ControlStep` attribute as a numpy array."""
-        return np.array([getattr(s, attribute) for s in self.steps], dtype=float)
+        """Extract one :class:`ControlStep` attribute as a numpy array.
+
+        The array is computed once per attribute and cached (``steps`` is
+        immutable once the result exists); it is returned read-only so a
+        caller cannot corrupt subsequent reads through the shared cache.
+        Column-oriented step logs are sliced directly; plain step lists
+        fall back to an attribute walk.
+        """
+        cached = self._series_cache.get(attribute)
+        if cached is None:
+            column = getattr(self.steps, "column", None)
+            if column is not None:
+                cached = np.asarray(column(attribute), dtype=float)
+            else:
+                cached = np.array(
+                    [getattr(s, attribute) for s in self.steps], dtype=float
+                )
+            cached.setflags(write=False)
+            self._series_cache[attribute] = cached
+        return cached
 
     @property
     def served(self) -> np.ndarray:

@@ -71,7 +71,7 @@ def run_with_utility_events(
     return SimulationResult(
         trace=trace,
         strategy_name=controller.strategy.name,
-        steps=list(controller.history),
+        steps=controller.history.snapshot(),
         energy_shares=controller.phases.energy_shares(),
         time_in_phase_s=dict(controller.phases.time_in_phase_s),
         dropped_integral=controller.admission.dropped_integral,

@@ -1,0 +1,110 @@
+"""Convergence tests for the controller's power fixed point (``_fit_power``).
+
+The committed degree emerges from at most three iterations of a mutually
+dependent pair — cooling electric power depends on IT power, the per-PDU
+grid bound depends on cooling power — so these tests assert the property
+the loop exists to guarantee: the *committed* step can actually be
+sourced (PDU bound + UPS assist), and a configured UPS outage reserve is
+never touched, including after a thermal refit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import ControllerSettings, SprintingController
+from repro.core.strategies import GreedyStrategy
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+
+def make_controller(settings=None, use_kernel=True):
+    dc = build_datacenter(SMALL)
+    controller = SprintingController(
+        cluster=dc.cluster,
+        topology=dc.topology,
+        cooling=dc.cooling,
+        strategy=GreedyStrategy(),
+        settings=settings or ControllerSettings(),
+        use_kernel=use_kernel,
+    )
+    return dc, controller
+
+
+@pytest.mark.parametrize("use_kernel", (True, False))
+class TestPowerFixedPoint:
+    def test_committed_power_is_sourceable(self, use_kernel):
+        """Every committed step fits within grid bound + UPS assist."""
+        dc, controller = make_controller(use_kernel=use_kernel)
+        n_pdus = dc.topology.n_pdus
+        for t in range(240):
+            ups_before = dc.topology.pdu.ups.available_power_w()
+            step = controller.step(3.5, float(t))
+            available = (step.pdu_grid_bound_w + ups_before) * n_pdus
+            assert step.it_power_w <= available * (1.0 + 1e-9)
+
+    def test_fixed_point_reached_within_three_iterations(self, use_kernel):
+        """The fit is self-consistent: refitting the committed degree is
+        a no-op, i.e. three iterations were enough to converge."""
+        dc, controller = make_controller(use_kernel=use_kernel)
+        step = controller.step(3.5, 0.0)
+        refit_degree, _, _ = controller._fit_power(
+            step.degree, use_tes=step.tes_heat_w > 0.0, dt=1.0
+        )
+        assert refit_degree == step.degree
+
+    def test_ups_reserve_is_never_touched(self, use_kernel):
+        """With an outage reserve, sprinting stops at the floor."""
+        settings = ControllerSettings(ups_outage_reserve_fraction=0.5)
+        dc, controller = make_controller(settings, use_kernel=use_kernel)
+        floor_j = 0.5 * dc.topology.ups_capacity_j
+        for t in range(600):
+            controller.step(3.5, float(t))
+            remaining = (
+                dc.topology.pdu.ups.energy_j * dc.topology.n_pdus
+            )
+            assert remaining >= floor_j * (1.0 - 1e-9)
+
+    def test_reserve_caps_sprinting_earlier(self, use_kernel):
+        """A large reserve ends UPS-assisted sprinting sooner than none."""
+        results = {}
+        for fraction in (0.0, 0.8):
+            settings = ControllerSettings(
+                ups_outage_reserve_fraction=fraction
+            )
+            _, controller = make_controller(settings, use_kernel=use_kernel)
+            ups_time = 0
+            for t in range(600):
+                step = controller.step(3.5, float(t))
+                if step.ups_w > 1e-6:
+                    ups_time += 1
+            results[fraction] = ups_time
+        assert results[0.8] < results[0.0]
+
+    def test_refit_after_thermal_reduction_still_sourceable(
+        self, use_kernel
+    ):
+        """Once the room margin binds, the thermally reduced degree is
+        refitted against the power bounds — the committed step respects
+        both constraints simultaneously."""
+        dc, controller = make_controller(use_kernel=use_kernel)
+        margin = controller.settings.thermal_margin_k
+        n_pdus = dc.topology.n_pdus
+        # Pre-heat the room to just outside the margin so sprinting heat
+        # consumes the remaining headroom within the drive.
+        room = dc.cooling.room
+        room.temperature_c = room.threshold_c - margin - 0.5
+        saw_thermal_bind = False
+        for t in range(1200):
+            ups_before = dc.topology.pdu.ups.available_power_w()
+            step = controller.step(4.0, float(t))
+            available = (step.pdu_grid_bound_w + ups_before) * n_pdus
+            assert step.it_power_w <= available * (1.0 + 1e-9)
+            if dc.cooling.room.headroom_k <= margin:
+                saw_thermal_bind = True
+        assert saw_thermal_bind, (
+            "the drive never consumed the thermal headroom; the refit "
+            "path was not exercised"
+        )

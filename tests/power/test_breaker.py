@@ -303,13 +303,22 @@ class TestMaxLoadNearExhaustion:
     def make(self, rated=1000.0):
         return CircuitBreaker(name="test", rated_power_w=rated)
 
-    def test_exhausted_budget_allows_rated_load(self):
-        """With zero thermal budget left (but not yet tripped) the breaker
-        can still carry rated load forever — the bound is the rating, not
-        zero and not an overload."""
+    def test_exhausted_budget_bound_stays_below_rating(self):
+        """With zero thermal budget left (but not yet tripped), carrying
+        exactly the rating would hold ``trip_fraction`` at 1.0 forever —
+        one rounding wobble from a trip.  The bound backs off to the
+        largest float strictly below the rating so the overload ratio
+        dips under 1.0 and the accumulated fraction starts decaying."""
         cb = self.make()
         cb.trip_fraction = 1.0
-        assert cb.max_load_for_trip_time(60.0) == cb.rated_power_w
+        bound = cb.max_load_for_trip_time(60.0)
+        assert bound == math.nextafter(cb.rated_power_w, 0.0)
+        assert bound < cb.rated_power_w
+        # Stepping at the bound is indefinitely sustainable and lets the
+        # thermal budget recover instead of pinning it at the trip point.
+        cb.step(bound, dt_s=1.0)
+        assert not cb.tripped
+        assert cb.trip_fraction < 1.0
 
     def test_nearly_exhausted_budget_falls_back_to_hold_region(self):
         cb = self.make()

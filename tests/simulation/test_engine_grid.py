@@ -1,0 +1,35 @@
+"""Pin the default Oracle candidate grid.
+
+The grid moved from ``np.arange(1.0, 4.01, 0.25)`` (whose inclusion of
+the 4.0 endpoint depended on float rounding) to
+``np.linspace(1.0, 4.0, 13)``, which states the endpoint contract
+directly.  The *values* are part of the published results surface — an
+Oracle bound can only come from this grid — so they are pinned exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.engine import DEFAULT_ORACLE_GRID
+
+EXPECTED = (
+    1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0, 3.25, 3.5, 3.75, 4.0
+)
+
+
+def test_grid_is_pinned_exactly():
+    assert DEFAULT_ORACLE_GRID == EXPECTED
+
+
+def test_grid_matches_legacy_arange():
+    """The linspace form is value-identical to the historical arange."""
+    legacy = tuple(np.arange(1.0, 4.01, 0.25).tolist())
+    assert DEFAULT_ORACLE_GRID == legacy
+
+
+def test_grid_shape_and_endpoints():
+    assert len(DEFAULT_ORACLE_GRID) == 13
+    assert DEFAULT_ORACLE_GRID[0] == 1.0
+    assert DEFAULT_ORACLE_GRID[-1] == 4.0
+    assert all(isinstance(v, float) for v in DEFAULT_ORACLE_GRID)

@@ -1,0 +1,75 @@
+"""Tests for the cached ``SimulationResult.series`` accessors.
+
+``series()`` used to rebuild its array on every call with a Python
+``getattr`` walk; it now computes each attribute once per result and
+returns the cached, read-only array.  Invalidation is by construction:
+``steps`` never changes after the result exists, and a new run produces
+a new result with an empty cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import GreedyStrategy
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.engine import simulate_strategy
+from repro.simulation.metrics import SimulationResult
+from repro.workloads.traces import Trace
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+
+@pytest.fixture(scope="module")
+def result():
+    trace = Trace(
+        np.concatenate([np.full(30, 0.8), np.full(60, 2.5), np.full(30, 0.7)]),
+        name="cache-test",
+    )
+    return simulate_strategy(trace, GreedyStrategy(), SMALL)
+
+
+class TestSeriesCache:
+    def test_repeated_calls_return_the_same_array(self, result):
+        first = result.series("degree")
+        second = result.series("degree")
+        assert first is second
+
+    def test_cached_values_match_attribute_walk(self, result):
+        for attribute in ("served", "demand", "degree", "it_power_w"):
+            expected = np.array(
+                [getattr(s, attribute) for s in result.steps], dtype=float
+            )
+            assert np.array_equal(result.series(attribute), expected)
+
+    def test_cached_array_is_read_only(self, result):
+        series = result.series("served")
+        with pytest.raises(ValueError):
+            series[0] = -1.0
+
+    def test_plain_list_fallback(self, result):
+        """A result built over a materialised step list still works."""
+        clone = SimulationResult(
+            trace=result.trace,
+            strategy_name=result.strategy_name,
+            steps=list(result.steps),
+            energy_shares=result.energy_shares,
+            time_in_phase_s=result.time_in_phase_s,
+            dropped_integral=result.dropped_integral,
+            served_integral=result.served_integral,
+            demand_integral=result.demand_integral,
+        )
+        assert np.array_equal(clone.series("degree"), result.series("degree"))
+        assert clone.series("degree") is clone.series("degree")
+
+    def test_invalidation_by_construction(self, result):
+        """A fresh run gets a fresh cache — results never share arrays."""
+        other = simulate_strategy(result.trace, GreedyStrategy(), SMALL)
+        assert other.series("degree") is not result.series("degree")
+        assert np.array_equal(other.series("degree"), result.series("degree"))
+
+    def test_aggregates_still_correct(self, result):
+        assert result.peak_degree == float(result.series("degree").max())
+        assert result.sprint_duration_s >= 0.0
+        assert result.average_performance > 1.0
