@@ -1,9 +1,22 @@
 # Convenience targets for the Data Center Sprinting reproduction.
 
-.PHONY: install test bench report examples sweep-smoke fault-smoke clean
+.PHONY: install check lint test bench report examples sweep-smoke fault-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
+
+check: lint test
+
+# Domain-aware static analysis (repro.analysis) always runs; mypy and ruff
+# run when installed (pip install -e .[lint]) and their failures are fatal.
+lint:
+	python -m repro lint src
+	@if command -v mypy >/dev/null 2>&1; then \
+		echo "mypy --strict"; mypy --strict src/repro || exit 1; \
+	else echo "mypy not installed; skipping (CI enforces it)"; fi
+	@if command -v ruff >/dev/null 2>&1; then \
+		echo "ruff check"; ruff check src tests || exit 1; \
+	else echo "ruff not installed; skipping (CI enforces it)"; fi
 
 test:
 	pytest tests/

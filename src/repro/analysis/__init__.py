@@ -1,0 +1,93 @@
+"""Self-hosted static analysis for the sprinting codebase.
+
+Four domain rules guard invariants ordinary linters cannot see:
+
+* ``kernel-drift`` — :class:`StepKernel` must stay in lockstep with the
+  reference control step (attribute reads, record construction, folded
+  constants);
+* ``units`` — unit arithmetic goes through :mod:`repro.units`, and
+  identifiers with different unit suffixes are never added or compared;
+* ``determinism`` — the hot paths stay free of wall clocks, global RNG
+  state, set-order iteration and math/numpy mixing;
+* ``error-discipline`` — broad exception handlers must log or re-raise.
+
+Run the suite with ``repro lint [paths]`` or ``make lint``; suppress a
+finding in place with ``# repro: allow[<rule>] -- <reason>``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.determinism import DeterminismRule
+from repro.analysis.error_discipline import ErrorDisciplineRule
+from repro.analysis.framework import (
+    BAD_SUPPRESSION_RULE,
+    PARSE_ERROR_RULE,
+    AnalysisReport,
+    Analyzer,
+    Finding,
+    Rule,
+    SourceFile,
+    Suppression,
+)
+from repro.analysis.kernel_drift import KernelDriftRule
+from repro.analysis.units_rule import UnitsRule
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "Analyzer",
+    "BAD_SUPPRESSION_RULE",
+    "DeterminismRule",
+    "ErrorDisciplineRule",
+    "Finding",
+    "KernelDriftRule",
+    "PARSE_ERROR_RULE",
+    "Rule",
+    "SourceFile",
+    "Suppression",
+    "UnitsRule",
+    "build_default_rules",
+    "run_analysis",
+]
+
+#: Rule classes in the order the report lists them.
+ALL_RULES = (
+    KernelDriftRule,
+    UnitsRule,
+    DeterminismRule,
+    ErrorDisciplineRule,
+)
+
+
+def build_default_rules(
+    only: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the default rule set, optionally filtered by rule id."""
+    rules: List[Rule] = [rule_cls() for rule_cls in ALL_RULES]
+    if only:
+        wanted = set(only)
+        known = {rule.rule_id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(known))}"
+            )
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    return rules
+
+
+def run_analysis(
+    paths: Sequence[str],
+    only: Optional[Sequence[str]] = None,
+    root: Optional[str] = None,
+) -> AnalysisReport:
+    """Run the default rules over ``paths`` and return the report."""
+    from pathlib import Path
+
+    analyzer = Analyzer(build_default_rules(only))
+    return analyzer.run(
+        [Path(p) for p in paths], root=Path(root) if root else None
+    )

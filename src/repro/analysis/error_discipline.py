@@ -1,0 +1,122 @@
+"""``error-discipline`` rule: no silent broad exception swallows.
+
+The fault-injection subsystem (PR 2) turned many exceptions into control
+flow — which makes a stray ``except Exception: pass`` genuinely
+dangerous here: it can eat a :class:`~repro.errors.BreakerTrippedError`
+that the engine needed to degrade the run, and the simulation silently
+produces wrong numbers instead of a recorded failure.
+
+A broad handler (``except:``, ``except Exception``, ``except
+BaseException`` — alone or in a tuple) is flagged unless its body either
+re-raises or logs through the :mod:`logging` machinery.  Deliberate
+swallows must carry the suite's suppression directive with a reason::
+
+    except Exception:
+        # repro: allow[error-discipline] -- <why this is safe>
+        ...
+
+``contextlib.suppress(Exception)`` is the same bug with nicer syntax and
+is flagged identically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.framework import Finding, Rule, SourceFile
+
+#: Exception names considered "broad".
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+#: Method names that count as logging the swallowed exception.
+_LOGGING_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+)
+
+
+def _mentions_broad(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_mentions_broad(element) for element in node.elts)
+    return False
+
+
+def _body_reraises_or_logs(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _LOGGING_METHODS
+            ):
+                return True
+            if isinstance(func, ast.Name) and func.id in ("warn",):
+                return True
+    return False
+
+
+class ErrorDisciplineRule(Rule):
+    """Flags broad exception handlers that swallow without logging."""
+
+    rule_id = "error-discipline"
+    description = (
+        "broad 'except Exception' / bare 'except' handlers must re-raise "
+        "or log; deliberate swallows need an allow-directive with a reason"
+    )
+
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler):
+                broad = node.type is None or _mentions_broad(node.type)
+                if broad and not _body_reraises_or_logs(node):
+                    what = (
+                        "bare 'except:'"
+                        if node.type is None
+                        else "'except Exception'-class handler"
+                    )
+                    findings.append(
+                        Finding(
+                            rule=self.rule_id,
+                            path=source.display_path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"{what} swallows without logging or "
+                                "re-raising; narrow the exception type, "
+                                "log it, re-raise, or add '# repro: "
+                                "allow[error-discipline] -- <reason>'"
+                            ),
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                is_suppress = (
+                    isinstance(func, ast.Name) and func.id == "suppress"
+                ) or (
+                    isinstance(func, ast.Attribute) and func.attr == "suppress"
+                )
+                if is_suppress and any(
+                    _mentions_broad(arg) for arg in node.args
+                ):
+                    findings.append(
+                        Finding(
+                            rule=self.rule_id,
+                            path=source.display_path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                "contextlib.suppress(Exception) swallows "
+                                "broadly and silently; suppress specific "
+                                "exception types or add '# repro: "
+                                "allow[error-discipline] -- <reason>'"
+                            ),
+                        )
+                    )
+        return findings

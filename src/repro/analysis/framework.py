@@ -1,0 +1,298 @@
+"""Rule engine of the ``repro.analysis`` static-analysis suite.
+
+The framework is deliberately small: a :class:`Rule` sees parsed
+:class:`SourceFile` objects (path + text + AST) and yields
+:class:`Finding` records; the :class:`Analyzer` walks a file tree, runs
+every rule, honours per-line suppression comments, and packages the
+result as an :class:`AnalysisReport` that renders to human text or JSON.
+
+Suppression grammar
+-------------------
+A finding on line ``L`` is suppressed when line ``L`` (trailing comment)
+or line ``L - 1`` (a directive on its own line) contains::
+
+    # repro: allow[<rule-id>] -- <reason>
+
+The reason is mandatory — a directive without one is itself reported as a
+``bad-suppression`` finding, so every silenced warning carries a recorded
+justification.  This is the suite's *explicit allowlist* mechanism: the
+deliberate exceptions live next to the code they excuse.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Pseudo-rule id for files the parser rejects.
+PARSE_ERROR_RULE = "parse-error"
+
+#: Pseudo-rule id for malformed suppression directives.
+BAD_SUPPRESSION_RULE = "bad-suppression"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[a-z0-9*-]+)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    col: int = 0
+
+    def render(self) -> str:
+        """Human-readable one-line form (``path:line: [rule] message``)."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: allow[rule] -- reason`` directive."""
+
+    rule: str
+    reason: Optional[str]
+    line: int
+
+
+@dataclass
+class SourceFile:
+    """A parsed Python source file handed to every rule."""
+
+    path: Path
+    display_path: str
+    text: str
+    tree: ast.Module
+    #: Directives keyed by the line they appear on.
+    suppressions: Dict[int, List[Suppression]] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.text.splitlines()
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`description` and override
+    :meth:`check_file` (per-file rules) or :meth:`check_project`
+    (cross-file rules that need to see several modules at once).
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        return []
+
+    def check_project(self, sources: Sequence[SourceFile]) -> List[Finding]:
+        return []
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding]
+    suppressed: List[Tuple[Finding, Suppression]]
+    files_scanned: int
+    rules_run: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> str:
+        payload = {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "rules": self.rules_run,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+            "suppressed": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "reason": s.reason,
+                }
+                for f, s in self.suppressed
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_text(self) -> str:
+        out: List[str] = []
+        for finding in self.findings:
+            out.append(finding.render())
+        summary = (
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_scanned} file(s) scanned, "
+            f"rules: {', '.join(self.rules_run) or 'none'}"
+        )
+        out.append(summary)
+        return "\n".join(out)
+
+
+def parse_suppressions(text: str) -> Dict[int, List[Suppression]]:
+    """Extract every suppression directive in ``text``, keyed by line."""
+    directives: Dict[int, List[Suppression]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "repro:" not in line:
+            continue
+        match = _SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        directives.setdefault(lineno, []).append(
+            Suppression(
+                rule=match.group("rule"),
+                reason=match.group("reason"),
+                line=lineno,
+            )
+        )
+    return directives
+
+
+def load_source(path: Path, root: Optional[Path] = None) -> SourceFile:
+    """Read and parse one file (raises ``SyntaxError`` on bad source)."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    if root is not None:
+        try:
+            display = path.relative_to(root).as_posix()
+        except ValueError:
+            display = path.as_posix()
+    else:
+        display = path.as_posix()
+    return SourceFile(
+        path=path,
+        display_path=display,
+        text=text,
+        tree=tree,
+        suppressions=parse_suppressions(text),
+    )
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen = set()
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            parts = candidate.parts
+            if any(p.startswith(".") or p == "__pycache__" for p in parts[:-1]):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append(candidate)
+    return out
+
+
+class Analyzer:
+    """Runs a set of rules over a file tree and applies suppressions."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+
+    def run(
+        self, paths: Sequence[Path], root: Optional[Path] = None
+    ) -> AnalysisReport:
+        sources: List[SourceFile] = []
+        findings: List[Finding] = []
+        files = collect_files([Path(p) for p in paths])
+        for path in files:
+            try:
+                sources.append(load_source(path, root=root))
+            except SyntaxError as exc:
+                findings.append(
+                    Finding(
+                        rule=PARSE_ERROR_RULE,
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        message=f"could not parse file: {exc.msg}",
+                    )
+                )
+
+        for source in sources:
+            findings.extend(self._check_directives(source))
+            for rule in self.rules:
+                findings.extend(rule.check_file(source))
+        for rule in self.rules:
+            findings.extend(rule.check_project(sources))
+
+        by_path = {s.display_path: s for s in sources}
+        kept: List[Finding] = []
+        suppressed: List[Tuple[Finding, Suppression]] = []
+        for finding in findings:
+            directive = self._matching_directive(finding, by_path)
+            if directive is not None and directive.reason:
+                suppressed.append((finding, directive))
+            else:
+                kept.append(finding)
+        kept.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+        return AnalysisReport(
+            findings=kept,
+            suppressed=suppressed,
+            files_scanned=len(files),
+            rules_run=[r.rule_id for r in self.rules],
+        )
+
+    @staticmethod
+    def _check_directives(source: SourceFile) -> List[Finding]:
+        out = []
+        for directives in source.suppressions.values():
+            for directive in directives:
+                if not directive.reason:
+                    out.append(
+                        Finding(
+                            rule=BAD_SUPPRESSION_RULE,
+                            path=source.display_path,
+                            line=directive.line,
+                            message=(
+                                "suppression directive is missing its "
+                                "mandatory reason: write '# repro: "
+                                f"allow[{directive.rule}] -- <why>'"
+                            ),
+                        )
+                    )
+        return out
+
+    @staticmethod
+    def _matching_directive(
+        finding: Finding, by_path: Dict[str, SourceFile]
+    ) -> Optional[Suppression]:
+        source = by_path.get(finding.path)
+        if source is None or finding.rule in (
+            PARSE_ERROR_RULE,
+            BAD_SUPPRESSION_RULE,
+        ):
+            return None
+        for lineno in (finding.line, finding.line - 1):
+            for directive in source.suppressions.get(lineno, []):
+                if directive.rule == finding.rule:
+                    return directive
+        return None

@@ -1,0 +1,145 @@
+"""``units`` rule: steer unit arithmetic onto :mod:`repro.units`.
+
+The models mix watts, joules, watt-hours, ampere-hours, seconds and
+minutes.  ``repro.units`` keeps the conversions in one tested module
+precisely because inline ``* 3600`` arithmetic is where simulations grow
+silent Wh-vs-J bugs.  This rule enforces that discipline statically:
+
+* **magic time literals** — ``60``, ``3600``, ``43_200`` and ``86_400``
+  used as a multiplication/division operand are flagged outside
+  ``units.py``; use ``SECONDS_PER_MINUTE`` / ``SECONDS_PER_HOUR`` /
+  ``MINUTES_PER_MONTH`` or the ``minutes()`` / ``watt_hours_to_joules()``
+  converters instead;
+* **cross-unit addition** — adding, subtracting or comparing two
+  identifiers whose names carry *different* unit suffixes (``_w``, ``_j``,
+  ``_wh``, ``_ah``, ``_s``, ``_min``) is flagged: ``energy_j +
+  reserve_wh`` type-checks in Python and is wrong by a factor of 3600.
+  Multiplication and division are legitimate cross-unit operations
+  (``power_w * dt_s`` *is* how joules are made) and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.framework import Finding, Rule, SourceFile
+
+#: Second-denominated constants that must come from :mod:`repro.units`.
+MAGIC_TIME_LITERALS = (60, 3600, 43_200, 86_400)
+
+#: Recognised unit suffixes, longest first so ``_wh`` wins over ``_w``.
+UNIT_SUFFIXES = ("_wh", "_ah", "_min", "_w", "_j", "_s")
+
+#: Files whose whole purpose is unit arithmetic.
+SKIP_BASENAMES = frozenset({"units.py"})
+
+
+def _unit_suffix(node: ast.expr) -> Optional[str]:
+    """The unit suffix of a name-like operand, or None if undeterminable."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    for suffix in UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return suffix
+    return None
+
+
+def _is_magic_literal(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Constant):
+        return False
+    value = node.value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return any(value == magic for magic in MAGIC_TIME_LITERALS)
+
+
+class UnitsRule(Rule):
+    """Flags raw unit-conversion literals and cross-unit add/sub/compare."""
+
+    rule_id = "units"
+    description = (
+        "unit arithmetic must go through repro.units converters/constants; "
+        "identifiers with different unit suffixes must not be added, "
+        "subtracted or compared"
+    )
+
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        if source.path.name in SKIP_BASENAMES:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.BinOp):
+                findings.extend(self._check_binop(source, node))
+            elif isinstance(node, ast.Compare):
+                findings.extend(self._check_compare(source, node))
+        return findings
+
+    def _check_binop(
+        self, source: SourceFile, node: ast.BinOp
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)):
+            for operand in (node.left, node.right):
+                if _is_magic_literal(operand):
+                    value = operand.value  # type: ignore[attr-defined]
+                    findings.append(
+                        Finding(
+                            rule=self.rule_id,
+                            path=source.display_path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"raw time literal {value!r} in arithmetic; "
+                                "use the repro.units constants "
+                                "(SECONDS_PER_MINUTE, SECONDS_PER_HOUR, "
+                                "MINUTES_PER_MONTH) or converters "
+                                "(minutes, to_minutes, "
+                                "watt_hours_to_joules, ...) instead"
+                            ),
+                        )
+                    )
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left, right = _unit_suffix(node.left), _unit_suffix(node.right)
+            if left and right and left != right:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=source.display_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"cross-unit arithmetic: '*{left}' and "
+                            f"'*{right}' operands added/subtracted "
+                            "directly; convert through repro.units first"
+                        ),
+                    )
+                )
+        return findings
+
+    def _check_compare(
+        self, source: SourceFile, node: ast.Compare
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        operands = [node.left, *node.comparators]
+        for first, second in zip(operands, operands[1:]):
+            left, right = _unit_suffix(first), _unit_suffix(second)
+            if left and right and left != right:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=source.display_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"cross-unit comparison: '*{left}' compared "
+                            f"against '*{right}'; convert both sides to "
+                            "one unit through repro.units first"
+                        ),
+                    )
+                )
+        return findings

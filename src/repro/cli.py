@@ -31,10 +31,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:
+    from repro.simulation.batch import SweepOutcome, SweepRunner
+    from repro.simulation.faults import FaultPlan
+    from repro.workloads.traces import Trace
 
 from repro.core.strategies import GreedyStrategy
 from repro.economics.analysis import fig5_analysis
+from repro.units import to_minutes
 from repro.simulation.config import DEFAULT_CONFIG, DataCenterConfig
 from repro.simulation.datacenter import build_datacenter
 from repro.simulation.engine import oracle_for_trace, simulate_strategy
@@ -79,7 +85,7 @@ def _cmd_quickstart(_args: argparse.Namespace) -> int:
     trace = default_ms_trace()
     result = simulate_strategy(trace, GreedyStrategy())
     print(f"trace: {trace.name} "
-          f"({trace.over_capacity_time_s() / 60:.1f} burst minutes)")
+          f"({to_minutes(trace.over_capacity_time_s()):.1f} burst minutes)")
     summary = result.summary()
     print(f"average performance : {summary['average_performance']:.2f}x")
     print(f"dropped demand      : {100 * summary['drop_fraction']:.1f}%")
@@ -101,7 +107,7 @@ def _cmd_uncontrolled(_args: argparse.Namespace) -> int:
         return 1
     print(f"uncontrolled chip sprinting tripped a breaker at "
           f"{baseline.trip_time_s:.0f} s "
-          f"({baseline.trip_time_s / 60:.1f} min; paper: 5 min 20 s)")
+          f"({to_minutes(baseline.trip_time_s):.1f} min; paper: 5 min 20 s)")
     print("the facility went dark for the rest of the trace")
     return 0
 
@@ -148,7 +154,7 @@ def _cmd_economics(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _trace_by_name(name: str):
+def _trace_by_name(name: str) -> "Trace":
     if name == "ms":
         return default_ms_trace()
     if name == "yahoo5":
@@ -158,7 +164,7 @@ def _trace_by_name(name: str):
     raise SystemExit(f"unknown trace {name!r} (expected ms, yahoo5 or yahoo15)")
 
 
-def _fault_plan_from_args(args: argparse.Namespace):
+def _fault_plan_from_args(args: argparse.Namespace) -> Optional["FaultPlan"]:
     """Combine ``--fault-plan FILE`` and repeatable ``--fault SPEC`` flags."""
     from repro.errors import ConfigurationError
     from repro.simulation.faults import FaultEvent, FaultPlan
@@ -312,7 +318,7 @@ def _sweep_runner(args: argparse.Namespace) -> "SweepRunner":
     return SweepRunner(max_workers=args.workers, cache_dir=cache_dir)
 
 
-def _sweep_cell(result) -> str:
+def _sweep_cell(result: "SweepOutcome") -> str:
     """One table cell: a performance figure or a structured failure."""
     if result.failed:
         where = "" if result.time_s is None else f" at t={result.time_s:.0f}s"
@@ -377,12 +383,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("Oracle upper-bound table (Yahoo burst family):")
         print(f"  {'duration':>10} {'degree':>8} {'bound':>7}")
         for duration_s, degree, bound in table.entries():
-            print(f"  {duration_s / 60:>6.1f} min {degree:>8.2f} {bound:>7.2f}")
+            print(
+                f"  {to_minutes(duration_s):>6.1f} min "
+                f"{degree:>8.2f} {bound:>7.2f}"
+            )
     print(
         f"(sweep engine: {runner.max_workers} worker(s), "
         f"{runner.hits} cache hit(s), {runner.misses} miss(es))"
     )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import build_default_rules, run_analysis
+
+    if args.list_rules:
+        for rule in build_default_rules():
+            print(f"{rule.rule_id:<18} {rule.description}")
+        return 0
+    paths = args.paths
+    if not paths:
+        default = Path("src")
+        if not default.is_dir():
+            print(
+                "repro lint: no paths given and no ./src directory found",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [str(default)]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"repro lint: no such path: {path}", file=sys.stderr)
+            return 2
+    try:
+        report = run_analysis(paths, only=args.rule or None)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -511,6 +555,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("path", help="output Markdown path")
     report.set_defaults(func=_cmd_report)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro.analysis static checks "
+             "(kernel-drift, units, determinism, error-discipline)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to scan (default: ./src)")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json"),
+                      help="report format (default text)")
+    lint.add_argument("--rule", action="append", metavar="ID",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the available rules and exit")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -17,8 +17,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional
+
 from repro.cooling.crac import CoolingPlant
 from repro.cooling.chiller import CoolingStep
+from repro.cooling.tes import TesTank
+from repro.cooling.thermal import RoomThermalModel
 from repro.errors import ConfigurationError
 from repro.units import require_non_negative, require_positive
 
@@ -107,12 +111,12 @@ class FreeCooledPlant:
     economizer: Economizer = field(default_factory=Economizer)
 
     @property
-    def room(self):
+    def room(self) -> Optional[RoomThermalModel]:
         """The room thermal model (shared with the inner plant)."""
         return self.plant.room
 
     @property
-    def tes(self):
+    def tes(self) -> Optional[TesTank]:
         """The TES tank (shared with the inner plant)."""
         return self.plant.tes
 

@@ -51,7 +51,7 @@ class AdaptivePredictionStrategy(PredictionStrategy):
         table: UpperBoundTable,
         estimator: Optional[BurstDurationEstimator] = None,
         max_degree: float = 4.0,
-    ):
+    ) -> None:
         self.estimator = estimator or BurstDurationEstimator()
         super().__init__(
             table,
@@ -124,7 +124,7 @@ class RecedingHorizonStrategy(SprintingStrategy):
         predicted_burst_duration_s: float = 600.0,
         estimator: Optional[BurstDurationEstimator] = None,
         candidate_degrees: Optional[Sequence[float]] = None,
-    ):
+    ) -> None:
         require_positive(predicted_burst_duration_s, "predicted_burst_duration_s")
         self.cluster = cluster
         self.predicted_burst_duration_s = predicted_burst_duration_s

@@ -17,12 +17,15 @@ the paper quantifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, List
 
 from repro.cooling.crac import CoolingPlant
 from repro.power.topology import PowerTopology
 from repro.servers.cluster import ServerCluster
 from repro.units import require_non_negative, require_positive
+
+if TYPE_CHECKING:
+    from repro.workloads.traces import Trace
 
 
 @dataclass(frozen=True)
@@ -62,7 +65,7 @@ class PowerCappingBaseline:
         topology: PowerTopology,
         cooling: CoolingPlant,
         dt_s: float = 1.0,
-    ):
+    ) -> None:
         require_positive(dt_s, "dt_s")
         self.cluster = cluster
         self.topology = topology
@@ -105,7 +108,7 @@ class PowerCappingBaseline:
         self.history.append(step)
         return step
 
-    def run(self, trace) -> List[CappingStep]:
+    def run(self, trace: "Trace") -> List[CappingStep]:
         """Run a whole trace; returns the step list.
 
         The trace must be sampled at this baseline's ``dt_s`` (each sample
@@ -122,7 +125,7 @@ class PowerCappingBaseline:
             self.step(demand, i * trace.dt_s)
         return self.history
 
-    def average_performance(self, trace) -> float:
+    def average_performance(self, trace: "Trace") -> float:
         """Burst-window normalised performance of a full capped run."""
         from repro.simulation.metrics import average_performance_improvement
 

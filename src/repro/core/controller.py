@@ -26,7 +26,7 @@ thermal threshold — the uncontrolled baseline in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.cooling.crac import CoolingPlant
 from repro.cooling.thermal import tes_activation_time_s
@@ -157,7 +157,7 @@ class SprintingController:
         pcm: Optional[PcmHeatSink] = None,
         use_kernel: bool = True,
         kernel: Optional[StepKernel] = None,
-    ):
+    ) -> None:
         self.cluster = cluster
         self.topology = topology
         self.cooling = cooling
@@ -300,7 +300,9 @@ class SprintingController:
             * self.topology.ups_capacity_j
         )
 
-    def _fit_power(self, degree: float, use_tes: bool, dt: float):
+    def _fit_power(
+        self, degree: float, use_tes: bool, dt: float
+    ) -> Tuple[float, float, float]:
         """Shrink the degree until power can actually be sourced.
 
         The cooling electric power depends on the IT power (and the TES
@@ -329,7 +331,9 @@ class SprintingController:
             degree = min(degree, self.cluster.degree_for_power(available))
         return degree, pdu_bound, cooling_w
 
-    def _fit_thermal(self, degree: float, needed: float, use_tes: bool, time_s: float):
+    def _fit_thermal(
+        self, degree: float, needed: float, use_tes: bool, time_s: float
+    ) -> Tuple[float, bool]:
         """Shrink the degree once the room's thermal headroom is spent.
 
         Before the headroom is consumed, sprinting heat may exceed removal

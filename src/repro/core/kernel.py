@@ -21,6 +21,7 @@ because they carry side effects (plan state, safety events).
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Tuple
 
 from repro.core.phases import SprintPhase
 from repro.core.strategies import StrategyObservation
@@ -30,7 +31,15 @@ from repro.errors import (
     TankDepletedError,
     ThermalEmergencyError,
 )
-from repro.units import require_non_negative
+from repro.units import SECONDS_PER_HOUR, require_non_negative
+
+if TYPE_CHECKING:
+    from repro.cooling.crac import CoolingPlant
+    from repro.core.budget import EnergyBudget
+    from repro.core.controller import ControlStep, SprintingController
+    from repro.power.breaker import CircuitBreaker
+    from repro.power.topology import PowerTopology
+    from repro.servers.cluster import ServerCluster
 
 #: Degree above which a step counts as sprinting (1.0 + controller epsilon).
 _SPRINT_THRESHOLD = 1.0 + 1e-6
@@ -60,7 +69,7 @@ class _BreakerConsts:
         "cooldown_tau",
     )
 
-    def __init__(self, breaker) -> None:
+    def __init__(self, breaker: CircuitBreaker) -> None:
         curve = breaker.curve
         self.K = curve.trip_constant_s
         self.hold = curve.hold_threshold
@@ -84,7 +93,12 @@ class StepKernel:
     controller passed to :meth:`step`).
     """
 
-    def __init__(self, cluster, topology, cooling) -> None:
+    def __init__(
+        self,
+        cluster: ServerCluster,
+        topology: PowerTopology,
+        cooling: CoolingPlant,
+    ) -> None:
         # Lazy import: controller.py imports this module at load time.
         from repro.core.controller import ControlStep
 
@@ -193,7 +207,9 @@ class StepKernel:
     # Breaker arithmetic (inlined CircuitBreaker / TripCurve)
     # ------------------------------------------------------------------
     @staticmethod
-    def _max_load_for_trip_time(breaker, c: _BreakerConsts, reserve_s: float) -> float:
+    def _max_load_for_trip_time(
+        breaker: CircuitBreaker, c: _BreakerConsts, reserve_s: float
+    ) -> float:
         if breaker.tripped:
             return 0.0
         head = 1.0 - breaker.trip_fraction
@@ -209,7 +225,9 @@ class StepKernel:
         return breaker.rated_power_w * (1.0 + o)
 
     @staticmethod
-    def _breaker_step(breaker, c: _BreakerConsts, load_w: float, dt_s: float) -> None:
+    def _breaker_step(
+        breaker: CircuitBreaker, c: _BreakerConsts, load_w: float, dt_s: float
+    ) -> None:
         if breaker.tripped:
             if load_w > 0.0:
                 raise BreakerTrippedError(breaker.name, breaker.tripped_at_s)
@@ -239,7 +257,12 @@ class StepKernel:
         breaker._time_s += dt_s
 
     @staticmethod
-    def _cb_deliverable(breaker, c: _BreakerConsts, horizon_s: float, reserve_s: float) -> float:
+    def _cb_deliverable(
+        breaker: CircuitBreaker,
+        c: _BreakerConsts,
+        horizon_s: float,
+        reserve_s: float,
+    ) -> float:
         if breaker.tripped:
             return 0.0
         head = 1.0 - breaker.trip_fraction
@@ -267,7 +290,7 @@ class StepKernel:
     # ------------------------------------------------------------------
     # Budget (inlined EnergyBudget)
     # ------------------------------------------------------------------
-    def _remaining_j(self, budget) -> float:
+    def _remaining_j(self, budget: EnergyBudget) -> float:
         ups_e = (self._battery.energy_j * self._n_batteries) * self._n_pdus
         tes = self._tes
         tes_e = 0.0 if tes is None else tes.energy_j * self._tes_saving
@@ -285,7 +308,9 @@ class StepKernel:
     # ------------------------------------------------------------------
     # Cooling (inlined CoolingPlant / ChillerPlant / TesTank / Room)
     # ------------------------------------------------------------------
-    def _cooling_split(self, it_heat_w: float, dt_s: float, use_tes: bool):
+    def _cooling_split(
+        self, it_heat_w: float, dt_s: float, use_tes: bool
+    ) -> Tuple[float, float, float]:
         heat_via_tes = 0.0
         tes = self._tes
         if use_tes and tes is not None:
@@ -341,7 +366,14 @@ class StepKernel:
     # ------------------------------------------------------------------
     # Controller internals (inlined _fit_power / _fit_thermal)
     # ------------------------------------------------------------------
-    def _fit_power(self, degree, use_tes, dt, reserve, ups_floor_per_pdu_j):
+    def _fit_power(
+        self,
+        degree: float,
+        use_tes: bool,
+        dt: float,
+        reserve: float,
+        ups_floor_per_pdu_j: float,
+    ) -> Tuple[float, float, float]:
         battery = self._battery
         n_batteries = self._n_batteries
         n_pdus = self._n_pdus
@@ -372,7 +404,13 @@ class StepKernel:
             degree = min(degree, self._degree_for_power(available))
         return degree, pdu_bound, cooling_w
 
-    def _fit_thermal(self, ctrl, degree, use_tes, time_s):
+    def _fit_thermal(
+        self,
+        ctrl: SprintingController,
+        degree: float,
+        use_tes: bool,
+        time_s: float,
+    ) -> Tuple[float, bool]:
         if self._threshold - self._room.temperature_c > ctrl.settings.thermal_margin_k:
             return degree, use_tes
         removal = self._chiller.rated_removal_w
@@ -389,7 +427,9 @@ class StepKernel:
     # ------------------------------------------------------------------
     # The control period
     # ------------------------------------------------------------------
-    def step(self, ctrl, demand: float, time_s: float):
+    def step(
+        self, ctrl: SprintingController, demand: float, time_s: float
+    ) -> ControlStep:
         """Run one control period for ``ctrl``; bit-identical to the
         reference :meth:`SprintingController._step_reference`."""
         require_non_negative(demand, "demand")
@@ -495,7 +535,7 @@ class StepKernel:
 
         reserve = settings.reserve_trip_time_s
         ups_floor_total = settings.ups_outage_reserve_fraction * (
-            (battery.capacity_ah * self._voltage_v * 3600.0 * n_batteries)
+            (battery.capacity_ah * self._voltage_v * SECONDS_PER_HOUR * n_batteries)
             * n_pdus
         )
         ups_floor_per_pdu = ups_floor_total / n_pdus
@@ -519,7 +559,7 @@ class StepKernel:
 
         recharge_w = 0.0
         if settings.recharge_when_idle and not in_burst:
-            capacity_j = battery.capacity_ah * self._voltage_v * 3600.0
+            capacity_j = battery.capacity_ah * self._voltage_v * SECONDS_PER_HOUR
             if battery.energy_j / capacity_j < 1.0:
                 per_pdu_load = it_power / n_pdus
                 spare = max(0.0, self._pdu_breaker.rated_power_w - per_pdu_load)
@@ -551,7 +591,7 @@ class StepKernel:
                 battery.energy_j = max(0.0, battery.energy_j)
                 battery.total_discharged_j += drawn_j
                 battery.equivalent_full_cycles += drawn_j / (
-                    battery.capacity_ah * self._voltage_v * 3600.0
+                    battery.capacity_ah * self._voltage_v * SECONDS_PER_HOUR
                 )
             ups_w = deliverable * n_batteries
         deficit_per_pdu = max(0.0, per_pdu_demand - grid_w - ups_w)

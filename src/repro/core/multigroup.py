@@ -79,7 +79,7 @@ class MultiGroupController:
         topology: MultiPduTopology,
         cooling: CoolingPlant,
         settings: Optional[ControllerSettings] = None,
-    ):
+    ) -> None:
         if len(group_clusters) != topology.n_pdus:
             raise ConfigurationError(
                 f"need one cluster per PDU: {len(group_clusters)} clusters "

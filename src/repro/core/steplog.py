@@ -16,11 +16,14 @@ a list of them, and equality compares against both logs and lists.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Union
+from typing import TYPE_CHECKING, Iterator, List, Union
 
 import numpy as np
 
 from repro.core.phases import SprintPhase
+
+if TYPE_CHECKING:
+    from repro.core.controller import ControlStep
 
 #: Initial column capacity; grown geometrically (x2) on overflow.
 _INITIAL_CAPACITY = 1024
@@ -88,7 +91,7 @@ class StepLog:
         new_burst[: self._n] = self._in_burst[: self._n]
         self._in_burst = new_burst
 
-    def append(self, step) -> None:
+    def append(self, step: "ControlStep") -> None:
         """Append one ``ControlStep`` (list-compatible entry point)."""
         if self._n >= len(self._phase):
             self._grow()
@@ -121,7 +124,7 @@ class StepLog:
             return self._cols["degree"][: self._n] > 1.0 + 1e-6
         raise KeyError(f"StepLog has no column {name!r}")
 
-    def _materialize(self, i: int):
+    def _materialize(self, i: int) -> "ControlStep":
         from repro.core.controller import ControlStep
 
         cols = self._cols
@@ -152,7 +155,9 @@ class StepLog:
     def __bool__(self) -> bool:
         return self._n > 0
 
-    def __getitem__(self, index: Union[int, slice]):
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union["ControlStep", List["ControlStep"]]:
         if isinstance(index, slice):
             return [self._materialize(i) for i in range(*index.indices(self._n))]
         i = index
@@ -166,7 +171,7 @@ class StepLog:
         for i in range(self._n):
             yield self._materialize(i)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, StepLog):
             if self._n != other._n:
                 return False

@@ -115,7 +115,7 @@ class FixedUpperBoundStrategy(SprintingStrategy):
 
     name = "fixed"
 
-    def __init__(self, upper_bound: float):
+    def __init__(self, upper_bound: float) -> None:
         require_positive(upper_bound, "upper_bound")
         self.upper_bound = upper_bound
 
@@ -133,7 +133,9 @@ class OracleStrategy(FixedUpperBoundStrategy):
 
     name = "oracle"
 
-    def __init__(self, upper_bound: float, achieved_performance: float = math.nan):
+    def __init__(
+        self, upper_bound: float, achieved_performance: float = math.nan
+    ) -> None:
         super().__init__(upper_bound)
         #: Average performance the search measured for this bound.
         self.achieved_performance = achieved_performance
@@ -249,7 +251,7 @@ class PredictionStrategy(SprintingStrategy):
         table: UpperBoundTable,
         predicted_burst_duration_s: float,
         max_degree: float = 4.0,
-    ):
+    ) -> None:
         require_non_negative(
             predicted_burst_duration_s, "predicted_burst_duration_s"
         )
@@ -338,7 +340,7 @@ class HeuristicStrategy(SprintingStrategy):
         additional_power_fn: Callable[[float], float],
         flexibility_percent: float = DEFAULT_FLEXIBILITY_PERCENT,
         max_degree: float = 4.0,
-    ):
+    ) -> None:
         require_non_negative(estimated_best_degree, "estimated_best_degree")
         require_non_negative(flexibility_percent, "flexibility_percent")
         require_positive(max_degree, "max_degree")

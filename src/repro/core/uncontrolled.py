@@ -58,7 +58,7 @@ class UncontrolledSprinting:
         cooling: CoolingPlant,
         dt_s: float = 1.0,
         stop_before_trip: bool = False,
-    ):
+    ) -> None:
         require_positive(dt_s, "dt_s")
         self.cluster = cluster
         self.topology = topology

@@ -11,7 +11,7 @@ from repro.economics.revenue import (
     burst_magnitude_for_utilization,
 )
 from repro.errors import ConfigurationError
-from repro.units import require_positive
+from repro.units import require_positive, to_minutes
 from repro.workloads.traces import Trace
 
 #: Fig. 5's stress-test configuration: three 5-minute bursts a month.
@@ -95,7 +95,7 @@ def monthly_revenue_for_trace(
     excess_minutes = 0.0
     for sample in trace:
         excess = min(max(0.0, sample - 1.0), recoverable_cap)
-        excess_minutes += excess * trace.dt_s / 60.0
+        excess_minutes += to_minutes(excess * trace.dt_s)
     handling = (
         rev.downtime_cost_per_min_usd * excess_minutes * repeats_per_month
     )

@@ -33,7 +33,7 @@ class BreakerTrippedError(PowerSafetyError):
         Simulation time (seconds) at which the trip occurred, if known.
     """
 
-    def __init__(self, breaker_name: str, time_s: float = float("nan")):
+    def __init__(self, breaker_name: str, time_s: float = float("nan")) -> None:
         self.breaker_name = breaker_name
         self.time_s = time_s
         super().__init__(
@@ -56,7 +56,7 @@ class TankDepletedError(EnergyStorageError):
 class ThermalEmergencyError(ReproError):
     """The data center air temperature crossed the emergency threshold."""
 
-    def __init__(self, temperature_c: float, threshold_c: float):
+    def __init__(self, temperature_c: float, threshold_c: float) -> None:
         self.temperature_c = temperature_c
         self.threshold_c = threshold_c
         super().__init__(

@@ -22,7 +22,12 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.units import require_fraction, require_non_negative, require_positive
+from repro.units import (
+    SECONDS_PER_HOUR,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+)
 from repro.workloads.traces import Trace
 
 
@@ -41,8 +46,8 @@ class SolarProfile:
     """
 
     peak_fraction: float = 1.0
-    sunrise_s: float = 6.0 * 3600.0
-    sunset_s: float = 18.0 * 3600.0
+    sunrise_s: float = 6.0 * SECONDS_PER_HOUR
+    sunset_s: float = 18.0 * SECONDS_PER_HOUR
     day_length_s: float = 86_400.0
 
     def __post_init__(self) -> None:

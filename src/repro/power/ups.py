@@ -21,6 +21,7 @@ from enum import Enum
 
 from repro.errors import BatteryDepletedError, ConfigurationError
 from repro.units import (
+    SECONDS_PER_MINUTE,
     amp_hours_to_joules,
     require_fraction,
     require_non_negative,
@@ -98,7 +99,7 @@ class UpsBattery:
             raise ConfigurationError("efficiency must be > 0")
         self.energy_j = self.capacity_j
         if self.max_discharge_power_w <= 0.0:
-            self.max_discharge_power_w = self.capacity_j / 60.0
+            self.max_discharge_power_w = self.capacity_j / SECONDS_PER_MINUTE
         require_positive(self.max_discharge_power_w, "max_discharge_power_w")
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.servers.chip import ChipModel
-from repro.units import require_non_negative, require_positive
+from repro.units import minutes, require_non_negative, require_positive
 
 #: Default chip-level sprint endurance at the full sprinting degree.
 DEFAULT_FULL_SPRINT_ENDURANCE_MIN = 30.0
@@ -73,8 +73,8 @@ class PcmHeatSink:
         if self.latent_budget_j == 0.0:
             # Size for the default endurance at full sprint.
             excess = self.chip.full_power_w - self.chip.normal_power_w
-            self.latent_budget_j = excess * (
-                DEFAULT_FULL_SPRINT_ENDURANCE_MIN * 60.0
+            self.latent_budget_j = excess * minutes(
+                DEFAULT_FULL_SPRINT_ENDURANCE_MIN
             )
         require_positive(self.latent_budget_j, "latent_budget_j")
         if self.refreeze_power_w == 0.0:

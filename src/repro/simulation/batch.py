@@ -35,12 +35,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.strategies import (
     DEFAULT_FLEXIBILITY_PERCENT,
@@ -61,8 +62,15 @@ from repro.simulation.engine import (
     simulate_strategy,
 )
 from repro.simulation.faults import FaultPlan
+from repro.units import minutes
 from repro.workloads.traces import Trace
 from repro.workloads.yahoo_trace import generate_yahoo_trace
+
+if TYPE_CHECKING:
+    from repro.servers.cluster import ServerCluster
+    from repro.simulation.metrics import SimulationResult
+
+_LOG = logging.getLogger(__name__)
 
 #: Bump when the cached payload layout (or anything that changes simulated
 #: outcomes) changes incompatibly: old entries then miss instead of lying.
@@ -150,7 +158,7 @@ class StrategySpec:
     def build(
         self,
         config: DataCenterConfig,
-        cluster=None,
+        cluster: Optional["ServerCluster"] = None,
     ) -> SprintingStrategy:
         """Materialise the live strategy object for ``config``.
 
@@ -370,7 +378,7 @@ class RunFailure:
 TaskResult = Union[SweepOutcome, RunFailure]
 
 
-def _outcome_from_result(result) -> SweepOutcome:
+def _outcome_from_result(result: "SimulationResult") -> SweepOutcome:
     """Reduce one :class:`SimulationResult` to its sweep outcome."""
     demand = result.demand
     degrees = result.degrees
@@ -531,8 +539,8 @@ class SweepRunner:
     def __init__(
         self,
         max_workers: Optional[int] = 1,
-        cache_dir: Optional[os.PathLike] = None,
-    ):
+        cache_dir: Union[str, "os.PathLike[str]", None] = None,
+    ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         if max_workers < 1:
@@ -630,6 +638,9 @@ class SweepRunner:
         except Exception:
             # A broken pool (killed worker, unpicklable crash) cannot be
             # reused; drop it so the next batch starts a fresh one.
+            _LOG.debug(
+                "sweep pool failed mid-batch; discarding it", exc_info=True
+            )
             self.close()
             raise
 
@@ -663,11 +674,15 @@ class SweepRunner:
             self._pool = None
             self._pool_traces = {}
 
-    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+    def __del__(self) -> None:  # pragma: no cover - shutdown best effort
         try:
             self.close()
-        except Exception:
-            pass
+        except (AttributeError, OSError, RuntimeError) as exc:
+            # AttributeError: a runner whose __init__ raised never set
+            # _pool; OSError/RuntimeError: during interpreter shutdown the
+            # executor machinery may already be torn down.  Either way
+            # there is nothing left to clean up.
+            _LOG.debug("pool shutdown in __del__ failed: %s", exc)
 
     def simulate(
         self,
@@ -740,7 +755,7 @@ class SweepRunner:
         burst_durations_min: Sequence[float] = (1.0, 5.0, 10.0, 15.0),
         burst_degrees: Sequence[float] = (2.6, 2.8, 3.0, 3.2, 3.4, 3.6),
         candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
-        trace_factory=None,
+        trace_factory: Optional[Callable[[float, float], Trace]] = None,
     ) -> UpperBoundTable:
         """Pre-compute the Oracle upper-bound table (Section V-A), batched.
 
@@ -790,7 +805,7 @@ class SweepRunner:
                     f"degree={degree:g})"
                 )
             table.set(
-                duration_s=duration_min * 60.0,
+                duration_s=minutes(duration_min),
                 degree=degree,
                 upper_bound=float(candidates[best_idx]),
             )

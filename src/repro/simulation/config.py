@@ -114,7 +114,7 @@ class DataCenterConfig:
         """Chip maximum degree (4.0 at defaults)."""
         return self.total_cores / self.normal_cores
 
-    def with_changes(self, **changes) -> "DataCenterConfig":
+    def with_changes(self, **changes: Any) -> "DataCenterConfig":
         """Return a copy with the given fields replaced (sweep helper)."""
         return replace(self, **changes)
 

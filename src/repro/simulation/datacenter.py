@@ -20,6 +20,7 @@ from repro.servers.pcm import PcmHeatSink
 from repro.servers.performance import ThroughputModel
 from repro.servers.server import ServerModel
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
+from repro.units import minutes
 
 
 @dataclass
@@ -61,8 +62,7 @@ class DataCenter:
             pcm = PcmHeatSink(
                 chip=chip,
                 latent_budget_j=excess_w
-                * self.config.chip_sprint_endurance_min
-                * 60.0,
+                * minutes(self.config.chip_sprint_endurance_min),
             )
         kernel = None
         if use_kernel:

@@ -9,7 +9,7 @@ many times against fresh facilities).
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +30,10 @@ from repro.simulation.faults import (
 )
 from repro.simulation.metrics import SimulationResult
 from repro.workloads.traces import Trace
+
+if TYPE_CHECKING:
+    from repro.core.controller import SprintingController
+    from repro.simulation.batch import SweepRunner
 
 #: Default candidate grid for the Oracle's exhaustive search: 13 evenly
 #: spaced upper bounds from the normal degree to the chip maximum.
@@ -103,10 +107,10 @@ def run_simulation(
 
 def _run_with_faults(
     datacenter: DataCenter,
-    controller,
+    controller: "SprintingController",
     trace: Trace,
     fault_plan: FaultPlan,
-):
+) -> "Tuple[Optional[float], List[FaultRecord]]":
     """Drive the trace with fault injection and graceful degradation.
 
     Every trace sample produces exactly one ``ControlStep`` (healthy or
@@ -186,7 +190,7 @@ def evaluate_upper_bound(
     return result.average_performance
 
 
-def _default_runner():
+def _default_runner() -> "SweepRunner":
     """The serial, cache-less runner behind the plain engine functions.
 
     Imported lazily: :mod:`repro.simulation.batch` imports this module, so
@@ -201,7 +205,7 @@ def oracle_for_trace(
     trace: Trace,
     config: DataCenterConfig = DEFAULT_CONFIG,
     candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
-    runner=None,
+    runner: Optional["SweepRunner"] = None,
 ) -> OracleStrategy:
     """Exhaustive Oracle search over constant upper bounds for a trace.
 
@@ -228,7 +232,7 @@ def build_upper_bound_table(
     burst_degrees: Sequence[float] = (2.6, 2.8, 3.0, 3.2, 3.4, 3.6),
     candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
     trace_factory: Optional[Callable[[float, float], Trace]] = None,
-    runner=None,
+    runner: Optional["SweepRunner"] = None,
 ) -> UpperBoundTable:
     """Pre-compute the Oracle upper-bound table (Section V-A).
 

@@ -40,7 +40,17 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import (
     BatteryDepletedError,
@@ -50,6 +60,13 @@ from repro.errors import (
     ThermalEmergencyError,
 )
 from repro.units import require_finite, require_non_negative
+
+if TYPE_CHECKING:
+    from repro.cooling.chiller import ChillerPlant
+    from repro.cooling.tes import TesTank
+    from repro.power.breaker import CircuitBreaker
+    from repro.power.ups import UpsBattery
+    from repro.simulation.datacenter import DataCenter
 
 #: Substrate exceptions the engine may recover from under a fault plan.
 #: ConfigurationError is deliberately absent: a bad configuration is a
@@ -356,7 +373,7 @@ class FaultInjector:
     realised by :meth:`effective_demand` holding the last good sample.
     """
 
-    def __init__(self, plan: FaultPlan, datacenter) -> None:
+    def __init__(self, plan: FaultPlan, datacenter: "DataCenter") -> None:
         self.plan = plan
         self.datacenter = datacenter
         #: Audit trail of everything applied/restored, in time order.
@@ -466,7 +483,11 @@ class FaultInjector:
         return FaultRecord(time_s, event.kind, detail)
 
     def _arm_expiry(
-        self, event: FaultEvent, time_s: float, restore, detail: str
+        self,
+        event: FaultEvent,
+        time_s: float,
+        restore: Callable[[], None],
+        detail: str,
     ) -> None:
         if math.isfinite(event.duration_s):
             self._expiries.append(
@@ -502,7 +523,9 @@ class FaultInjector:
         original_w = breaker.rated_power_w
         breaker.derate(1.0 - event.fraction)
 
-        def restore(b=breaker, w=original_w):
+        def restore(
+            b: "CircuitBreaker" = breaker, w: float = original_w
+        ) -> None:
             b.rated_power_w = w
 
         detail = (
@@ -519,7 +542,11 @@ class FaultInjector:
         original_ah = battery.capacity_ah
         original_rate_w = battery.max_discharge_power_w
 
-        def restore(b=battery, ah=original_ah, rate=original_rate_w):
+        def restore(
+            b: "UpsBattery" = battery,
+            ah: float = original_ah,
+            rate: float = original_rate_w,
+        ) -> None:
             b.capacity_ah = ah
             b.max_discharge_power_w = rate
 
@@ -535,7 +562,7 @@ class FaultInjector:
         original_w = chiller.rated_removal_w
         chiller.rated_removal_w = original_w * (1.0 - event.fraction)
 
-        def restore(c=chiller, w=original_w):
+        def restore(c: "ChillerPlant" = chiller, w: float = original_w) -> None:
             c.rated_removal_w = w
 
         detail = (
@@ -553,7 +580,7 @@ class FaultInjector:
         original_w = tes.max_discharge_w
         tes.max_discharge_w = original_w * (1.0 - event.fraction)
 
-        def restore(t=tes, w=original_w):
+        def restore(t: "TesTank" = tes, w: float = original_w) -> None:
             t.max_discharge_w = w
 
         detail = (

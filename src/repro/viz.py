@@ -11,12 +11,15 @@ Unicode charts — no plotting dependency required.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.units import require_int_positive
+
+if TYPE_CHECKING:
+    from repro.simulation.metrics import SimulationResult
 
 #: Eight-level block characters, lowest to highest.
 _BLOCKS = " ▁▂▃▄▅▆▇█"
@@ -102,7 +105,7 @@ def ascii_chart(
     return "\n".join(rows)
 
 
-def phase_ribbon(result, width: int = 60) -> str:
+def phase_ribbon(result: "SimulationResult", width: int = 60) -> str:
     """One character per bucket showing the dominant sprinting phase.
 
     ``.`` idle, ``1`` breaker tolerance, ``2`` UPS, ``3`` TES.
@@ -122,7 +125,7 @@ def phase_ribbon(result, width: int = 60) -> str:
     return "".join(chars)
 
 
-def render_run(result, width: int = 60) -> str:
+def render_run(result: "SimulationResult", width: int = 60) -> str:
     """A compact picture of one simulation run: demand, served, phases."""
     require_int_positive(width, "width")
     high = float(max(result.demand.max(), result.served.max()))

@@ -18,10 +18,12 @@ those families:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.units import minutes, require_positive
+from repro.units import SECONDS_PER_HOUR, minutes, require_positive
 from repro.workloads.traces import Trace
 
 #: Default seed shared by the library generators.
@@ -85,8 +87,8 @@ def generate_diurnal_trace(
     if not 0.0 <= low < high:
         raise ConfigurationError("need 0 <= low < high")
     rng = np.random.default_rng(seed)
-    n = int(hours * 3600.0 / dt_s)
-    hour_of_day = (np.arange(n) * dt_s / 3600.0) % 24.0
+    n = int(hours * SECONDS_PER_HOUR / dt_s)
+    hour_of_day = (np.arange(n) * dt_s / SECONDS_PER_HOUR) % 24.0
     # Two gaussian humps at 10:00 and 20:00 on a low overnight base.
     morning = np.exp(-0.5 * ((hour_of_day - 10.0) / 2.5) ** 2)
     evening = np.exp(-0.5 * ((hour_of_day - 20.0) / 2.0) ** 2)
@@ -98,7 +100,7 @@ def generate_diurnal_trace(
 
 def generate_batch_trace(
     duration_s: float = 3600.0,
-    levels=(0.75, 0.9, 0.6, 0.95, 0.8),
+    levels: Sequence[float] = (0.75, 0.9, 0.6, 0.95, 0.8),
     seed: int = DEFAULT_LIBRARY_SEED + 2,
 ) -> Trace:
     """Throughput-oriented batch load: plateaus below capacity.

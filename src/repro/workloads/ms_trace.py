@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.units import require_positive
+from repro.units import minutes, require_positive
 from repro.workloads.traces import Trace
 
 #: Default seed of the packaged MS-style trace.
@@ -35,7 +35,7 @@ DEFAULT_MS_SEED = 20150629
 MS_TRACE_DURATION_S = 1800
 
 #: The paper's reported aggregated over-capacity time for its MS trace.
-MS_REAL_BURST_DURATION_S = 16.2 * 60.0
+MS_REAL_BURST_DURATION_S = minutes(16.2)
 
 #: Plateau segments of the synthetic trace: (start_s, end_s, level).
 #: Levels are normalised demand; the segments are tuned so that the

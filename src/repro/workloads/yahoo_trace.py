@@ -30,7 +30,7 @@ DEFAULT_YAHOO_SEED = 20150706
 YAHOO_TRACE_DURATION_S = 1800
 
 #: Burst start time: "from the 5th minute" (Section VI-C).
-BURST_START_S = 5 * 60
+BURST_START_S = minutes(5)
 
 #: Number of per-server traces the real dataset aggregates.
 N_YAHOO_SERVERS = 70

@@ -1,0 +1,155 @@
+"""Tests for the repro.analysis rule engine (suppressions, output, I/O)."""
+
+from __future__ import annotations
+
+import ast
+import json
+
+import pytest
+
+from repro.analysis.framework import (
+    BAD_SUPPRESSION_RULE,
+    PARSE_ERROR_RULE,
+    Analyzer,
+    Finding,
+    Rule,
+    collect_files,
+    parse_suppressions,
+)
+
+
+class FlagEveryAssign(Rule):
+    """Toy rule: flags every assignment statement."""
+
+    rule_id = "toy-assign"
+    description = "flags every assignment (test double)"
+
+    def check_file(self, source):
+        return [
+            Finding(
+                rule=self.rule_id,
+                path=source.display_path,
+                line=node.lineno,
+                message="assignment",
+            )
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.Assign)
+        ]
+
+
+def run(tmp_path, text, rules=None):
+    target = tmp_path / "mod.py"
+    target.write_text(text, encoding="utf-8")
+    analyzer = Analyzer(rules if rules is not None else [FlagEveryAssign()])
+    return analyzer.run([target], root=tmp_path)
+
+
+class TestSuppressions:
+    def test_finding_reported_without_directive(self, tmp_path):
+        report = run(tmp_path, "x = 1\n")
+        assert [f.rule for f in report.findings] == ["toy-assign"]
+        assert not report.ok
+
+    def test_same_line_directive_suppresses(self, tmp_path):
+        report = run(
+            tmp_path, "x = 1  # repro: allow[toy-assign] -- test fixture\n"
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0][1].reason == "test fixture"
+
+    def test_preceding_line_directive_suppresses(self, tmp_path):
+        report = run(
+            tmp_path,
+            "# repro: allow[toy-assign] -- on its own line\nx = 1\n",
+        )
+        assert report.ok
+
+    def test_directive_for_other_rule_does_not_suppress(self, tmp_path):
+        report = run(
+            tmp_path, "x = 1  # repro: allow[units] -- wrong rule\n"
+        )
+        assert [f.rule for f in report.findings] == ["toy-assign"]
+
+    def test_reasonless_directive_is_flagged_and_ignored(self, tmp_path):
+        report = run(tmp_path, "x = 1  # repro: allow[toy-assign]\n")
+        rules = sorted(f.rule for f in report.findings)
+        assert rules == [BAD_SUPPRESSION_RULE, "toy-assign"]
+
+    def test_parse_suppressions_grammar(self):
+        directives = parse_suppressions(
+            "a = 1\n"
+            "b = 2  # repro: allow[kernel-drift] -- because physics\n"
+        )
+        assert list(directives) == [2]
+        (directive,) = directives[2]
+        assert directive.rule == "kernel-drift"
+        assert directive.reason == "because physics"
+
+
+class TestReportOutput:
+    def test_json_shape(self, tmp_path):
+        report = run(tmp_path, "x = 1\n")
+        payload = json.loads(report.to_json())
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["rules"] == ["toy-assign"]
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "toy-assign"
+        assert finding["path"] == "mod.py"
+        assert finding["line"] == 1
+
+    def test_text_render(self, tmp_path):
+        report = run(tmp_path, "x = 1\n")
+        text = report.to_text()
+        assert "mod.py:1: [toy-assign] assignment" in text
+        assert "1 finding(s)" in text
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        report = run(tmp_path, "b = 2\na = 1\n")
+        assert [f.line for f in report.findings] == [1, 2]
+
+
+class TestFileHandling:
+    def test_parse_error_reported(self, tmp_path):
+        report = run(tmp_path, "def broken(:\n")
+        assert [f.rule for f in report.findings] == [PARSE_ERROR_RULE]
+
+    def test_collect_files_skips_caches_and_dotdirs(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("a = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "b.py").write_text("b = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "c.py").write_text("c = 1\n")
+        files = collect_files([tmp_path])
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_duplicate_paths_deduplicated(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        files = collect_files([target, target, tmp_path])
+        assert len(files) == 1
+
+
+class TestCrossProjectRule:
+    def test_check_project_sees_all_sources(self, tmp_path):
+        class CountFiles(Rule):
+            rule_id = "toy-count"
+            description = "reports the number of files once"
+
+            def check_project(self, sources):
+                return [
+                    Finding(
+                        rule=self.rule_id,
+                        path=sources[0].display_path,
+                        line=1,
+                        message=f"saw {len(sources)} files",
+                    )
+                ]
+
+        (tmp_path / "a.py").write_text("a = 1\n")
+        (tmp_path / "b.py").write_text("b = 1\n")
+        report = Analyzer([CountFiles()]).run([tmp_path], root=tmp_path)
+        (finding,) = report.findings
+        assert "saw 2 files" in finding.message

@@ -1,0 +1,114 @@
+"""The kernel-drift checker: clean on the real tree, sensitive to tampering.
+
+The first test doubles as the tier-1 guard of the kernel/reference
+contract: any change that makes ``StepKernel`` read different substrate
+attributes, build a different ``ControlStep``, or fold an alien constant
+fails the local test run, not just CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.framework import SourceFile, collect_files, load_source
+from repro.analysis.kernel_drift import KernelDriftRule
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(scope="module")
+def real_sources():
+    return [load_source(p, root=SRC) for p in collect_files([SRC])]
+
+
+def tampered(sources, old, new):
+    """The real source list with one substitution applied to kernel.py."""
+    out = []
+    for source in sources:
+        if source.path.name == "kernel.py" and "core" in source.path.parts:
+            assert old in source.text, f"fixture drifted: {old!r} not found"
+            text = source.text.replace(old, new)
+            out.append(
+                SourceFile(
+                    path=source.path,
+                    display_path=source.display_path,
+                    text=text,
+                    tree=ast.parse(text),
+                    suppressions=source.suppressions,
+                )
+            )
+        else:
+            out.append(source)
+    return out
+
+
+class TestRealTree:
+    def test_kernel_matches_reference(self, real_sources):
+        findings = KernelDriftRule().check_project(real_sources)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_rule_skips_trees_without_the_contract(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        source = load_source(target, root=tmp_path)
+        assert KernelDriftRule().check_project([source]) == []
+
+
+class TestTamperSensitivity:
+    def test_deleting_a_hoisted_read_is_detected(self, real_sources):
+        sources = tampered(
+            real_sources,
+            "self._room_hc = room.heat_capacity_j_per_k",
+            "self._room_hc = 1.0",
+        )
+        findings = KernelDriftRule().check_project(sources)
+        assert any("heat_capacity_j_per_k" in f.message for f in findings)
+
+    def test_deleting_a_live_substrate_read_is_detected(self, real_sources):
+        # hold_off_s is read live every step (it may be reconfigured
+        # mid-run); folding it breaks the contract and must be caught.
+        sources = tampered(
+            real_sources,
+            ">= detector.hold_off_s",
+            ">= 17.31",
+        )
+        findings = KernelDriftRule().check_project(sources)
+        assert any("hold_off_s" in f.message for f in findings)
+
+    def test_dropping_a_controlstep_field_is_detected(self, real_sources):
+        sources = tampered(
+            real_sources, "tes_heat_w=heat_via_tes,", ""
+        )
+        findings = KernelDriftRule().check_project(sources)
+        assert any(
+            "tes_heat_w" in f.message and "ControlStep" in f.message
+            for f in findings
+        )
+
+    def test_folding_an_alien_constant_is_detected(self, real_sources):
+        sources = tampered(
+            real_sources,
+            "self._core_power_w = chip.core_power_w",
+            "self._core_power_w = 2.4971",
+        )
+        findings = KernelDriftRule().check_project(sources)
+        assert any("2.4971" in f.message for f in findings)
+
+    def test_kernel_only_read_is_detected(self, real_sources):
+        # Make the kernel consult a substrate attribute (TesTank.capacity_j)
+        # that the reference step closure never reads.
+        sources = tampered(
+            real_sources,
+            "avail = 0.0 if energy <= 1e-9 else tes.max_discharge_w",
+            "avail = 0.0 if energy <= 1e-9 else min(tes.max_discharge_w,"
+            " tes.capacity_j)",
+        )
+        findings = KernelDriftRule().check_project(sources)
+        assert any(
+            "TesTank.capacity_j" in f.message
+            and "reference step never does" in f.message
+            for f in findings
+        )

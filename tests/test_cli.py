@@ -190,3 +190,59 @@ class TestSweepFaults:
         out = capsys.readouterr().out
         # The faulted sweep must not be answered from the clean cache.
         assert "0 cache hit(s)" in out
+
+
+class TestLint:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "kernel-drift", "units", "determinism", "error-discipline"
+        ):
+            assert rule_id in out
+
+    def test_clean_fixture_exits_zero(self, capsys, tmp_path):
+        (tmp_path / "clean.py").write_text("value_j = power_w * dt_s\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text("x = y * 3600\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "[units]" in capsys.readouterr().out
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        (tmp_path / "bad.py").write_text("x = y * 3600\n")
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["findings"][0]["rule"] == "units"
+
+    def test_rule_filter(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "x = y * 3600\ntry:\n    x()\nexcept:\n    pass\n"
+        )
+        assert main(
+            ["lint", "--rule", "error-discipline", str(tmp_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "[error-discipline]" in out
+        assert "[units]" not in out
+
+    def test_unknown_rule_exits_two(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", "--rule", "nope", str(tmp_path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "absent")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_repo_source_tree_is_clean(self, capsys):
+        """The committed tree must lint clean — the CI gate, run locally."""
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        assert main(["lint", str(src)]) == 0

@@ -39,6 +39,54 @@ class TestConversions:
             units.watt_hours_to_joules(x)
         ) == pytest.approx(x)
 
+    @given(x=st.floats(min_value=0.0, max_value=1e15))
+    @settings(max_examples=30)
+    def test_joule_wh_round_trip(self, x):
+        assert units.watt_hours_to_joules(
+            units.joules_to_watt_hours(x)
+        ) == pytest.approx(x)
+
+    @given(
+        ah=st.floats(min_value=1e-3, max_value=1e6),
+        v=st.floats(min_value=1e-3, max_value=1e4),
+    )
+    @settings(max_examples=30)
+    def test_amp_hours_symmetric_in_charge_and_voltage(self, ah, v):
+        assert units.amp_hours_to_joules(ah, v) == units.amp_hours_to_joules(
+            v, ah
+        )
+
+    @given(
+        ah=st.floats(min_value=1e-3, max_value=1e6),
+        v=st.floats(min_value=1e-3, max_value=1e4),
+    )
+    @settings(max_examples=30)
+    def test_amp_hours_consistent_with_watt_hours(self, ah, v):
+        """Ah x V is Wh, so the two converters must agree exactly."""
+        assert units.amp_hours_to_joules(ah, v) == pytest.approx(
+            units.watt_hours_to_joules(ah * v)
+        )
+
+    @given(x=st.floats(min_value=0.0, max_value=1e12))
+    @settings(max_examples=30)
+    def test_minutes_round_trip(self, x):
+        assert units.to_minutes(units.minutes(x)) == pytest.approx(x)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_converters_reject_non_finite(self, bad):
+        for converter in (
+            units.watt_hours_to_joules,
+            units.joules_to_watt_hours,
+            units.minutes,
+            units.to_minutes,
+        ):
+            with pytest.raises(ConfigurationError):
+                converter(bad)
+        with pytest.raises(ConfigurationError):
+            units.amp_hours_to_joules(bad, 11.0)
+        with pytest.raises(ConfigurationError):
+            units.amp_hours_to_joules(0.5, bad)
+
 
 class TestValidators:
     def test_require_finite_rejects_nan_and_inf(self):
