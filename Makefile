@@ -1,6 +1,6 @@
 # Convenience targets for the Data Center Sprinting reproduction.
 
-.PHONY: install check lint test bench report examples sweep-smoke fault-smoke clean
+.PHONY: install check lint test bench bench-check report examples sweep-smoke fault-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +28,16 @@ bench:
 		--benchmark-json=BENCH_engine.json
 	pytest benchmarks/ --benchmark-only -s \
 		--ignore=benchmarks/bench_engine_performance.py
+
+# Regression gate: run the engine benchmarks fresh and compare against the
+# committed baseline (fail on a >25% throughput drop).  Absolute numbers —
+# for machines unlike the baseline's, use
+# `python benchmarks/check_bench.py BENCH_engine.json --relative-to
+# bench_full_ms_run` (what CI does).
+bench-check:
+	pytest benchmarks/bench_engine_performance.py --benchmark-only -s \
+		--benchmark-json=BENCH_engine.json
+	python benchmarks/check_bench.py BENCH_engine.json
 
 report:
 	python -m repro report REPORT.md

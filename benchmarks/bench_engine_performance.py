@@ -8,19 +8,45 @@ run hundreds of full simulations).
 
 from __future__ import annotations
 
-from repro.core.strategies import GreedyStrategy
+import math
+import time
+
+from repro.core.strategies import FixedUpperBoundStrategy, GreedyStrategy
+from repro.errors import ReproError
 from repro.simulation.datacenter import build_datacenter
 from repro.simulation.engine import (
+    DEFAULT_ORACLE_GRID,
+    build_upper_bound_table,
     oracle_for_trace,
     run_simulation,
     simulate_strategy,
 )
 from repro.workloads.ms_trace import default_ms_trace
+from repro.workloads.yahoo_trace import generate_yahoo_trace
 
 #: Throughput of the pre-kernel engine on this benchmark and machine
 #: class (simulated seconds per wall-clock second), kept so the
 #: before/after ratio lands in BENCH_engine.json next to the live number.
 PRE_KERNEL_STEPS_PER_SECOND = 8_439.0
+
+
+def _reference_search_seconds(trace, candidates, fault_plan=None) -> float:
+    """Wall time of the pre-fork reference Oracle: one full simulation per
+    candidate (NaN on failure), exactly what PR 3 shipped."""
+    start = time.perf_counter()
+    best = -math.inf
+    for bound in candidates:
+        try:
+            result = simulate_strategy(
+                trace,
+                FixedUpperBoundStrategy(float(bound)),
+                fault_plan=fault_plan,
+            )
+        except ReproError:
+            continue
+        best = max(best, result.average_performance)
+    assert best > -math.inf
+    return time.perf_counter() - start
 
 
 def bench_single_controller_step(benchmark):
@@ -78,3 +104,63 @@ def bench_oracle_search(benchmark):
         iterations=1,
     )
     assert oracle.achieved_performance > 1.5
+
+
+def bench_oracle_search_13_candidates(benchmark):
+    """Cold 13-candidate Oracle search (the default grid) on a Yahoo trace.
+
+    This is the shared-prefix search's headline case: one instrumented
+    baseline run plus per-candidate suffixes instead of 13 full runs.
+    The pre-fork reference path is timed in the same process and the
+    speedup recorded in ``extra_info``; the >= 2x assertion is the PR's
+    acceptance floor.
+    """
+    trace = generate_yahoo_trace(burst_degree=3.2, burst_duration_min=10)
+    oracle = benchmark.pedantic(
+        lambda: oracle_for_trace(trace, candidates=DEFAULT_ORACLE_GRID),
+        rounds=1,
+        iterations=1,
+    )
+    reference_s = _reference_search_seconds(trace, DEFAULT_ORACLE_GRID)
+    fast_s = benchmark.stats.stats.mean
+    benchmark.extra_info["reference_seconds"] = reference_s
+    benchmark.extra_info["speedup_vs_reference"] = reference_s / fast_s
+    print(f"13-candidate search: {fast_s:.2f}s fork-engine vs "
+          f"{reference_s:.2f}s reference "
+          f"({reference_s / fast_s:.2f}x)")
+    assert oracle.achieved_performance > 1.0
+    assert reference_s / fast_s >= 2.0
+
+
+def bench_upper_bound_table_cold(benchmark):
+    """Cold 4x6 upper-bound table build (the Section V-A planning grid).
+
+    24 grid points x 13 candidates; the shared-prefix search turns each
+    point's 13 runs into ~1 + suffixes.  The reference cost is the summed
+    per-candidate timing over the same grid traces, measured in-process.
+    """
+    durations = (1.0, 5.0, 10.0, 15.0)
+    degrees = (2.6, 2.8, 3.0, 3.2, 3.4, 3.6)
+    table = benchmark.pedantic(
+        lambda: build_upper_bound_table(
+            burst_durations_min=durations, burst_degrees=degrees
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    reference_s = sum(
+        _reference_search_seconds(
+            generate_yahoo_trace(burst_degree=deg, burst_duration_min=dur),
+            DEFAULT_ORACLE_GRID,
+        )
+        for dur in durations
+        for deg in degrees
+    )
+    fast_s = benchmark.stats.stats.mean
+    benchmark.extra_info["reference_seconds"] = reference_s
+    benchmark.extra_info["speedup_vs_reference"] = reference_s / fast_s
+    print(f"4x6 table build: {fast_s:.1f}s fork-engine vs "
+          f"{reference_s:.1f}s reference "
+          f"({reference_s / fast_s:.2f}x)")
+    assert len(table) == len(durations) * len(degrees)
+    assert reference_s / fast_s >= 2.0

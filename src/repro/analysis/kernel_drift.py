@@ -86,7 +86,37 @@ ALLOWED_REFERENCE_ONLY: Dict[Tuple[str, str], str] = {
 }
 
 #: Kernel-side reads with no reference counterpart, by design.
-ALLOWED_KERNEL_ONLY: Dict[Tuple[str, str], str] = {}
+ALLOWED_KERNEL_ONLY: Dict[Tuple[str, str], str] = {
+    ("SprintingController", "_ff_prev_demand"): (
+        "quiescent fast-forward cache tag: the kernel compares the "
+        "incoming demand against the previous sample to decide whether "
+        "the cached ControlStep may replay; the reference path never "
+        "caches, so it has no reason to read it"
+    ),
+    ("SprintingController", "_ff_sig"): (
+        "quiescent fast-forward cache: the fixed-point signature the "
+        "pre-step state must match bit-for-bit before the cached step "
+        "replays; reference-side recomputation is the contract the "
+        "signature check enforces, not violates"
+    ),
+    ("SprintingController", "_ff_step"): (
+        "quiescent fast-forward cache: the ControlStep replayed (with "
+        "only time_s rewritten) when the demand repeats and the state "
+        "signature is an exact fixed point"
+    ),
+    ("SprintingController", "_ff_needed"): (
+        "quiescent fast-forward cache: the needed degree recorded with "
+        "the cached step so replay restores last_needed_degree exactly "
+        "as recomputation would"
+    ),
+    ("SprintingStrategy", "stateless_bound"): (
+        "quiescent fast-forward guard: only strategies whose bound is a "
+        "pure function of the observation may have steps replayed (a "
+        "stateful strategy's bound could change between identical "
+        "observations); the reference path always calls the strategy, so "
+        "it never needs the flag"
+    ),
+}
 
 #: Structural literals (loop counts, unit steps, signs) that both sides
 #: use freely and carry no configuration content.

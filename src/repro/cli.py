@@ -220,11 +220,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     through ``run_simulation``); ``--reference`` profiles the
     method-dispatched reference step instead of the precomputed kernel,
     which is how the kernel's hot spots were found in the first place.
+    ``--search`` profiles a cold 13-candidate Oracle search instead, the
+    shared-prefix fork engine's workload (baseline run, snapshot capture/
+    restore, per-candidate suffixes).
     """
     import cProfile
     import pstats
 
-    from repro.simulation.engine import run_simulation
+    from repro.simulation.engine import oracle_for_trace, run_simulation
 
     trace = _trace_by_name(args.trace)
     dc = build_datacenter()
@@ -236,15 +239,26 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     profiler = cProfile.Profile()
     profiler.enable()
-    for _ in range(args.repeat):
-        run_simulation(dc, trace, GreedyStrategy(), use_kernel=use_kernel)
+    if args.search:
+        # Each repeat is a *cold* search: the default engine runner is
+        # cache-less, so the shared-prefix machinery runs end to end.
+        for _ in range(args.repeat):
+            oracle_for_trace(trace)
+    else:
+        for _ in range(args.repeat):
+            run_simulation(dc, trace, GreedyStrategy(), use_kernel=use_kernel)
     profiler.disable()
 
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort)
-    path = "reference step" if args.reference else "kernel step"
-    print(f"profiled {args.repeat} x {len(trace)} steps on "
-          f"{trace.name!r} ({path}), top {args.top} by {args.sort}:")
+    if args.search:
+        workload = (f"{args.repeat} x cold 13-candidate Oracle search on "
+                    f"{trace.name!r} (shared-prefix fork engine)")
+    else:
+        path = "reference step" if args.reference else "kernel step"
+        workload = (f"{args.repeat} x {len(trace)} steps on "
+                    f"{trace.name!r} ({path})")
+    print(f"profiled {workload}, top {args.top} by {args.sort}:")
     stats.print_stats(args.top)
     if args.output:
         stats.dump_stats(args.output)
@@ -529,6 +543,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--reference", action="store_true",
                          help="profile the method-dispatched reference "
                               "step instead of the precomputed kernel")
+    profile.add_argument("--search", action="store_true",
+                         help="profile a cold 13-candidate Oracle search "
+                              "(the shared-prefix fork engine) instead of "
+                              "a single run")
     profile.add_argument("--output", metavar="FILE",
                          help="also dump the raw profile for pstats/"
                               "snakeviz")

@@ -25,6 +25,7 @@ thermal threshold — the uncontrolled baseline in
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -188,6 +189,20 @@ class SprintingController:
         self._burst_was_active = False
         #: Absolute serving capacity while degraded, None when healthy.
         self._degraded_capacity: Optional[float] = None
+        #: Demand-implied degree of the most recent step (before any bound
+        #: or fit shrinks it) — ``cluster.degree_for_demand(demand)``.  The
+        #: shared-prefix Oracle search reads this to locate, per candidate
+        #: bound, the first step where the bound would bind; math.nan until
+        #: a step runs.  Written by both the kernel and the reference path.
+        self.last_needed_degree: float = math.nan
+        #: Quiescent fast-forward cache (kernel-only): the previous demand
+        #: sample, the signature of the facility state that produced the
+        #: cached step, and the cached ControlStep + needed degree.  See
+        #: StepKernel.step for the replay conditions.
+        self._ff_prev_demand: Optional[float] = None
+        self._ff_sig: Optional[Tuple[float, ...]] = None
+        self._ff_step: Optional[ControlStep] = None
+        self._ff_needed: float = math.nan
         if kernel is not None:
             self._kernel: Optional[StepKernel] = kernel
         elif use_kernel:
@@ -230,6 +245,7 @@ class SprintingController:
         upper_bound = self.strategy.degree_upper_bound(obs)
 
         needed = self.cluster.degree_for_demand(demand)
+        self.last_needed_degree = needed
         degree = min(needed, upper_bound)
         if self.safety.emergency_active:
             # External hazard (e.g. a utility power spike): end sprinting
@@ -540,3 +556,17 @@ class SprintingController:
         self.history.clear()
         self._burst_was_active = False
         self._degraded_capacity = None
+        self.last_needed_degree = math.nan
+        self.clear_fast_forward()
+
+    def clear_fast_forward(self) -> None:
+        """Drop the kernel's quiescent fast-forward cache.
+
+        Called whenever the substrate may have changed behind the
+        controller's back (reset, snapshot restore, fault injection) so a
+        stale cached step can never be replayed.
+        """
+        self._ff_prev_demand = None
+        self._ff_sig = None
+        self._ff_step = None
+        self._ff_needed = math.nan

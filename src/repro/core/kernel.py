@@ -21,7 +21,8 @@ because they carry side effects (plan state, safety events).
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Tuple
+from dataclasses import replace as _dataclass_replace
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.core.phases import SprintPhase
 from repro.core.strategies import StrategyObservation
@@ -440,6 +441,28 @@ class StepKernel:
         n_pdus = self._n_pdus
         n_batteries = self._n_batteries
 
+        # --- quiescent fast-forward -------------------------------------
+        # When the demand sample repeats and the mutable facility state is
+        # bit-identical to the state that produced the cached step (which
+        # was itself an exact fixed point: no sprint, no UPS/TES flow, no
+        # burst, accumulators at equilibrium), recomputing would reproduce
+        # the cached ControlStep exactly — so replay it instead.  The
+        # signature covers everything the computation reads, including
+        # every field fault injection can mutate, so any substrate change
+        # invalidates the cache by construction.  Signatures are only
+        # built on repeated-demand steps: jittered traces pay one float
+        # compare per step.
+        ff_pre: Optional[Tuple[object, ...]] = None
+        if demand == ctrl._ff_prev_demand:
+            ff_pre = self._quiescent_sig(ctrl)
+            cached = ctrl._ff_step
+            if cached is not None and ff_pre == ctrl._ff_sig:
+                return self._replay_quiescent(ctrl, cached, demand, time_s, dt)
+        else:
+            ctrl._ff_prev_demand = demand
+            ctrl._ff_sig = None
+            ctrl._ff_step = None
+
         # --- burst detector (inlined OnlineBurstDetector.observe) -------
         detector = ctrl.detector
         if demand > detector.capacity:
@@ -502,6 +525,7 @@ class StepKernel:
         upper_bound = strategy.degree_upper_bound(obs)
 
         needed = self._degree_for_capacity(demand)
+        ctrl.last_needed_degree = needed
         degree = min(needed, upper_bound)
         if ctrl.safety._emergency_latched:
             degree = min(degree, 1.0)
@@ -696,5 +720,105 @@ class StepKernel:
                     pcm._latched = False
 
         strategy.notify_realized(effective_degree, dt, in_burst)
+        ctrl.history.append(step)
+
+        # --- arm the quiescent fast-forward cache -----------------------
+        # Cache only exact fixed points: the post-step signature must equal
+        # the pre-step one (nothing mutable moved), the strategy must
+        # declare a stateless bound, and the step must be fully quiescent
+        # (no burst, no sprint, no UPS/TES flow).  The no-burst condition
+        # also removes every time dependence: out of a burst, neither the
+        # detector hold-off countdown nor the TES activation timer can fire.
+        if (
+            ff_pre is not None
+            and strategy.stateless_bound
+            and not in_burst
+            and not sprinting
+            and ups_total == 0.0
+            and heat_via_tes == 0.0
+        ):
+            ff_post = self._quiescent_sig(ctrl)
+            if ff_post == ff_pre:
+                ctrl._ff_sig = ff_post
+                ctrl._ff_step = step
+                ctrl._ff_needed = needed
+        return step
+
+    # ------------------------------------------------------------------
+    # Quiescent fast-forward internals
+    # ------------------------------------------------------------------
+    def _quiescent_sig(self, ctrl: SprintingController) -> Tuple[object, ...]:
+        """Signature of every piece of mutable state the step reads.
+
+        Two identical signatures plus an identical demand sample imply the
+        step computation is identical (for a stateless-bound strategy out
+        of a burst).  Telemetry-only fields (histories, integrals, breaker
+        wall clocks) are deliberately excluded: they never feed back into
+        the physics.
+        """
+        battery = self._battery
+        tes = self._tes
+        pdu_b = self._pdu_breaker
+        dc_b = self._dc_breaker
+        room = self._room
+        detector = ctrl.detector
+        pcm = ctrl.pcm
+        return (
+            detector.in_burst,
+            detector.burst_started_at_s,
+            detector._below_since_s,
+            ctrl._burst_was_active,
+            ctrl.budget._snapshot_total_j,
+            ctrl.safety._emergency_latched,
+            battery.energy_j,
+            battery.capacity_ah,
+            battery.max_discharge_power_w,
+            None if tes is None else tes.energy_j,
+            None if tes is None else tes.max_discharge_w,
+            self._chiller.rated_removal_w,
+            pdu_b.trip_fraction,
+            pdu_b.tripped,
+            pdu_b.rated_power_w,
+            dc_b.trip_fraction,
+            dc_b.tripped,
+            dc_b.rated_power_w,
+            room.temperature_c,
+            room.peak_temperature_c,
+            None if pcm is None else pcm.melted_j,
+            None if pcm is None else pcm._latched,
+        )
+
+    def _replay_quiescent(
+        self,
+        ctrl: SprintingController,
+        cached: ControlStep,
+        demand: float,
+        time_s: float,
+        dt: float,
+    ) -> ControlStep:
+        """Replay a cached fixed-point step without recomputing physics.
+
+        Identical inputs produce identical outputs, so only the telemetry
+        that genuinely advances is touched: the step's timestamp, the
+        breakers' wall clocks, the admission integrals, and the phase
+        accumulators — each advanced with exactly the increments the full
+        computation would have produced (all flows zero by the caching
+        guards, phase IDLE, served/dropped as cached).
+        """
+        step = _dataclass_replace(cached, time_s=time_s)
+        self._pdu_breaker._time_s += dt
+        self._dc_breaker._time_s += dt
+        admission = ctrl.admission
+        admission.served_integral += cached.served * dt
+        admission.dropped_integral += cached.dropped * dt
+        admission.demand_integral += demand * dt
+        phases = ctrl.phases
+        phase = cached.phase
+        phases.current_phase = phase
+        phases.time_in_phase_s[phase] += dt
+        phases.ups_energy_j += cached.ups_w * dt
+        phases.tes_electric_energy_j += cached.tes_electric_saved_w * dt
+        ctrl.last_needed_degree = ctrl._ff_needed
+        ctrl.strategy.notify_realized(cached.degree, dt, cached.in_burst)
         ctrl.history.append(step)
         return step

@@ -29,7 +29,7 @@ import bisect
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.units import (
@@ -80,6 +80,14 @@ class SprintingStrategy(ABC):
     #: Short name used in result tables.
     name: str = "strategy"
 
+    #: True when :meth:`degree_upper_bound` depends only on the current
+    #: observation (no per-episode state accumulated via
+    #: :meth:`notify_realized`).  The kernel's quiescent fast-forward may
+    #: only replay a cached step when the strategy declares this, because a
+    #: stateful strategy can return a different bound for an identical
+    #: observation.
+    stateless_bound: ClassVar[bool] = False
+
     @abstractmethod
     def degree_upper_bound(self, obs: StrategyObservation) -> float:
         """Upper bound on the sprinting degree for this control period."""
@@ -94,6 +102,22 @@ class SprintingStrategy(ABC):
     def reset(self) -> None:
         """Clear any per-episode state (between experiments)."""
 
+    def snapshot_state(self) -> Optional[Tuple[Any, ...]]:
+        """Capture the per-episode mutable state for :mod:`..simulation.snapshot`.
+
+        Stateless strategies return ``None``; stateful ones return a plain
+        tuple that :meth:`restore_state` accepts.  The pair must round-trip
+        bit-for-bit — it backs the snapshot/fork engine.
+        """
+        return None
+
+    def restore_state(self, state: Optional[Tuple[Any, ...]]) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+        if state is not None:
+            raise ConfigurationError(
+                f"strategy {self.name!r} cannot restore state {state!r}"
+            )
+
 
 class GreedyStrategy(SprintingStrategy):
     """No constraint: sprint as high as the demand asks, while energy lasts.
@@ -104,6 +128,7 @@ class GreedyStrategy(SprintingStrategy):
     """
 
     name = "greedy"
+    stateless_bound = True
 
     def degree_upper_bound(self, obs: StrategyObservation) -> float:
         """Always the chip maximum: nothing but demand constrains Greedy."""
@@ -114,6 +139,7 @@ class FixedUpperBoundStrategy(SprintingStrategy):
     """A constant, pre-chosen upper bound — the Oracle's output format."""
 
     name = "fixed"
+    stateless_bound = True
 
     def __init__(self, upper_bound: float) -> None:
         require_positive(upper_bound, "upper_bound")
@@ -154,6 +180,18 @@ def oracle_search(
         simulation run using that bound (higher is better).
     candidates:
         Candidate bounds, e.g. ``numpy.arange(1.0, 4.01, 0.25)``.
+
+    Tie-breaking contract
+    ---------------------
+    The argmax is strict (``perf > best_perf``): when several candidates
+    achieve exactly the same performance, the *earliest* candidate in
+    ``candidates`` wins — for the conventional ascending grids that is the
+    **lowest** winning bound, the least aggressive policy that attains the
+    optimum.  Every Oracle reduction in the code base
+    (:meth:`~repro.simulation.batch.SweepRunner.oracle_search`, the
+    upper-bound-table builder, and the shared-prefix fast path) implements
+    this same first-wins rule, so results are independent of execution
+    order and worker count.
     """
     if not candidates:
         raise ConfigurationError("candidates must be non-empty")
@@ -195,7 +233,16 @@ class UpperBoundTable:
         self._entries[(duration_s, degree)] = upper_bound
 
     def lookup(self, duration_s: float, degree: float) -> float:
-        """Optimal upper bound at the nearest grid point."""
+        """Optimal upper bound at the nearest grid point.
+
+        Tie-breaking contract: when the query sits exactly midway between
+        two grid points, the **lower** grid value wins on both axes.  The
+        axis lists are kept sorted ascending (``bisect.insort`` in
+        :meth:`set`) and ``min(..., key=abs(...))`` keeps the first of
+        equal-keyed items, so the earlier — smaller — grid point is
+        returned.  Pinned by tests so table lookups stay reproducible
+        across Python versions and insertion orders.
+        """
         if not self._entries:
             raise ConfigurationError("upper-bound table is empty")
         require_non_negative(duration_s, "duration_s")
@@ -300,6 +347,24 @@ class PredictionStrategy(SprintingStrategy):
         self._degree_time_integral = 0.0
         self._time_in_burst = 0.0
         self._peak_demand = 1.0
+
+    def snapshot_state(self) -> Optional[Tuple[Any, ...]]:
+        """SDe_avg accumulators + peak demand, as a plain tuple."""
+        return (
+            self._degree_time_integral,
+            self._time_in_burst,
+            self._peak_demand,
+        )
+
+    def restore_state(self, state: Optional[Tuple[Any, ...]]) -> None:
+        """Restore the tuple captured by :meth:`snapshot_state`."""
+        if state is None or len(state) != 3:
+            raise ConfigurationError(
+                f"prediction strategy cannot restore state {state!r}"
+            )
+        self._degree_time_integral = state[0]
+        self._time_in_burst = state[1]
+        self._peak_demand = state[2]
 
 
 class HeuristicStrategy(SprintingStrategy):
@@ -433,3 +498,16 @@ class HeuristicStrategy(SprintingStrategy):
         """Forget the per-episode plan (EB_tot and SDu_p)."""
         self._budget_total_j = None
         self._predicted_duration_s = None
+
+    def snapshot_state(self) -> Optional[Tuple[Any, ...]]:
+        """The per-episode plan (EB_tot, SDu_p), as a plain tuple."""
+        return (self._budget_total_j, self._predicted_duration_s)
+
+    def restore_state(self, state: Optional[Tuple[Any, ...]]) -> None:
+        """Restore the tuple captured by :meth:`snapshot_state`."""
+        if state is None or len(state) != 2:
+            raise ConfigurationError(
+                f"heuristic strategy cannot restore state {state!r}"
+            )
+        self._budget_total_j = state[0]
+        self._predicted_duration_s = state[1]

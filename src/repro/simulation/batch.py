@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import math
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
@@ -59,6 +60,7 @@ from repro.simulation.datacenter import DataCenter, build_datacenter
 from repro.simulation.engine import (
     DEFAULT_ORACLE_GRID,
     run_simulation,
+    shared_prefix_oracle_search,
     simulate_strategy,
 )
 from repro.simulation.faults import FaultPlan
@@ -259,6 +261,39 @@ class SweepTask:
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _search_cache_key(
+    trace: Trace,
+    candidates: Sequence[float],
+    config: DataCenterConfig,
+    fault_plan: Optional[FaultPlan],
+) -> str:
+    """Content hash of one whole Oracle search (one cache entry per search).
+
+    Same coverage discipline as :meth:`SweepTask.cache_key` — config,
+    trace content, fault plan, format version — plus the full candidate
+    grid: a search over different candidates is a different search, even
+    when the winning bound happens to coincide.
+    """
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "kind": "oracle_search",
+        "config": config.to_dict(),
+        "trace": {
+            "dt_s": trace.dt_s,
+            "n_samples": len(trace),
+            "samples_sha256": hashlib.sha256(
+                trace.samples.tobytes()
+            ).hexdigest(),
+        },
+        "candidates": [float(c) for c in candidates],
+        "fault_plan": (
+            None if fault_plan is None else fault_plan.canonical()
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -513,6 +548,60 @@ def _execute_shipped(shipped: _ShippedTask) -> TaskResult:
     return _outcome_from_result(result)
 
 
+def _oracle_point_search(
+    trace: Trace,
+    candidates: Sequence[float],
+    config: DataCenterConfig,
+) -> Optional[Tuple[float, float]]:
+    """One grid point's Oracle search: shared-prefix fast path, reference fallback.
+
+    Returns ``(best_bound, best_performance)``, or ``None`` when every
+    candidate's run failed (the caller owns the error message — the table
+    builder and the direct search report the failure differently).  The
+    fallback runs the per-candidate reference sweep through
+    :func:`execute_task`, so its failure semantics (and any test doubles
+    installed over ``execute_task``) apply to both paths identically.
+    """
+    try:
+        fast = shared_prefix_oracle_search(trace, candidates, config)
+    except SimulationError:
+        return None
+    if fast is not None:
+        return fast
+    performances = [
+        math.nan if outcome.failed else outcome.average_performance
+        for outcome in (
+            execute_task(SweepTask(trace, StrategySpec.fixed(bound), config))
+            for bound in candidates
+        )
+    ]
+    best_idx: Optional[int] = None
+    for i, perf in enumerate(performances):
+        if perf != perf:  # NaN: this candidate's run failed
+            continue
+        if best_idx is None or perf > performances[best_idx]:
+            best_idx = i
+    if best_idx is None:
+        return None
+    return float(candidates[best_idx]), performances[best_idx]
+
+
+@dataclass(frozen=True)
+class _ShippedSearch:
+    """One upper-bound-table grid point, in worker-shippable form."""
+
+    trace_key: str
+    candidates: Tuple[float, ...]
+    config: DataCenterConfig
+
+
+def _execute_shipped_search(shipped: _ShippedSearch) -> Optional[Tuple[float, float]]:
+    """Worker-process entry point: one grid point's Oracle search."""
+    return _oracle_point_search(
+        _WORKER_TRACES[shipped.trace_key], shipped.candidates, shipped.config
+    )
+
+
 # ---------------------------------------------------------------------------
 # The runner
 # ---------------------------------------------------------------------------
@@ -553,6 +642,7 @@ class SweepRunner:
         self.misses = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_traces: Dict[str, Trace] = {}
+        self._closed = False
 
     @classmethod
     def from_env(cls) -> "SweepRunner":
@@ -586,6 +676,7 @@ class SweepRunner:
         deterministic failure recomputes exactly as pointlessly as a
         deterministic success), never as ``None``.
         """
+        self._ensure_open()
         outcomes: List[Optional[TaskResult]] = [None] * len(tasks)
         pending: List[Tuple[int, SweepTask, str]] = []
         for i, task in enumerate(tasks):
@@ -641,7 +732,7 @@ class SweepRunner:
             _LOG.debug(
                 "sweep pool failed mid-batch; discarding it", exc_info=True
             )
-            self.close()
+            self._shutdown_pool()
             raise
 
     def _pool_for(self, traces: Dict[str, Trace]) -> ProcessPoolExecutor:
@@ -663,16 +754,41 @@ class SweepRunner:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the persistent worker pool (idempotent).
+        """Shut down the runner (idempotent).
 
-        Serial runners hold no pool, so this is a no-op for them; parallel
-        runners release their worker processes and forget the shipped
-        traces, and the next batch transparently starts a fresh pool.
+        Releases the persistent worker pool (a no-op for serial runners,
+        which hold none) and latches the runner closed: submitting further
+        work raises :class:`~repro.errors.ConfigurationError` instead of a
+        pool error.  Runners also work as context managers —
+        ``with SweepRunner(...) as runner:`` closes on exit.
+        """
+        self._closed = True
+        self._shutdown_pool()
+
+    def _shutdown_pool(self) -> None:
+        """Release the pool without latching the runner closed.
+
+        Used by the broken-pool recovery path, which must leave the
+        runner usable so the next batch can start a fresh pool.
         """
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
             self._pool_traces = {}
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "this SweepRunner is closed; create a new runner to "
+                "submit more work"
+            )
+
+    def __enter__(self) -> "SweepRunner":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __del__(self) -> None:  # pragma: no cover - shutdown best effort
         try:
@@ -723,16 +839,41 @@ class SweepRunner:
         trace: Trace,
         candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
         config: DataCenterConfig = DEFAULT_CONFIG,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> OracleStrategy:
         """Exhaustive Oracle search (Section V-A), batched.
 
-        Ties break towards the earlier candidate — exactly like the serial
-        :func:`repro.core.strategies.oracle_search` — so the result is
-        independent of worker count.
+        Ties break towards the earlier candidate — the strict
+        ``perf > best_perf`` argmax keeps the lowest winning bound, exactly
+        like the serial :func:`repro.core.strategies.oracle_search` — so
+        the result is independent of worker count and of the compute path.
+
+        The search runs on the shared-prefix fast path
+        (:func:`repro.simulation.engine.shared_prefix_oracle_search`) when
+        the trace/config is inside its validity envelope, falling back to
+        the reference per-candidate sweep otherwise; both produce
+        bit-identical results.  With a cache directory, the whole search
+        caches as *one* entry (a warm search is one file read, one hit),
+        rather than one entry per candidate.
         """
+        self._ensure_open()
         if not candidates:
             raise ConfigurationError("candidates must be non-empty")
-        performances = self.evaluate_upper_bounds(trace, candidates, config)
+        key = _search_cache_key(trace, candidates, config, fault_plan)
+        cached = self._search_cache_load(key)
+        if cached is not None:
+            self.hits += 1
+            return OracleStrategy(cached[0], achieved_performance=cached[1])
+        fast = shared_prefix_oracle_search(
+            trace, candidates, config, fault_plan=fault_plan
+        )
+        if fast is not None:
+            self.misses += 1
+            self._search_cache_store(key, fast[0], fast[1])
+            return OracleStrategy(fast[0], achieved_performance=fast[1])
+        performances = self.evaluate_upper_bounds(
+            trace, candidates, config, fault_plan
+        )
         best_idx: Optional[int] = None
         for i, perf in enumerate(performances):
             if perf != perf:  # NaN: this candidate's run failed
@@ -744,10 +885,10 @@ class SweepRunner:
                 "oracle search failed: every candidate upper bound's run "
                 f"failed on trace {trace.name!r}"
             )
-        return OracleStrategy(
-            float(candidates[best_idx]),
-            achieved_performance=performances[best_idx],
-        )
+        bound = float(candidates[best_idx])
+        performance = performances[best_idx]
+        self._search_cache_store(key, bound, performance)
+        return OracleStrategy(bound, achieved_performance=performance)
 
     def build_upper_bound_table(
         self,
@@ -759,11 +900,14 @@ class SweepRunner:
     ) -> UpperBoundTable:
         """Pre-compute the Oracle upper-bound table (Section V-A), batched.
 
-        The entire ``durations x degrees x candidates`` product is
-        flattened into one batch so the pool never idles between grid
-        points; the per-point argmax reduction afterwards matches the
-        serial search's tie-breaking.
+        Each grid point runs as one shared-prefix Oracle search
+        (:func:`_oracle_point_search`); with multiple workers the points
+        fan out over the persistent pool, one search per point, and with a
+        cache directory each point caches as one search entry.  The
+        per-point strict argmax matches the serial search's tie-breaking,
+        so the table is independent of worker count and compute path.
         """
+        self._ensure_open()
         if not candidates:
             raise ConfigurationError("candidates must be non-empty")
         factory = trace_factory or (
@@ -777,28 +921,34 @@ class SweepRunner:
             for degree in burst_degrees
         ]
         traces = {point: factory(point[1], point[0]) for point in points}
-        tasks = [
-            SweepTask(traces[point], StrategySpec.fixed(candidate), config)
-            for point in points
-            for candidate in candidates
-        ]
-        outcomes = self.run_tasks(tasks)
+        cand = tuple(float(c) for c in candidates)
+
+        results: List[Optional[Tuple[float, float]]] = [None] * len(points)
+        keys: List[str] = []
+        pending: List[int] = []
+        for p, point in enumerate(points):
+            key = _search_cache_key(traces[point], cand, config, None)
+            keys.append(key)
+            cached = self._search_cache_load(key)
+            if cached is not None:
+                self.hits += 1
+                results[p] = cached
+            else:
+                self.misses += 1
+                pending.append(p)
+        if pending:
+            computed = self._run_point_searches(
+                [traces[points[p]] for p in pending], cand, config
+            )
+            for p, found in zip(pending, computed):
+                if found is not None:
+                    results[p] = found
+                    self._search_cache_store(keys[p], found[0], found[1])
 
         table = UpperBoundTable()
-        n_candidates = len(candidates)
         for p, (duration_min, degree) in enumerate(points):
-            chunk = outcomes[p * n_candidates:(p + 1) * n_candidates]
-            best_idx: Optional[int] = None
-            for i, outcome in enumerate(chunk):
-                if outcome.failed:
-                    continue
-                if (
-                    best_idx is None
-                    or outcome.average_performance
-                    > chunk[best_idx].average_performance
-                ):
-                    best_idx = i
-            if best_idx is None:
+            found = results[p]
+            if found is None:
                 raise SimulationError(
                     "upper-bound table: every candidate failed at grid "
                     f"point (duration={duration_min:g} min, "
@@ -807,9 +957,38 @@ class SweepRunner:
             table.set(
                 duration_s=minutes(duration_min),
                 degree=degree,
-                upper_bound=float(candidates[best_idx]),
+                upper_bound=found[0],
             )
         return table
+
+    def _run_point_searches(
+        self,
+        point_traces: Sequence[Trace],
+        candidates: Tuple[float, ...],
+        config: DataCenterConfig,
+    ) -> List[Optional[Tuple[float, float]]]:
+        """Run the uncached grid-point searches, pooled when it pays."""
+        if self.max_workers > 1 and len(point_traces) > 1:
+            traces: Dict[str, Trace] = {}
+            shipped = []
+            for trace in point_traces:
+                key = _trace_content_key(trace)
+                traces[key] = trace
+                shipped.append(_ShippedSearch(key, candidates, config))
+            pool = self._pool_for(traces)
+            try:
+                return list(pool.map(_execute_shipped_search, shipped))
+            except Exception:
+                _LOG.debug(
+                    "sweep pool failed mid-batch; discarding it",
+                    exc_info=True,
+                )
+                self._shutdown_pool()
+                raise
+        return [
+            _oracle_point_search(trace, candidates, config)
+            for trace in point_traces
+        ]
 
     # ------------------------------------------------------------------
     # On-disk cache
@@ -845,17 +1024,68 @@ class SweepRunner:
             # Truncated JSON, tampered fields, wrong types: recompute.
             return None
 
+    def _search_cache_load(self, key: str) -> Optional[Tuple[float, float]]:
+        """Load one cached Oracle-search result (bound, performance).
+
+        Search entries carry status ``"search"`` so a per-task entry can
+        never decode as a search (and vice versa); anything malformed
+        reads as a miss, exactly like :meth:`_cache_load`.
+        """
+        path = self._cache_path(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload["version"] != CACHE_FORMAT_VERSION:
+                return None
+            if payload["key"] != key:
+                return None
+            if payload["status"] != "search":
+                return None
+            outcome = payload["outcome"]
+            return (
+                float(outcome["upper_bound"]),
+                float(outcome["achieved_performance"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _search_cache_store(
+        self, key: str, upper_bound: float, performance: float
+    ) -> None:
+        """Atomically persist one Oracle-search result."""
+        path = self._cache_path(key)
+        if path is None:
+            return
+        self._cache_write(
+            path,
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "key": key,
+                "status": "search",
+                "outcome": {
+                    "upper_bound": upper_bound,
+                    "achieved_performance": performance,
+                },
+            },
+        )
+
     def _cache_store(self, key: str, outcome: TaskResult) -> None:
         """Atomically persist one result (write-to-temp + rename)."""
         path = self._cache_path(key)
         if path is None:
             return
-        payload = {
-            "version": CACHE_FORMAT_VERSION,
-            "key": key,
-            "status": "failure" if outcome.failed else "ok",
-            "outcome": outcome.to_dict(),
-        }
+        self._cache_write(
+            path,
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "key": key,
+                "status": "failure" if outcome.failed else "ok",
+                "outcome": outcome.to_dict(),
+            },
+        )
+
+    def _cache_write(self, path: Path, payload: Dict[str, object]) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=str(path.parent), prefix=".tmp-", suffix=".json"

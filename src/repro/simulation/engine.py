@@ -9,7 +9,8 @@ many times against fresh facilities).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+import math
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +20,7 @@ from repro.core.strategies import (
     SprintingStrategy,
     UpperBoundTable,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
 from repro.simulation.datacenter import DataCenter, build_datacenter
 from repro.simulation.faults import (
@@ -28,11 +29,12 @@ from repro.simulation.faults import (
     FaultRecord,
     RECOVERABLE_FAULT_ERRORS,
 )
-from repro.simulation.metrics import SimulationResult
+from repro.simulation.metrics import SimulationResult, average_performance_improvement
+from repro.simulation.snapshot import FacilityState
 from repro.workloads.traces import Trace
 
 if TYPE_CHECKING:
-    from repro.core.controller import SprintingController
+    from repro.core.controller import ControlStep, SprintingController
     from repro.simulation.batch import SweepRunner
 
 #: Default candidate grid for the Oracle's exhaustive search: 13 evenly
@@ -123,42 +125,59 @@ def _run_with_faults(
     try:
         for i, demand in enumerate(trace):
             time_s = i * trace.dt_s
-            injector.apply_due(time_s)
-            effective = injector.effective_demand(demand, time_s)
-            if not controller.degraded:
-                degradation = injector.take_degradation()
-                if degradation is not None:
-                    surviving_fraction, reason = degradation
-                    aborted_at_s = time_s
-                    base = controller.cluster.capacity_at_degree(1.0)
-                    controller.enter_degraded(
-                        surviving_fraction * base, time_s, reason
-                    )
-                    injector.records.append(
-                        FaultRecord(time_s, "degraded", reason)
-                    )
-            if controller.degraded:
-                controller.degraded_step(effective, time_s)
-                continue
-            try:
-                controller.step(effective, time_s=time_s)
-            except RECOVERABLE_FAULT_ERRORS as exc:
-                surviving_fraction = injector.surviving_capacity_for(exc)
+            _, _, degraded_now = _faulted_sample(
+                controller, injector, demand, time_s
+            )
+            if degraded_now and aborted_at_s is None:
                 aborted_at_s = time_s
-                base = controller.cluster.capacity_at_degree(1.0)
-                reason = f"{type(exc).__name__}: {exc}"
-                controller.enter_degraded(
-                    surviving_fraction * base, time_s, reason
-                )
-                injector.records.append(
-                    FaultRecord(time_s, "degraded", reason)
-                )
-                controller.degraded_step(effective, time_s)
     finally:
         # Ratings/capacities mutated by the plan are restored so the
         # facility object can be reused (reset() only restores state).
         injector.restore_substrate()
     return aborted_at_s, injector.records
+
+
+def _faulted_sample(
+    controller: "SprintingController",
+    injector: FaultInjector,
+    demand: float,
+    time_s: float,
+) -> "Tuple[ControlStep, bool, bool]":
+    """One fault-aware control period: the loop body of :func:`_run_with_faults`.
+
+    Factored out so the shared-prefix Oracle search can resume a faulted
+    run mid-trace with the exact reference semantics.  Returns
+    ``(step, bound_applied, degraded_now)``: ``bound_applied`` is True when
+    the healthy controller attempted the step — i.e. the strategy's upper
+    bound participated in (or, by failing, terminated) the degree decision
+    for this sample — and ``degraded_now`` flags a degradation transition
+    on this sample.
+    """
+    injector.apply_due(time_s)
+    effective = injector.effective_demand(demand, time_s)
+    degraded_now = False
+    if not controller.degraded:
+        degradation = injector.take_degradation()
+        if degradation is not None:
+            surviving_fraction, reason = degradation
+            degraded_now = True
+            base = controller.cluster.capacity_at_degree(1.0)
+            controller.enter_degraded(surviving_fraction * base, time_s, reason)
+            injector.records.append(FaultRecord(time_s, "degraded", reason))
+    if controller.degraded:
+        step = controller.degraded_step(effective, time_s)
+        return step, False, degraded_now
+    try:
+        step = controller.step(effective, time_s=time_s)
+    except RECOVERABLE_FAULT_ERRORS as exc:
+        surviving_fraction = injector.surviving_capacity_for(exc)
+        base = controller.cluster.capacity_at_degree(1.0)
+        reason = f"{type(exc).__name__}: {exc}"
+        controller.enter_degraded(surviving_fraction * base, time_s, reason)
+        injector.records.append(FaultRecord(time_s, "degraded", reason))
+        step = controller.degraded_step(effective, time_s)
+        return step, True, True
+    return step, True, degraded_now
 
 
 def simulate_strategy(
@@ -206,6 +225,7 @@ def oracle_for_trace(
     config: DataCenterConfig = DEFAULT_CONFIG,
     candidates: Sequence[float] = DEFAULT_ORACLE_GRID,
     runner: Optional["SweepRunner"] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> OracleStrategy:
     """Exhaustive Oracle search over constant upper bounds for a trace.
 
@@ -221,9 +241,14 @@ def oracle_for_trace(
         candidate evaluations out over worker processes and/or the result
         cache; the default is a serial, cache-less runner whose output is
         bit-identical to the historical in-process loop.
+    fault_plan:
+        Optional fault plan the Oracle must plan around: every candidate
+        is evaluated under the same injected faults.
     """
     runner = runner or _default_runner()
-    return runner.oracle_search(trace, candidates=candidates, config=config)
+    return runner.oracle_search(
+        trace, candidates=candidates, config=config, fault_plan=fault_plan
+    )
 
 
 def build_upper_bound_table(
@@ -260,3 +285,343 @@ def build_upper_bound_table(
         candidates=candidates,
         trace_factory=trace_factory,
     )
+
+
+# ----------------------------------------------------------------------
+# Shared-prefix Oracle search
+# ----------------------------------------------------------------------
+#
+# Every candidate upper bound evolves the facility *identically* until the
+# first control period whose needed degree exceeds the bound: the kernel
+# realizes ``min(needed, bound, fits...)`` and the fits depend only on
+# state, which is shared while the min() outcomes agree.  So one
+# instrumented baseline run (at the largest candidate bound) plus a
+# facility snapshot at each candidate's divergence frontier lets every
+# other candidate resume from its frontier and re-simulate only its
+# suffix — O(trace + Σ suffixes) instead of O(candidates × trace).
+
+
+def _coast_safe(datacenter: DataCenter) -> bool:
+    """True when *any* sub-capacity demand leaves a fresh facility frozen.
+
+    With demand ≤ 1.0 the realized degree is ≤ 1.0 for every candidate
+    bound ≥ 1.0, so the only way pre-burst state can move is a substrate
+    element running at (or beyond) its rating even at peak-normal load.
+    These checks are static in the config: peak-normal IT heat within the
+    chiller's removal capacity (room holds its setpoint), per-PDU IT power
+    within the PDU breaker rating (no thermal accumulation, no UPS
+    assist), and total facility draw within the DC breaker rating.  When
+    they hold, batteries stay full, breakers stay cold, the room stays at
+    setpoint — the fresh facility *is* the state at burst onset, and the
+    baseline run can skip the quiescent prefix entirely.
+    """
+    cluster = datacenter.cluster
+    topology = datacenter.topology
+    cooling = datacenter.cooling
+    it_peak = cluster.power_at_degree_w(1.0)
+    if it_peak > cooling.chiller.rated_removal_w:
+        return False
+    if it_peak / topology.n_pdus > topology.pdu.breaker.rated_power_w:
+        return False
+    cooling_w = cooling.estimate(it_peak, datacenter.config.dt_s).electric_power_w
+    if it_peak + cooling_w > topology.dc_breaker.rated_power_w:
+        return False
+    return True
+
+
+def _divergence_step(
+    needed: Sequence[float], eff_bound: float, eff_base: float, first: int
+) -> Optional[int]:
+    """First absolute step where ``eff_bound`` alters the realized degree.
+
+    The candidate's degree decision ``min(needed, eff_bound)`` differs
+    from the baseline's ``min(needed, eff_base)`` exactly when the needed
+    degree exceeds the candidate's effective bound while the baseline's is
+    higher.  ``None`` means the candidate shares the baseline's entire
+    run.
+    """
+    if eff_bound >= eff_base:
+        return None
+    for j, nd in enumerate(needed):
+        if nd > eff_bound:
+            return first + j
+    return None
+
+
+def shared_prefix_oracle_search(
+    trace: Trace,
+    candidates: Sequence[float],
+    config: DataCenterConfig = DEFAULT_CONFIG,
+    fault_plan: Optional[FaultPlan] = None,
+) -> Optional[Tuple[float, float]]:
+    """Oracle search via one instrumented baseline run plus per-candidate suffixes.
+
+    Returns ``(best_bound, best_performance)`` bit-identical to running
+    :func:`simulate_strategy` once per candidate and taking the strict
+    argmax (first of equals — the lowest winning bound), or ``None`` when
+    the trace/config falls outside the fast path's validity envelope and
+    the caller must fall back to the reference per-candidate sweep.
+
+    Candidate runs that fail (recoverable substrate errors escaping a
+    no-fault run) are excluded exactly as the reference path excludes
+    them, including failures *after* the burst window: a provisional
+    winner's post-burst tail (battery recharge against live breaker
+    budgets) is re-simulated with real physics before the result is
+    accepted, and demoted to failed if the tail raises.  Raises
+    :class:`~repro.errors.SimulationError` when every candidate fails.
+    """
+    if not candidates:
+        return None
+    if abs(trace.dt_s - config.dt_s) > 1e-9:
+        return None  # reference path raises the descriptive ConfigurationError
+    if any(float(c) < 1.0 for c in candidates):
+        # A bound below the normal degree binds outside bursts too, so the
+        # quiescent prefix is no longer shared across candidates.
+        return None
+    datacenter = build_datacenter(config)
+    probe = datacenter.controller(FixedUpperBoundStrategy(float(candidates[0])))
+    if probe.detector.capacity != 1.0:
+        return None  # burst-window mask below assumes the default detector
+    if not _coast_safe(datacenter):
+        return None
+    if fault_plan is None:
+        return _shared_prefix_no_faults(datacenter, trace, candidates)
+    return _shared_prefix_with_faults(datacenter, trace, candidates, fault_plan)
+
+
+def _effective_bounds(
+    datacenter: DataCenter, candidates: Sequence[float]
+) -> Tuple[List[float], float, float]:
+    """Per-candidate effective bounds, the baseline bound, and its effect."""
+    max_degree = datacenter.cluster.throughput.max_degree
+    eff = [min(float(c), max_degree) for c in candidates]
+    eff_base = max(eff)
+    base_bound = float(candidates[eff.index(eff_base)])
+    return eff, base_bound, eff_base
+
+
+def _fresh_run(
+    datacenter: DataCenter, bound: float
+) -> "SprintingController":
+    """A reset facility with a fresh fixed-bound controller (kernel path)."""
+    datacenter.reset()
+    controller = datacenter.controller(FixedUpperBoundStrategy(bound))
+    controller.strategy.reset()
+    return controller
+
+
+def _resumed_run(
+    datacenter: DataCenter, bound: float, state: FacilityState
+) -> "SprintingController":
+    """A fresh fixed-bound controller restored to a captured facility state."""
+    controller = datacenter.controller(FixedUpperBoundStrategy(bound))
+    controller.strategy.reset()
+    state.restore(datacenter, controller)
+    return controller
+
+
+def _shared_prefix_no_faults(
+    datacenter: DataCenter,
+    trace: Trace,
+    candidates: Sequence[float],
+) -> Tuple[float, float]:
+    samples = trace.samples
+    dt = trace.dt_s
+    n = int(samples.size)
+    mask = samples > 1.0
+    if not bool(mask.any()):
+        # No burst: every candidate serves the whole trace at performance
+        # 1.0 (coast-safety established no run can fail), and the strict
+        # argmax keeps the first candidate.
+        return float(candidates[0]), 1.0
+    first = int(np.argmax(mask))
+    last = n - 1 - int(np.argmax(mask[::-1]))
+
+    cluster = datacenter.cluster
+    eff, base_bound, eff_base = _effective_bounds(datacenter, candidates)
+    needed = [
+        cluster.degree_for_demand(float(samples[i]))
+        for i in range(first, last + 1)
+    ]
+    frontier_of = [
+        _divergence_step(needed, e, eff_base, first) for e in eff
+    ]
+    frontiers = sorted({k for k in frontier_of if k is not None})
+
+    # Instrumented baseline: the largest candidate, from burst onset on a
+    # fresh facility (valid by _coast_safe), snapshotting ahead of each
+    # divergence frontier.
+    controller = _fresh_run(datacenter, base_bound)
+    snapshots: Dict[int, FacilityState] = {}
+    base_served = np.zeros(n)
+    base_failed_at: Optional[int] = None
+    base_end: Optional[FacilityState] = None
+    for i in range(first, last + 1):
+        if i in frontiers:
+            snapshots[i] = FacilityState.capture(datacenter, controller)
+        try:
+            step = controller.step(float(samples[i]), time_s=i * dt)
+        except ConfigurationError:
+            raise
+        except ReproError:
+            base_failed_at = i
+            break
+        base_served[i] = step.served
+    else:
+        base_end = FacilityState.capture(datacenter, controller)
+    base_perf = (
+        average_performance_improvement(base_served, trace)
+        if base_failed_at is None
+        else math.nan
+    )
+
+    # Per-candidate suffixes from the divergence frontiers.
+    performances = [math.nan] * len(candidates)
+    end_states: List[Optional[FacilityState]] = [None] * len(candidates)
+    for idx, bound in enumerate(candidates):
+        frontier = frontier_of[idx]
+        if frontier is None:
+            # Shares the baseline's entire run (including its failure).
+            performances[idx] = base_perf
+            end_states[idx] = base_end
+            continue
+        if base_failed_at is not None and frontier > base_failed_at:
+            # Identical prefix through the failing step: fails identically.
+            continue
+        controller = _resumed_run(datacenter, float(bound), snapshots[frontier])
+        served = np.zeros(n)
+        served[first:frontier] = base_served[first:frontier]
+        failed = False
+        for i in range(frontier, last + 1):
+            try:
+                step = controller.step(float(samples[i]), time_s=i * dt)
+            except ConfigurationError:
+                raise
+            except ReproError:
+                failed = True
+                break
+            served[i] = step.served
+        if failed:
+            continue
+        performances[idx] = average_performance_improvement(served, trace)
+        end_states[idx] = FacilityState.capture(datacenter, controller)
+
+    # Verified-winner loop: the truncation at the last burst sample hides
+    # post-burst failures (battery recharge against live breaker budgets),
+    # so the provisional winner's tail is re-run with real physics and the
+    # candidate demoted to failed if it raises — exactly the reference
+    # path's NaN for that candidate.
+    while True:
+        best_idx: Optional[int] = None
+        for idx, perf in enumerate(performances):
+            if perf != perf:  # NaN: candidate failed
+                continue
+            if best_idx is None or perf > performances[best_idx]:
+                best_idx = idx
+        if best_idx is None:
+            raise SimulationError(
+                "oracle search failed: every candidate upper bound's run "
+                f"failed on trace {trace.name!r}"
+            )
+        if last + 1 >= n:
+            return float(candidates[best_idx]), performances[best_idx]
+        state = end_states[best_idx]
+        assert state is not None  # finite performance implies a captured end
+        controller = _resumed_run(datacenter, float(candidates[best_idx]), state)
+        survived = True
+        for i in range(last + 1, n):
+            try:
+                controller.step(float(samples[i]), time_s=i * dt)
+            except ConfigurationError:
+                raise
+            except ReproError:
+                survived = False
+                break
+        if survived:
+            return float(candidates[best_idx]), performances[best_idx]
+        performances[best_idx] = math.nan
+
+
+def _shared_prefix_with_faults(
+    datacenter: DataCenter,
+    trace: Trace,
+    candidates: Sequence[float],
+    fault_plan: FaultPlan,
+) -> Tuple[float, float]:
+    """Fault-plan variant: no coast (faults can mutate the quiescent prefix),
+    per-step needed degrees recorded from the live run (trace gaps hold the
+    last good demand), and no failure bookkeeping — recoverable errors
+    degrade the run instead of killing it, so every candidate finishes.
+    """
+    samples = trace.samples
+    dt = trace.dt_s
+    n = int(samples.size)
+    mask = samples > 1.0
+    if not bool(mask.any()):
+        return float(candidates[0]), 1.0
+    last = n - 1 - int(np.argmax(mask[::-1]))
+    eff, base_bound, eff_base = _effective_bounds(datacenter, candidates)
+
+    # Pass 1 — instrumented baseline over [0..last]: record the needed
+    # degree wherever the healthy controller attempted the step (the only
+    # samples where a bound can bind; degraded samples ignore bounds).
+    controller = _fresh_run(datacenter, base_bound)
+    injector = FaultInjector(fault_plan, datacenter)
+    base_served = np.zeros(n)
+    needed = [-math.inf] * (last + 1)
+    try:
+        for i in range(last + 1):
+            step, bound_applied, _ = _faulted_sample(
+                controller, injector, float(samples[i]), i * dt
+            )
+            if bound_applied:
+                needed[i] = controller.last_needed_degree
+            base_served[i] = step.served
+    finally:
+        # reset() only restores state; rating/capacity mutations must be
+        # undone here or pass 2 would start on a pre-degraded substrate.
+        injector.restore_substrate()
+    base_perf = average_performance_improvement(base_served, trace)
+
+    frontier_of = [_divergence_step(needed, e, eff_base, 0) for e in eff]
+    frontiers = sorted({k for k in frontier_of if k is not None})
+
+    # Pass 2 — deterministic re-run of the baseline up to the deepest
+    # frontier, capturing pre-step snapshots (including injector state).
+    snapshots: Dict[int, FacilityState] = {}
+    if frontiers:
+        controller = _fresh_run(datacenter, base_bound)
+        injector = FaultInjector(fault_plan, datacenter)
+        for i in range(frontiers[-1] + 1):
+            if i in frontiers:
+                snapshots[i] = FacilityState.capture(
+                    datacenter, controller, injector=injector
+                )
+                if i == frontiers[-1]:
+                    break
+            _faulted_sample(controller, injector, float(samples[i]), i * dt)
+
+    performances = [math.nan] * len(candidates)
+    for idx, bound in enumerate(candidates):
+        frontier = frontier_of[idx]
+        if frontier is None:
+            performances[idx] = base_perf
+            continue
+        controller = datacenter.controller(FixedUpperBoundStrategy(float(bound)))
+        controller.strategy.reset()
+        injector = FaultInjector(fault_plan, datacenter)
+        snapshots[frontier].restore(datacenter, controller, injector=injector)
+        served = np.zeros(n)
+        served[:frontier] = base_served[:frontier]
+        for i in range(frontier, last + 1):
+            step, _, _ = _faulted_sample(
+                controller, injector, float(samples[i]), i * dt
+            )
+            served[i] = step.served
+        performances[idx] = average_performance_improvement(served, trace)
+
+    best_idx = 0
+    for idx, perf in enumerate(performances):
+        if perf > performances[best_idx]:
+            best_idx = idx
+    return float(candidates[best_idx]), performances[best_idx]

@@ -128,6 +128,47 @@ class TestKernelMatchesReference:
             steps[use_kernel] = controller.history.snapshot()
         assert steps[True] == steps[False]
 
+    def test_quiescent_fast_forward_engages_and_matches(self):
+        """Flat demand is the fast-forward sweet spot: after the first
+        repeated quiescent sample the kernel replays a cached step.  The
+        replayed telemetry must still match the reference bit-for-bit,
+        and the cache must actually have engaged (otherwise this test
+        would silently stop covering the replay path)."""
+        flat = Trace(np.full(600, 0.8), dt_s=1.0, name="flat")
+        histories = {}
+        for use_kernel in (True, False):
+            dc = build_datacenter(SMALL)
+            controller = SprintingController(
+                cluster=dc.cluster,
+                topology=dc.topology,
+                cooling=dc.cooling,
+                strategy=FixedUpperBoundStrategy(3.0),
+                use_kernel=use_kernel,
+            )
+            for i, demand in enumerate(flat):
+                controller.step(demand, float(i))
+            if use_kernel:
+                assert controller._ff_step is not None
+            histories[use_kernel] = controller.history.snapshot()
+        assert histories[True] == histories[False]
+
+    def test_fast_forward_cache_invalidated_by_burst(self):
+        """A burst breaks the fixed point; post-burst steps must still be
+        identical to the reference (the cache re-arms with fresh state)."""
+        values = np.concatenate([
+            np.full(120, 0.8), np.full(90, 2.4), np.full(240, 0.8)
+        ])
+        trace = Trace(values, dt_s=1.0, name="flat-burst-flat")
+        fast = run_simulation(
+            build_datacenter(SMALL), trace,
+            FixedUpperBoundStrategy(3.0), use_kernel=True,
+        )
+        ref = run_simulation(
+            build_datacenter(SMALL), trace,
+            FixedUpperBoundStrategy(3.0), use_kernel=False,
+        )
+        assert_results_identical(fast, ref)
+
     def test_per_field_equality_is_exact(self):
         """Spot-check that equality above really is field-by-field exact."""
         trace = random_trace(40, n=240)

@@ -76,6 +76,26 @@ class TestFixedAndOracle:
         with pytest.raises(ConfigurationError):
             oracle_search(lambda ub: ub, [])
 
+    def test_oracle_search_tie_keeps_lowest_bound(self):
+        """The argmax is strict: equal performances keep the *first*
+        candidate, which on an ascending grid is the lowest winning
+        bound (the least aggressive policy attaining the optimum)."""
+        oracle = oracle_search(
+            evaluate=lambda ub: 1.0,  # flat landscape: everything ties
+            candidates=[2.0, 2.5, 3.0, 4.0],
+        )
+        assert oracle.upper_bound == 2.0
+
+    def test_oracle_search_tie_is_order_dependent(self):
+        """First-wins means the caller's ordering decides ties — pinned
+        so all Oracle reductions (serial, pooled, shared-prefix) stay
+        mutually consistent."""
+        plateau = {2.0: 1.8, 3.0: 1.8, 4.0: 1.2}
+        ascending = oracle_search(plateau.__getitem__, [2.0, 3.0, 4.0])
+        descending = oracle_search(plateau.__getitem__, [4.0, 3.0, 2.0])
+        assert ascending.upper_bound == 2.0
+        assert descending.upper_bound == 3.0
+
 
 class TestUpperBoundTable:
     def make_table(self):
@@ -100,6 +120,25 @@ class TestUpperBoundTable:
     def test_empty_lookup_rejected(self):
         with pytest.raises(ConfigurationError):
             UpperBoundTable().lookup(100.0, 3.0)
+
+    def test_midpoint_ties_snap_to_lower_grid_point(self):
+        """A query exactly midway between grid points takes the lower
+        point on both axes (min keeps the first of equal keys and the
+        axes are sorted ascending)."""
+        table = self.make_table()
+        assert table.lookup(600.0, 3.0) == 4.0  # duration midpoint -> 300
+        assert table.lookup(300.0, 3.3) == 4.0  # degree midpoint -> 3.0
+        assert table.lookup(600.0, 3.3) == 4.0  # both midway -> (300, 3.0)
+
+    def test_midpoint_tie_break_independent_of_insertion_order(self):
+        """`set` keeps the axis lists sorted, so the lower-point rule
+        holds however the grid was populated."""
+        table = UpperBoundTable()
+        table.set(900.0, 3.6, 2.0)
+        table.set(300.0, 3.6, 3.5)
+        table.set(900.0, 3.0, 2.5)
+        table.set(300.0, 3.0, 4.0)
+        assert table.lookup(600.0, 3.3) == 4.0
 
 
 class TestPrediction:

@@ -83,6 +83,60 @@ class TestPoolPersistence:
         assert runner._pool is None
 
 
+class TestRunnerLifecycle:
+    """`close()` latches the runner shut; further submissions are a
+    programming error with a clear message, not a silent pool rebuild."""
+
+    def test_double_close_is_idempotent(self):
+        runner = SweepRunner(max_workers=1)
+        runner.close()
+        runner.close()
+        assert runner._pool is None
+
+    def test_submit_after_close_raises(self):
+        from repro.errors import ConfigurationError
+
+        runner = SweepRunner(max_workers=1)
+        runner.run_tasks(
+            [SweepTask(burst_trace(), StrategySpec.greedy(), SMALL)]
+        )
+        runner.close()
+        task = SweepTask(burst_trace(), StrategySpec.greedy(), SMALL)
+        with pytest.raises(ConfigurationError, match="closed"):
+            runner.run_tasks([task])
+        with pytest.raises(ConfigurationError, match="closed"):
+            runner.oracle_search(burst_trace(), candidates=(2.0, 3.0))
+        with pytest.raises(ConfigurationError, match="closed"):
+            runner.build_upper_bound_table(
+                burst_durations_min=(2.0,),
+                burst_degrees=(3.0,),
+                candidates=(2.0, 3.0),
+                config=SMALL,
+            )
+
+    def test_context_manager_closes_on_exit(self):
+        from repro.errors import ConfigurationError
+
+        with SweepRunner(max_workers=1) as runner:
+            results = runner.run_tasks(
+                [SweepTask(burst_trace(), StrategySpec.greedy(), SMALL)]
+            )
+            assert len(results) == 1
+        with pytest.raises(ConfigurationError, match="closed"):
+            runner.run_tasks(
+                [SweepTask(burst_trace(), StrategySpec.greedy(), SMALL)]
+            )
+
+    def test_entering_a_closed_runner_raises(self):
+        from repro.errors import ConfigurationError
+
+        runner = SweepRunner(max_workers=1)
+        runner.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            with runner:
+                pass  # pragma: no cover - __enter__ must raise
+
+
 class TestWorkerReuseCorrectness:
     def test_shipped_path_matches_reference_path(self):
         """The worker entry point (cached facility, shipped trace) must be

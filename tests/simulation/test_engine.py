@@ -142,11 +142,13 @@ class TestEngineRunnerDelegation:
         first = oracle_for_trace(
             trace, SMALL, candidates=(2.0, 3.0), runner=runner
         )
-        assert runner.misses == 2 and runner.hits == 0
+        # A whole Oracle search caches as one entry (not one per
+        # candidate): a cold search is one miss, a warm one one hit.
+        assert runner.misses == 1 and runner.hits == 0
         second = oracle_for_trace(
             trace, SMALL, candidates=(2.0, 3.0), runner=runner
         )
-        assert runner.hits == 2
+        assert runner.hits == 1
         assert first.upper_bound == second.upper_bound
         assert first.achieved_performance == second.achieved_performance
 
