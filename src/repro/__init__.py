@@ -27,6 +27,7 @@ from repro.core import (
     FixedUpperBoundStrategy,
     GreedyStrategy,
     HeuristicStrategy,
+    MPCStrategy,
     MultiGroupController,
     OracleStrategy,
     PowerCappingBaseline,
@@ -93,6 +94,7 @@ __all__ = [
     "FixedUpperBoundStrategy",
     "GreedyStrategy",
     "HeuristicStrategy",
+    "MPCStrategy",
     "OracleStrategy",
     "PowerSafetyError",
     "PredictionStrategy",

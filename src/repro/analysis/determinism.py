@@ -26,6 +26,10 @@ HOT_PATH_SUFFIXES = (
     "repro/core/kernel.py",
     "repro/core/controller.py",
     "repro/simulation/engine.py",
+    # The MPC rollout planner forks and restores the live facility
+    # mid-run; any nondeterminism here would break the rollout
+    # no-perturbation contract and the sweep cache.
+    "repro/simulation/rollout.py",
 )
 
 #: Attribute calls that read wall clocks or entropy sources.

@@ -31,10 +31,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:
-    from repro.simulation.batch import SweepOutcome, SweepRunner
+    from repro.core.strategies import MPCStrategy, SprintingStrategy
+    from repro.simulation.batch import StrategySpec, SweepOutcome, SweepRunner
     from repro.simulation.faults import FaultPlan
     from repro.workloads.traces import Trace
 
@@ -53,6 +54,59 @@ from repro.workloads.ms_trace import default_ms_trace
 from repro.workloads.yahoo_trace import generate_yahoo_trace
 
 _ORACLE_GRID = (2.0, 2.5, 3.0, 3.5, 4.0)
+
+_MPC_FLAG_HELP = {
+    "horizon": "MPC lookahead horizon, seconds (default 600)",
+    "replan": "MPC in-burst re-plan cadence, seconds "
+              "(default: plan once per burst)",
+    "candidates": "MPC candidate degree bounds "
+                  "(comma-separated; default 1.0..4.0 step 0.25)",
+    "forecast": "MPC demand forecast: perfect (look at the trace) or "
+                "predicted (hold demand for the predicted burst duration)",
+    "predicted-duration": "predicted burst duration, seconds "
+                          "(required for --mpc-forecast predicted)",
+}
+
+
+def _add_mpc_arguments(parser: argparse.ArgumentParser) -> None:
+    """The MPC knobs shared by ``simulate``, ``sweep`` and ``economics``."""
+    parser.add_argument("--mpc-horizon", type=float, default=600.0,
+                        help=_MPC_FLAG_HELP["horizon"])
+    parser.add_argument("--mpc-replan", type=float, default=None,
+                        help=_MPC_FLAG_HELP["replan"])
+    parser.add_argument("--mpc-candidates", default=None,
+                        help=_MPC_FLAG_HELP["candidates"])
+    parser.add_argument("--mpc-forecast", default="perfect",
+                        choices=("perfect", "predicted"),
+                        help=_MPC_FLAG_HELP["forecast"])
+    parser.add_argument("--mpc-predicted-duration", type=float, default=None,
+                        help=_MPC_FLAG_HELP["predicted-duration"])
+
+
+def _mpc_candidates_from_args(args: argparse.Namespace) -> Tuple[float, ...]:
+    from repro.core.strategies import DEFAULT_MPC_CANDIDATES
+
+    if args.mpc_candidates:
+        return tuple(
+            _parse_float_list(args.mpc_candidates, "--mpc-candidates")
+        )
+    return DEFAULT_MPC_CANDIDATES
+
+
+def _mpc_strategy_from_args(args: argparse.Namespace) -> "MPCStrategy":
+    from repro.core.strategies import MPCStrategy
+    from repro.errors import ConfigurationError
+
+    try:
+        return MPCStrategy(
+            candidate_bounds=_mpc_candidates_from_args(args),
+            horizon_s=args.mpc_horizon,
+            replan_interval_s=args.mpc_replan,
+            forecast=args.mpc_forecast,
+            predicted_burst_duration_s=args.mpc_predicted_duration,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad MPC configuration: {exc}")
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
@@ -137,7 +191,7 @@ def _cmd_testbed(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_economics(_args: argparse.Namespace) -> int:
+def _cmd_economics(args: argparse.Namespace) -> int:
     for users_ratio, label in ((4.0, "U_t = 4U_0"), (6.0, "U_t = 6U_0")):
         print(f"{label} ($M/month):")
         by_degree = {}
@@ -151,6 +205,44 @@ def _cmd_economics(_args: argparse.Namespace) -> int:
             print(f"  {n:>4.1f} {row['C'] / 1e6:>6.2f} "
                   f"{row[0.5] / 1e6:>6.2f} {row[0.75] / 1e6:>6.2f} "
                   f"{row[1.0] / 1e6:>6.2f}")
+    if getattr(args, "strategy", None):
+        return _economics_for_strategy(args)
+    return 0
+
+
+def _economics_for_strategy(args: argparse.Namespace) -> int:
+    """Revenue a *realized* run can monetize, not the Fig. 5 ideal.
+
+    Fig. 5 assumes the facility always sprints at the provisioned degree
+    N; a live controller realizes whatever degree its strategy and its
+    energy reserves allow.  Simulating the chosen strategy on the chosen
+    trace and feeding the realized peak degree into the per-trace revenue
+    model shows how much of the ideal revenue the controller captures.
+    """
+    from repro.economics.analysis import monthly_revenue_for_trace
+
+    trace = _trace_by_name(args.trace)
+    if args.strategy == "greedy":
+        strategy: "SprintingStrategy" = GreedyStrategy()
+    elif args.strategy == "mpc":
+        strategy = _mpc_strategy_from_args(args)
+    else:
+        raise SystemExit(f"unknown strategy {args.strategy!r}")
+    result = simulate_strategy(trace, strategy)
+    realized_degree = max(1.0, result.peak_degree)
+    realized = monthly_revenue_for_trace(
+        trace, max_sprinting_degree=realized_degree
+    )
+    ideal = monthly_revenue_for_trace(
+        trace, max_sprinting_degree=DEFAULT_CONFIG.max_sprinting_degree
+    )
+    captured = realized / ideal if ideal > 0.0 else 1.0
+    print(f"realized revenue ({result.strategy_name} on {trace.name}):")
+    print(f"  realized peak degree : {realized_degree:.2f} "
+          f"(avg performance {result.average_performance:.2f}x)")
+    print(f"  monthly revenue      : ${realized / 1e6:.2f} M "
+          f"({captured:.0%} of the N={DEFAULT_CONFIG.max_sprinting_degree:g} "
+          f"ideal ${ideal / 1e6:.2f} M)")
     return 0
 
 
@@ -181,13 +273,16 @@ def _fault_plan_from_args(args: argparse.Namespace) -> Optional["FaultPlan"]:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.core.strategies import FixedUpperBoundStrategy
+    from repro.core.strategies import FixedUpperBoundStrategy, MPCStrategy
 
     trace = _trace_by_name(args.trace)
+    strategy: "SprintingStrategy"
     if args.strategy == "greedy":
         strategy = GreedyStrategy()
     elif args.strategy == "fixed":
         strategy = FixedUpperBoundStrategy(args.bound)
+    elif args.strategy == "mpc":
+        strategy = _mpc_strategy_from_args(args)
     else:
         raise SystemExit(f"unknown strategy {args.strategy!r}")
     plan = _fault_plan_from_args(args)
@@ -198,6 +293,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"dropped demand      : {100 * summary['drop_fraction']:.1f}%")
     print(f"peak degree         : {summary['peak_degree']:.2f}")
     print(f"peak room temp      : {summary['peak_room_temperature_c']:.1f} C")
+    if isinstance(strategy, MPCStrategy):
+        if strategy.plan_log:
+            print(f"mpc plans ({len(strategy.plan_log)}):")
+            for plan_time_s, bound in strategy.plan_log:
+                print(f"  t={plan_time_s:>7.1f}s  bound={bound:.2f}")
+        else:
+            print("mpc plans: none (no burst onset observed)")
     if plan is not None:
         if result.fault_events:
             print(f"fault events ({len(result.fault_events)}):")
@@ -343,8 +445,27 @@ def _sweep_cell(result: "SweepOutcome") -> str:
     return cell
 
 
+def _sweep_spec_from_args(args: argparse.Namespace) -> "StrategySpec":
+    """The sensitivity-sweep strategy: Greedy (default) or MPC."""
+    from repro.errors import ConfigurationError
+    from repro.simulation.batch import StrategySpec
+
+    if args.strategy == "greedy":
+        return StrategySpec.greedy()
+    try:
+        return StrategySpec.mpc(
+            candidate_bounds=_mpc_candidates_from_args(args),
+            horizon_s=args.mpc_horizon,
+            replan_interval_s=args.mpc_replan,
+            forecast=args.mpc_forecast,
+            predicted_burst_duration_s=args.mpc_predicted_duration,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad MPC configuration: {exc}")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.simulation.batch import StrategySpec, SweepTask
+    from repro.simulation.batch import SweepTask
 
     if not (args.headroom or args.pue or args.table):
         print("nothing to sweep: pass --headroom, --pue and/or --table")
@@ -353,20 +474,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     fault_plan = _fault_plan_from_args(args)
     if args.headroom or args.pue:
         trace = default_ms_trace()
+        spec = _sweep_spec_from_args(args)
+        label = args.strategy.upper() if args.strategy == "mpc" else "Greedy"
     if args.headroom:
         headrooms = (0.0, 0.05, 0.10, 0.15, 0.20)
         outcomes = runner.run_tasks(
             [
                 SweepTask(
                     trace,
-                    StrategySpec.greedy(),
+                    spec,
                     DataCenterConfig(dc_headroom_fraction=h),
                     fault_plan,
                 )
                 for h in headrooms
             ]
         )
-        print("DC headroom sweep (MS trace, Greedy):")
+        print(f"DC headroom sweep (MS trace, {label}):")
         for headroom, outcome in zip(headrooms, outcomes):
             print(f"  {headroom:>5.0%} : {_sweep_cell(outcome)}")
     if args.pue:
@@ -375,14 +498,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             [
                 SweepTask(
                     trace,
-                    StrategySpec.greedy(),
+                    spec,
                     DataCenterConfig(pue=p),
                     fault_plan,
                 )
                 for p in pues
             ]
         )
-        print("PUE sweep (MS trace, Greedy):")
+        print(f"PUE sweep (MS trace, {label}):")
         for pue, outcome in zip(pues, outcomes):
             print(f"  {pue:>5.2f} : {_sweep_cell(outcome)}")
     if args.table:
@@ -466,9 +589,18 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "testbed", help="the Fig. 11 reserved-trip-time sweep"
     ).set_defaults(func=_cmd_testbed)
-    subparsers.add_parser(
+    economics = subparsers.add_parser(
         "economics", help="the Fig. 5 cost/revenue table"
-    ).set_defaults(func=_cmd_economics)
+    )
+    economics.add_argument("--strategy", default=None,
+                           choices=("greedy", "mpc"),
+                           help="also report the revenue a realized run of "
+                                "this strategy captures")
+    economics.add_argument("--trace", default="yahoo15",
+                           choices=("ms", "yahoo5", "yahoo15"),
+                           help="trace for --strategy (default yahoo15)")
+    _add_mpc_arguments(economics)
+    economics.set_defaults(func=_cmd_economics)
 
     simulate = subparsers.add_parser(
         "simulate",
@@ -478,11 +610,12 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("ms", "yahoo5", "yahoo15"),
                           help="workload trace (default ms)")
     simulate.add_argument("--strategy", default="greedy",
-                          choices=("greedy", "fixed"),
+                          choices=("greedy", "fixed", "mpc"),
                           help="sprinting strategy (default greedy)")
     simulate.add_argument("--bound", type=float, default=3.0,
                           help="upper bound for --strategy fixed "
                                "(default 3.0)")
+    _add_mpc_arguments(simulate)
     simulate.add_argument("--fault", action="append", metavar="SPEC",
                           help="inject a fault, e.g. breaker@120s, "
                                "chiller@300s:fraction=0.5,duration=120, "
@@ -495,6 +628,11 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="batched sweeps: sensitivity studies and the Oracle table",
     )
+    sweep.add_argument("--strategy", default="greedy",
+                       choices=("greedy", "mpc"),
+                       help="strategy for the sensitivity sweeps "
+                            "(default greedy)")
+    _add_mpc_arguments(sweep)
     sweep.add_argument("--headroom", action="store_true",
                        help="sweep the DC headroom 0-20%%")
     sweep.add_argument("--pue", action="store_true",

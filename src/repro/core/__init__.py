@@ -33,9 +33,11 @@ from repro.core.phases import PhaseTracker, SprintPhase, classify_phase
 from repro.core.safety import SafetyEvent, SafetyMonitor
 from repro.core.strategies import (
     DEFAULT_FLEXIBILITY_PERCENT,
+    DEFAULT_MPC_CANDIDATES,
     FixedUpperBoundStrategy,
     GreedyStrategy,
     HeuristicStrategy,
+    MPCStrategy,
     OracleStrategy,
     PredictionStrategy,
     SprintingStrategy,
@@ -56,9 +58,11 @@ __all__ = [
     "ControllerSettings",
     "DEFAULT_BUDGET_HORIZON_S",
     "DEFAULT_FLEXIBILITY_PERCENT",
+    "DEFAULT_MPC_CANDIDATES",
     "EnergyBudget",
     "FixedUpperBoundStrategy",
     "GreedyStrategy",
+    "MPCStrategy",
     "GroupStep",
     "MultiGroupController",
     "MultiGroupStep",

@@ -20,7 +20,7 @@ strategies are implemented here:
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.core.strategies import (
     PredictionStrategy,
@@ -85,6 +85,35 @@ class AdaptivePredictionStrategy(PredictionStrategy):
         self.estimator.reset()
         self._was_in_burst = False
         self._elapsed_s = 0.0
+
+    def snapshot_state(self) -> Optional[Tuple[Any, ...]]:
+        """Prediction's tuple extended with the live-estimation state.
+
+        The parent's 3-tuple alone would silently drop the burst-edge
+        tracker, the refreshed ``BDu_p`` and the estimator's learned
+        history — a restored fork would then re-learn (or forget) bursts
+        the original run knew about.
+        """
+        base = super().snapshot_state()
+        assert base is not None
+        return base + (
+            self._was_in_burst,
+            self._elapsed_s,
+            self.predicted_burst_duration_s,
+            self.estimator.snapshot_history(),
+        )
+
+    def restore_state(self, state: Optional[Tuple[Any, ...]]) -> None:
+        """Restore the tuple captured by :meth:`snapshot_state`."""
+        if state is None or len(state) != 7:
+            raise ConfigurationError(
+                f"adaptive-prediction strategy cannot restore state {state!r}"
+            )
+        super().restore_state(state[:3])
+        self._was_in_burst = state[3]
+        self._elapsed_s = state[4]
+        self.predicted_burst_duration_s = state[5]
+        self.estimator.restore_history(state[6])
 
 
 class RecedingHorizonStrategy(SprintingStrategy):
@@ -195,3 +224,34 @@ class RecedingHorizonStrategy(SprintingStrategy):
         self._elapsed_s = 0.0
         if self.estimator is not None:
             self.estimator.reset()
+
+    def snapshot_state(self) -> Optional[Tuple[Any, ...]]:
+        """Budget scale, burst-edge tracker and estimator history."""
+        history = (
+            None
+            if self.estimator is None
+            else self.estimator.snapshot_history()
+        )
+        return (
+            self._budget_total_j,
+            self._was_in_burst,
+            self._elapsed_s,
+            history,
+        )
+
+    def restore_state(self, state: Optional[Tuple[Any, ...]]) -> None:
+        """Restore the tuple captured by :meth:`snapshot_state`."""
+        if state is None or len(state) != 4:
+            raise ConfigurationError(
+                f"receding-horizon strategy cannot restore state {state!r}"
+            )
+        if (state[3] is None) != (self.estimator is None):
+            raise ConfigurationError(
+                "receding-horizon snapshot and strategy disagree about "
+                "the presence of a duration estimator"
+            )
+        self._budget_total_j = state[0]
+        self._was_in_burst = state[1]
+        self._elapsed_s = state[2]
+        if self.estimator is not None:
+            self.estimator.restore_history(state[3])

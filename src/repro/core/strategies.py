@@ -40,6 +40,18 @@ from repro.units import (
 #: Default flexibility factor K% of the Heuristic strategy (Section VII-B).
 DEFAULT_FLEXIBILITY_PERCENT = 10.0
 
+#: Default candidate grid for the MPC strategy's rollouts: the same 13
+#: evenly spaced bounds as the Oracle's exhaustive-search grid
+#: (:data:`repro.simulation.engine.DEFAULT_ORACLE_GRID`), restated here so
+#: the core layer never imports the simulation layer.  Equality of the two
+#: grids is pinned by ``tests/simulation/test_mpc_rollout.py``.
+DEFAULT_MPC_CANDIDATES: Tuple[float, ...] = tuple(
+    1.0 + 0.25 * i for i in range(13)
+)
+
+#: Forecast modes the MPC strategy accepts.
+MPC_FORECAST_MODES: Tuple[str, ...] = ("perfect", "predicted")
+
 #: Floor applied to the remaining-time ratio RT(t) so the Heuristic bound
 #: stays finite after the predicted sprinting duration has elapsed.
 _RT_FLOOR = 0.02
@@ -511,3 +523,161 @@ class HeuristicStrategy(SprintingStrategy):
             )
         self._budget_total_j = state[0]
         self._predicted_duration_s = state[1]
+
+
+class MPCStrategy(SprintingStrategy):
+    """Model-predictive strategy planning by forward rollouts (fork engine).
+
+    At burst onset — and again every ``replan_interval_s`` while the burst
+    lasts — the strategy asks its bound *planner* for an upper bound.  The
+    planner (:class:`repro.simulation.rollout.RolloutPlanner`) captures the
+    live :class:`~repro.simulation.snapshot.FacilityState`, rolls each
+    candidate bound forward over a short horizon against a forecast trace,
+    scores computational work minus safety-envelope violations, restores
+    the live state bit-for-bit and returns the strict first-wins argmax —
+    the same tie-break rule as :func:`oracle_search`.  Between plans the
+    committed bound is held constant, so the strategy behaves like a
+    piecewise-:class:`FixedUpperBoundStrategy` whose pieces are chosen
+    online.
+
+    The strategy itself is a pure policy object: it never imports the
+    simulation layer.  The planner is attached by
+    :func:`repro.simulation.rollout.bind_rollout_planner` (called from
+    :func:`~repro.simulation.engine.run_simulation`); unbound, the strategy
+    degenerates to Greedy behaviour — the chip maximum every step.
+
+    Parameters
+    ----------
+    candidate_bounds:
+        The rollout grid, evaluated in order (first of equals wins).
+    horizon_s:
+        Rollout lookahead.  A perfect forecast with a horizon at least the
+        remaining trace makes MPC coincide with the Oracle on single-burst
+        traces (pinned by the rollout-differential suite).
+    replan_interval_s:
+        Re-plan cadence while in-burst; ``None`` plans once per burst.
+    forecast:
+        ``"perfect"`` replays the actual trace over the horizon;
+        ``"predicted"`` synthesises demand from
+        ``predicted_burst_duration_s`` via the
+        :mod:`repro.workloads.prediction` conventions.
+    predicted_burst_duration_s:
+        ``BDu_p`` for the predicted-forecast mode (required there).
+    violation_penalty_s:
+        Served-seconds subtracted from a rollout's score per safety event
+        it provokes; rollouts that *fail* outright score ``-inf``.
+    max_degree:
+        Chip maximum degree.
+    """
+
+    name = "mpc"
+
+    def __init__(
+        self,
+        candidate_bounds: Sequence[float] = DEFAULT_MPC_CANDIDATES,
+        horizon_s: float = 600.0,
+        replan_interval_s: Optional[float] = None,
+        forecast: str = "perfect",
+        predicted_burst_duration_s: Optional[float] = None,
+        violation_penalty_s: float = 120.0,
+        max_degree: float = 4.0,
+    ) -> None:
+        if not candidate_bounds:
+            raise ConfigurationError("candidate_bounds must be non-empty")
+        for bound in candidate_bounds:
+            require_positive(float(bound), "candidate bound")
+        require_positive(horizon_s, "horizon_s")
+        if replan_interval_s is not None:
+            require_positive(replan_interval_s, "replan_interval_s")
+        if forecast not in MPC_FORECAST_MODES:
+            raise ConfigurationError(
+                f"unknown MPC forecast mode {forecast!r}; "
+                f"expected one of {MPC_FORECAST_MODES}"
+            )
+        if forecast == "predicted":
+            if predicted_burst_duration_s is None:
+                raise ConfigurationError(
+                    "the predicted forecast mode needs "
+                    "predicted_burst_duration_s"
+                )
+            require_non_negative(
+                predicted_burst_duration_s, "predicted_burst_duration_s"
+            )
+        require_non_negative(violation_penalty_s, "violation_penalty_s")
+        require_positive(max_degree, "max_degree")
+        self.candidate_bounds = tuple(float(b) for b in candidate_bounds)
+        self.horizon_s = horizon_s
+        self.replan_interval_s = replan_interval_s
+        self.forecast = forecast
+        self.predicted_burst_duration_s = predicted_burst_duration_s
+        self.violation_penalty_s = violation_penalty_s
+        self.max_degree = max_degree
+        #: Planner attached by the simulation layer; maps an observation to
+        #: the committed upper bound.  Not part of the episode state.
+        self._planner: Optional[Callable[[StrategyObservation], float]] = None
+        self._committed_bound: Optional[float] = None
+        self._last_plan_time_s: Optional[float] = None
+        self._plan_log: List[Tuple[float, float]] = []
+
+    def bind_planner(
+        self, planner: Callable[[StrategyObservation], float]
+    ) -> None:
+        """Attach the rollout planner (the simulation layer calls this)."""
+        self._planner = planner
+
+    @property
+    def planner_bound(self) -> bool:
+        """Whether a rollout planner is currently attached."""
+        return self._planner is not None
+
+    @property
+    def plan_log(self) -> Tuple[Tuple[float, float], ...]:
+        """Every committed plan this episode as ``(time_s, bound)`` pairs."""
+        return tuple(self._plan_log)
+
+    def _replan_due(self, time_s: float) -> bool:
+        if self.replan_interval_s is None:
+            return False
+        if self._last_plan_time_s is None:
+            return True
+        return time_s - self._last_plan_time_s >= self.replan_interval_s - 1e-9
+
+    def degree_upper_bound(self, obs: StrategyObservation) -> float:
+        """The committed plan's bound; plan (or re-plan) first when due."""
+        if not obs.in_burst:
+            # Bursts are planning episodes: leaving one discards the plan.
+            self._committed_bound = None
+            self._last_plan_time_s = None
+            return obs.max_degree
+        if self._planner is None:
+            return obs.max_degree
+        if self._committed_bound is None or self._replan_due(obs.time_s):
+            bound = self._planner(obs)
+            self._committed_bound = bound
+            self._last_plan_time_s = obs.time_s
+            self._plan_log.append((obs.time_s, bound))
+        return min(self._committed_bound, obs.max_degree)
+
+    def reset(self) -> None:
+        """Clear the episode plan (the planner binding is configuration)."""
+        self._committed_bound = None
+        self._last_plan_time_s = None
+        self._plan_log.clear()
+
+    def snapshot_state(self) -> Optional[Tuple[Any, ...]]:
+        """The committed plan and plan log, as a plain tuple."""
+        return (
+            self._committed_bound,
+            self._last_plan_time_s,
+            tuple(self._plan_log),
+        )
+
+    def restore_state(self, state: Optional[Tuple[Any, ...]]) -> None:
+        """Restore the tuple captured by :meth:`snapshot_state`."""
+        if state is None or len(state) != 3:
+            raise ConfigurationError(
+                f"mpc strategy cannot restore state {state!r}"
+            )
+        self._committed_bound = state[0]
+        self._last_plan_time_s = state[1]
+        self._plan_log = list(state[2])

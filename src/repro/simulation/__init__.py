@@ -49,6 +49,12 @@ from repro.simulation.reporting import (
     render_report,
     write_report,
 )
+from repro.simulation.rollout import (
+    PerfectForecast,
+    PredictedBurstForecast,
+    RolloutPlanner,
+    bind_rollout_planner,
+)
 from repro.simulation.scenarios import (
     run_with_utility_events,
     spike_during_sprint_scenario,
@@ -65,8 +71,12 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultRecord",
+    "PerfectForecast",
+    "PredictedBurstForecast",
     "ReportLine",
+    "RolloutPlanner",
     "RunFailure",
+    "bind_rollout_planner",
     "SimulationResult",
     "SizingPoint",
     "StrategySpec",

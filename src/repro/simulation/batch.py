@@ -46,9 +46,11 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 from repro.core.strategies import (
     DEFAULT_FLEXIBILITY_PERCENT,
+    DEFAULT_MPC_CANDIDATES,
     FixedUpperBoundStrategy,
     GreedyStrategy,
     HeuristicStrategy,
+    MPCStrategy,
     OracleStrategy,
     PredictionStrategy,
     SprintingStrategy,
@@ -78,7 +80,10 @@ _LOG = logging.getLogger(__name__)
 #: outcomes) changes incompatibly: old entries then miss instead of lying.
 #: v2: fault plans join the key, payloads carry a status (ok | failure),
 #: and outcomes gained fault telemetry fields.
-CACHE_FORMAT_VERSION = 2
+#: v3: StrategySpec gained the MPC fields (horizon_s, replan_interval_s,
+#: candidate_bounds, forecast, violation_penalty_s); the spec canonical
+#: form changed shape for every kind, so v2 entries must miss.
+CACHE_FORMAT_VERSION = 3
 
 #: Environment variable naming the default worker count.
 ENV_WORKERS = "REPRO_SWEEP_WORKERS"
@@ -98,7 +103,7 @@ class StrategySpec:
     """A declarative, picklable description of one sprinting strategy.
 
     Use the constructors (:meth:`greedy`, :meth:`fixed`, :meth:`prediction`,
-    :meth:`heuristic`) rather than filling fields by hand; :meth:`build`
+    :meth:`heuristic`, :meth:`mpc`) rather than filling fields by hand; :meth:`build`
     materialises the live strategy object inside a worker process.  The
     Heuristic strategy's ``additional_power_fn`` is rebuilt from the
     facility configuration at materialisation time, which is what makes the
@@ -113,6 +118,16 @@ class StrategySpec:
     max_degree: float = 4.0
     #: Flattened upper-bound table: ((duration_s, degree, bound), ...).
     table_entries: Optional[Tuple[Tuple[float, float, float], ...]] = None
+    #: MPC rollout lookahead (seconds); ``None`` for non-MPC kinds.
+    horizon_s: Optional[float] = None
+    #: MPC re-plan cadence; ``None`` plans once per burst.
+    replan_interval_s: Optional[float] = None
+    #: MPC candidate bound grid; ``None`` for non-MPC kinds.
+    candidate_bounds: Optional[Tuple[float, ...]] = None
+    #: MPC forecast mode (``"perfect"`` | ``"predicted"``).
+    forecast: Optional[str] = None
+    #: MPC safety-event penalty (served-seconds per event).
+    violation_penalty_s: Optional[float] = None
 
     @classmethod
     def greedy(cls) -> "StrategySpec":
@@ -155,6 +170,35 @@ class StrategySpec:
             estimated_best_degree=float(estimated_best_degree),
             flexibility_percent=float(flexibility_percent),
             max_degree=float(max_degree),
+        )
+
+    @classmethod
+    def mpc(
+        cls,
+        candidate_bounds: Sequence[float] = DEFAULT_MPC_CANDIDATES,
+        horizon_s: float = 600.0,
+        replan_interval_s: Optional[float] = None,
+        forecast: str = "perfect",
+        predicted_burst_duration_s: Optional[float] = None,
+        violation_penalty_s: float = 120.0,
+        max_degree: float = 4.0,
+    ) -> "StrategySpec":
+        """The model-predictive strategy (rollout planner bound at run time)."""
+        return cls(
+            kind="mpc",
+            predicted_burst_duration_s=(
+                None
+                if predicted_burst_duration_s is None
+                else float(predicted_burst_duration_s)
+            ),
+            max_degree=float(max_degree),
+            horizon_s=float(horizon_s),
+            replan_interval_s=(
+                None if replan_interval_s is None else float(replan_interval_s)
+            ),
+            candidate_bounds=tuple(float(b) for b in candidate_bounds),
+            forecast=str(forecast),
+            violation_penalty_s=float(violation_penalty_s),
         )
 
     def build(
@@ -203,6 +247,26 @@ class StrategySpec:
                 flexibility_percent=self.flexibility_percent,
                 max_degree=self.max_degree,
             )
+        if self.kind == "mpc":
+            if self.candidate_bounds is None:
+                raise ConfigurationError("mpc spec needs candidate_bounds")
+            if self.horizon_s is None:
+                raise ConfigurationError("mpc spec needs horizon_s")
+            if self.forecast is None:
+                raise ConfigurationError("mpc spec needs a forecast mode")
+            return MPCStrategy(
+                candidate_bounds=self.candidate_bounds,
+                horizon_s=self.horizon_s,
+                replan_interval_s=self.replan_interval_s,
+                forecast=self.forecast,
+                predicted_burst_duration_s=self.predicted_burst_duration_s,
+                violation_penalty_s=(
+                    120.0
+                    if self.violation_penalty_s is None
+                    else self.violation_penalty_s
+                ),
+                max_degree=self.max_degree,
+            )
         raise ConfigurationError(f"unknown strategy spec kind {self.kind!r}")
 
     def canonical(self) -> Dict:
@@ -219,6 +283,15 @@ class StrategySpec:
                 if self.table_entries is None
                 else [list(entry) for entry in self.table_entries]
             ),
+            "horizon_s": self.horizon_s,
+            "replan_interval_s": self.replan_interval_s,
+            "candidate_bounds": (
+                None
+                if self.candidate_bounds is None
+                else [float(b) for b in self.candidate_bounds]
+            ),
+            "forecast": self.forecast,
+            "violation_penalty_s": self.violation_penalty_s,
         }
 
 

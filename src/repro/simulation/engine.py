@@ -30,6 +30,7 @@ from repro.simulation.faults import (
     RECOVERABLE_FAULT_ERRORS,
 )
 from repro.simulation.metrics import SimulationResult, average_performance_improvement
+from repro.simulation.rollout import bind_rollout_planner
 from repro.simulation.snapshot import FacilityState
 from repro.workloads.traces import Trace
 
@@ -83,6 +84,9 @@ def run_simulation(
             "the trace or set the config's dt_s accordingly"
         )
     controller.strategy.reset()
+    # MPC strategies plan by forking this very facility: attach the rollout
+    # planner to the live (datacenter, controller) pair.  No-op otherwise.
+    bind_rollout_planner(strategy, datacenter, controller, trace)
 
     fault_events: list = []
     aborted_at_s: Optional[float] = None

@@ -21,6 +21,7 @@ from repro.power.utility import UtilityEvent, UtilityFeed
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
 from repro.simulation.datacenter import build_datacenter
 from repro.simulation.metrics import SimulationResult
+from repro.simulation.rollout import bind_rollout_planner
 from repro.workloads.ms_trace import default_ms_trace
 from repro.workloads.traces import Trace
 
@@ -48,6 +49,7 @@ def run_with_utility_events(
             f"controller step ({controller.settings.dt_s:g} s)"
         )
     controller.strategy.reset()
+    bind_rollout_planner(controller.strategy, datacenter, controller, trace)
     feed = UtilityFeed(
         nominal_capacity_w=datacenter.topology.dc_breaker.rated_power_w,
         events=list(events),

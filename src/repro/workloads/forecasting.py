@@ -21,7 +21,7 @@ sample from the live demand signal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.units import require_fraction, require_non_negative, require_positive
@@ -170,6 +170,18 @@ class BurstDurationEstimator:
         """Predicted total duration of a burst that has run ``elapsed_s``."""
         require_non_negative(elapsed_s, "elapsed_s")
         return max(self.historical_mean_s, elapsed_s * self.hazard_factor)
+
+    def snapshot_history(self) -> Tuple[float, ...]:
+        """The completed-burst history as a plain tuple.
+
+        Backs the strategy-level ``snapshot_state`` hooks of the adaptive
+        strategies, which the snapshot/fork engine round-trips bit-for-bit.
+        """
+        return tuple(self._history)
+
+    def restore_history(self, history: Sequence[float]) -> None:
+        """Restore a history captured by :meth:`snapshot_history`."""
+        self._history = list(history)
 
     def reset(self) -> None:
         """Clear the learned history."""

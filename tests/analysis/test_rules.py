@@ -118,6 +118,17 @@ class TestDeterminismRule:
         assert len(report.findings) == 1
         assert "sqrt" in report.findings[0].message
 
+    def test_rollout_module_is_a_hot_path(self, tmp_path):
+        """The MPC rollout planner carries the same bit-for-bit contract
+        as the kernel: wall clocks inside it must be flagged."""
+        report = run_rule(
+            DeterminismRule(),
+            tmp_path,
+            "import time\nstarted = time.monotonic()\n",
+            relpath="repro/simulation/rollout.py",
+        )
+        assert [f.rule for f in report.findings] == ["determinism"]
+
     def test_cold_path_is_exempt(self, tmp_path):
         report = run_rule(
             DeterminismRule(),

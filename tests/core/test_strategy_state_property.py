@@ -1,0 +1,159 @@
+"""Property suite: every strategy's snapshot/restore round-trips exactly.
+
+The snapshot/fork engine (and therefore the shared-prefix Oracle search
+and the MPC rollout planner) relies on ``snapshot_state`` /
+``restore_state`` being an exact inverse pair on *every* strategy, at any
+point of any episode.  Hypothesis drives each strategy through randomized
+sequences of the operations a controller can apply — observations,
+realized-degree feedback, budget-scale updates and resets — snapshots
+mid-sequence, keeps mutating, restores, and demands the re-captured state
+compare equal with ``==`` (plain tuples of floats/bools: bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.adaptive import (
+    AdaptivePredictionStrategy,
+    RecedingHorizonStrategy,
+)
+from repro.core.strategies import (
+    FixedUpperBoundStrategy,
+    GreedyStrategy,
+    HeuristicStrategy,
+    MPCStrategy,
+    PredictionStrategy,
+    StrategyObservation,
+    UpperBoundTable,
+)
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.datacenter import build_datacenter
+from repro.workloads.forecasting import BurstDurationEstimator
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=50)
+
+#: One shared cluster: strategies only read its pure power/capacity model.
+_CLUSTER = build_datacenter(SMALL).cluster
+
+
+def _table() -> UpperBoundTable:
+    table = UpperBoundTable()
+    table.set(300.0, 3.2, 4.0)
+    table.set(600.0, 3.2, 3.0)
+    table.set(900.0, 3.2, 2.5)
+    return table
+
+
+STRATEGY_FACTORIES = {
+    "greedy": GreedyStrategy,
+    "fixed": lambda: FixedUpperBoundStrategy(2.5),
+    "prediction": lambda: PredictionStrategy(_table(), 900.0),
+    "heuristic": lambda: HeuristicStrategy(
+        2.4, _CLUSTER.additional_power_at_degree_w
+    ),
+    "adaptive-prediction": lambda: AdaptivePredictionStrategy(_table()),
+    "receding-horizon": lambda: RecedingHorizonStrategy(
+        _CLUSTER, predicted_burst_duration_s=900.0
+    ),
+    "receding-horizon-estimator": lambda: RecedingHorizonStrategy(
+        _CLUSTER, estimator=BurstDurationEstimator(prior_duration_s=600.0)
+    ),
+    "mpc": lambda: MPCStrategy(
+        candidate_bounds=(2.0, 3.0, 4.0), horizon_s=600.0
+    ),
+}
+
+_finite = dict(allow_nan=False, allow_infinity=False)
+
+OBSERVATIONS = st.builds(
+    StrategyObservation,
+    time_s=st.floats(min_value=0.0, max_value=1e4, **_finite),
+    demand=st.floats(min_value=0.0, max_value=4.0, **_finite),
+    in_burst=st.booleans(),
+    time_in_burst_s=st.floats(min_value=0.0, max_value=2e3, **_finite),
+    budget_fraction_remaining=st.floats(min_value=0.0, max_value=1.0, **_finite),
+    max_degree=st.just(4.0),
+)
+
+#: One controller-shaped operation on a strategy.
+OPERATIONS = st.one_of(
+    st.tuples(st.just("observe"), OBSERVATIONS),
+    st.tuples(
+        st.just("notify"),
+        st.floats(min_value=0.0, max_value=4.0, **_finite),
+        st.floats(min_value=0.1, max_value=5.0, **_finite),
+        st.booleans(),
+    ),
+    st.tuples(
+        st.just("budget"),
+        st.floats(min_value=0.0, max_value=1e9, **_finite),
+    ),
+    st.tuples(st.just("reset")),
+)
+
+OPERATION_SEQUENCES = st.lists(OPERATIONS, max_size=25)
+
+
+def _apply(strategy, op) -> None:
+    if op[0] == "observe":
+        strategy.degree_upper_bound(op[1])
+    elif op[0] == "notify":
+        strategy.notify_realized(op[1], op[2], op[3])
+    elif op[0] == "budget":
+        # Duck-typed, exactly as the controller does it at burst start.
+        scale = getattr(strategy, "set_budget_scale", None)
+        if scale is not None:
+            scale(op[1])
+    else:
+        strategy.reset()
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("kind", sorted(STRATEGY_FACTORIES))
+    @given(prefix=OPERATION_SEQUENCES, suffix=OPERATION_SEQUENCES)
+    @settings(
+        max_examples=40,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_restore_inverts_any_mutation(self, kind, prefix, suffix):
+        """snapshot → arbitrary further ops → restore → snapshot equal."""
+        strategy = STRATEGY_FACTORIES[kind]()
+        for op in prefix:
+            _apply(strategy, op)
+        state = strategy.snapshot_state()
+        for op in suffix:
+            _apply(strategy, op)
+        strategy.restore_state(state)
+        assert strategy.snapshot_state() == state
+
+    @pytest.mark.parametrize("kind", sorted(STRATEGY_FACTORIES))
+    @given(ops=OPERATION_SEQUENCES, probe=OBSERVATIONS)
+    @settings(
+        max_examples=40,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_restored_strategy_reproduces_the_next_bound(
+        self, kind, ops, probe
+    ):
+        """Beyond state equality: the restored strategy *behaves* the same
+        on the next observation as the original would have."""
+        strategy = STRATEGY_FACTORIES[kind]()
+        for op in ops:
+            _apply(strategy, op)
+        state = strategy.snapshot_state()
+        expected = strategy.degree_upper_bound(probe)
+        strategy.restore_state(state)
+        assert strategy.degree_upper_bound(probe) == expected
+
+    @pytest.mark.parametrize("kind", sorted(STRATEGY_FACTORIES))
+    def test_fresh_snapshot_restores_onto_fresh_instance(self, kind):
+        """A snapshot taken from one instance restores onto another —
+        what the rollout planner's surrogate controllers rely on."""
+        factory = STRATEGY_FACTORIES[kind]
+        source, target = factory(), factory()
+        target.restore_state(source.snapshot_state())
+        assert target.snapshot_state() == source.snapshot_state()

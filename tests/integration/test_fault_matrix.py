@@ -16,6 +16,7 @@ from repro.core.strategies import (
     FixedUpperBoundStrategy,
     GreedyStrategy,
     HeuristicStrategy,
+    MPCStrategy,
     PredictionStrategy,
     UpperBoundTable,
 )
@@ -53,6 +54,8 @@ def _strategies(trace):
         FixedUpperBoundStrategy(3.0),
         PredictionStrategy(_table(), trace.over_capacity_time_s()),
         HeuristicStrategy(2.4, cluster.additional_power_at_degree_w),
+        # A small grid/horizon keeps the rollouts cheap on the full facility.
+        MPCStrategy(candidate_bounds=(2.0, 3.0, 4.0), horizon_s=300.0),
     ]
 
 

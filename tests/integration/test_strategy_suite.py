@@ -12,6 +12,7 @@ from repro.core.strategies import (
     FixedUpperBoundStrategy,
     GreedyStrategy,
     HeuristicStrategy,
+    MPCStrategy,
     PredictionStrategy,
     UpperBoundTable,
 )
@@ -58,6 +59,17 @@ class TestEveryStrategyRuns:
                 small_cluster,
                 predicted_burst_duration_s=long_burst.over_capacity_time_s(),
             ),
+            MPCStrategy(
+                candidate_bounds=(2.0, 2.5, 3.0, 3.5, 4.0),
+                horizon_s=float(len(long_burst)),
+            ),
+            MPCStrategy(
+                candidate_bounds=(2.0, 2.5, 3.0, 3.5, 4.0),
+                horizon_s=600.0,
+                replan_interval_s=120.0,
+                forecast="predicted",
+                predicted_burst_duration_s=long_burst.over_capacity_time_s(),
+            ),
         ]
         for strategy in strategies:
             result = simulate_strategy(long_burst, strategy, SMALL)
@@ -78,6 +90,10 @@ class TestEveryStrategyRuns:
             RecedingHorizonStrategy(
                 small_cluster,
                 predicted_burst_duration_s=long_burst.over_capacity_time_s(),
+            ),
+            MPCStrategy(
+                candidate_bounds=(2.0, 2.5, 3.0, 3.5, 4.0),
+                horizon_s=float(len(long_burst)),
             ),
         ):
             result = simulate_strategy(long_burst, strategy, SMALL)

@@ -458,6 +458,118 @@ class TestExecuteTaskFailureHandling:
         assert runner.hits == 1 and runner.misses == 1
 
 
+class TestMPCSpec:
+    """MPC through the batch engine: spec fidelity, cache-key coverage,
+    parallel determinism and cached-failure semantics."""
+
+    BASE = StrategySpec.mpc(
+        candidate_bounds=(2.0, 3.0, 4.0),
+        horizon_s=120.0,
+        replan_interval_s=60.0,
+    )
+
+    #: One deliberate perturbation per StrategySpec field.  Adding a field
+    #: to StrategySpec without extending this map fails the coverage test
+    #: below — the same guard FIELD_PERTURBATIONS gives DataCenterConfig.
+    SPEC_FIELD_PERTURBATIONS = {
+        "kind": {"kind": "greedy"},
+        "upper_bound": {"upper_bound": 2.5},
+        "predicted_burst_duration_s": {"predicted_burst_duration_s": 900.0},
+        "estimated_best_degree": {"estimated_best_degree": 2.4},
+        "flexibility_percent": {"flexibility_percent": 20.0},
+        "max_degree": {"max_degree": 3.5},
+        "table_entries": {"table_entries": ((300.0, 3.2, 4.0),)},
+        "horizon_s": {"horizon_s": 300.0},
+        "replan_interval_s": {"replan_interval_s": 30.0},
+        "candidate_bounds": {"candidate_bounds": (2.0, 3.0)},
+        "forecast": {"forecast": "predicted"},
+        "violation_penalty_s": {"violation_penalty_s": 60.0},
+    }
+
+    def test_perturbation_map_covers_every_spec_field(self):
+        spec_fields = {f.name for f in dataclasses.fields(StrategySpec)}
+        assert set(self.SPEC_FIELD_PERTURBATIONS) == spec_fields, (
+            "a StrategySpec field has no cache-key perturbation case; "
+            "add it to SPEC_FIELD_PERTURBATIONS"
+        )
+
+    @pytest.mark.parametrize(
+        "field_name", sorted(SPEC_FIELD_PERTURBATIONS)
+    )
+    def test_any_spec_field_changes_the_key(self, field_name):
+        base = SweepTask(burst_trace(), self.BASE, SMALL)
+        changed_spec = dataclasses.replace(
+            self.BASE, **self.SPEC_FIELD_PERTURBATIONS[field_name]
+        )
+        changed = SweepTask(burst_trace(), changed_spec, SMALL)
+        assert base.cache_key() != changed.cache_key()
+
+    def test_spec_builds_a_faithful_strategy(self):
+        from repro.core.strategies import MPCStrategy
+
+        strategy = self.BASE.build(SMALL)
+        assert isinstance(strategy, MPCStrategy)
+        assert strategy.candidate_bounds == (2.0, 3.0, 4.0)
+        assert strategy.horizon_s == 120.0
+        assert strategy.replan_interval_s == 60.0
+        assert strategy.forecast == "perfect"
+
+    def test_incomplete_mpc_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="mpc spec"):
+            StrategySpec(kind="mpc").build(SMALL)
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(self.BASE)) == self.BASE
+
+    def test_parallel_mpc_identical_to_serial(self, monkeypatch):
+        """Element-wise serial/parallel identity for MPC tasks, with the
+        worker count coming from REPRO_SWEEP_WORKERS (the CI knob)."""
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", "off")
+        trace = burst_trace()
+        tasks = [
+            SweepTask(trace, self.BASE, SMALL),
+            SweepTask(
+                trace,
+                StrategySpec.mpc(
+                    candidate_bounds=CANDIDATES, horizon_s=240.0
+                ),
+                SMALL,
+            ),
+            SweepTask(trace, StrategySpec.greedy(), SMALL),
+        ]
+        serial = SweepRunner(max_workers=1).run_tasks(tasks)
+        parallel_runner = SweepRunner.from_env()
+        assert parallel_runner.max_workers == 2
+        assert parallel_runner.cache_dir is None
+        parallel = parallel_runner.run_tasks(tasks)
+        assert serial == parallel
+
+    def test_mpc_failure_caches_and_reloads(self, tmp_path, monkeypatch):
+        """A RunFailure from an MPC task is cached and replayed like any
+        outcome: the rerun never re-executes the simulation."""
+        calls = []
+
+        def boom(*args, **kwargs):
+            calls.append(1)
+            raise BreakerTrippedError("pdu/breaker", time_s=7.0)
+
+        monkeypatch.setattr(
+            "repro.simulation.batch.simulate_strategy", boom
+        )
+        runner = SweepRunner(max_workers=1, cache_dir=tmp_path)
+        task = SweepTask(burst_trace(), self.BASE, SMALL)
+        first = runner.run_tasks([task])[0]
+        again = runner.run_tasks([task])[0]
+        assert isinstance(first, RunFailure)
+        assert first.strategy_name == "mpc"
+        assert again == first
+        assert len(calls) == 1
+        assert runner.hits == 1 and runner.misses == 1
+
+
 class TestFailureAwareSearch:
     def _failing_runner(self, monkeypatch, failing_bounds, tmp_path=None):
         real = execute_task
