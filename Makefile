@@ -24,10 +24,12 @@ test:
 # Engine throughput first (recording machine-readable numbers into
 # BENCH_engine.json — see docs/PERFORMANCE.md), then the figure suite.
 bench:
-	pytest benchmarks/bench_engine_performance.py --benchmark-only -s \
+	pytest benchmarks/bench_engine_performance.py \
+		benchmarks/bench_batch_kernel.py --benchmark-only -s \
 		--benchmark-json=BENCH_engine.json
 	pytest benchmarks/ --benchmark-only -s \
-		--ignore=benchmarks/bench_engine_performance.py
+		--ignore=benchmarks/bench_engine_performance.py \
+		--ignore=benchmarks/bench_batch_kernel.py
 
 # Regression gate: run the engine benchmarks fresh and compare against the
 # committed baseline (fail on a >25% throughput drop).  Absolute numbers —
@@ -35,7 +37,8 @@ bench:
 # `python benchmarks/check_bench.py BENCH_engine.json --relative-to
 # bench_full_ms_run` (what CI does).
 bench-check:
-	pytest benchmarks/bench_engine_performance.py --benchmark-only -s \
+	pytest benchmarks/bench_engine_performance.py \
+		benchmarks/bench_batch_kernel.py --benchmark-only -s \
 		--benchmark-json=BENCH_engine.json
 	python benchmarks/check_bench.py BENCH_engine.json
 

@@ -32,6 +32,22 @@ call); divergences that are *by design* are listed in
 :data:`ALLOWED_REFERENCE_ONLY` / :data:`ALLOWED_KERNEL_ONLY` with a
 mandatory reason string — that is this rule's explicit allowlist, kept in
 code review's line of sight rather than in suppression comments.
+
+PR 7 adds a second contract layer: :class:`VectorStepKernel`
+(``core/vector_kernel.py``) must replay the *scalar kernel* bit-for-bit
+per batch element.  The same machinery audits it:
+
+5. **vector attribute-read sets** — the reads reachable from
+   ``VectorStepKernel.__init__`` / ``VectorStepKernel.step`` are compared
+   against the scalar kernel's, with the by-design divergences listed in
+   :data:`ALLOWED_SCALAR_KERNEL_ONLY` / :data:`ALLOWED_VECTOR_KERNEL_ONLY`.
+6. **telemetry columns** — ``TELEMETRY_FIELDS`` (the vector kernel's SoA
+   telemetry schema) must name exactly :class:`ControlStep`'s declared
+   fields, so a field added to the record cannot silently vanish from the
+   batch telemetry.
+7. The folded-constant audit excludes *both* kernel files from the
+   literal universe, so a constant shared only between the two kernels
+   (folded in each, read in neither) still fails both audits.
 """
 
 from __future__ import annotations
@@ -42,13 +58,21 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.analysis.framework import Finding, Rule, SourceFile
 
-#: Path suffixes locating the two sides of the contract.
+#: Path suffixes locating the sides of the contract.
 CONTROLLER_SUFFIX = "repro/core/controller.py"
 KERNEL_SUFFIX = "repro/core/kernel.py"
+VECTOR_KERNEL_SUFFIX = "repro/core/vector_kernel.py"
 
 #: Classes owned by the kernel itself — their reads are the hoisted cache,
 #: not substrate state, and have no reference-side counterpart.
 KERNEL_OWN_CLASSES = frozenset({"StepKernel", "_BreakerConsts"})
+
+#: Classes owned by the vector kernel — SoA state arrays and shared
+#: breaker-curve constants, the batch counterpart of the scalar kernel's
+#: hoisted cache.
+VECTOR_OWN_CLASSES = frozenset(
+    {"VectorStepKernel", "_BreakerBank", "_BreakerConsts", "StepKernel"}
+)
 
 #: Per-step record types the kernel flattens into locals.  The reference
 #: path reads their fields (``flow.ups_w``, ``decision.served``, ...);
@@ -115,6 +139,81 @@ ALLOWED_KERNEL_ONLY: Dict[Tuple[str, str], str] = {
         "stateful strategy's bound could change between identical "
         "observations); the reference path always calls the strategy, so "
         "it never needs the flag"
+    ),
+}
+
+#: Scalar-kernel reads with no vector counterpart, by design.
+ALLOWED_SCALAR_KERNEL_ONLY: Dict[Tuple[str, str], str] = {
+    ("SprintingController", "_ff_prev_demand"): (
+        "the vector kernel always recomputes — bit-neutral by the "
+        "fast-forward cache's own replay==recompute contract"
+    ),
+    ("SprintingController", "_ff_sig"): (
+        "the vector kernel has no quiescent fast-forward cache"
+    ),
+    ("SprintingController", "_ff_step"): (
+        "the vector kernel has no quiescent fast-forward cache"
+    ),
+    ("SprintingController", "_ff_needed"): (
+        "the vector kernel has no quiescent fast-forward cache"
+    ),
+    ("SprintingStrategy", "stateless_bound"): (
+        "fast-forward eligibility guard; the vector kernel folds its "
+        "fixed bounds at construction and never consults a strategy"
+    ),
+    ("SprintingController", "strategy"): (
+        "the vector kernel is fixed-bound by construction: the bounds "
+        "array replaces the per-step degree_upper_bound call, and "
+        "notify_realized is a no-op for FixedUpperBoundStrategy"
+    ),
+    ("SprintingController", "history"): (
+        "the scalar kernel appends ControlStep records to the "
+        "controller history; the vector kernel records the same columns "
+        "in its SoA telemetry arrays instead"
+    ),
+    ("SprintingController", "cooling"): (
+        "read only to hand the safety monitor the cooling plant; the "
+        "vector kernel receives the plant as a constructor argument"
+    ),
+    ("SafetyMonitor", "events"): (
+        "the scalar path appends SafetyEvent records; the vector kernel "
+        "counts the identical shrink condition into its per-element "
+        "violations array (delta semantics from the seed)"
+    ),
+    ("SafetyMonitor", "thermal_margin_k"): (
+        "the vector kernel hoists the same margin from "
+        "ControllerSettings.thermal_margin_k, the value the monitor is "
+        "constructed with"
+    ),
+    ("StepLog", "_cols"): (
+        "StepLog internals behind ctrl.log.append; the vector kernel's "
+        "SoA telemetry arrays replace the log"
+    ),
+    ("StepLog", "_in_burst"): (
+        "StepLog internals behind ctrl.log.append; the vector kernel's "
+        "SoA telemetry arrays replace the log"
+    ),
+    ("StepLog", "_n"): (
+        "StepLog internals behind ctrl.log.append; the vector kernel's "
+        "SoA telemetry arrays replace the log"
+    ),
+    ("StepLog", "_phase"): (
+        "StepLog internals behind ctrl.log.append; the vector kernel's "
+        "SoA telemetry arrays replace the log"
+    ),
+    ("CircuitBreaker", "name"): (
+        "read only to format BreakerTrippedError messages; the vector "
+        "kernel latches failure codes (FAIL_PDU/FAIL_DC) instead of "
+        "raising"
+    ),
+}
+
+#: Vector-kernel reads with no scalar counterpart, by design.
+ALLOWED_VECTOR_KERNEL_ONLY: Dict[Tuple[str, str], str] = {
+    ("PhaseTracker", "current_phase"): (
+        "the vector kernel seeds its per-element phase codes from the "
+        "live tracker's phase at construction; the scalar kernel keeps "
+        "the tracker object itself and only assigns to it"
     ),
 }
 
@@ -501,11 +600,21 @@ class KernelDriftRule(Rule):
             or "StepKernel" not in registry.classes
         ):
             return []
+        vector = _find(sources, VECTOR_KERNEL_SUFFIX)
+        if vector is not None and "VectorStepKernel" not in registry.classes:
+            vector = None
+        kernel_files = [kernel] if vector is None else [kernel, vector]
 
         findings: List[Finding] = []
         findings.extend(self._check_read_sets(registry, kernel))
         findings.extend(self._check_constructions(registry, kernel, controller))
-        findings.extend(self._check_constants(sources, kernel))
+        findings.extend(self._check_constants(sources, kernel, kernel_files))
+        if vector is not None:
+            findings.extend(self._check_vector_read_sets(registry, vector))
+            findings.extend(self._check_telemetry_fields(registry, vector))
+            findings.extend(
+                self._check_constants(sources, vector, kernel_files)
+            )
         return findings
 
     # -- attribute-read comparison -------------------------------------
@@ -555,6 +664,136 @@ class KernelDriftRule(Rule):
                         f"StepKernel reads {cls}.{attr} but the reference "
                         "step never does — remove it or record the "
                         "divergence in ALLOWED_KERNEL_ONLY with a reason"
+                    ),
+                )
+            )
+        return findings
+
+    # -- vector-kernel attribute-read comparison ------------------------
+    def _check_vector_read_sets(
+        self, registry: _Registry, vector: SourceFile
+    ) -> List[Finding]:
+        scalar_reads = _filtered(
+            collect_reads(
+                registry, [("StepKernel", "__init__"), ("StepKernel", "step")]
+            )
+        )
+        vector_reads = _filtered_with(
+            collect_reads(
+                registry,
+                [
+                    ("VectorStepKernel", "__init__"),
+                    ("VectorStepKernel", "step"),
+                ],
+            ),
+            VECTOR_OWN_CLASSES,
+        )
+        findings: List[Finding] = []
+        for key in sorted(set(scalar_reads) - set(vector_reads)):
+            if key in ALLOWED_SCALAR_KERNEL_ONLY:
+                continue
+            cls, attr = key
+            path, line = scalar_reads[key]
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=vector.display_path,
+                    line=1,
+                    message=(
+                        f"scalar StepKernel reads {cls}.{attr} "
+                        f"(at {path}:{line}) but VectorStepKernel never "
+                        "does — hoist or read it in the vector kernel, or "
+                        "record the divergence in ALLOWED_SCALAR_KERNEL_ONLY "
+                        "with a reason"
+                    ),
+                )
+            )
+        for key in sorted(set(vector_reads) - set(scalar_reads)):
+            if key in ALLOWED_VECTOR_KERNEL_ONLY:
+                continue
+            cls, attr = key
+            path, line = vector_reads[key]
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=path,
+                    line=line,
+                    message=(
+                        f"VectorStepKernel reads {cls}.{attr} but the "
+                        "scalar StepKernel never does — remove it or record "
+                        "the divergence in ALLOWED_VECTOR_KERNEL_ONLY with "
+                        "a reason"
+                    ),
+                )
+            )
+        return findings
+
+    # -- telemetry-schema comparison ------------------------------------
+    def _check_telemetry_fields(
+        self, registry: _Registry, vector: SourceFile
+    ) -> List[Finding]:
+        step_cls = registry.classes.get("ControlStep")
+        if step_cls is None:
+            return []
+        declared = set(step_cls.fields)
+        fields: Optional[Set[str]] = None
+        line = 1
+        for node in vector.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "TELEMETRY_FIELDS"
+                    and isinstance(value, (ast.Tuple, ast.List))
+                ):
+                    fields = {
+                        elt.value
+                        for elt in value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)
+                    }
+                    line = node.lineno
+        if fields is None:
+            return [
+                Finding(
+                    rule=self.rule_id,
+                    path=vector.display_path,
+                    line=1,
+                    message=(
+                        "could not locate the TELEMETRY_FIELDS tuple; the "
+                        "drift checker compares it against ControlStep's "
+                        "declared fields"
+                    ),
+                )
+            ]
+        findings: List[Finding] = []
+        for missing in sorted(declared - fields):
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=vector.display_path,
+                    line=line,
+                    message=(
+                        f"ControlStep declares field '{missing}' but "
+                        "TELEMETRY_FIELDS omits it — the batch telemetry "
+                        "would silently drop a record column"
+                    ),
+                )
+            )
+        for extra in sorted(fields - declared):
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=vector.display_path,
+                    line=line,
+                    message=(
+                        f"TELEMETRY_FIELDS names '{extra}' which is not a "
+                        "declared ControlStep field"
                     ),
                 )
             )
@@ -687,12 +926,17 @@ class KernelDriftRule(Rule):
 
     # -- folded-constant audit -----------------------------------------
     def _check_constants(
-        self, sources: Sequence[SourceFile], kernel: SourceFile
+        self,
+        sources: Sequence[SourceFile],
+        kernel: SourceFile,
+        kernel_files: Sequence[SourceFile],
     ) -> List[Finding]:
         universe: Set[float] = set(TRIVIAL_CONSTANTS)
         universe.update(EQUIVALENT_CONSTANTS)
         for source in sources:
-            if source is kernel:
+            if any(source is excluded for excluded in kernel_files):
+                # Both kernel files are excluded so a constant folded in
+                # each (and read in neither) cannot vouch for itself.
                 continue
             universe.update(_numeric_literals(source.tree))
         findings: List[Finding] = []
@@ -725,9 +969,13 @@ def _find(sources: Sequence[SourceFile], suffix: str) -> Optional[SourceFile]:
 
 
 def _filtered(reads: ReadSet) -> ReadSet:
+    return _filtered_with(reads, KERNEL_OWN_CLASSES)
+
+
+def _filtered_with(reads: ReadSet, own_classes: frozenset) -> ReadSet:
     return {
         key: provenance
         for key, provenance in reads.items()
-        if key[0] not in KERNEL_OWN_CLASSES
+        if key[0] not in own_classes
         and key[0] not in INTERMEDIATE_RECORD_CLASSES
     }

@@ -213,14 +213,31 @@ class SprintingController:
     # ------------------------------------------------------------------
     # Main loop entry
     # ------------------------------------------------------------------
-    def step(self, demand: float, time_s: float) -> ControlStep:
-        """Run one control period; returns the committed step telemetry."""
+    def step(
+        self,
+        demand: float,
+        time_s: float,
+        step_index: Optional[int] = None,
+    ) -> ControlStep:
+        """Run one control period; returns the committed step telemetry.
+
+        ``step_index`` is the caller's integer control-period counter (the
+        trace index in a simulation run), threaded into the strategy
+        observation so planners never re-derive it from ``time_s / dt_s``
+        (float division drifts for non-integer ``dt_s``).  Callers without
+        a counter may omit it; the rounded fallback then only feeds
+        observations for which no index-aligned planning happens.
+        """
+        if step_index is None:
+            step_index = int(round(time_s / self.settings.dt_s))
         kernel = self._kernel
         if kernel is not None:
-            return kernel.step(self, demand, time_s)
-        return self._step_reference(demand, time_s)
+            return kernel.step(self, demand, time_s, step_index)
+        return self._step_reference(demand, time_s, step_index)
 
-    def _step_reference(self, demand: float, time_s: float) -> ControlStep:
+    def _step_reference(
+        self, demand: float, time_s: float, step_index: int
+    ) -> ControlStep:
         """Reference (method-dispatched) control period.
 
         The :class:`StepKernel` fast path replicates this sequence of
@@ -241,6 +258,7 @@ class SprintingController:
             time_in_burst_s=time_in_burst,
             budget_fraction_remaining=self.budget.fraction_remaining(),
             max_degree=self.cluster.throughput.max_degree,
+            step_index=step_index,
         )
         upper_bound = self.strategy.degree_upper_bound(obs)
 

@@ -429,7 +429,11 @@ class StepKernel:
     # The control period
     # ------------------------------------------------------------------
     def step(
-        self, ctrl: SprintingController, demand: float, time_s: float
+        self,
+        ctrl: SprintingController,
+        demand: float,
+        time_s: float,
+        step_index: int,
     ) -> ControlStep:
         """Run one control period for ``ctrl``; bit-identical to the
         reference :meth:`SprintingController._step_reference`."""
@@ -521,6 +525,7 @@ class StepKernel:
             time_in_burst_s=time_in_burst,
             budget_fraction_remaining=budget_fraction,
             max_degree=self._tp_max_degree,
+            step_index=step_index,
         )
         upper_bound = strategy.degree_upper_bound(obs)
 

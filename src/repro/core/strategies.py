@@ -76,6 +76,12 @@ class StrategyObservation:
         burst-start snapshot.
     max_degree:
         The chip-imposed maximum sprinting degree.
+    step_index:
+        The controller's integer control-period counter (the trace index
+        in a simulation run).  Planners that need to align with the trace
+        (the MPC rollout's :class:`~repro.simulation.rollout.PerfectForecast`)
+        use this directly instead of re-deriving it from ``time_s / dt_s``,
+        which drifts for non-integer ``dt_s`` over long runs.
     """
 
     time_s: float
@@ -84,6 +90,7 @@ class StrategyObservation:
     time_in_burst_s: float
     budget_fraction_remaining: float
     max_degree: float
+    step_index: int = 0
 
 
 class SprintingStrategy(ABC):

@@ -57,6 +57,7 @@ from repro.core.strategies import (
     UpperBoundTable,
 )
 from repro.errors import ConfigurationError, ReproError, SimulationError
+from repro.simulation.batch_facility import vector_oracle_search
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
 from repro.simulation.datacenter import DataCenter, build_datacenter
 from repro.simulation.engine import (
@@ -626,7 +627,13 @@ def _oracle_point_search(
     candidates: Sequence[float],
     config: DataCenterConfig,
 ) -> Optional[Tuple[float, float]]:
-    """One grid point's Oracle search: shared-prefix fast path, reference fallback.
+    """One grid point's Oracle search: fast paths first, reference fallback.
+
+    Resolution order is shared-prefix -> vector batch -> per-candidate
+    reference: the shared-prefix path wins on quiescent traces with small
+    grids (it fast-forwards the prefix), the vector batch wins everywhere
+    the shared-prefix envelope rejects, and both are bit-identical to the
+    reference sweep.
 
     Returns ``(best_bound, best_performance)``, or ``None`` when every
     candidate's run failed (the caller owns the error message — the table
@@ -637,6 +644,11 @@ def _oracle_point_search(
     """
     try:
         fast = shared_prefix_oracle_search(trace, candidates, config)
+        if fast is None:
+            # Outside the shared-prefix envelope (sub-1.0 candidates, a
+            # coast-unsafe config) the vector batch kernel still replaces
+            # the per-candidate reference loop with one lockstep run.
+            fast = vector_oracle_search(trace, candidates, config)
     except SimulationError:
         return None
     if fast is not None:
@@ -923,9 +935,12 @@ class SweepRunner:
 
         The search runs on the shared-prefix fast path
         (:func:`repro.simulation.engine.shared_prefix_oracle_search`) when
-        the trace/config is inside its validity envelope, falling back to
-        the reference per-candidate sweep otherwise; both produce
-        bit-identical results.  With a cache directory, the whole search
+        the trace/config is inside its validity envelope, then on the
+        vector batch kernel
+        (:func:`repro.simulation.batch_facility.vector_oracle_search`) for
+        no-fault searches outside it, falling back to the reference
+        per-candidate sweep otherwise; all paths produce bit-identical
+        results.  With a cache directory, the whole search
         caches as *one* entry (a warm search is one file read, one hit),
         rather than one entry per candidate.
         """
@@ -940,6 +955,11 @@ class SweepRunner:
         fast = shared_prefix_oracle_search(
             trace, candidates, config, fault_plan=fault_plan
         )
+        if fast is None and fault_plan is None:
+            # Vector batch tier: one lockstep run over the whole candidate
+            # grid (raises SimulationError when every candidate fails,
+            # exactly like the reference argmax below).
+            fast = vector_oracle_search(trace, candidates, config)
         if fast is not None:
             self.misses += 1
             self._search_cache_store(key, fast[0], fast[1])

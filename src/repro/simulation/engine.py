@@ -92,7 +92,7 @@ def run_simulation(
     aborted_at_s: Optional[float] = None
     if fault_plan is None:
         for i, demand in enumerate(trace):
-            controller.step(demand, time_s=i * trace.dt_s)
+            controller.step(demand, time_s=i * trace.dt_s, step_index=i)
     else:
         aborted_at_s, fault_events = _run_with_faults(
             datacenter, controller, trace, fault_plan
@@ -130,7 +130,7 @@ def _run_with_faults(
         for i, demand in enumerate(trace):
             time_s = i * trace.dt_s
             _, _, degraded_now = _faulted_sample(
-                controller, injector, demand, time_s
+                controller, injector, demand, time_s, i
             )
             if degraded_now and aborted_at_s is None:
                 aborted_at_s = time_s
@@ -146,6 +146,7 @@ def _faulted_sample(
     injector: FaultInjector,
     demand: float,
     time_s: float,
+    step_index: int,
 ) -> "Tuple[ControlStep, bool, bool]":
     """One fault-aware control period: the loop body of :func:`_run_with_faults`.
 
@@ -172,7 +173,7 @@ def _faulted_sample(
         step = controller.degraded_step(effective, time_s)
         return step, False, degraded_now
     try:
-        step = controller.step(effective, time_s=time_s)
+        step = controller.step(effective, time_s=time_s, step_index=step_index)
     except RECOVERABLE_FAULT_ERRORS as exc:
         surviving_fraction = injector.surviving_capacity_for(exc)
         base = controller.cluster.capacity_at_degree(1.0)
@@ -464,7 +465,9 @@ def _shared_prefix_no_faults(
         if i in frontiers:
             snapshots[i] = FacilityState.capture(datacenter, controller)
         try:
-            step = controller.step(float(samples[i]), time_s=i * dt)
+            step = controller.step(
+                float(samples[i]), time_s=i * dt, step_index=i
+            )
         except ConfigurationError:
             raise
         except ReproError:
@@ -498,7 +501,9 @@ def _shared_prefix_no_faults(
         failed = False
         for i in range(frontier, last + 1):
             try:
-                step = controller.step(float(samples[i]), time_s=i * dt)
+                step = controller.step(
+                float(samples[i]), time_s=i * dt, step_index=i
+            )
             except ConfigurationError:
                 raise
             except ReproError:
@@ -535,7 +540,7 @@ def _shared_prefix_no_faults(
         survived = True
         for i in range(last + 1, n):
             try:
-                controller.step(float(samples[i]), time_s=i * dt)
+                controller.step(float(samples[i]), time_s=i * dt, step_index=i)
             except ConfigurationError:
                 raise
             except ReproError:
@@ -576,7 +581,7 @@ def _shared_prefix_with_faults(
     try:
         for i in range(last + 1):
             step, bound_applied, _ = _faulted_sample(
-                controller, injector, float(samples[i]), i * dt
+                controller, injector, float(samples[i]), i * dt, i
             )
             if bound_applied:
                 needed[i] = controller.last_needed_degree
@@ -603,7 +608,9 @@ def _shared_prefix_with_faults(
                 )
                 if i == frontiers[-1]:
                     break
-            _faulted_sample(controller, injector, float(samples[i]), i * dt)
+            _faulted_sample(
+                controller, injector, float(samples[i]), i * dt, i
+            )
 
     performances = [math.nan] * len(candidates)
     for idx, bound in enumerate(candidates):
@@ -619,7 +626,7 @@ def _shared_prefix_with_faults(
         served[:frontier] = base_served[:frontier]
         for i in range(frontier, last + 1):
             step, _, _ = _faulted_sample(
-                controller, injector, float(samples[i]), i * dt
+                controller, injector, float(samples[i]), i * dt, i
             )
             served[i] = step.served
         performances[idx] = average_performance_improvement(served, trace)

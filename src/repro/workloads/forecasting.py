@@ -20,8 +20,9 @@ sample from the live demand signal.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Deque, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.units import require_fraction, require_non_negative, require_positive
@@ -143,7 +144,7 @@ class BurstDurationEstimator:
     history_size: int = 16
     hazard_factor: float = 1.3
 
-    _history: List[float] = field(default_factory=list, init=False)
+    _history: Deque[float] = field(default_factory=deque, init=False)
 
     def __post_init__(self) -> None:
         require_positive(self.prior_duration_s, "prior_duration_s")
@@ -151,13 +152,14 @@ class BurstDurationEstimator:
             raise ConfigurationError("history_size must be > 0")
         if self.hazard_factor < 1.0:
             raise ConfigurationError("hazard_factor must be >= 1")
+        # deque(maxlen=...) evicts the oldest entry on append in O(1),
+        # replacing the O(n) list.pop(0) sliding window.
+        self._history = deque(maxlen=self.history_size)
 
     def record_completed_burst(self, duration_s: float) -> None:
         """Add one completed burst's duration to the history."""
         require_positive(duration_s, "duration_s")
         self._history.append(duration_s)
-        if len(self._history) > self.history_size:
-            self._history.pop(0)
 
     @property
     def historical_mean_s(self) -> float:
@@ -181,7 +183,7 @@ class BurstDurationEstimator:
 
     def restore_history(self, history: Sequence[float]) -> None:
         """Restore a history captured by :meth:`snapshot_history`."""
-        self._history = list(history)
+        self._history = deque(history, maxlen=self.history_size)
 
     def reset(self) -> None:
         """Clear the learned history."""
@@ -203,6 +205,7 @@ class OnlineBurstForecaster:
     )
 
     _last_time_in_burst_s: float = field(default=0.0, init=False)
+    _prev_time_s: Optional[float] = field(default=None, init=False)
 
     def observe(self, demand: float, time_s: float) -> bool:
         """Feed one sample; returns whether a burst is active."""
@@ -210,9 +213,18 @@ class OnlineBurstForecaster:
         in_burst = self.detector.observe(demand, time_s)
         if in_burst:
             self._last_time_in_burst_s = self.detector.time_in_burst_s(time_s)
-        elif was_in_burst and self._last_time_in_burst_s > 0.0:
-            self.estimator.record_completed_burst(self._last_time_in_burst_s)
+        elif was_in_burst:
+            duration_s = self._last_time_in_burst_s
+            if duration_s <= 0.0 and self._prev_time_s is not None:
+                # A burst that started and ended within one sample has a
+                # recorded elapsed time of zero; it still lasted one
+                # sample period, so the estimator learns a one-interval
+                # floor instead of silently dropping the burst.
+                duration_s = time_s - self._prev_time_s
+            if duration_s > 0.0:
+                self.estimator.record_completed_burst(duration_s)
             self._last_time_in_burst_s = 0.0
+        self._prev_time_s = time_s
         return in_burst
 
     def predicted_burst_duration_s(self, time_s: float) -> float:
@@ -225,3 +237,4 @@ class OnlineBurstForecaster:
         self.detector.reset()
         self.estimator.reset()
         self._last_time_in_burst_s = 0.0
+        self._prev_time_s = None

@@ -582,11 +582,16 @@ class TestFailureAwareSearch:
             return real(task)
 
         monkeypatch.setattr("repro.simulation.batch.execute_task", selective)
-        # The shared-prefix fast path simulates in-process (it never goes
-        # through execute_task), so force the reference per-candidate
-        # fallback — the path whose failure-aware reduction is under test.
+        # The shared-prefix and vector batch fast paths simulate in-process
+        # (they never go through execute_task), so force the reference
+        # per-candidate fallback — the path whose failure-aware reduction
+        # is under test.
         monkeypatch.setattr(
             "repro.simulation.batch.shared_prefix_oracle_search",
+            lambda *args, **kwargs: None,
+        )
+        monkeypatch.setattr(
+            "repro.simulation.batch.vector_oracle_search",
             lambda *args, **kwargs: None,
         )
         return SweepRunner(max_workers=1, cache_dir=tmp_path)

@@ -131,6 +131,7 @@ class TestNoPerturbation:
             time_in_burst_s=150.0,
             budget_fraction_remaining=0.5,
             max_degree=4.0,
+            step_index=450,
         )
         planner.plan(obs)
         assert FacilityState.capture(dc, controller) == before
@@ -258,6 +259,7 @@ class TestPlanningBehaviour:
             time_in_burst_s=10.0,
             budget_fraction_remaining=1.0,
             max_degree=4.0,
+            step_index=len(yahoo15) + 10,
         )
         assert planner.plan(obs) == FALLBACK_BOUND
 
@@ -345,6 +347,71 @@ class TestForecastProviders:
         strategy = GreedyStrategy()
         controller = dc.controller(strategy)
         assert bind_rollout_planner(strategy, dc, controller, yahoo15) is None
+
+
+class TestStepIndexAlignment:
+    """The planner aligns forecasts with the trace via the controller's
+    integer step index — never ``round(time_s / dt_s)``, which drifts for
+    non-integer ``dt_s`` over long runs."""
+
+    def test_plan_context_uses_observation_step_index(self, yahoo15):
+        """The PerfectForecast slice follows obs.step_index even when it
+        disagrees with round(time_s / dt_s) — pinning that the planner
+        never re-derives the index from float time."""
+        dc = build_datacenter(SMALL)
+        strategy = _mpc(horizon_s=4.0)
+        controller = dc.controller(strategy)
+        planner = bind_rollout_planner(strategy, dc, controller, yahoo15)
+        seen = {}
+        forecast = planner._forecast
+
+        class _Spy:
+            def horizon_demands(self, ctx):
+                seen["start_index"] = ctx.start_index
+                return forecast.horizon_demands(ctx)
+
+        planner._forecast = _Spy()
+        obs = StrategyObservation(
+            time_s=123.0,
+            demand=2.0,
+            in_burst=True,
+            time_in_burst_s=1.0,
+            budget_fraction_remaining=1.0,
+            max_degree=4.0,
+            step_index=77,  # deliberately != round(time_s / dt_s)
+        )
+        planner.plan(obs)
+        assert seen["start_index"] == 77
+
+    def test_long_run_with_non_integer_dt(self):
+        """End-to-end regression with dt_s=0.3 over a long trace: the MPC
+        run must plan from exactly aligned PerfectForecast slices and be
+        bit-identical to replaying its committed bound schedule.  With the
+        float-derived index, i * 0.3 / 0.3 drifts off the integer grid for
+        large i and the forecast slice misaligns."""
+        dt = 0.3
+        n = 7000  # i * dt = 2099.7 s; plenty of accumulated float error
+        values = np.full(n, 0.8)
+        values[6000:6600] = 2.4  # late burst so planning happens at large i
+        trace = Trace(values, dt, "long-dt03")
+        config = SMALL.with_changes(dt_s=dt)
+        strategy = _mpc(horizon_s=180.0, replan_interval_s=60.0)
+        mpc = simulate_strategy(trace, strategy, config)
+        assert strategy.plan_log  # the burst actually triggered planning
+
+        bounds = [s.upper_bound for s in mpc.steps]
+
+        class _IndexedScript(SprintingStrategy):
+            name = "indexed-script"
+
+            def degree_upper_bound(self, obs):
+                return bounds[obs.step_index]
+
+            def reset(self):
+                pass
+
+        control = simulate_strategy(trace, _IndexedScript(), config)
+        assert_steps_identical(mpc.steps, control.steps)
 
 
 class TestStrategyValidation:

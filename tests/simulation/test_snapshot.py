@@ -113,12 +113,12 @@ class TestRoundTrip:
         try:
             for i in range(fork_at):
                 _faulted_sample(
-                    controller, injector, float(trace.samples[i]), float(i)
+                    controller, injector, float(trace.samples[i]), float(i), i
                 )
             state = FacilityState.capture(dc, controller, injector)
             original = [
                 _faulted_sample(
-                    controller, injector, float(trace.samples[i]), float(i)
+                    controller, injector, float(trace.samples[i]), float(i), i
                 )[0]
                 for i in range(fork_at, len(trace.samples))
             ]
@@ -127,7 +127,7 @@ class TestRoundTrip:
             state.restore(dc, forked_controller, injector)
             forked = [
                 _faulted_sample(
-                    forked_controller, injector, float(trace.samples[i]), float(i)
+                    forked_controller, injector, float(trace.samples[i]), float(i), i
                 )[0]
                 for i in range(fork_at, len(trace.samples))
             ]

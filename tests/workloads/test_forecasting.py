@@ -138,6 +138,34 @@ class TestBurstDurationEstimator:
         with pytest.raises(ConfigurationError):
             BurstDurationEstimator(history_size=0)
 
+    @given(
+        durations=st.lists(
+            st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+            max_size=40,
+        ),
+        history_size=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60)
+    def test_snapshot_restore_round_trip(self, durations, history_size):
+        """snapshot_history/restore_history round-trips bit-for-bit and
+        the restored window keeps sliding with the same semantics."""
+        est = BurstDurationEstimator(history_size=history_size)
+        for d in durations:
+            est.record_completed_burst(d)
+        snap = est.snapshot_history()
+        assert snap == tuple(durations[-history_size:])
+
+        other = BurstDurationEstimator(history_size=history_size)
+        other.restore_history(snap)
+        assert other.snapshot_history() == snap
+        assert other.historical_mean_s == est.historical_mean_s
+
+        # The window must keep evicting oldest-first after a restore.
+        est.record_completed_burst(7.25)
+        other.record_completed_burst(7.25)
+        assert other.snapshot_history() == est.snapshot_history()
+        assert len(other.snapshot_history()) <= history_size
+
 
 class TestOnlineBurstForecaster:
     def test_records_completed_bursts(self):
@@ -166,8 +194,27 @@ class TestOnlineBurstForecaster:
             t += 1.0
         assert fc.predicted_burst_duration_s(t) > 200.0
 
+    def test_single_sample_burst_recorded_with_one_interval_floor(self):
+        """A burst that starts and ends within one sample still teaches
+        the estimator: it is recorded at the one-sample-period floor
+        instead of being silently dropped."""
+        fc = OnlineBurstForecaster()
+        fc.detector.hold_off_s = 0.0
+        assert fc.observe(2.0, 0.0)
+        assert not fc.observe(0.5, 1.0)
+        assert fc.estimator.snapshot_history() == (1.0,)
+
+    def test_single_sample_burst_floor_follows_sample_period(self):
+        fc = OnlineBurstForecaster()
+        fc.detector.hold_off_s = 0.0
+        fc.observe(0.5, 0.0)
+        fc.observe(2.0, 0.3)
+        fc.observe(0.5, 0.6)
+        assert fc.estimator.snapshot_history() == pytest.approx((0.3,))
+
     def test_reset(self):
         fc = OnlineBurstForecaster()
         fc.observe(2.0, 0.0)
         fc.reset()
         assert not fc.detector.in_burst
+        assert fc._prev_time_s is None
