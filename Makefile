@@ -1,6 +1,6 @@
 # Convenience targets for the Data Center Sprinting reproduction.
 
-.PHONY: install check lint test bench bench-check report examples sweep-smoke fault-smoke clean
+.PHONY: install check lint test bench bench-check report examples sweep-smoke backends-smoke fault-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,11 +25,13 @@ test:
 # BENCH_engine.json — see docs/PERFORMANCE.md), then the figure suite.
 bench:
 	pytest benchmarks/bench_engine_performance.py \
-		benchmarks/bench_batch_kernel.py --benchmark-only -s \
+		benchmarks/bench_batch_kernel.py \
+		benchmarks/bench_sweep_grid.py --benchmark-only -s \
 		--benchmark-json=BENCH_engine.json
 	pytest benchmarks/ --benchmark-only -s \
 		--ignore=benchmarks/bench_engine_performance.py \
-		--ignore=benchmarks/bench_batch_kernel.py
+		--ignore=benchmarks/bench_batch_kernel.py \
+		--ignore=benchmarks/bench_sweep_grid.py
 
 # Regression gate: run the engine benchmarks fresh and compare against the
 # committed baseline (fail on a >25% throughput drop).  Absolute numbers —
@@ -38,7 +40,8 @@ bench:
 # bench_full_ms_run` (what CI does).
 bench-check:
 	pytest benchmarks/bench_engine_performance.py \
-		benchmarks/bench_batch_kernel.py --benchmark-only -s \
+		benchmarks/bench_batch_kernel.py \
+		benchmarks/bench_sweep_grid.py --benchmark-only -s \
 		--benchmark-json=BENCH_engine.json
 	python benchmarks/check_bench.py BENCH_engine.json
 
@@ -58,6 +61,32 @@ sweep-smoke:
 		| tee /dev/stderr | grep -q "0 miss(es)"
 	rm -rf .repro-sweep-smoke
 	@echo "sweep smoke ok: warm rerun answered entirely from cache"
+
+# Exercise the work-queue backend end-to-end: two sweep-worker processes
+# drain the queue a driver fills, and the resulting table must be
+# line-identical to the in-process backend's on the same grid.
+backends-smoke:
+	rm -rf .repro-smoke-queue .repro-smoke-cache-q .repro-smoke-cache-i \
+		.repro-smoke-q.txt .repro-smoke-i.txt
+	python -m repro sweep-worker .repro-smoke-queue --idle-timeout 60 & \
+	python -m repro sweep-worker .repro-smoke-queue --idle-timeout 60 & \
+	python -m repro sweep --table \
+		--backend work-queue --queue-dir .repro-smoke-queue \
+		--cache-dir .repro-smoke-cache-q \
+		--durations 1,5 --degrees 2.8,3.2 --candidates 2.0,3.0,4.0 \
+		| grep -v "sweep engine" > .repro-smoke-q.txt; \
+	wait
+	python -m repro sweep --table \
+		--backend in-process \
+		--cache-dir .repro-smoke-cache-i \
+		--durations 1,5 --degrees 2.8,3.2 --candidates 2.0,3.0,4.0 \
+		| grep -v "sweep engine" > .repro-smoke-i.txt
+	diff .repro-smoke-q.txt .repro-smoke-i.txt
+	python -m repro cache gc --dir .repro-smoke-cache-q --max-age-s 0 \
+		| tee /dev/stderr | grep -q "removed"
+	rm -rf .repro-smoke-queue .repro-smoke-cache-q .repro-smoke-cache-i \
+		.repro-smoke-q.txt .repro-smoke-i.txt
+	@echo "backends smoke ok: work-queue table identical to in-process"
 
 # Exercise fault injection and graceful degradation end-to-end: a fault
 # mid-sprint must degrade the run, not crash it, and a faulted sweep must

@@ -30,6 +30,13 @@ HOT_PATH_SUFFIXES = (
     # mid-run; any nondeterminism here would break the rollout
     # no-perturbation contract and the sweep cache.
     "repro/simulation/rollout.py",
+    # Scheduling decides where a task runs, never what it computes, and
+    # the packed tier must stay bit-identical to the scalar path — so
+    # neither may consult a clock or entropy source.  (The work-queue
+    # module needs wall-clock leases, which is exactly why it is a
+    # separate module off this list.)
+    "repro/simulation/scheduler.py",
+    "repro/simulation/packing.py",
 )
 
 #: Attribute calls that read wall clocks or entropy sources.

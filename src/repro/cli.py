@@ -15,13 +15,19 @@ Usage::
     python -m repro sweep --headroom --fault-plan plan.json
     python -m repro sweep --table            # Oracle upper-bound table
     python -m repro sweep --table --workers 4 --cache-dir /tmp/sweeps
+    python -m repro sweep --table --backend work-queue --queue-dir /tmp/q
+    python -m repro sweep-worker /tmp/q      # drain a shared work queue
+    python -m repro cache gc --max-age-s 86400 --dry-run
     python -m repro profile                  # hot functions of the loop
     python -m repro profile --reference      # ... of the pre-kernel path
 
 The ``sweep`` subcommand runs on the batch engine
-(:mod:`repro.simulation.batch`): ``--workers`` fans the independent runs
-out over a process pool and results are memoised in a content-addressed
-on-disk cache (``--no-cache`` disables it, ``--cache-dir`` relocates it).
+(:mod:`repro.simulation.batch`): ``--backend`` selects where uncached
+work executes (``in-process``, ``process-pool`` — sized by ``--workers``
+— or a multi-process ``work-queue`` drained by ``repro sweep-worker``),
+and results are memoised in a shared content-addressed artifact store
+(``--no-cache`` disables it, ``--cache-dir`` relocates it,
+``repro cache gc`` prunes it).
 
 Heavy figure regenerations (Figs. 9 and 10) live in the benchmark harness:
 ``pytest benchmarks/ --benchmark-only -s``.
@@ -425,13 +431,22 @@ def _parse_float_list(raw: str, flag: str) -> List[float]:
 
 
 def _sweep_runner(args: argparse.Namespace) -> "SweepRunner":
+    from repro.errors import ConfigurationError
     from repro.simulation.batch import DEFAULT_CACHE_DIRNAME, SweepRunner
 
     if args.no_cache:
         cache_dir = None
     else:
         cache_dir = args.cache_dir or DEFAULT_CACHE_DIRNAME
-    return SweepRunner(max_workers=args.workers, cache_dir=cache_dir)
+    try:
+        return SweepRunner(
+            max_workers=args.workers,
+            cache_dir=cache_dir,
+            backend=args.backend,
+            queue_dir=args.queue_dir,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"repro sweep: {exc}")
 
 
 def _sweep_cell(result: "SweepOutcome") -> str:
@@ -530,6 +545,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(
         f"(sweep engine: {runner.max_workers} worker(s), "
         f"{runner.hits} cache hit(s), {runner.misses} miss(es))"
+    )
+    return 0
+
+
+def _cmd_sweep_worker(args: argparse.Namespace) -> int:
+    from repro.simulation.workqueue import WorkQueue, drain
+
+    queue = WorkQueue(args.queue_dir, lease_timeout_s=args.lease_timeout)
+    executed = drain(
+        queue,
+        max_tasks=args.max_tasks,
+        idle_timeout_s=args.idle_timeout,
+        poll_interval_s=args.poll_interval,
+    )
+    queued, leased, results = queue.pending_counts()
+    print(
+        f"sweep-worker: executed {executed} task(s); queue now has "
+        f"{queued} queued, {leased} leased, {results} result(s)"
+    )
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.simulation.batch import (
+        CACHE_FORMAT_VERSION,
+        DEFAULT_CACHE_DIRNAME,
+    )
+    from repro.simulation.store import ArtifactStore
+
+    store = ArtifactStore(
+        args.dir or DEFAULT_CACHE_DIRNAME, CACHE_FORMAT_VERSION
+    )
+    if args.max_age_s is None and args.max_bytes is None:
+        count, total = store.stats()
+        print(
+            f"cache {store.root}: {count} entr{'y' if count == 1 else 'ies'}, "
+            f"{total} bytes (pass --max-age-s and/or --max-bytes to evict)"
+        )
+        return 0
+    report = store.gc(
+        now=time.time(),
+        max_age_s=args.max_age_s,
+        max_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if report.dry_run else "removed"
+    print(
+        f"cache {store.root}: examined {report.examined}, {verb} "
+        f"{report.removed} entr{'y' if report.removed == 1 else 'ies'} "
+        f"({report.reclaimed_bytes} bytes reclaimed); "
+        f"{report.kept} kept ({report.kept_bytes} bytes)"
     )
     return 0
 
@@ -653,6 +721,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(comma-separated; default 2.0,2.5,3.0,3.5,4.0)")
     sweep.add_argument("--workers", type=int, default=None,
                        help="process-pool size (default: all cores)")
+    sweep.add_argument("--backend", default=None,
+                       choices=("in-process", "process-pool", "work-queue"),
+                       help="execution backend (default: process-pool when "
+                            "--workers > 1, else in-process)")
+    sweep.add_argument("--queue-dir", default=None, metavar="DIR",
+                       help="work-queue directory for --backend work-queue "
+                            "(shared with repro sweep-worker processes)")
     sweep.add_argument("--cache-dir", default=None,
                        help="result-cache directory "
                             "(default .repro-sweep-cache)")
@@ -669,6 +744,52 @@ def build_parser() -> argparse.ArgumentParser:
                             "(disable the vector batch kernel; for "
                             "differential debugging)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    worker = subparsers.add_parser(
+        "sweep-worker",
+        help="drain one sweep work-queue directory (run N of these "
+             "against the queue a work-queue sweep driver fills)",
+    )
+    worker.add_argument("queue_dir", metavar="QUEUE_DIR",
+                        help="the queue directory shared with the driver")
+    worker.add_argument("--max-tasks", type=int, default=None,
+                        help="stop after this many tasks (default: no cap)")
+    worker.add_argument("--idle-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="keep polling an empty queue this long before "
+                             "exiting (default: exit when empty)")
+    worker.add_argument("--poll-interval", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="empty-queue poll interval (default 0.05)")
+    worker.add_argument("--lease-timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="lease expiry for crashed-worker reclaim "
+                             "(default 60; must match the driver's)")
+    worker.set_defaults(func=_cmd_sweep_worker)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and garbage-collect the shared sweep result store",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="evict store entries by age and/or total size",
+    )
+    cache_gc.add_argument("--dir", default=None, metavar="DIR",
+                          help="store directory "
+                               "(default .repro-sweep-cache)")
+    cache_gc.add_argument("--max-age-s", type=float, default=None,
+                          metavar="SECONDS",
+                          help="evict entries older than this")
+    cache_gc.add_argument("--max-bytes", type=int, default=None,
+                          metavar="BYTES",
+                          help="evict oldest entries until the store "
+                               "fits this many bytes")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be evicted without "
+                               "deleting anything")
+    cache_gc.set_defaults(func=_cmd_cache_gc)
 
     profile = subparsers.add_parser(
         "profile",

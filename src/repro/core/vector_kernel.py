@@ -48,7 +48,7 @@ rating arrays (``chiller_rated_w``, ``battery_capacity_ah``,
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -258,6 +258,7 @@ class VectorStepKernel:
         ctrl: "SprintingController",
         bounds: np.ndarray,
         record_telemetry: bool = False,
+        telemetry_fields: Optional[Sequence[str]] = None,
     ) -> None:
         bound_arr = np.asarray(bounds, dtype=np.float64)
         if bound_arr.ndim != 1 or bound_arr.size == 0:
@@ -462,11 +463,29 @@ class VectorStepKernel:
         self.failed_time_s = np.full(n, math.nan)
         self.steps_done = 0
 
-        self.telemetry: Optional[Dict[str, List[np.ndarray]]] = (
-            {name: [] for name in TELEMETRY_FIELDS}
-            if record_telemetry
-            else None
-        )
+        # ``telemetry_fields`` restricts recording to a subset of
+        # TELEMETRY_FIELDS (the packed-sweep path only needs two of the
+        # eighteen columns; recording the rest would dominate its step
+        # cost).  Recorded values are unchanged — only which columns are
+        # kept differs.
+        if record_telemetry:
+            if telemetry_fields is None:
+                selected: Tuple[str, ...] = TELEMETRY_FIELDS
+            else:
+                selected = tuple(telemetry_fields)
+                unknown = [
+                    name for name in selected if name not in TELEMETRY_FIELDS
+                ]
+                if unknown:
+                    raise ConfigurationError(
+                        f"unknown telemetry field(s) {unknown!r}; expected "
+                        f"a subset of {list(TELEMETRY_FIELDS)!r}"
+                    )
+            self.telemetry: Optional[Dict[str, List[np.ndarray]]] = {
+                name: [] for name in selected
+            }
+        else:
+            self.telemetry = None
 
     # ------------------------------------------------------------------
     # Cluster arithmetic (vector restatement of StepKernel's maps)
@@ -570,7 +589,9 @@ class VectorStepKernel:
         # power fits; running the remaining iterations with the degree
         # frozen recomputes identical values (available, pdu_bound and
         # cooling_w are pure functions of degree and state frozen within
-        # the fit), so a converged mask replicates the break bit-for-bit.
+        # the fit), so a converged mask replicates the break bit-for-bit —
+        # and once EVERY element has converged, breaking out of the batch
+        # loop early skips only those identical recomputations.
         converged = np.zeros(self.n, dtype=bool)
         pdu_bound = np.zeros(self.n)
         cooling_w = np.zeros(self.n)
@@ -598,6 +619,8 @@ class VectorStepKernel:
             converged = converged | (
                 it_power <= available * (1.0 + 1e-12)
             )
+            if converged.all():
+                break
             degree = np.where(
                 converged,
                 degree,
@@ -773,10 +796,19 @@ class VectorStepKernel:
         degree, pdu_bound, _ = self._fit_power_vec(
             degree, use_tes, ups_floor_per_pdu
         )
-        degree, use_tes = self._fit_thermal_vec(degree, use_tes, alive)
-        degree, pdu_bound, _ = self._fit_power_vec(
-            degree, use_tes, ups_floor_per_pdu
-        )
+        # The second fit only matters when the thermal fit shrank a degree
+        # or engaged TES; otherwise it is a pure function of the same
+        # (degree, use_tes, frozen state) inputs and recomputes the first
+        # fit's outputs bit-for-bit, so skipping it is exact.
+        degree2, use_tes2 = self._fit_thermal_vec(degree, use_tes, alive)
+        if not (
+            np.array_equal(degree2, degree)
+            and np.array_equal(use_tes2, use_tes)
+        ):
+            degree, pdu_bound, _ = self._fit_power_vec(
+                degree2, use_tes2, ups_floor_per_pdu
+            )
+        degree, use_tes = degree2, use_tes2
 
         # --- commit ----------------------------------------------------
         it_power = self._power_at_degree_vec(degree)
@@ -1015,28 +1047,48 @@ class VectorStepKernel:
         if self.telemetry is not None:
             t = self.telemetry
             nan = math.nan
-            t["time_s"].append(np.where(ok, time_s, nan))
-            t["demand"].append(np.where(ok, d, nan))
-            t["upper_bound"].append(np.where(ok, upper_bound, nan))
-            t["degree"].append(np.where(ok, effective_degree, nan))
-            t["capacity"].append(np.where(ok, capacity, nan))
-            t["served"].append(np.where(ok, served, nan))
-            t["dropped"].append(np.where(ok, dropped, nan))
-            t["phase"].append(np.where(ok, phase, -1))
-            t["in_burst"].append(ok & in_burst)
-            t["it_power_w"].append(np.where(ok, effective_power, nan))
-            t["grid_w"].append(np.where(ok, pdu_grid_total, nan))
-            t["ups_w"].append(np.where(ok, ups_total, nan))
-            t["cb_overload_w"].append(np.where(ok, cb_overload_w, nan))
-            t["tes_heat_w"].append(np.where(ok, heat_via_tes, nan))
-            t["tes_electric_saved_w"].append(np.where(ok, tes_saved_w, nan))
-            t["cooling_electric_w"].append(
-                np.where(ok, cooling_electric, nan)
-            )
-            t["room_temperature_c"].append(
-                np.where(ok, self.room_temperature_c, nan)
-            )
-            t["pdu_grid_bound_w"].append(np.where(ok, pdu_bound, nan))
+            if "time_s" in t:
+                t["time_s"].append(np.where(ok, time_s, nan))
+            if "demand" in t:
+                t["demand"].append(np.where(ok, d, nan))
+            if "upper_bound" in t:
+                t["upper_bound"].append(np.where(ok, upper_bound, nan))
+            if "degree" in t:
+                t["degree"].append(np.where(ok, effective_degree, nan))
+            if "capacity" in t:
+                t["capacity"].append(np.where(ok, capacity, nan))
+            if "served" in t:
+                t["served"].append(np.where(ok, served, nan))
+            if "dropped" in t:
+                t["dropped"].append(np.where(ok, dropped, nan))
+            if "phase" in t:
+                t["phase"].append(np.where(ok, phase, -1))
+            if "in_burst" in t:
+                t["in_burst"].append(ok & in_burst)
+            if "it_power_w" in t:
+                t["it_power_w"].append(np.where(ok, effective_power, nan))
+            if "grid_w" in t:
+                t["grid_w"].append(np.where(ok, pdu_grid_total, nan))
+            if "ups_w" in t:
+                t["ups_w"].append(np.where(ok, ups_total, nan))
+            if "cb_overload_w" in t:
+                t["cb_overload_w"].append(np.where(ok, cb_overload_w, nan))
+            if "tes_heat_w" in t:
+                t["tes_heat_w"].append(np.where(ok, heat_via_tes, nan))
+            if "tes_electric_saved_w" in t:
+                t["tes_electric_saved_w"].append(
+                    np.where(ok, tes_saved_w, nan)
+                )
+            if "cooling_electric_w" in t:
+                t["cooling_electric_w"].append(
+                    np.where(ok, cooling_electric, nan)
+                )
+            if "room_temperature_c" in t:
+                t["room_temperature_c"].append(
+                    np.where(ok, self.room_temperature_c, nan)
+                )
+            if "pdu_grid_bound_w" in t:
+                t["pdu_grid_bound_w"].append(np.where(ok, pdu_bound, nan))
 
         self.steps_done += 1
         return served_out

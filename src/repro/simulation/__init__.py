@@ -1,6 +1,7 @@
 """Simulation layer: configuration, facility assembly, engine, metrics."""
 
 from repro.simulation.batch import (
+    BACKEND_NAMES,
     RunFailure,
     StrategySpec,
     SweepOutcome,
@@ -59,22 +60,33 @@ from repro.simulation.scenarios import (
     run_with_utility_events,
     spike_during_sprint_scenario,
 )
+from repro.simulation.scheduler import (
+    InProcessScheduler,
+    ProcessPoolScheduler,
+    SweepScheduler,
+)
+from repro.simulation.store import ArtifactStore, GCReport
 
 __all__ = [
+    "BACKEND_NAMES",
     "DEFAULT_CONFIG",
     "DEFAULT_ORACLE_GRID",
     "FAULT_KINDS",
     "RECOVERABLE_FAULT_ERRORS",
+    "ArtifactStore",
     "DataCenter",
     "DataCenterConfig",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "FaultRecord",
+    "GCReport",
+    "InProcessScheduler",
     "PerfectForecast",
     "PredictedBurstForecast",
     "ReportLine",
     "RolloutPlanner",
+    "ProcessPoolScheduler",
     "RunFailure",
     "bind_rollout_planner",
     "SimulationResult",
@@ -82,6 +94,7 @@ __all__ = [
     "StrategySpec",
     "SweepOutcome",
     "SweepRunner",
+    "SweepScheduler",
     "SweepTask",
     "execute_task",
     "collect_report_lines",

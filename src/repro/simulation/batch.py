@@ -7,13 +7,18 @@ loops into declarative batches:
 
 * a :class:`SweepTask` names one run — ``(config, trace, strategy spec)`` —
   in a fully picklable, hashable form;
-* a :class:`SweepRunner` fans batches out over a
-  :class:`concurrent.futures.ProcessPoolExecutor` (``max_workers=1`` is a
-  pure in-process serial path, so parallel output can be checked
-  element-wise against serial output), and memoises every outcome in a
-  content-addressed on-disk cache keyed by a deterministic hash of the
-  task, so repeated Oracle searches and upper-bound-table builds are
-  near-free across benchmark runs.
+* a :class:`SweepRunner` dispatches batches through a pluggable
+  :class:`~repro.simulation.scheduler.SweepScheduler` backend —
+  ``in-process`` (serial reference), ``process-pool`` (persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor`), or ``work-queue``
+  (a multi-host file/directory queue drained by ``repro sweep-worker``
+  processes) — after answering what it can from a shared
+  content-addressed :class:`~repro.simulation.store.ArtifactStore` and
+  executing compatible fixed-bound tasks on the vector-packed tier
+  (:func:`~repro.simulation.packing.vector_pack_tasks`), so repeated
+  Oracle searches and upper-bound-table builds are near-free across
+  benchmark runs and cold grids run integer factors faster than the
+  scalar engine.
 
 Strategies are described by :class:`StrategySpec` rather than live
 objects: a spec is plain data (safe to hash and to ship to a worker
@@ -24,7 +29,8 @@ Environment knobs
 -----------------
 ``REPRO_SWEEP_WORKERS``
     Default worker count for :meth:`SweepRunner.from_env` (falls back to
-    ``os.cpu_count()``; ``1`` forces the serial path).
+    ``os.cpu_count()``; an effective count of ``1`` selects the
+    in-process backend outright — no pool, no pickling).
 ``REPRO_SWEEP_CACHE_DIR``
     Cache directory for :meth:`SweepRunner.from_env`; the value ``off``
     disables caching entirely.  Defaults to ``.repro-sweep-cache`` under
@@ -38,8 +44,6 @@ import json
 import logging
 import math
 import os
-import tempfile
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -59,19 +63,40 @@ from repro.core.strategies import (
 from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.simulation.batch_facility import vector_oracle_search
 from repro.simulation.config import DataCenterConfig, DEFAULT_CONFIG
-from repro.simulation.datacenter import DataCenter, build_datacenter
+from repro.simulation.datacenter import build_datacenter
 from repro.simulation.engine import (
     DEFAULT_ORACLE_GRID,
-    run_simulation,
     shared_prefix_oracle_search,
     simulate_strategy,
 )
 from repro.simulation.faults import FaultPlan
+from repro.simulation.packing import (
+    packed_point_searches as packed_point_searches,
+    vector_pack_tasks as vector_pack_tasks,
+)
+from repro.simulation.scheduler import (
+    BACKEND_NAMES as BACKEND_NAMES,
+    InProcessScheduler,
+    ProcessPoolScheduler,
+    SweepScheduler,
+    _ShippedSearch as _ShippedSearch,
+    _ShippedTask as _ShippedTask,
+    _WORKER_FACILITIES as _WORKER_FACILITIES,
+    _WORKER_TRACES as _WORKER_TRACES,
+    _execute_shipped as _execute_shipped,
+    _execute_shipped_search as _execute_shipped_search,
+    _facility_for as _facility_for,
+    _init_worker as _init_worker,
+    _trace_content_key as _trace_content_key,
+)
+from repro.simulation.store import ArtifactStore
 from repro.units import minutes
 from repro.workloads.traces import Trace
 from repro.workloads.yahoo_trace import generate_yahoo_trace
 
 if TYPE_CHECKING:
+    from concurrent.futures import ProcessPoolExecutor
+
     from repro.servers.cluster import ServerCluster
     from repro.simulation.metrics import SimulationResult
 
@@ -294,6 +319,58 @@ class StrategySpec:
             "forecast": self.forecast,
             "violation_penalty_s": self.violation_penalty_s,
         }
+
+    @classmethod
+    def from_canonical(cls, payload: Dict) -> "StrategySpec":
+        """Inverse of :meth:`canonical` (the work-queue wire format).
+
+        Raises :class:`~repro.errors.ConfigurationError` on malformed
+        payloads; validity of the *values* is still checked by
+        :meth:`build`, exactly as for a locally constructed spec.
+        """
+        try:
+            upper_bound = payload["upper_bound"]
+            predicted = payload["predicted_burst_duration_s"]
+            estimated = payload["estimated_best_degree"]
+            entries = payload["table_entries"]
+            horizon = payload["horizon_s"]
+            replan = payload["replan_interval_s"]
+            cand = payload["candidate_bounds"]
+            forecast = payload["forecast"]
+            penalty = payload["violation_penalty_s"]
+            return cls(
+                kind=str(payload["kind"]),
+                upper_bound=None if upper_bound is None else float(upper_bound),
+                predicted_burst_duration_s=(
+                    None if predicted is None else float(predicted)
+                ),
+                estimated_best_degree=(
+                    None if estimated is None else float(estimated)
+                ),
+                flexibility_percent=float(payload["flexibility_percent"]),
+                max_degree=float(payload["max_degree"]),
+                table_entries=(
+                    None
+                    if entries is None
+                    else tuple(
+                        (float(d), float(g), float(ub))
+                        for d, g, ub in entries
+                    )
+                ),
+                horizon_s=None if horizon is None else float(horizon),
+                replan_interval_s=None if replan is None else float(replan),
+                candidate_bounds=(
+                    None if cand is None else tuple(float(b) for b in cand)
+                ),
+                forecast=None if forecast is None else str(forecast),
+                violation_penalty_s=(
+                    None if penalty is None else float(penalty)
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed strategy spec payload: {exc}"
+            ) from exc
 
 
 # ---------------------------------------------------------------------------
@@ -549,77 +626,14 @@ def execute_task(task: SweepTask) -> TaskResult:
 
 
 # ---------------------------------------------------------------------------
-# Pooled worker path
+# Worker-side search path
 # ---------------------------------------------------------------------------
-# Per-worker state, populated by the pool initializer and the first task
-# to need a given facility.  Shipping each trace once at worker start-up
-# (instead of pickling it into all of its tasks) and rebuilding the
-# substrate once per configuration (instead of once per run) is what makes
-# warm sweeps cheap; ``run_simulation`` resets the substrate and the fault
-# injector restores mutated ratings, so facility reuse is outcome-neutral.
-_WORKER_TRACES: Dict[str, Trace] = {}
-_WORKER_FACILITIES: Dict[str, DataCenter] = {}
-
-
-def _trace_content_key(trace: Trace) -> str:
-    """Content hash a worker can look a shipped trace up by."""
-    header = f"{trace.name}\x00{trace.dt_s!r}\x00".encode("utf-8")
-    return hashlib.sha256(header + trace.samples.tobytes()).hexdigest()
-
-
-@dataclass(frozen=True)
-class _ShippedTask:
-    """A :class:`SweepTask` with its trace replaced by a content key."""
-
-    trace_key: str
-    spec: StrategySpec
-    config: DataCenterConfig
-    fault_plan: Optional[FaultPlan]
-
-
-def _init_worker(traces: Tuple[Tuple[str, Trace], ...]) -> None:
-    """Pool initializer: install the batch's traces in this worker."""
-    _WORKER_TRACES.clear()
-    _WORKER_TRACES.update(traces)
-    _WORKER_FACILITIES.clear()
-
-
-def _facility_for(config: DataCenterConfig) -> DataCenter:
-    """This worker's cached facility for ``config`` (built on first use)."""
-    key = json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
-    datacenter = _WORKER_FACILITIES.get(key)
-    if datacenter is None:
-        datacenter = build_datacenter(config)
-        _WORKER_FACILITIES[key] = datacenter
-    return datacenter
-
-
-def _execute_shipped(shipped: _ShippedTask) -> TaskResult:
-    """Worker-process entry point: run one shipped task on cached state.
-
-    Must produce results element-wise identical to :func:`execute_task`:
-    the facility is reset before every run and the strategy is rebuilt
-    per task, so only the construction cost is amortised, not any state.
-    """
-    task = SweepTask(
-        _WORKER_TRACES[shipped.trace_key],
-        shipped.spec,
-        shipped.config,
-        shipped.fault_plan,
-    )
-    datacenter = _facility_for(task.config)
-    try:
-        result = run_simulation(
-            datacenter,
-            task.trace,
-            task.spec.build(task.config, cluster=datacenter.cluster),
-            fault_plan=task.fault_plan,
-        )
-    except ConfigurationError:
-        raise
-    except ReproError as exc:
-        return _failure_from_error(task, exc)
-    return _outcome_from_result(result)
+# The pooled worker machinery (_WORKER_TRACES, _ShippedTask, _init_worker,
+# _facility_for, _execute_shipped, ...) lives in
+# :mod:`repro.simulation.scheduler` and is re-exported above: worker
+# functions resolve ``execute_task`` / ``_oracle_point_search`` through
+# *this* module at call time, so test doubles installed here apply to
+# every backend.
 
 
 def _oracle_point_search(
@@ -671,49 +685,56 @@ def _oracle_point_search(
     return float(candidates[best_idx]), performances[best_idx]
 
 
-@dataclass(frozen=True)
-class _ShippedSearch:
-    """One upper-bound-table grid point, in worker-shippable form."""
-
-    trace_key: str
-    candidates: Tuple[float, ...]
-    config: DataCenterConfig
-
-
-def _execute_shipped_search(shipped: _ShippedSearch) -> Optional[Tuple[float, float]]:
-    """Worker-process entry point: one grid point's Oracle search."""
-    return _oracle_point_search(
-        _WORKER_TRACES[shipped.trace_key], shipped.candidates, shipped.config
-    )
-
-
 # ---------------------------------------------------------------------------
 # The runner
 # ---------------------------------------------------------------------------
 class SweepRunner:
-    """Fan independent simulation runs out over processes, with caching.
+    """Fan independent simulation runs out over a backend, with caching.
 
     Parameters
     ----------
     max_workers:
-        Process count for batches.  ``1`` (the default) runs everything
-        in-process — the reference serial path parallel output is tested
-        against.  ``None`` resolves to ``os.cpu_count()``.
+        Process count for pooled batches.  ``1`` (the default) selects
+        the in-process backend — the reference serial path every other
+        backend is tested against.  ``None`` resolves to
+        ``os.cpu_count()``.
     cache_dir:
-        Directory for the content-addressed outcome cache; created on
-        first write.  ``None`` disables caching.
+        Directory for the content-addressed
+        :class:`~repro.simulation.store.ArtifactStore`; created on first
+        write.  ``None`` disables caching.
+    backend:
+        One of :data:`~repro.simulation.scheduler.BACKEND_NAMES`
+        (``in-process`` | ``process-pool`` | ``work-queue``), or ``None``
+        to pick from ``max_workers``.  ``process-pool`` with an effective
+        worker count of 1 degrades to ``in-process`` — a one-worker pool
+        is pure pickling overhead.
+    queue_dir:
+        Shared queue directory, required by (and only meaningful for)
+        the ``work-queue`` backend.
+    lease_timeout_s:
+        Work-queue heartbeat staleness threshold before a crashed
+        worker's task is reclaimed.
+    vector_pack:
+        Whether compatible fixed-bound tasks may execute on the packed
+        :class:`~repro.core.vector_kernel.VectorStepKernel` tier instead
+        of per-task scalar runs (bit-identical either way; disable for
+        differential debugging or to pin pool behaviour in tests).
 
-    The cache stores one small JSON file per task, named by the task's
-    SHA-256 :meth:`~SweepTask.cache_key`.  Corrupt, truncated or
-    key-mismatched files are detected on read and silently recomputed
-    (and rewritten).  ``runner.hits`` / ``runner.misses`` count cache
-    traffic for reporting.
+    The store keeps one small JSON file per task, named by the task's
+    SHA-256 :meth:`~SweepTask.cache_key`, plus a compact manifest index.
+    Corrupt, truncated or key-mismatched files are detected on read and
+    silently recomputed (and rewritten).  ``runner.hits`` /
+    ``runner.misses`` count cache traffic for reporting.
     """
 
     def __init__(
         self,
         max_workers: Optional[int] = 1,
         cache_dir: Union[str, "os.PathLike[str]", None] = None,
+        backend: Optional[str] = None,
+        queue_dir: Union[str, "os.PathLike[str]", None] = None,
+        lease_timeout_s: float = 60.0,
+        vector_pack: bool = True,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -723,19 +744,64 @@ class SweepRunner:
             )
         self.max_workers = int(max_workers)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.store: Optional[ArtifactStore] = (
+            None
+            if self.cache_dir is None
+            else ArtifactStore(self.cache_dir, CACHE_FORMAT_VERSION)
+        )
+        self.vector_pack = bool(vector_pack)
+        if backend is None:
+            backend = "process-pool" if self.max_workers > 1 else "in-process"
+        if backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown sweep backend {backend!r}; expected one of "
+                f"{', '.join(BACKEND_NAMES)}"
+            )
+        if backend == "process-pool" and self.max_workers == 1:
+            backend = "in-process"
+        self._scheduler: SweepScheduler
+        if backend == "work-queue":
+            if queue_dir is None:
+                raise ConfigurationError(
+                    "the work-queue backend needs a queue_dir"
+                )
+            from repro.simulation.workqueue import WorkQueueScheduler
+
+            self._scheduler = WorkQueueScheduler(
+                queue_dir, lease_timeout_s=lease_timeout_s
+            )
+        elif backend == "process-pool":
+            self._scheduler = ProcessPoolScheduler(self.max_workers)
+        else:
+            self._scheduler = InProcessScheduler()
+        self.backend = self._scheduler.name
         self.hits = 0
         self.misses = 0
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_traces: Dict[str, Trace] = {}
         self._closed = False
+
+    @property
+    def _pool(self) -> Optional["ProcessPoolExecutor"]:
+        """The backend's live process pool (``None`` for poolless backends).
+
+        Kept as a property so the pool-persistence tests keep observing
+        the executor exactly where they always did.
+        """
+        scheduler = self._scheduler
+        if isinstance(scheduler, ProcessPoolScheduler):
+            return scheduler.pool
+        return None
 
     @classmethod
     def from_env(cls) -> "SweepRunner":
         """Build a runner from the environment knobs (benchmark default).
 
-        Workers default to ``os.cpu_count()``; caching defaults to *on*
-        in ``.repro-sweep-cache`` under the working directory, and is
-        disabled by ``REPRO_SWEEP_CACHE_DIR=off``.
+        Workers come from ``REPRO_SWEEP_WORKERS`` (default
+        ``os.cpu_count()``); an effective count of 1 — a single-core host,
+        or an explicit ``REPRO_SWEEP_WORKERS=1`` — selects the in-process
+        backend outright, so no pool is ever spawned for serial work.
+        Caching defaults to *on* in ``.repro-sweep-cache`` under the
+        working directory, and is disabled by
+        ``REPRO_SWEEP_CACHE_DIR=off``.
         """
         workers_env = os.environ.get(ENV_WORKERS, "").strip()
         max_workers = int(workers_env) if workers_env else None
@@ -754,10 +820,14 @@ class SweepRunner:
     def run_tasks(self, tasks: Sequence[SweepTask]) -> List[TaskResult]:
         """Run a batch, preserving input order.
 
-        Cached results are returned without recomputation; the remainder
-        is executed on the process pool (or in-process for a serial
-        runner) and written back to the cache.  Failed grid points come
-        back as :class:`RunFailure` records (also cached — a
+        Cached results are returned without recomputation.  Of the
+        remainder, compatible fixed-bound fault-free tasks execute on the
+        vector-packed kernel tier (bit-identical to the scalar path, one
+        lockstep batch instead of one run per task) unless the backend
+        opts out (the work queue ships everything so external workers can
+        claim it); whatever is left goes to the scheduler backend.  All
+        fresh results are written back to the store.  Failed grid points
+        come back as :class:`RunFailure` records (also cached — a
         deterministic failure recomputes exactly as pointlessly as a
         deterministic success), never as ``None``.
         """
@@ -776,90 +846,37 @@ class SweepRunner:
 
         if pending:
             pending_tasks = [task for _, task, _ in pending]
-            if self.max_workers > 1 and len(pending_tasks) > 1:
-                computed = self._run_on_pool(pending_tasks)
-            else:
-                computed = [execute_task(task) for task in pending_tasks]
+            computed: List[Optional[TaskResult]] = [None] * len(pending)
+            if self.vector_pack and self._scheduler.packs_inline:
+                for k, packed in enumerate(vector_pack_tasks(pending_tasks)):
+                    computed[k] = packed
+            leftover = [k for k in range(len(pending)) if computed[k] is None]
+            if leftover:
+                scheduled = self._scheduler.run_tasks(
+                    [pending_tasks[k] for k in leftover]
+                )
+                for k, result in zip(leftover, scheduled):
+                    computed[k] = result
             for (i, _, key), outcome in zip(pending, computed):
+                assert outcome is not None
                 outcomes[i] = outcome
                 self._cache_store(key, outcome)
 
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
 
-    def _run_on_pool(self, tasks: Sequence[SweepTask]) -> List[TaskResult]:
-        """Execute a batch on the persistent process pool.
-
-        Traces are shipped to the workers once per pool (by content hash,
-        via the initializer) rather than pickled into every task, and
-        submissions are chunked so the IPC round-trips scale with the
-        worker count, not the task count.  The pool survives across
-        batches; it is only rebuilt when a batch introduces a trace the
-        workers have not seen.
-        """
-        traces: Dict[str, Trace] = {}
-        shipped = []
-        for task in tasks:
-            key = _trace_content_key(task.trace)
-            traces[key] = task.trace
-            shipped.append(
-                _ShippedTask(key, task.spec, task.config, task.fault_plan)
-            )
-        pool = self._pool_for(traces)
-        chunksize = max(1, len(shipped) // (self.max_workers * 4))
-        try:
-            return list(
-                pool.map(_execute_shipped, shipped, chunksize=chunksize)
-            )
-        except Exception:
-            # A broken pool (killed worker, unpicklable crash) cannot be
-            # reused; drop it so the next batch starts a fresh one.
-            _LOG.debug(
-                "sweep pool failed mid-batch; discarding it", exc_info=True
-            )
-            self._shutdown_pool()
-            raise
-
-    def _pool_for(self, traces: Dict[str, Trace]) -> ProcessPoolExecutor:
-        """The persistent pool, rebuilt only when new traces must ship."""
-        new = {
-            key: trace
-            for key, trace in traces.items()
-            if key not in self._pool_traces
-        }
-        if self._pool is None or new:
-            if self._pool is not None:
-                self._pool.shutdown(wait=False)
-            self._pool_traces.update(new)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.max_workers,
-                initializer=_init_worker,
-                initargs=(tuple(self._pool_traces.items()),),
-            )
-        return self._pool
-
     def close(self) -> None:
         """Shut down the runner (idempotent).
 
-        Releases the persistent worker pool (a no-op for serial runners,
-        which hold none) and latches the runner closed: submitting further
-        work raises :class:`~repro.errors.ConfigurationError` instead of a
-        pool error.  Runners also work as context managers —
+        Releases the backend's resources (a persistent worker pool for
+        ``process-pool``; a no-op for the other backends) and latches the
+        runner closed: submitting further work raises
+        :class:`~repro.errors.ConfigurationError` instead of a pool
+        error.  Runners also work as context managers —
         ``with SweepRunner(...) as runner:`` closes on exit.
         """
         self._closed = True
-        self._shutdown_pool()
-
-    def _shutdown_pool(self) -> None:
-        """Release the pool without latching the runner closed.
-
-        Used by the broken-pool recovery path, which must leave the
-        runner usable so the next batch can start a fresh pool.
-        """
-        if self._pool is not None:
-            self._pool.shutdown(wait=False)
-            self._pool = None
-            self._pool_traces = {}
+        self._scheduler.close()
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -1060,36 +1077,28 @@ class SweepRunner:
         candidates: Tuple[float, ...],
         config: DataCenterConfig,
     ) -> List[Optional[Tuple[float, float]]]:
-        """Run the uncached grid-point searches, pooled when it pays."""
-        if self.max_workers > 1 and len(point_traces) > 1:
-            traces: Dict[str, Trace] = {}
-            shipped = []
-            for trace in point_traces:
-                key = _trace_content_key(trace)
-                traces[key] = trace
-                shipped.append(_ShippedSearch(key, candidates, config))
-            pool = self._pool_for(traces)
-            try:
-                return list(pool.map(_execute_shipped_search, shipped))
-            except Exception:
-                _LOG.debug(
-                    "sweep pool failed mid-batch; discarding it",
-                    exc_info=True,
-                )
-                self._shutdown_pool()
-                raise
-        return [
-            _oracle_point_search(trace, candidates, config)
-            for trace in point_traces
-        ]
+        """Run the uncached grid-point searches, packed when possible.
+
+        The vector-packed tier fuses the whole table build (every point x
+        every candidate) into few kernel batches; when it declines (toggle
+        off, incompatible traces) the searches go to the scheduler
+        backend, which keeps the per-point strict argmax semantics.
+        """
+        if self.vector_pack and self._scheduler.packs_inline:
+            packed = packed_point_searches(point_traces, candidates, config)
+            if packed is not None:
+                return packed
+        return self._scheduler.run_point_searches(
+            point_traces, candidates, config
+        )
 
     # ------------------------------------------------------------------
-    # On-disk cache
+    # The shared artifact store (content-addressed result cache)
     # ------------------------------------------------------------------
     def _cache_path(self, key: str) -> Optional[Path]:
-        if self.cache_dir is None:
+        if self.store is None:
             return None
-        return self.cache_dir / f"{key}.json"
+        return self.store.path_for(key)
 
     def _cache_load(self, key: str) -> Optional[TaskResult]:
         """Load one cached result; any malformed entry reads as a miss.
@@ -1097,24 +1106,22 @@ class SweepRunner:
         Entries carry a ``status``: ``"ok"`` payloads decode to a
         :class:`SweepOutcome`, ``"failure"`` payloads to a
         :class:`RunFailure` (failures are as deterministic as successes,
-        so they cache identically).
+        so they cache identically).  Envelope validation (version, key
+        echo) lives in :class:`~repro.simulation.store.ArtifactStore`.
         """
-        path = self._cache_path(key)
-        if path is None or not path.is_file():
+        if self.store is None:
+            return None
+        payload = self.store.load_payload(key)
+        if payload is None:
             return None
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            if payload["version"] != CACHE_FORMAT_VERSION:
-                return None
-            if payload["key"] != key:
-                return None
             if payload["status"] == "failure":
                 return RunFailure.from_dict(payload["outcome"])
             if payload["status"] != "ok":
                 return None
             return SweepOutcome.from_dict(payload["outcome"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Truncated JSON, tampered fields, wrong types: recompute.
+        except (ValueError, KeyError, TypeError):
+            # Tampered fields, wrong types: recompute.
             return None
 
     def _search_cache_load(self, key: str) -> Optional[Tuple[float, float]]:
@@ -1124,34 +1131,28 @@ class SweepRunner:
         never decode as a search (and vice versa); anything malformed
         reads as a miss, exactly like :meth:`_cache_load`.
         """
-        path = self._cache_path(key)
-        if path is None or not path.is_file():
+        if self.store is None:
+            return None
+        payload = self.store.load_payload(key)
+        if payload is None or payload["status"] != "search":
             return None
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            if payload["version"] != CACHE_FORMAT_VERSION:
-                return None
-            if payload["key"] != key:
-                return None
-            if payload["status"] != "search":
-                return None
             outcome = payload["outcome"]
             return (
                 float(outcome["upper_bound"]),
                 float(outcome["achieved_performance"]),
             )
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             return None
 
     def _search_cache_store(
         self, key: str, upper_bound: float, performance: float
     ) -> None:
         """Atomically persist one Oracle-search result."""
-        path = self._cache_path(key)
-        if path is None:
+        if self.store is None:
             return
-        self._cache_write(
-            path,
+        self.store.store_payload(
+            key,
             {
                 "version": CACHE_FORMAT_VERSION,
                 "key": key,
@@ -1165,11 +1166,10 @@ class SweepRunner:
 
     def _cache_store(self, key: str, outcome: TaskResult) -> None:
         """Atomically persist one result (write-to-temp + rename)."""
-        path = self._cache_path(key)
-        if path is None:
+        if self.store is None:
             return
-        self._cache_write(
-            path,
+        self.store.store_payload(
+            key,
             {
                 "version": CACHE_FORMAT_VERSION,
                 "key": key,
@@ -1177,22 +1177,6 @@ class SweepRunner:
                 "outcome": outcome.to_dict(),
             },
         )
-
-    def _cache_write(self, path: Path, payload: Dict[str, object]) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except OSError:
-            # Caching is an optimisation; never fail the sweep over it.
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
 
 
 def config_fields() -> Tuple[str, ...]:

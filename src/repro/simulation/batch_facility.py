@@ -133,6 +133,64 @@ class BatchFacility:
             kernel=kernel,
         )
 
+    def run_demand_matrix(
+        self,
+        demand: np.ndarray,
+        dt_s: float,
+        bounds: Sequence[float],
+        telemetry_fields: Optional[Sequence[str]] = None,
+    ) -> Tuple[np.ndarray, VectorStepKernel]:
+        """Advance a batch where every element has its *own* demand series.
+
+        ``demand`` is a ``(n_steps, len(bounds))`` matrix — column ``j``
+        drives element ``j``, whose fixed upper bound is ``bounds[j]``.
+        This is how the packed sweep tier fuses grid points over
+        *different* traces (same length, same sampling period) into one
+        lockstep kernel run: every kernel operation is elementwise over
+        the batch axis, so each column evolves exactly as it would in a
+        batch fed only its own trace.
+
+        ``dt_s`` is the demand sampling period, validated against the
+        controller step exactly like :meth:`run_fixed_bounds` and used for
+        the step timestamps (``i * dt_s``, matching the scalar engine).
+        Returns ``(served, kernel)``: the served matrix (0.0 from an
+        element's failing step onward) and the kernel, whose per-element
+        aggregates and selected telemetry columns the caller reduces.
+        """
+        if abs(dt_s - self.config.dt_s) > 1e-9:
+            raise ConfigurationError(
+                f"demand sampling period ({dt_s:g} s) does not match "
+                f"the controller step ({self.config.dt_s:g} s); resample "
+                "the demand or set the config's dt_s accordingly"
+            )
+        demand_matrix = np.asarray(demand, dtype=np.float64)
+        bound_arr = np.asarray(bounds, dtype=np.float64)
+        if (
+            demand_matrix.ndim != 2
+            or demand_matrix.shape[1] != bound_arr.size
+        ):
+            raise ConfigurationError(
+                f"demand must have shape (n_steps, {bound_arr.size}), "
+                f"got {demand_matrix.shape!r}"
+            )
+        datacenter = self._datacenter
+        datacenter.reset()
+        controller = datacenter.controller(FixedUpperBoundStrategy(1.0))
+        controller.strategy.reset()
+        kernel = VectorStepKernel(
+            datacenter.cluster,
+            datacenter.topology,
+            datacenter.cooling,
+            controller,
+            bound_arr,
+            record_telemetry=telemetry_fields is not None,
+            telemetry_fields=telemetry_fields,
+        )
+        served = np.empty_like(demand_matrix)
+        for i in range(demand_matrix.shape[0]):
+            served[i] = kernel.step(demand_matrix[i], i * dt_s)
+        return served, kernel
+
     def oracle_search(
         self, trace: Trace, candidates: Sequence[float]
     ) -> Tuple[float, float]:

@@ -1,0 +1,569 @@
+"""Multi-host file/directory work queue for sweep execution.
+
+One queue directory, any number of workers: the driver (``repro sweep
+--backend work-queue``) serialises each uncached task to a JSON file
+under ``<queue>/tasks/``, and every worker — the driver itself plus any
+``repro sweep-worker`` processes on any machines sharing the filesystem —
+drains the queue through three atomic primitives:
+
+* **claim**: ``os.rename(tasks/X -> leases/X)``.  Rename within a
+  directory tree is atomic on POSIX filesystems, so exactly one worker
+  wins a task; there is no lock server and no lock file.
+* **heartbeat**: while executing, the owning worker touches its lease
+  file's mtime on a background thread.  A lease whose mtime goes stale
+  for longer than ``lease_timeout_s`` marks a crashed worker.
+* **reclaim**: an idle worker renames a stale lease back into
+  ``tasks/`` — again atomic, again exactly one winner — so a crashed
+  worker's task is re-executed instead of lost.
+
+Results land in ``<queue>/results/`` (atomic temp-file + rename, named
+by the task's content-addressed cache key), which doubles as the dedup
+layer: a task whose result file already exists is never enqueued, and a
+claimed task whose result appeared in the meantime (another host computed
+it) completes without executing.  The driver polls ``results/`` until its
+batch is fully answered, draining the queue itself between polls so a
+driver with no external workers degrades to serial execution rather than
+deadlock.
+
+This module deliberately lives *off* the determinism hot-path list: it
+reads the wall clock (lease staleness) and sleeps (poll backoff).  What
+it never does is compute — execution always resolves through
+:func:`repro.simulation.batch.execute_task` /
+:func:`repro.simulation.batch._oracle_point_search`, so results are
+element-wise identical to every other backend no matter which host ran
+the task.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import logging
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.scheduler import SweepScheduler
+from repro.workloads.traces import Trace
+
+if TYPE_CHECKING:
+    from repro.simulation.batch import SweepTask, TaskResult
+    from repro.simulation.faults import FaultPlan
+
+_LOG = logging.getLogger(__name__)
+
+#: Queue payload schema version (independent of the artifact-store
+#: payload version: queue files are transient, results are keyed by the
+#: same cache keys the store uses).
+QUEUE_FORMAT_VERSION = 1
+
+#: Default seconds of heartbeat silence after which a lease is stale.
+DEFAULT_LEASE_TIMEOUT_S = 60.0
+
+#: Default driver/worker poll backoff when the queue is momentarily empty.
+DEFAULT_POLL_INTERVAL_S = 0.05
+
+
+def _encode_trace(trace: Trace) -> Dict[str, object]:
+    """Bit-exact portable trace form (explicit little-endian float64)."""
+    samples = np.asarray(trace.samples, dtype="<f8")
+    return {
+        "name": trace.name,
+        "dt_s": trace.dt_s,
+        "samples_b64": base64.b64encode(samples.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_trace(payload: Dict[str, object]) -> Trace:
+    samples = np.frombuffer(
+        base64.b64decode(str(payload["samples_b64"])), dtype="<f8"
+    ).astype(np.float64)
+    return Trace(
+        samples=samples,
+        dt_s=float(payload["dt_s"]),  # type: ignore[arg-type]
+        name=str(payload["name"]),
+    )
+
+
+class WorkQueue:
+    """The on-disk queue: directories, atomic claims, leases, results."""
+
+    def __init__(
+        self,
+        root: Union[str, "os.PathLike[str]"],
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+    ) -> None:
+        if lease_timeout_s <= 0.0:
+            raise ConfigurationError(
+                f"lease_timeout_s must be > 0, got {lease_timeout_s!r}"
+            )
+        self.root = Path(root)
+        self.lease_timeout_s = float(lease_timeout_s)
+        self.tasks_dir = self.root / "tasks"
+        self.leases_dir = self.root / "leases"
+        self.results_dir = self.root / "results"
+        for directory in (self.tasks_dir, self.leases_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Atomic file helpers
+    # ------------------------------------------------------------------
+    def _write_atomic(self, path: Path, payload: Dict[str, object]) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _read_json(self, path: Path) -> Optional[Dict[str, object]]:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    # ------------------------------------------------------------------
+    # Queue primitives
+    # ------------------------------------------------------------------
+    def enqueue(self, name: str, payload: Dict[str, object]) -> bool:
+        """Publish one task file unless it is already queued/claimed/done.
+
+        Returns whether a new file was written.  The existence checks are
+        advisory (another host may race them); correctness rests on the
+        atomic claim and on result files being content-addressed — a
+        duplicate enqueue after a result exists completes without
+        executing.
+        """
+        if self.result_path(name).is_file():
+            return False
+        task_path = self.tasks_dir / f"{name}.json"
+        if task_path.is_file() or (self.leases_dir / f"{name}.json").is_file():
+            return False
+        self._write_atomic(task_path, payload)
+        return True
+
+    def claim(self) -> Optional[Path]:
+        """Atomically claim one queued task; returns its lease path.
+
+        Tasks are scanned in sorted-name order so claim order is
+        deterministic for a lone worker; under contention the rename
+        decides, and losing a rename just moves on to the next file.
+        """
+        try:
+            queued = sorted(self.tasks_dir.glob("*.json"))
+        except OSError:
+            return None
+        for task_path in queued:
+            lease_path = self.leases_dir / task_path.name
+            try:
+                os.rename(task_path, lease_path)
+            except OSError:
+                continue  # another worker won this one
+            try:
+                os.utime(lease_path)
+            except OSError:
+                pass
+            return lease_path
+        return None
+
+    def reclaim_expired(self, now: Optional[float] = None) -> int:
+        """Move stale leases (crashed workers) back into the task queue."""
+        if now is None:
+            now = time.time()
+        reclaimed = 0
+        try:
+            leases = sorted(self.leases_dir.glob("*.json"))
+        except OSError:
+            return 0
+        for lease_path in leases:
+            try:
+                age = now - lease_path.stat().st_mtime
+            except OSError:
+                continue  # completed or reclaimed under us
+            if age <= self.lease_timeout_s:
+                continue
+            try:
+                os.rename(lease_path, self.tasks_dir / lease_path.name)
+            except OSError:
+                continue  # another worker reclaimed it first
+            _LOG.warning(
+                "work queue %s: reclaimed stale lease %s (heartbeat "
+                "silent for %.1f s)",
+                self.root,
+                lease_path.name,
+                age,
+            )
+            reclaimed += 1
+        return reclaimed
+
+    def complete(
+        self, lease_path: Path, result_payload: Dict[str, object]
+    ) -> None:
+        """Publish the result, then release the lease."""
+        name = lease_path.stem
+        self._write_atomic(self.result_path(name), result_payload)
+        try:
+            os.unlink(lease_path)
+        except OSError:
+            pass
+
+    def result_path(self, name: str) -> Path:
+        return self.results_dir / f"{name}.json"
+
+    def load_result(self, name: str) -> Optional[Dict[str, object]]:
+        path = self.result_path(name)
+        if not path.is_file():
+            return None
+        return self._read_json(path)
+
+    def pending_counts(self) -> Tuple[int, int, int]:
+        """(queued, leased, results) file counts — for status printouts."""
+        return (
+            len(list(self.tasks_dir.glob("*.json"))),
+            len(list(self.leases_dir.glob("*.json"))),
+            len(list(self.results_dir.glob("*.json"))),
+        )
+
+
+class _Heartbeat:
+    """Touches a lease file periodically while its task executes."""
+
+    def __init__(self, lease_path: Path, interval_s: float) -> None:
+        self._lease_path = lease_path
+        self._interval_s = max(0.05, interval_s)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                os.utime(self._lease_path)
+            except OSError:
+                return  # lease released or reclaimed; nothing to keep alive
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Payload (de)serialisation and execution
+# ---------------------------------------------------------------------------
+def task_payload(name: str, task: "SweepTask") -> Dict[str, object]:
+    """The queue-file form of one simulation task."""
+    return {
+        "version": QUEUE_FORMAT_VERSION,
+        "kind": "task",
+        "name": name,
+        "trace": _encode_trace(task.trace),
+        "spec": task.spec.canonical(),
+        "config": task.config.to_dict(),
+        "fault_plan": (
+            None if task.fault_plan is None else task.fault_plan.to_dict()
+        ),
+    }
+
+
+def search_payload(
+    name: str,
+    trace: Trace,
+    candidates: Tuple[float, ...],
+    config: DataCenterConfig,
+) -> Dict[str, object]:
+    """The queue-file form of one Oracle grid-point search."""
+    return {
+        "version": QUEUE_FORMAT_VERSION,
+        "kind": "search",
+        "name": name,
+        "trace": _encode_trace(trace),
+        "candidates": [float(c) for c in candidates],
+        "config": config.to_dict(),
+    }
+
+
+def _decode_task(payload: Dict[str, object]) -> "SweepTask":
+    from repro.simulation import batch as _batch
+    from repro.simulation.faults import FaultPlan
+
+    fault_payload = payload["fault_plan"]
+    fault_plan: Optional["FaultPlan"] = (
+        None
+        if fault_payload is None
+        else FaultPlan.from_dict(fault_payload)  # type: ignore[arg-type]
+    )
+    return _batch.SweepTask(
+        trace=_decode_trace(payload["trace"]),  # type: ignore[arg-type]
+        spec=_batch.StrategySpec.from_canonical(
+            payload["spec"]  # type: ignore[arg-type]
+        ),
+        config=DataCenterConfig.from_dict(
+            payload["config"]  # type: ignore[arg-type]
+        ),
+        fault_plan=fault_plan,
+    )
+
+
+def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one queue payload to its result payload.
+
+    Computation resolves through the batch module at call time
+    (:func:`~repro.simulation.batch.execute_task` for tasks,
+    :func:`~repro.simulation.batch._oracle_point_search` for searches) so
+    queue workers produce exactly what the in-process backend produces.
+    A :class:`~repro.errors.ConfigurationError` — a programming error,
+    not a simulation outcome — is captured as a ``status: "error"``
+    result so the *driver* raises it; the worker moves on.
+    """
+    from repro.simulation import batch as _batch
+
+    kind = payload.get("kind")
+    try:
+        if kind == "task":
+            outcome = _batch.execute_task(_decode_task(payload))
+            return {
+                "version": QUEUE_FORMAT_VERSION,
+                "status": "failure" if outcome.failed else "ok",
+                "outcome": outcome.to_dict(),
+            }
+        if kind == "search":
+            found = _batch._oracle_point_search(
+                _decode_trace(payload["trace"]),  # type: ignore[arg-type]
+                tuple(
+                    float(c)
+                    for c in payload["candidates"]  # type: ignore[union-attr]
+                ),
+                DataCenterConfig.from_dict(
+                    payload["config"]  # type: ignore[arg-type]
+                ),
+            )
+            return {
+                "version": QUEUE_FORMAT_VERSION,
+                "status": "search",
+                "outcome": (
+                    None
+                    if found is None
+                    else {
+                        "upper_bound": found[0],
+                        "achieved_performance": found[1],
+                    }
+                ),
+            }
+        raise ConfigurationError(f"unknown queue payload kind {kind!r}")
+    except ConfigurationError as exc:
+        return {
+            "version": QUEUE_FORMAT_VERSION,
+            "status": "error",
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+        }
+
+
+def drain(
+    queue: WorkQueue,
+    max_tasks: Optional[int] = None,
+    idle_timeout_s: Optional[float] = None,
+    poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+) -> int:
+    """Worker loop: claim, execute, publish, repeat.  Returns tasks run.
+
+    Exits after ``max_tasks`` executions, or after the queue (including
+    reclaimable stale leases) has stayed empty for ``idle_timeout_s``
+    seconds; ``idle_timeout_s=None`` with an empty queue exits
+    immediately after one reclaim sweep (the one-shot mode the driver's
+    inline draining uses).
+    """
+    executed = 0
+    idle_since: Optional[float] = None
+    while max_tasks is None or executed < max_tasks:
+        lease_path = queue.claim()
+        if lease_path is None:
+            queue.reclaim_expired()
+            lease_path = queue.claim()
+        if lease_path is None:
+            if idle_timeout_s is None:
+                return executed
+            now = time.time()
+            if idle_since is None:
+                idle_since = now
+            elif now - idle_since >= idle_timeout_s:
+                return executed
+            time.sleep(poll_interval_s)
+            continue
+        idle_since = None
+        payload = queue._read_json(lease_path)
+        if payload is None:
+            # Unreadable task file: nothing can ever execute it.  Publish
+            # the defect as an error result so the driver fails loudly
+            # instead of polling forever.
+            queue.complete(
+                lease_path,
+                {
+                    "version": QUEUE_FORMAT_VERSION,
+                    "status": "error",
+                    "error_type": "ConfigurationError",
+                    "message": (
+                        f"unreadable queue task file {lease_path.name!r}"
+                    ),
+                },
+            )
+            continue
+        if queue.load_result(lease_path.stem) is not None:
+            # Another host already answered this key; dedup, don't redo.
+            try:
+                os.unlink(lease_path)
+            except OSError:
+                pass
+            continue
+        with _Heartbeat(lease_path, queue.lease_timeout_s / 3.0):
+            result = execute_payload(payload)
+        queue.complete(lease_path, result)
+        executed += 1
+    return executed
+
+
+# ---------------------------------------------------------------------------
+# The scheduler backend
+# ---------------------------------------------------------------------------
+class WorkQueueScheduler(SweepScheduler):
+    """Sweep backend that executes through a shared queue directory.
+
+    The driver enqueues every task (vector packing is disabled for this
+    backend — the point is that *external* workers can claim the work),
+    then alternates between draining the queue itself and polling for
+    results published by other workers.  Task names are the same SHA-256
+    cache keys the artifact store uses, so two drivers sweeping
+    overlapping grids against one queue share each other's results.
+    """
+
+    name = "work-queue"
+    packs_inline = False
+
+    def __init__(
+        self,
+        queue_dir: Union[str, "os.PathLike[str]"],
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+    ) -> None:
+        self.queue = WorkQueue(queue_dir, lease_timeout_s=lease_timeout_s)
+        self.poll_interval_s = float(poll_interval_s)
+
+    def run_tasks(self, tasks: Sequence["SweepTask"]) -> List["TaskResult"]:
+        names = []
+        for task in tasks:
+            name = f"task-{task.cache_key()}"
+            names.append(name)
+            self.queue.enqueue(name, task_payload(name, task))
+        payloads = self._drive(names)
+        return [self._decode_task_result(p) for p in payloads]
+
+    def run_point_searches(
+        self,
+        point_traces: Sequence[Trace],
+        candidates: Tuple[float, ...],
+        config: DataCenterConfig,
+    ) -> List[Optional[Tuple[float, float]]]:
+        from repro.simulation import batch as _batch
+
+        names = []
+        for trace in point_traces:
+            key = _batch._search_cache_key(trace, candidates, config, None)
+            name = f"search-{key}"
+            names.append(name)
+            self.queue.enqueue(
+                name, search_payload(name, trace, candidates, config)
+            )
+        payloads = self._drive(names)
+        return [self._decode_search_result(p) for p in payloads]
+
+    def _drive(self, names: Sequence[str]) -> List[Dict[str, object]]:
+        """Drain + poll until every named result exists; return them."""
+        waiting = [n for n in names]
+        while True:
+            waiting = [
+                n for n in waiting if self.queue.load_result(n) is None
+            ]
+            if not waiting:
+                break
+            ran = drain(self.queue, idle_timeout_s=None)
+            if ran == 0:
+                # Nothing claimable: the remainder is leased to other
+                # workers (or just published).  Yield and re-poll.
+                time.sleep(self.poll_interval_s)
+        results = []
+        for name in names:
+            payload = self.queue.load_result(name)
+            if payload is None:  # pragma: no cover - raced gc of results/
+                raise ConfigurationError(
+                    f"work queue result {name!r} disappeared mid-drive"
+                )
+            results.append(payload)
+        return results
+
+    def _decode_task_result(
+        self, payload: Dict[str, object]
+    ) -> "TaskResult":
+        from repro.simulation import batch as _batch
+
+        status = payload.get("status")
+        if status == "ok":
+            return _batch.SweepOutcome.from_dict(
+                payload["outcome"]  # type: ignore[arg-type]
+            )
+        if status == "failure":
+            return _batch.RunFailure.from_dict(
+                payload["outcome"]  # type: ignore[arg-type]
+            )
+        self._raise_error(payload)
+        raise AssertionError("unreachable")
+
+    def _decode_search_result(
+        self, payload: Dict[str, object]
+    ) -> Optional[Tuple[float, float]]:
+        status = payload.get("status")
+        if status == "search":
+            outcome = payload.get("outcome")
+            if outcome is None:
+                return None
+            return (
+                float(outcome["upper_bound"]),  # type: ignore[index]
+                float(outcome["achieved_performance"]),  # type: ignore[index]
+            )
+        self._raise_error(payload)
+        raise AssertionError("unreachable")
+
+    def _raise_error(self, payload: Dict[str, object]) -> None:
+        if payload.get("status") == "error":
+            raise ConfigurationError(
+                f"work queue task failed remotely "
+                f"({payload.get('error_type')}): {payload.get('message')}"
+            )
+        raise ConfigurationError(
+            f"malformed work queue result payload: {payload!r}"
+        )

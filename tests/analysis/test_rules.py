@@ -129,6 +129,26 @@ class TestDeterminismRule:
         )
         assert [f.rule for f in report.findings] == ["determinism"]
 
+    @pytest.mark.parametrize(
+        "relpath",
+        (
+            "repro/simulation/scheduler.py",
+            "repro/simulation/packing.py",
+        ),
+    )
+    def test_sweep_dispatch_modules_are_hot_paths(self, tmp_path, relpath):
+        """Scheduling and packing decide where work runs, never what it
+        computes — a wall clock inside either must be flagged.  (The
+        work-queue module needs clocks for leases and deliberately stays
+        off the hot list.)"""
+        report = run_rule(
+            DeterminismRule(),
+            tmp_path,
+            "import time\nstarted = time.monotonic()\n",
+            relpath=relpath,
+        )
+        assert [f.rule for f in report.findings] == ["determinism"]
+
     def test_cold_path_is_exempt(self, tmp_path):
         report = run_rule(
             DeterminismRule(),

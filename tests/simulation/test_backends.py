@@ -1,0 +1,224 @@
+"""Backend identity: the scheduler contract, pinned.
+
+Every :class:`SweepScheduler` backend — and the vector-packed tier that
+runs in front of the inline backends — must produce results element-wise
+identical to the serial in-process reference, for successes, for cached
+replays and for failures.  The parametrized tests here difference each
+backend against the same reference results, so a new backend joins the
+contract by joining ``BACKENDS``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import BreakerTrippedError, ConfigurationError
+from repro.simulation.batch import (
+    RunFailure,
+    StrategySpec,
+    SweepRunner,
+    SweepTask,
+)
+from repro.simulation.config import DataCenterConfig
+from repro.workloads.traces import Trace
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=25)
+CANDIDATES = (2.0, 2.5, 3.0, 3.5)
+
+#: Every selectable execution path.  ``vector-packed`` is the in-process
+#: backend with the packed kernel tier enabled (the default); the other
+#: three run with packing off so each backend's own execution path is the
+#: thing under test.
+BACKENDS = ("in-process", "process-pool", "work-queue", "vector-packed")
+
+
+def burst_trace(seed: int = 0, n: int = 90) -> Trace:
+    rng = np.random.default_rng(seed)
+    samples = 0.7 + 0.2 * rng.random(n)
+    samples[30:60] += 1.8
+    return Trace(samples, name=f"backend-{seed}")
+
+
+def make_runner(backend: str, tmp_path, cache_dir=None) -> SweepRunner:
+    if backend == "vector-packed":
+        return SweepRunner(max_workers=1, cache_dir=cache_dir)
+    if backend == "work-queue":
+        return SweepRunner(
+            max_workers=1,
+            cache_dir=cache_dir,
+            backend="work-queue",
+            queue_dir=tmp_path / "queue",
+            vector_pack=False,
+        )
+    if backend == "process-pool":
+        return SweepRunner(
+            max_workers=2,
+            cache_dir=cache_dir,
+            backend="process-pool",
+            vector_pack=False,
+        )
+    return SweepRunner(
+        max_workers=1,
+        cache_dir=cache_dir,
+        backend="in-process",
+        vector_pack=False,
+    )
+
+
+def mixed_tasks() -> list:
+    """Packable (fixed, greedy) and unpackable (MPC) tasks, mixed."""
+    trace = burst_trace()
+    return [
+        SweepTask(trace, StrategySpec.fixed(2.0), SMALL),
+        SweepTask(trace, StrategySpec.greedy(), SMALL),
+        SweepTask(trace, StrategySpec.fixed(3.0), SMALL),
+        SweepTask(
+            trace,
+            StrategySpec.mpc(candidate_bounds=CANDIDATES, horizon_s=240.0),
+            SMALL,
+        ),
+        SweepTask(burst_trace(1), StrategySpec.fixed(2.5), SMALL),
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference_results():
+    runner = SweepRunner(max_workers=1, vector_pack=False)
+    return runner.run_tasks(mixed_tasks())
+
+
+@pytest.fixture(scope="module")
+def reference_table():
+    runner = SweepRunner(max_workers=1, vector_pack=False)
+    return runner.build_upper_bound_table(
+        config=SMALL,
+        burst_durations_min=(2.0, 4.0),
+        burst_degrees=(2.8, 3.2),
+        candidates=CANDIDATES,
+    )
+
+
+class TestBackendIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_batch_matches_reference(
+        self, backend, tmp_path, reference_results
+    ):
+        runner = make_runner(backend, tmp_path)
+        try:
+            assert runner.run_tasks(mixed_tasks()) == reference_results
+        finally:
+            runner.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_upper_bound_table_matches_reference(
+        self, backend, tmp_path, reference_table
+    ):
+        runner = make_runner(backend, tmp_path)
+        try:
+            table = runner.build_upper_bound_table(
+                config=SMALL,
+                burst_durations_min=(2.0, 4.0),
+                burst_degrees=(2.8, 3.2),
+                candidates=CANDIDATES,
+            )
+        finally:
+            runner.close()
+        assert table.entries() == reference_table.entries()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cached_failure_replays_without_execution(
+        self, backend, tmp_path, monkeypatch
+    ):
+        """A RunFailure caches and replays on every backend.
+
+        The failing task is a lone MPC task, so the process-pool backend
+        exercises its serial fallback and the packed tier passes the task
+        through — the injected failure reaches ``execute_task`` on every
+        path.
+        """
+        calls = []
+
+        def boom(*args, **kwargs):
+            calls.append(1)
+            raise BreakerTrippedError("pdu/breaker", time_s=17.0)
+
+        monkeypatch.setattr("repro.simulation.batch.simulate_strategy", boom)
+        task = SweepTask(
+            burst_trace(),
+            StrategySpec.mpc(candidate_bounds=CANDIDATES),
+            SMALL,
+        )
+        runner = make_runner(backend, tmp_path, cache_dir=tmp_path / "cache")
+        try:
+            first = runner.run_tasks([task])[0]
+            again = runner.run_tasks([task])[0]
+        finally:
+            runner.close()
+        assert isinstance(first, RunFailure)
+        assert first.error_type == "BreakerTrippedError"
+        assert again == first
+        assert len(calls) == 1
+        assert runner.hits == 1 and runner.misses == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stores_share_one_format(
+        self, backend, tmp_path, reference_results
+    ):
+        """A cache written by any backend replays on the reference path."""
+        cache_dir = tmp_path / "shared-cache"
+        writer = make_runner(backend, tmp_path, cache_dir=cache_dir)
+        try:
+            first = writer.run_tasks(mixed_tasks())
+        finally:
+            writer.close()
+        assert first == reference_results
+        reader = SweepRunner(
+            max_workers=1, cache_dir=cache_dir, vector_pack=False
+        )
+        assert reader.run_tasks(mixed_tasks()) == reference_results
+        assert reader.hits == len(mixed_tasks())
+        assert reader.misses == 0
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            SweepRunner(max_workers=1, backend="carrier-pigeon")
+
+    def test_work_queue_requires_queue_dir(self):
+        with pytest.raises(ConfigurationError, match="queue"):
+            SweepRunner(max_workers=1, backend="work-queue")
+
+    def test_default_backend_tracks_worker_count(self):
+        serial = SweepRunner(max_workers=1)
+        assert serial.backend == "in-process"
+        parallel = SweepRunner(max_workers=2)
+        try:
+            assert parallel.backend == "process-pool"
+        finally:
+            parallel.close()
+
+    def test_process_pool_degrades_to_in_process_when_serial(self):
+        runner = SweepRunner(max_workers=1, backend="process-pool")
+        assert runner.backend == "in-process"
+
+    def test_from_env_single_core_never_builds_a_pool(self, monkeypatch):
+        """REPRO_SWEEP_WORKERS=1 (or a one-core host) must select the
+        in-process backend outright — no pool spawned for no parallelism."""
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", "off")
+        runner = SweepRunner.from_env()
+        assert runner.max_workers == 1
+        assert runner.backend == "in-process"
+        runner.run_tasks(mixed_tasks()[:2])
+        assert runner._pool is None
+
+    def test_from_env_multi_worker_selects_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", "off")
+        runner = SweepRunner.from_env()
+        try:
+            assert runner.backend == "process-pool"
+        finally:
+            runner.close()

@@ -594,6 +594,14 @@ class TestFailureAwareSearch:
             "repro.simulation.batch.vector_oracle_search",
             lambda *args, **kwargs: None,
         )
+        monkeypatch.setattr(
+            "repro.simulation.batch.vector_pack_tasks",
+            lambda tasks: [None] * len(tasks),
+        )
+        monkeypatch.setattr(
+            "repro.simulation.batch.packed_point_searches",
+            lambda *args, **kwargs: None,
+        )
         return SweepRunner(max_workers=1, cache_dir=tmp_path)
 
     def test_evaluate_upper_bounds_maps_failures_to_nan(self, monkeypatch):

@@ -39,7 +39,9 @@ def burst_trace(seed: int = 0, n: int = 90) -> Trace:
 
 class TestPoolPersistence:
     def test_pool_survives_across_batches(self):
-        runner = SweepRunner(max_workers=2)
+        # vector_pack off: packable fixed-bound tasks would otherwise run
+        # on the in-process kernel tier and never touch the pool.
+        runner = SweepRunner(max_workers=2, vector_pack=False)
         trace = burst_trace()
         tasks = [
             SweepTask(trace, StrategySpec.fixed(bound), SMALL)
@@ -55,7 +57,7 @@ class TestPoolPersistence:
             runner.close()
 
     def test_pool_rebuilt_when_new_trace_appears(self):
-        runner = SweepRunner(max_workers=2)
+        runner = SweepRunner(max_workers=2, vector_pack=False)
         spec_pair = [StrategySpec.fixed(2.0), StrategySpec.fixed(3.0)]
         try:
             runner.run_tasks(
@@ -161,8 +163,10 @@ class TestWorkerReuseCorrectness:
             for trace in traces
             for bound in (2.0, 3.0, 4.0)
         ]
-        serial = SweepRunner(max_workers=1).run_tasks(tasks)
-        parallel_runner = SweepRunner(max_workers=2)
+        serial = SweepRunner(max_workers=1, vector_pack=False).run_tasks(
+            tasks
+        )
+        parallel_runner = SweepRunner(max_workers=2, vector_pack=False)
         try:
             parallel = parallel_runner.run_tasks(tasks)
         finally:

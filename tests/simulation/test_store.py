@@ -1,0 +1,141 @@
+"""Artifact store: manifest index, self-heal and garbage collection.
+
+Time is always pinned (``gc`` takes ``now`` from the caller; mtimes are
+set with ``os.utime``), so every eviction decision here is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.simulation.store import ArtifactStore, ManifestEntry
+
+VERSION = 3
+
+
+def make_entry(store: ArtifactStore, key: str, mtime: float = None) -> int:
+    """Store one valid payload; returns its size. Optionally backdate it."""
+    store.store_payload(
+        key,
+        {
+            "version": VERSION,
+            "key": key,
+            "status": "ok",
+            "outcome": {"value": key},
+        },
+    )
+    path = store.path_for(key)
+    if mtime is not None:
+        os.utime(path, times=(mtime, mtime))
+    return path.stat().st_size
+
+
+class TestEntryIO:
+    def test_roundtrip_and_manifest_indexing(self, tmp_path):
+        store = ArtifactStore(tmp_path, VERSION)
+        make_entry(store, "aaa")
+        payload = store.load_payload("aaa")
+        assert payload is not None and payload["status"] == "ok"
+        assert store.has("aaa")
+        entries = store.manifest_entries()
+        assert [e.key for e in entries] == ["aaa"]
+        count, total = store.stats()
+        assert count == 1 and total > 0
+
+    def test_version_mismatch_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path, VERSION)
+        make_entry(store, "aaa")
+        newer = ArtifactStore(tmp_path, VERSION + 1)
+        assert newer.load_payload("aaa") is None
+
+    def test_key_mismatch_and_garbage_read_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path, VERSION)
+        store.path_for("bbb").write_text(
+            json.dumps({"version": VERSION, "key": "other", "status": "ok"})
+        )
+        store.path_for("ccc").write_text("torn{")
+        assert store.load_payload("bbb") is None
+        assert store.load_payload("ccc") is None
+
+
+class TestManifestSelfHeal:
+    def test_corrupt_manifest_line_warns_and_rebuilds(self, tmp_path, caplog):
+        store = ArtifactStore(tmp_path, VERSION)
+        make_entry(store, "aaa")
+        make_entry(store, "bbb")
+        with open(store.manifest_path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn": \n')  # a torn concurrent append
+        with caplog.at_level("WARNING", logger="repro.simulation.store"):
+            entries = store.manifest_entries()
+        assert sorted(e.key for e in entries) == ["aaa", "bbb"]
+        assert any("rebuilding" in r.message for r in caplog.records)
+        # The rebuild rewrote a clean manifest: the next read is silent.
+        caplog.clear()
+        with caplog.at_level("WARNING", logger="repro.simulation.store"):
+            assert len(store.manifest_entries()) == 2
+        assert not caplog.records
+
+    def test_missing_manifest_rebuilds_silently(self, tmp_path, caplog):
+        store = ArtifactStore(tmp_path, VERSION)
+        make_entry(store, "aaa")
+        os.unlink(store.manifest_path)
+        with caplog.at_level("WARNING", logger="repro.simulation.store"):
+            entries = store.manifest_entries()
+        assert [e.key for e in entries] == ["aaa"]
+        assert not caplog.records
+
+    def test_rebuild_skips_invalid_entry_files(self, tmp_path):
+        store = ArtifactStore(tmp_path, VERSION)
+        make_entry(store, "aaa")
+        store.path_for("junk").write_text("not a payload")
+        os.unlink(store.manifest_path)
+        assert [e.key for e in store.manifest_entries()] == ["aaa"]
+
+
+class TestGarbageCollection:
+    def test_age_eviction_reports_reclaimed_bytes(self, tmp_path):
+        store = ArtifactStore(tmp_path, VERSION)
+        now = 1_000_000.0
+        old_size = make_entry(store, "old", mtime=now - 500.0)
+        make_entry(store, "new", mtime=now - 10.0)
+        report = store.gc(now=now, max_age_s=100.0)
+        assert report.removed == 1
+        assert report.removed_keys == ["old"]
+        assert report.reclaimed_bytes == old_size
+        assert report.kept == 1
+        assert not store.path_for("old").exists()
+        assert store.has("new")
+        assert [e.key for e in store.manifest_entries()] == ["new"]
+
+    def test_size_eviction_is_oldest_first(self, tmp_path):
+        store = ArtifactStore(tmp_path, VERSION)
+        now = 1_000_000.0
+        sizes = {
+            key: make_entry(store, key, mtime=now - age)
+            for key, age in (("a", 300.0), ("b", 200.0), ("c", 100.0))
+        }
+        budget = sizes["b"] + sizes["c"]
+        report = store.gc(now=now, max_bytes=budget)
+        assert report.removed_keys == ["a"]
+        assert report.kept == 2
+        assert report.kept_bytes == budget
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        store = ArtifactStore(tmp_path, VERSION)
+        now = 1_000_000.0
+        make_entry(store, "old", mtime=now - 500.0)
+        report = store.gc(now=now, max_age_s=100.0, dry_run=True)
+        assert report.dry_run
+        assert report.removed == 1
+        assert store.has("old")
+        assert [e.key for e in store.manifest_entries()] == ["old"]
+
+    def test_no_bounds_keeps_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path, VERSION)
+        make_entry(store, "aaa")
+        report = store.gc(now=1_000_000.0)
+        assert report.removed == 0 and report.kept == 1
+
+    def test_entry_structures_are_value_types(self):
+        assert ManifestEntry("k", "ok", 10) == ManifestEntry("k", "ok", 10)

@@ -1,0 +1,220 @@
+"""Work-queue backend: atomic claims, leases, dedup and crash recovery.
+
+The claim primitive is a directory rename, so two *threads* draining one
+queue exercise exactly the race the multi-process deployment has (the
+atomicity is the filesystem's, not the GIL's) while staying countable
+from the test process.  The crashed-worker test plants a stale lease by
+hand — backdating its mtime — rather than actually killing a process, so
+the reclaim path runs deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.batch import (
+    StrategySpec,
+    SweepRunner,
+    SweepTask,
+    execute_task,
+)
+from repro.simulation.config import DataCenterConfig
+from repro.simulation.workqueue import (
+    WorkQueue,
+    _decode_task,
+    drain,
+    task_payload,
+)
+from repro.workloads.traces import Trace
+
+SMALL = DataCenterConfig(n_pdus=2, servers_per_pdu=25)
+
+
+def burst_trace(seed: int = 0, n: int = 80) -> Trace:
+    rng = np.random.default_rng(seed)
+    samples = 0.7 + 0.2 * rng.random(n)
+    samples[25:55] += 1.8
+    return Trace(samples, name=f"queue-{seed}")
+
+
+def queue_tasks(n: int = 6) -> list:
+    trace = burst_trace()
+    return [
+        SweepTask(trace, StrategySpec.fixed(2.0 + 0.25 * i), SMALL)
+        for i in range(n)
+    ]
+
+
+class TestQueuePrimitives:
+    def test_lease_timeout_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="lease_timeout_s"):
+            WorkQueue(tmp_path, lease_timeout_s=0.0)
+
+    def test_task_payload_roundtrip_is_bit_exact(self, tmp_path):
+        task = queue_tasks(1)[0]
+        payload = json.loads(json.dumps(task_payload("t", task)))
+        decoded = _decode_task(payload)
+        assert decoded.spec == task.spec
+        assert decoded.config == task.config
+        assert decoded.trace.dt_s == task.trace.dt_s
+        assert decoded.trace.samples.tobytes() == task.trace.samples.tobytes()
+        assert decoded.cache_key() == task.cache_key()
+
+    def test_enqueue_skips_answered_and_claimed_names(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        task = queue_tasks(1)[0]
+        payload = task_payload("t", task)
+        assert queue.enqueue("t", payload)
+        assert not queue.enqueue("t", payload)  # still queued
+        lease = queue.claim()
+        assert lease is not None
+        assert not queue.enqueue("t", payload)  # leased
+        queue.complete(lease, {"status": "ok"})
+        assert not queue.enqueue("t", payload)  # answered
+        assert queue.pending_counts() == (0, 0, 1)
+
+    def test_claim_is_exclusive(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.enqueue("only", task_payload("only", queue_tasks(1)[0]))
+        assert queue.claim() is not None
+        assert queue.claim() is None
+
+
+class TestCrashRecovery:
+    def test_stale_lease_is_reclaimed_and_executed(self, tmp_path, caplog):
+        """A worker that claimed a task and died (no heartbeat) must not
+        lose the task: the next drain reclaims the stale lease and runs it.
+        """
+        queue = WorkQueue(tmp_path, lease_timeout_s=5.0)
+        task = queue_tasks(1)[0]
+        name = f"task-{task.cache_key()}"
+        queue.enqueue(name, task_payload(name, task))
+        lease = queue.claim()
+        assert lease is not None
+        stale = time.time() - 60.0
+        os.utime(lease, times=(stale, stale))  # the "crash"
+
+        with caplog.at_level("WARNING", logger="repro.simulation.workqueue"):
+            executed = drain(queue)
+        assert executed == 1
+        assert any("stale lease" in r.message for r in caplog.records)
+        assert queue.pending_counts() == (0, 0, 1)
+        payload = queue.load_result(name)
+        assert payload is not None and payload["status"] == "ok"
+
+    def test_fresh_lease_is_left_alone(self, tmp_path):
+        queue = WorkQueue(tmp_path, lease_timeout_s=60.0)
+        queue.enqueue("t", task_payload("t", queue_tasks(1)[0]))
+        lease = queue.claim()
+        assert lease is not None
+        assert queue.reclaim_expired() == 0
+        assert drain(queue) == 0  # nothing claimable, one-shot exit
+        assert lease.is_file()
+
+    def test_unreadable_task_file_publishes_an_error_result(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        (queue.tasks_dir / "broken.json").write_text("not json{")
+        assert drain(queue) == 0
+        payload = queue.load_result("broken")
+        assert payload is not None and payload["status"] == "error"
+
+
+class TestDedup:
+    def test_claimed_task_with_published_result_is_not_reexecuted(
+        self, tmp_path, monkeypatch
+    ):
+        calls = []
+        real = execute_task
+        monkeypatch.setattr(
+            "repro.simulation.batch.execute_task",
+            lambda task: (calls.append(1), real(task))[1],
+        )
+        queue = WorkQueue(tmp_path)
+        task = queue_tasks(1)[0]
+        queue.enqueue("t", task_payload("t", task))
+        lease = queue.claim()
+        assert lease is not None
+        # Another host answers the same key while this lease is held.
+        queue._write_atomic(
+            queue.result_path("t"), {"status": "ok", "outcome": {}}
+        )
+        os.rename(lease, queue.tasks_dir / lease.name)  # requeue it
+        assert drain(queue) == 0
+        assert calls == []
+        assert queue.pending_counts() == (0, 0, 1)
+
+    def test_two_workers_drain_one_queue_without_double_execution(
+        self, tmp_path, monkeypatch
+    ):
+        """Two concurrent drains over one queue: every task runs exactly
+        once, and the result set matches the in-process reference."""
+        tasks = queue_tasks(6)
+        reference = SweepRunner(max_workers=1, vector_pack=False).run_tasks(
+            tasks
+        )
+
+        lock = threading.Lock()
+        executions: dict = {}
+        real = execute_task
+
+        def counting(task):
+            with lock:
+                key = task.cache_key()
+                executions[key] = executions.get(key, 0) + 1
+            return real(task)
+
+        monkeypatch.setattr("repro.simulation.batch.execute_task", counting)
+
+        queue = WorkQueue(tmp_path)
+        names = []
+        for task in tasks:
+            name = f"task-{task.cache_key()}"
+            names.append(name)
+            queue.enqueue(name, task_payload(name, task))
+
+        counts = []
+
+        def worker():
+            counts.append(drain(queue, idle_timeout_s=0.3))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert sum(counts) == len(tasks)
+        assert all(n == 1 for n in executions.values())
+        assert len(executions) == len(tasks)
+        assert queue.pending_counts() == (0, 0, len(tasks))
+
+        from repro.simulation.workqueue import WorkQueueScheduler
+
+        scheduler = WorkQueueScheduler(tmp_path)
+        assert scheduler.run_tasks(tasks) == reference
+        # The driver answered everything from published results.
+        assert all(n == 1 for n in executions.values())
+
+
+class TestDriverErrorPropagation:
+    def test_remote_configuration_error_raises_in_driver(
+        self, tmp_path, monkeypatch
+    ):
+        def boom(task):
+            raise ConfigurationError("injected defect")
+
+        monkeypatch.setattr("repro.simulation.batch.execute_task", boom)
+        runner = SweepRunner(
+            max_workers=1,
+            backend="work-queue",
+            queue_dir=tmp_path / "queue",
+        )
+        with pytest.raises(ConfigurationError, match="injected defect"):
+            runner.run_tasks(queue_tasks(1))
