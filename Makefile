@@ -1,6 +1,6 @@
 # Convenience targets for the Data Center Sprinting reproduction.
 
-.PHONY: install check lint test bench bench-check report examples sweep-smoke backends-smoke fault-smoke clean
+.PHONY: install check lint lint-changed test bench bench-check report examples sweep-smoke backends-smoke fault-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +17,12 @@ lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		echo "ruff check"; ruff check src tests || exit 1; \
 	else echo "ruff not installed; skipping (CI enforces it)"; fi
+
+# Incremental lint for the edit loop: the whole tree is still analysed
+# (cross-file rules need it) but only findings in files changed since
+# origin/main are reported.
+lint-changed:
+	python -m repro lint src --changed-since origin/main
 
 test:
 	pytest tests/

@@ -1,0 +1,391 @@
+"""``cache-key-coverage`` rule: every input field must reach the cache key.
+
+Sweep results are memoised under a SHA-256 of their inputs
+(:meth:`repro.simulation.batch.SweepTask.cache_key` and
+:func:`repro.simulation.batch._search_cache_key`).  The hash is only as
+honest as its coverage: a :class:`StrategySpec` field that never reaches
+``canonical()`` makes two *different* strategies share one key, and the
+cache then serves the wrong result forever — the worst kind of bug,
+because every individual run looks correct.
+
+The rule enforces three contracts statically:
+
+1. **Field coverage.**  Every dataclass field of :class:`StrategySpec`,
+   :class:`FaultPlan` and :class:`FaultEvent` must be read as
+   ``self.<field>`` somewhere in its canonical-form method
+   (``canonical()`` / ``to_dict()``, followed through ``self.<m>()``
+   calls).  :class:`DataCenterConfig` is covered generically when its
+   ``to_dict`` delegates to ``dataclasses.asdict``/``fields`` — the
+   pattern that by construction covers fields added tomorrow.
+2. **Key payloads.**  Both key builders must carry a ``"version"`` entry
+   and actually reference ``CACHE_FORMAT_VERSION``.
+3. **Version bumps.**  The rule derives the *key shape* — which fields
+   and payload entries feed the hash — and digests it.  The digest
+   recorded for the current ``CACHE_FORMAT_VERSION`` lives in
+   :data:`EXPECTED_KEY_SHAPES`; when the shape changes without a version
+   bump (or a bump lands without recording its shape), that is a
+   finding.  The registry doubles as the version history's receipt
+   trail: each entry documents what the key looked like at that version.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.framework import Finding, Rule, SourceFile
+
+BATCH_SUFFIX = "repro/simulation/batch.py"
+CONFIG_SUFFIX = "repro/simulation/config.py"
+FAULTS_SUFFIX = "repro/simulation/faults.py"
+
+#: (module suffix, class, canonical-form method) per key-feeding dataclass.
+KEYED_CLASSES: Tuple[Tuple[str, str, str], ...] = (
+    (BATCH_SUFFIX, "StrategySpec", "canonical"),
+    (CONFIG_SUFFIX, "DataCenterConfig", "to_dict"),
+    (FAULTS_SUFFIX, "FaultPlan", "canonical"),
+    (FAULTS_SUFFIX, "FaultEvent", "to_dict"),
+)
+
+#: Recorded key-shape digest per CACHE_FORMAT_VERSION.  When the checker
+#: reports a shape change: bump ``CACHE_FORMAT_VERSION`` in ``batch.py``
+#: (so stale entries miss instead of lying), then record the new digest
+#: here with a comment saying what changed — the finding message prints
+#: the digest to paste.
+EXPECTED_KEY_SHAPES: Dict[int, str] = {
+    # v3: MPC fields (horizon_s, replan_interval_s, candidate_bounds,
+    # forecast, violation_penalty_s) joined StrategySpec.canonical.
+    3: "4545b94b5037755a",
+}
+
+
+def _find_class(
+    source: SourceFile, name: str
+) -> Optional[ast.ClassDef]:
+    for node in source.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _dataclass_fields(node: ast.ClassDef) -> List[str]:
+    """Names of the class-body annotated assignments, in declaration order."""
+    return [
+        item.target.id
+        for item in node.body
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name)
+    ]
+
+
+def _method(
+    node: ast.ClassDef, name: str
+) -> Optional[ast.FunctionDef]:
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _self_reads(
+    class_node: ast.ClassDef, method_name: str, _seen: Optional[Set[str]] = None
+) -> Set[str]:
+    """``self.<attr>`` reads in a method, following ``self.<m>()`` calls."""
+    seen = _seen if _seen is not None else set()
+    if method_name in seen:
+        return set()
+    seen.add(method_name)
+    method = _method(class_node, method_name)
+    if method is None:
+        return set()
+    reads: Set[str] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            reads.add(node.attr)
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            reads |= _self_reads(class_node, node.func.attr, seen)
+    return reads
+
+
+def _uses_generic_serialisation(
+    class_node: ast.ClassDef, method_name: str
+) -> bool:
+    """Whether the method serialises via ``asdict(self)``/``fields(self)``."""
+    method = _method(class_node, method_name)
+    if method is None:
+        return False
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in ("asdict", "astuple", "fields") and any(
+            isinstance(arg, ast.Name) and arg.id == "self"
+            for arg in node.args
+        ):
+            return True
+    return False
+
+
+def _payload_keys(function: ast.AST, var_name: str) -> List[str]:
+    """String keys of the dict literal assigned to ``var_name``."""
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == var_name
+            for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, ast.Dict):
+            return [
+                key.value
+                for key in node.value.keys
+                if isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+            ]
+    return []
+
+
+def _references_name(function: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == name
+        for node in ast.walk(function)
+    )
+
+
+def _cache_version(source: SourceFile) -> Optional[Tuple[int, int]]:
+    """(value, line) of the ``CACHE_FORMAT_VERSION`` module constant."""
+    for node in source.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "CACHE_FORMAT_VERSION"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+            ):
+                return value.value, node.lineno
+    return None
+
+
+def shape_digest(elements: Sequence[str]) -> str:
+    """Deterministic short digest of the key-shape element list."""
+    blob = "\n".join(sorted(set(elements)))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class CacheKeyCoverageRule(Rule):
+    """Cache-key completeness for the sweep/batch memoisation layer."""
+
+    rule_id = "cache-key-coverage"
+    description = (
+        "every StrategySpec/DataCenterConfig/FaultPlan field must flow "
+        "into the SHA-256 cache key, and CACHE_FORMAT_VERSION must be "
+        "bumped (and its key shape recorded) when the key shape changes"
+    )
+
+    def check_project(self, sources: Sequence[SourceFile]) -> List[Finding]:
+        by_suffix: Dict[str, SourceFile] = {}
+        for source in sources:
+            posix = source.path.as_posix()
+            for suffix in (BATCH_SUFFIX, CONFIG_SUFFIX, FAULTS_SUFFIX):
+                if posix.endswith(suffix):
+                    by_suffix[suffix] = source
+        batch = by_suffix.get(BATCH_SUFFIX)
+        if batch is None:
+            return []  # tree without the sweep cache: nothing to check
+
+        findings: List[Finding] = []
+        shape: List[str] = []
+
+        for suffix, class_name, method_name in KEYED_CLASSES:
+            source = by_suffix.get(suffix)
+            if source is None:
+                continue
+            class_node = _find_class(source, class_name)
+            if class_node is None:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=source.display_path,
+                        line=1,
+                        message=(
+                            f"expected key-feeding class {class_name} in "
+                            "this module; update KEYED_CLASSES in "
+                            "src/repro/analysis/cache_key.py if it moved"
+                        ),
+                    )
+                )
+                continue
+            declared = _dataclass_fields(class_node)
+            if _uses_generic_serialisation(class_node, method_name):
+                covered = set(declared)
+            else:
+                covered = _self_reads(class_node, method_name) & set(declared)
+            for name in declared:
+                if name in covered:
+                    shape.append(f"{class_name}.{name}")
+                    continue
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=source.display_path,
+                        line=class_node.lineno,
+                        message=(
+                            f"{class_name}.{name} never flows into "
+                            f"{method_name}() — two tasks differing only "
+                            "in this field would share one cache key and "
+                            "serve each other's results; serialise it in "
+                            f"{method_name}()"
+                        ),
+                    )
+                )
+
+        shape += self._check_key_builders(batch, findings)
+        self._check_version_registry(batch, shape, findings)
+        return findings
+
+    def _check_key_builders(
+        self, batch: SourceFile, findings: List[Finding]
+    ) -> List[str]:
+        """Payload keys of both key builders (and their version stamps)."""
+        builders: List[Tuple[str, str, Optional[ast.AST]]] = []
+        task_class = _find_class(batch, "SweepTask")
+        builders.append(
+            (
+                "SweepTask.cache_key",
+                "task",
+                None if task_class is None else _method(task_class, "cache_key"),
+            )
+        )
+        search_fn = None
+        for node in batch.tree.body:
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name == "_search_cache_key"
+            ):
+                search_fn = node
+        builders.append(("_search_cache_key", "search", search_fn))
+
+        shape: List[str] = []
+        for label, tag, function in builders:
+            if function is None:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=batch.display_path,
+                        line=1,
+                        message=(
+                            f"cache-key builder {label} not found; update "
+                            "src/repro/analysis/cache_key.py if it moved"
+                        ),
+                    )
+                )
+                continue
+            keys = _payload_keys(function, "payload")
+            shape.extend(f"{tag}:{key}" for key in keys)
+            lineno = getattr(function, "lineno", 1)
+            if "version" not in keys:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=batch.display_path,
+                        line=lineno,
+                        message=(
+                            f"{label} builds a key payload without a "
+                            "'version' entry — stale cache layouts could "
+                            "be served as current results"
+                        ),
+                    )
+                )
+            if not _references_name(function, "CACHE_FORMAT_VERSION"):
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=batch.display_path,
+                        line=lineno,
+                        message=(
+                            f"{label} does not reference "
+                            "CACHE_FORMAT_VERSION — a format bump would "
+                            "not invalidate its entries"
+                        ),
+                    )
+                )
+        return shape
+
+    def _check_version_registry(
+        self,
+        batch: SourceFile,
+        shape: List[str],
+        findings: List[Finding],
+    ) -> None:
+        version_info = _cache_version(batch)
+        if version_info is None:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=batch.display_path,
+                    line=1,
+                    message=(
+                        "CACHE_FORMAT_VERSION constant not found in "
+                        "batch.py; the cache has no format version"
+                    ),
+                )
+            )
+            return
+        version, lineno = version_info
+        digest = shape_digest(shape)
+        recorded = EXPECTED_KEY_SHAPES.get(version)
+        if recorded is None:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=batch.display_path,
+                    line=lineno,
+                    message=(
+                        f"CACHE_FORMAT_VERSION {version} has no recorded "
+                        "key shape — after a deliberate bump, record "
+                        f"EXPECTED_KEY_SHAPES[{version}] = {digest!r} in "
+                        "src/repro/analysis/cache_key.py with a comment "
+                        "saying what changed"
+                    ),
+                )
+            )
+        elif recorded != digest:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=batch.display_path,
+                    line=lineno,
+                    message=(
+                        f"the cache-key shape changed (digest {digest}, "
+                        f"recorded {recorded} for version {version}) "
+                        "without bumping CACHE_FORMAT_VERSION — stale "
+                        "entries would be served under the new "
+                        "semantics; bump the version in batch.py and "
+                        "record the new shape in "
+                        "src/repro/analysis/cache_key.py"
+                    ),
+                )
+            )

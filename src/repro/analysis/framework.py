@@ -22,8 +22,10 @@ deliberate exceptions live next to the code they excuse.
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -33,6 +35,9 @@ PARSE_ERROR_RULE = "parse-error"
 
 #: Pseudo-rule id for malformed suppression directives.
 BAD_SUPPRESSION_RULE = "bad-suppression"
+
+#: Pseudo-rule id for suppression directives that matched no finding.
+UNUSED_SUPPRESSION_RULE = "unused-suppression"
 
 _SUPPRESSION_RE = re.compile(
     r"#\s*repro:\s*allow\[(?P<rule>[a-z0-9*-]+)\]"
@@ -106,6 +111,8 @@ class AnalysisReport:
     suppressed: List[Tuple[Finding, Suppression]]
     files_scanned: int
     rules_run: List[str]
+    #: rule id -> one-line description, for SARIF rule metadata.
+    rule_descriptions: Dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -138,6 +145,78 @@ class AnalysisReport:
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
+    def to_sarif(self) -> str:
+        """SARIF 2.1.0 document (GitHub code-scanning compatible).
+
+        Kept findings are ``error``-level results; suppressed findings
+        are included with an ``inSource`` suppression carrying the
+        directive's justification, so code scanning shows them as
+        dismissed rather than losing them.
+        """
+        rule_ids = sorted(
+            set(self.rules_run)
+            | {f.rule for f in self.findings}
+            | {f.rule for f, _ in self.suppressed}
+        )
+        rules = [
+            {
+                "id": rule_id,
+                "shortDescription": {
+                    "text": self.rule_descriptions.get(rule_id, rule_id)
+                },
+            }
+            for rule_id in rule_ids
+        ]
+
+        def result(
+            finding: Finding, suppression: Optional[Suppression] = None
+        ) -> Dict[str, object]:
+            payload: Dict[str, object] = {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": max(1, finding.line),
+                                "startColumn": max(1, finding.col + 1),
+                            },
+                        }
+                    }
+                ],
+            }
+            if suppression is not None:
+                payload["suppressions"] = [
+                    {
+                        "kind": "inSource",
+                        "justification": suppression.reason or "",
+                    }
+                ]
+            return payload
+
+        document = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "rules": rules,
+                        }
+                    },
+                    "results": [result(f) for f in self.findings]
+                    + [result(f, s) for f, s in self.suppressed],
+                }
+            ],
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
     def to_text(self) -> str:
         out: List[str] = []
         for finding in self.findings:
@@ -152,10 +231,35 @@ class AnalysisReport:
         return "\n".join(out)
 
 
+def _comment_lines(text: str) -> Optional[Dict[int, str]]:
+    """Map line number -> comment text for every real ``#`` comment.
+
+    Tokenising keeps directive-looking text inside string literals and
+    docstrings (e.g. a rule module documenting its own suppression
+    syntax) from being parsed as live directives.  Returns ``None`` if
+    the source cannot be tokenised, in which case the caller falls back
+    to plain line scanning.
+    """
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    return comments
+
+
 def parse_suppressions(text: str) -> Dict[int, List[Suppression]]:
     """Extract every suppression directive in ``text``, keyed by line."""
+    comments = _comment_lines(text)
+    if comments is None:
+        comments = {
+            lineno: line
+            for lineno, line in enumerate(text.splitlines(), start=1)
+        }
     directives: Dict[int, List[Suppression]] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    for lineno, line in sorted(comments.items()):
         if "repro:" not in line:
             continue
         match = _SUPPRESSION_RE.search(line)
@@ -219,8 +323,20 @@ class Analyzer:
         self.rules = list(rules)
 
     def run(
-        self, paths: Sequence[Path], root: Optional[Path] = None
+        self,
+        paths: Sequence[Path],
+        root: Optional[Path] = None,
+        changed_only: Optional[Sequence[Path]] = None,
     ) -> AnalysisReport:
+        """Scan ``paths``; report findings (optionally only in ``changed_only``).
+
+        ``changed_only`` restricts *reporting*, not analysis: every file
+        is still loaded and every rule still sees the whole tree (the
+        cross-file rules need it), but findings and suppressions outside
+        the given files are dropped from the report.  The
+        unused-suppression audit runs before that filter, so a directive
+        in an unchanged file is never misreported as stale.
+        """
         sources: List[SourceFile] = []
         findings: List[Finding] = []
         files = collect_files([Path(p) for p in paths])
@@ -247,19 +363,79 @@ class Analyzer:
         by_path = {s.display_path: s for s in sources}
         kept: List[Finding] = []
         suppressed: List[Tuple[Finding, Suppression]] = []
+        used_directives: set = set()
         for finding in findings:
             directive = self._matching_directive(finding, by_path)
             if directive is not None and directive.reason:
+                used_directives.add(id(directive))
                 suppressed.append((finding, directive))
             else:
                 kept.append(finding)
+
+        for audit in self._audit_suppressions(sources, used_directives):
+            directive = self._matching_directive(audit, by_path)
+            if directive is not None and directive.reason:
+                suppressed.append((audit, directive))
+            else:
+                kept.append(audit)
+
+        if changed_only is not None:
+            changed = {Path(p).resolve() for p in changed_only}
+
+            def _is_changed(finding: Finding) -> bool:
+                source = by_path.get(finding.path)
+                path = source.path if source is not None else Path(finding.path)
+                try:
+                    return path.resolve() in changed
+                except OSError:  # pragma: no cover - unresolvable path
+                    return True
+
+            kept = [f for f in kept if _is_changed(f)]
+            suppressed = [(f, s) for f, s in suppressed if _is_changed(f)]
+
         kept.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
         return AnalysisReport(
             findings=kept,
             suppressed=suppressed,
             files_scanned=len(files),
             rules_run=[r.rule_id for r in self.rules],
+            rule_descriptions={r.rule_id: r.description for r in self.rules},
         )
+
+    def _audit_suppressions(
+        self, sources: Sequence[SourceFile], used_directives: set
+    ) -> List[Finding]:
+        """Stale ``# repro: allow[...]`` directives become findings.
+
+        Only directives naming a rule that actually ran are audited —
+        under ``--rule`` subsets a directive for an unselected rule may
+        be load-bearing, so it is left alone.
+        """
+        active = {rule.rule_id for rule in self.rules}
+        out: List[Finding] = []
+        for source in sources:
+            for directives in source.suppressions.values():
+                for directive in directives:
+                    if not directive.reason:
+                        continue  # already a bad-suppression finding
+                    if directive.rule not in active:
+                        continue
+                    if id(directive) in used_directives:
+                        continue
+                    out.append(
+                        Finding(
+                            rule=UNUSED_SUPPRESSION_RULE,
+                            path=source.display_path,
+                            line=directive.line,
+                            message=(
+                                f"suppression for '{directive.rule}' "
+                                "matched no finding — the code it "
+                                "excused has moved or been fixed; "
+                                "delete the stale directive"
+                            ),
+                        )
+                    )
+        return out
 
     @staticmethod
     def _check_directives(source: SourceFile) -> List[Finding]:
@@ -296,3 +472,39 @@ class Analyzer:
                 if directive.rule == finding.rule:
                     return directive
         return None
+
+
+def git_changed_files(
+    rev: str, cwd: Optional[Path] = None
+) -> List[Path]:
+    """Files changed since ``rev`` (tracked diff + untracked), absolute.
+
+    Powers ``repro lint --changed-since REV``.  Raises ``ValueError``
+    when ``git`` fails (not a repository, unknown revision, …) so the
+    CLI can turn it into a usage error.
+    """
+    import subprocess
+
+    base = Path(cwd) if cwd is not None else Path.cwd()
+
+    def _git(*args: str) -> List[str]:
+        try:
+            proc = subprocess.run(
+                ["git", *args],
+                cwd=base,
+                capture_output=True,
+                text=True,
+                check=False,
+            )
+        except OSError as exc:
+            raise ValueError(f"cannot run git: {exc}") from exc
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or f"git {' '.join(args)} failed"
+            raise ValueError(detail)
+        return [line for line in proc.stdout.splitlines() if line.strip()]
+
+    toplevel = Path(_git("rev-parse", "--show-toplevel")[0])
+    names = _git("diff", "--name-only", rev, "--") + _git(
+        "ls-files", "--others", "--exclude-standard"
+    )
+    return sorted({toplevel / name for name in names})

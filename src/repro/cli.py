@@ -626,12 +626,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"repro lint: no such path: {path}", file=sys.stderr)
             return 2
     try:
-        report = run_analysis(paths, only=args.rule or None)
+        report = run_analysis(
+            paths,
+            only=args.rule or None,
+            changed_since=args.changed_since,
+        )
     except ValueError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        print(report.to_sarif())
     else:
         print(report.to_text())
     return 0 if report.ok else 1
@@ -843,15 +849,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint = subparsers.add_parser(
         "lint",
         help="run the repro.analysis static checks "
-             "(kernel-drift, units, determinism, error-discipline)",
+             "(kernel-drift, snapshot-coverage, cache-key-coverage, "
+             "fs-atomicity, units, determinism, error-discipline)",
     )
     lint.add_argument("paths", nargs="*",
                       help="files or directories to scan (default: ./src)")
     lint.add_argument("--format", default="text",
-                      choices=("text", "json"),
+                      choices=("text", "json", "sarif"),
                       help="report format (default text)")
     lint.add_argument("--rule", action="append", metavar="ID",
                       help="run only this rule (repeatable)")
+    lint.add_argument("--changed-since", metavar="REV", default=None,
+                      help="report only findings in files changed since "
+                           "the given git revision (the whole tree is "
+                           "still analysed so cross-file rules stay "
+                           "sound)")
     lint.add_argument("--list-rules", action="store_true",
                       help="list the available rules and exit")
     lint.set_defaults(func=_cmd_lint)

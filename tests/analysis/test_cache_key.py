@@ -1,0 +1,107 @@
+"""The cache-key-coverage checker: clean on the real tree, tamper-sensitive.
+
+The first test doubles as the tier-1 guard of the sweep-cache contract:
+dropping a ``StrategySpec``/``DataCenterConfig``/``FaultPlan`` field from
+the SHA-256 key, or reshaping the key without bumping
+``CACHE_FORMAT_VERSION``, fails the local test run, not just CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache_key import CacheKeyCoverageRule
+from repro.analysis.framework import SourceFile, collect_files, load_source
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(scope="module")
+def real_sources():
+    return [load_source(p, root=SRC) for p in collect_files([SRC])]
+
+
+def tampered(sources, old, new):
+    """The real source list with one substitution applied to batch.py."""
+    out = []
+    for source in sources:
+        if source.path.name == "batch.py":
+            assert old in source.text, f"fixture drifted: {old!r} not found"
+            text = source.text.replace(old, new)
+            out.append(
+                SourceFile(
+                    path=source.path,
+                    display_path=source.display_path,
+                    text=text,
+                    tree=ast.parse(text),
+                    suppressions=source.suppressions,
+                )
+            )
+        else:
+            out.append(source)
+    return out
+
+
+class TestRealTree:
+    def test_every_field_feeds_the_key_and_shape_is_recorded(
+        self, real_sources
+    ):
+        findings = CacheKeyCoverageRule().check_project(real_sources)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_rule_skips_trees_without_the_sweep_engine(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        source = load_source(target, root=tmp_path)
+        assert CacheKeyCoverageRule().check_project([source]) == []
+
+
+class TestTamperSensitivity:
+    def test_omitting_a_spec_field_is_detected(self, real_sources):
+        # Two specs differing only in forecast would share one cache key.
+        sources = tampered(
+            real_sources, '"forecast": self.forecast,', ""
+        )
+        findings = CacheKeyCoverageRule().check_project(sources)
+        assert any(
+            "StrategySpec.forecast" in f.message
+            and "never flows into" in f.message
+            for f in findings
+        )
+
+    def test_omitting_a_field_also_trips_the_shape_digest(self, real_sources):
+        sources = tampered(
+            real_sources, '"forecast": self.forecast,', ""
+        )
+        findings = CacheKeyCoverageRule().check_project(sources)
+        assert any(
+            "without bumping CACHE_FORMAT_VERSION" in f.message
+            for f in findings
+        )
+
+    def test_unrecorded_version_bump_is_detected(self, real_sources):
+        sources = tampered(
+            real_sources,
+            "CACHE_FORMAT_VERSION = 3",
+            "CACHE_FORMAT_VERSION = 4",
+        )
+        findings = CacheKeyCoverageRule().check_project(sources)
+        assert any(
+            "has no recorded key shape" in f.message for f in findings
+        )
+
+    def test_dropping_the_version_from_a_payload_is_detected(
+        self, real_sources
+    ):
+        sources = tampered(
+            real_sources,
+            '"version": CACHE_FORMAT_VERSION,',
+            "",
+        )
+        findings = CacheKeyCoverageRule().check_project(sources)
+        assert any(
+            "without a 'version' entry" in f.message for f in findings
+        )

@@ -1,0 +1,193 @@
+"""Engine upgrades: unused-suppression audit, SARIF output, incremental mode.
+
+Fixture-level tests for the three framework features this tree's CI
+depends on: stale ``# repro: allow[...]`` directives become findings,
+``--format sarif`` emits a code-scanning-compatible document, and
+``--changed-since`` filters *reporting* without narrowing *analysis*.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+import pytest
+
+from repro.analysis.error_discipline import ErrorDisciplineRule
+from repro.analysis.framework import (
+    BAD_SUPPRESSION_RULE,
+    UNUSED_SUPPRESSION_RULE,
+    Analyzer,
+    git_changed_files,
+    parse_suppressions,
+)
+
+SWALLOW = (
+    "def swallow():\n"
+    "    try:\n"
+    "        pass\n"
+    "    except Exception:{comment}\n"
+    "        pass\n"
+)
+
+
+def analyze(tmp_path, **kwargs):
+    return Analyzer([ErrorDisciplineRule()]).run(
+        [tmp_path], root=tmp_path, **kwargs
+    )
+
+
+class TestUnusedSuppressionAudit:
+    def test_used_directive_is_not_flagged(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            SWALLOW.format(
+                comment="  # repro: allow[error-discipline] -- fixture"
+            )
+        )
+        report = analyze(tmp_path)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_stale_directive_becomes_a_finding(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "# repro: allow[error-discipline] -- nothing to excuse\n"
+            "x = 1\n"
+        )
+        report = analyze(tmp_path)
+        assert [f.rule for f in report.findings] == [UNUSED_SUPPRESSION_RULE]
+        assert report.findings[0].line == 1
+
+    def test_directive_for_unselected_rule_is_left_alone(self, tmp_path):
+        # Under --rule subsets a directive for an unselected rule may be
+        # load-bearing; only audited rules can declare it stale.
+        (tmp_path / "mod.py").write_text(
+            "# repro: allow[units] -- load-bearing under the full run\n"
+            "x = 1\n"
+        )
+        report = analyze(tmp_path)
+        assert report.findings == []
+
+    def test_the_audit_finding_is_itself_suppressible(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "# repro: allow[unused-suppression] -- kept as documentation\n"
+            "# repro: allow[error-discipline] -- stale on purpose\n"
+            "x = 1\n"
+        )
+        report = analyze(tmp_path)
+        assert report.findings == []
+        assert any(
+            f.rule == UNUSED_SUPPRESSION_RULE for f, _ in report.suppressed
+        )
+
+    def test_reasonless_directive_stays_bad_suppression(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "# repro: allow[error-discipline]\n" "x = 1\n"
+        )
+        report = analyze(tmp_path)
+        assert [f.rule for f in report.findings] == [BAD_SUPPRESSION_RULE]
+
+    def test_directive_text_inside_a_docstring_is_ignored(self):
+        # A rule module documenting its own suppression syntax must not
+        # register a live directive (and then fail its own audit).
+        text = (
+            '"""Example::\n'
+            "\n"
+            "    # repro: allow[error-discipline] -- <why this is safe>\n"
+            '"""\n'
+            "x = 1\n"
+        )
+        assert parse_suppressions(text) == {}
+
+    def test_real_comments_still_parse(self):
+        text = "x = 1  # repro: allow[units] -- real directive\n"
+        directives = parse_suppressions(text)
+        assert list(directives) == [1]
+        assert directives[1][0].rule == "units"
+        assert directives[1][0].reason == "real directive"
+
+
+class TestSarifOutput:
+    def test_document_shape(self, tmp_path):
+        (tmp_path / "bad.py").write_text(SWALLOW.format(comment=""))
+        (tmp_path / "ok.py").write_text(
+            SWALLOW.format(
+                comment="  # repro: allow[error-discipline] -- fixture"
+            )
+        )
+        report = analyze(tmp_path)
+        document = json.loads(report.to_sarif())
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "error-discipline" in rule_ids
+
+        results = run["results"]
+        assert len(results) == 2  # one kept + one suppressed
+        kept = [r for r in results if "suppressions" not in r]
+        suppressed = [r for r in results if "suppressions" in r]
+        assert len(kept) == len(suppressed) == 1
+        location = kept[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "bad.py"
+        assert location["region"]["startLine"] >= 1
+        assert (
+            suppressed[0]["suppressions"][0]["justification"] == "fixture"
+        )
+        assert suppressed[0]["suppressions"][0]["kind"] == "inSource"
+
+    def test_zero_findings_is_valid_sarif(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        document = json.loads(analyze(tmp_path).to_sarif())
+        assert document["runs"][0]["results"] == []
+
+
+class TestIncrementalMode:
+    def test_only_changed_files_are_reported(self, tmp_path):
+        (tmp_path / "touched.py").write_text(SWALLOW.format(comment=""))
+        (tmp_path / "untouched.py").write_text(SWALLOW.format(comment=""))
+        report = analyze(
+            tmp_path, changed_only=[tmp_path / "touched.py"]
+        )
+        assert [f.path for f in report.findings] == ["touched.py"]
+        # Analysis still covered the whole tree.
+        assert report.files_scanned == 2
+
+    def test_empty_changed_set_reports_nothing(self, tmp_path):
+        (tmp_path / "mod.py").write_text(SWALLOW.format(comment=""))
+        report = analyze(tmp_path, changed_only=[])
+        assert report.findings == []
+        assert report.files_scanned == 1
+
+
+class TestGitChangedFiles:
+    @pytest.fixture()
+    def repo(self, tmp_path):
+        def git(*args):
+            subprocess.run(
+                ["git", "-C", str(tmp_path), *args],
+                check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "test@example.invalid")
+        git("config", "user.name", "test")
+        (tmp_path / "tracked.py").write_text("x = 1\n")
+        git("add", "tracked.py")
+        git("commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_tracked_and_untracked_changes_are_listed(self, repo):
+        (repo / "tracked.py").write_text("x = 2\n")
+        (repo / "fresh.py").write_text("y = 1\n")
+        changed = git_changed_files("HEAD", cwd=repo)
+        names = {p.name for p in changed}
+        assert names == {"tracked.py", "fresh.py"}
+        assert all(p.is_absolute() for p in changed)
+
+    def test_clean_tree_yields_nothing(self, repo):
+        assert git_changed_files("HEAD", cwd=repo) == []
+
+    def test_unknown_revision_raises_value_error(self, repo):
+        with pytest.raises(ValueError):
+            git_changed_files("no-such-rev", cwd=repo)
