@@ -32,11 +32,13 @@ test:
 bench:
 	pytest benchmarks/bench_engine_performance.py \
 		benchmarks/bench_batch_kernel.py \
+		benchmarks/bench_span_engine.py \
 		benchmarks/bench_sweep_grid.py --benchmark-only -s \
 		--benchmark-json=BENCH_engine.json
 	pytest benchmarks/ --benchmark-only -s \
 		--ignore=benchmarks/bench_engine_performance.py \
 		--ignore=benchmarks/bench_batch_kernel.py \
+		--ignore=benchmarks/bench_span_engine.py \
 		--ignore=benchmarks/bench_sweep_grid.py
 
 # Regression gate: run the engine benchmarks fresh and compare against the
@@ -47,6 +49,7 @@ bench:
 bench-check:
 	pytest benchmarks/bench_engine_performance.py \
 		benchmarks/bench_batch_kernel.py \
+		benchmarks/bench_span_engine.py \
 		benchmarks/bench_sweep_grid.py --benchmark-only -s \
 		--benchmark-json=BENCH_engine.json
 	python benchmarks/check_bench.py BENCH_engine.json

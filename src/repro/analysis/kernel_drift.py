@@ -140,6 +140,22 @@ ALLOWED_KERNEL_ONLY: Dict[Tuple[str, str], str] = {
         "observations); the reference path always calls the strategy, so "
         "it never needs the flag"
     ),
+    ("Trace", "samples"): (
+        "span compilation: run_trace RLE-encodes the trace into "
+        "constant-demand spans before stepping; the reference is handed "
+        "one sample at a time by the engine loop and never sees the "
+        "Trace object"
+    ),
+    ("Trace", "dt_s"): (
+        "span compilation: run_trace derives per-step timestamps from "
+        "the trace period when bulk-replaying steady cycles; the "
+        "reference receives time_s precomputed by the engine loop"
+    ),
+    ("PhaseTracker", "current_phase"): (
+        "deferred accumulators: a quiet run loads the tracker's phase "
+        "into a local at run start and writes it back once at run end; "
+        "the reference only ever assigns the attribute per step"
+    ),
 }
 
 #: Scalar-kernel reads with no vector counterpart, by design.
@@ -206,6 +222,15 @@ ALLOWED_SCALAR_KERNEL_ONLY: Dict[Tuple[str, str], str] = {
         "kernel latches failure codes (FAIL_PDU/FAIL_DC) instead of "
         "raising"
     ),
+    ("Trace", "samples"): (
+        "scalar run_trace span-compiles a whole Trace; the vector "
+        "kernel is stepped per sample by its batch drivers and never "
+        "holds a Trace"
+    ),
+    ("Trace", "dt_s"): (
+        "scalar run_trace reads the trace period for bulk cycle "
+        "timestamps; the vector kernel's drivers pass time_s in"
+    ),
 }
 
 #: Vector-kernel reads with no scalar counterpart, by design.
@@ -229,6 +254,17 @@ EQUIVALENT_CONSTANTS: Dict[float, str] = {
     2.718281828459045: (
         "math.e folded so pow(e, x) replays the reference exp(x) "
         "bit-for-bit without the math-module dispatch"
+    ),
+    32: (
+        "_RING_MAX, the steady-cycle detector's ring depth: a cache "
+        "sizing knob of the kernel-only fast-forward, not a physical "
+        "parameter — a smaller ring only misses longer cycles, it never "
+        "changes a replayed value"
+    ),
+    128: (
+        "_RING_MISS_BUDGET, the per-span cap on failed cycle probes: a "
+        "cost bound on the kernel-only detector — exhausting it only "
+        "disables further replay attempts, never changes a step"
     ),
 }
 
@@ -628,7 +664,12 @@ class KernelDriftRule(Rule):
         )
         kernel_reads = _filtered(
             collect_reads(
-                registry, [("StepKernel", "__init__"), ("StepKernel", "step")]
+                registry,
+                [
+                    ("StepKernel", "__init__"),
+                    ("StepKernel", "step"),
+                    ("StepKernel", "run_trace"),
+                ],
             )
         )
         findings: List[Finding] = []
@@ -675,7 +716,12 @@ class KernelDriftRule(Rule):
     ) -> List[Finding]:
         scalar_reads = _filtered(
             collect_reads(
-                registry, [("StepKernel", "__init__"), ("StepKernel", "step")]
+                registry,
+                [
+                    ("StepKernel", "__init__"),
+                    ("StepKernel", "step"),
+                    ("StepKernel", "run_trace"),
+                ],
             )
         )
         vector_reads = _filtered_with(
@@ -684,6 +730,7 @@ class KernelDriftRule(Rule):
                 [
                     ("VectorStepKernel", "__init__"),
                     ("VectorStepKernel", "step"),
+                    ("VectorStepKernel", "_replay_latched"),
                 ],
             ),
             VECTOR_OWN_CLASSES,

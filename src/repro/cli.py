@@ -338,6 +338,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.simulation.engine import oracle_for_trace, run_simulation
 
     trace = _trace_by_name(args.trace)
+    if args.spans:
+        stats_ = trace.span_stats()
+        lengths = sorted(s.length for s in trace.spans())
+        print(f"span profile of trace {trace.name!r}:")
+        print(f"samples             : {stats_.n_samples}")
+        print(f"spans               : {stats_.n_spans}")
+        print(f"mean span length    : {stats_.mean_length:.2f}")
+        print(f"p95 span length     : {stats_.p95_length:.2f}")
+        print(f"max span length     : {stats_.max_length}")
+        print(f"median span length  : {lengths[len(lengths) // 2]}")
+        print(f"predicted ff coverage: "
+              f"{stats_.predicted_ff_coverage:.1%} of steps fall inside a "
+              f"constant-demand span remainder (upper bound on what the "
+              f"steady-cycle fast-forward can replay)")
+        return 0
     dc = build_datacenter()
     use_kernel = not args.reference
     # Warm-up outside the profile: facility construction, kernel
@@ -822,6 +837,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--output", metavar="FILE",
                          help="also dump the raw profile for pstats/"
                               "snakeviz")
+    profile.add_argument("--spans", action="store_true",
+                         help="print the trace's RLE span statistics "
+                              "(count, mean/p95 length, predicted "
+                              "fast-forward coverage) instead of "
+                              "profiling")
     profile.set_defaults(func=_cmd_profile)
 
     export = subparsers.add_parser(

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.cooling.crac import CoolingPlant
 from repro.cooling.thermal import tes_activation_time_s
@@ -44,6 +44,9 @@ from repro.servers.cluster import ServerCluster
 from repro.servers.pcm import PcmHeatSink
 from repro.units import require_non_negative, require_positive
 from repro.workloads.prediction import OnlineBurstDetector
+
+if TYPE_CHECKING:
+    from repro.workloads.traces import Trace
 
 #: Degree above which a step counts as sprinting.
 _SPRINT_DEGREE_EPS = 1e-6
@@ -234,6 +237,25 @@ class SprintingController:
         if kernel is not None:
             return kernel.step(self, demand, time_s, step_index)
         return self._step_reference(demand, time_s, step_index)
+
+    def run_trace(self, trace: "Trace") -> None:
+        """Run every sample of ``trace`` through the controller, in order.
+
+        Equivalent to ``for i, d in enumerate(trace): self.step(d, i *
+        trace.dt_s, i)``.  Kernel-backed controllers take the span-compiled
+        fast path (:meth:`StepKernel.run_trace` — bit-identical, RLE spans
+        plus steady-cycle fast-forward); reference controllers fall back to
+        per-sample stepping.  The trace's sampling period is the caller's
+        contract, exactly as for :meth:`step` (the engine validates it
+        against ``settings.dt_s``).
+        """
+        kernel = self._kernel
+        if kernel is not None:
+            kernel.run_trace(self, trace)
+            return
+        dt = trace.dt_s
+        for i, demand in enumerate(trace):
+            self._step_reference(demand, i * dt, i)
 
     def _step_reference(
         self, demand: float, time_s: float, step_index: int

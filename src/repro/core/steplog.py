@@ -103,6 +103,71 @@ class StepLog:
         self._in_burst[i] = step.in_burst
         self._n = i + 1
 
+    def reserve(self, n: int) -> None:
+        """Ensure capacity for at least ``n`` total rows without realloc.
+
+        The span engine calls this once per run so the hot loop can write
+        into stable column arrays; amortized-growth ``append`` behaviour is
+        unchanged when the hint is absent or too small.
+        """
+        capacity = len(self._phase)
+        if n <= capacity:
+            return
+        while capacity < n:
+            capacity *= 2
+        for name, col in self._cols.items():
+            new = np.empty(capacity, dtype=np.float64)
+            new[: self._n] = col[: self._n]
+            self._cols[name] = new
+        new_phase = np.empty(capacity, dtype=np.int8)
+        new_phase[: self._n] = self._phase[: self._n]
+        self._phase = new_phase
+        new_burst = np.empty(capacity, dtype=np.bool_)
+        new_burst[: self._n] = self._in_burst[: self._n]
+        self._in_burst = new_burst
+
+    def extend_cycle(
+        self,
+        steps: List["ControlStep"],
+        repeats: int,
+        times: "np.ndarray | None" = None,
+    ) -> None:
+        """Append ``steps`` tiled ``repeats`` times with vectorized writes.
+
+        Equivalent to ``for _ in range(repeats): for s in steps:
+        self.append(s)`` except that, when ``times`` is given (one value per
+        appended row), the ``time_s`` column takes those values instead of
+        each step's own ``time_s`` — the steady-cycle fast-forward replays a
+        cached cycle whose telemetry is identical per period *except* for
+        the advancing wall clock.
+        """
+        k = len(steps)
+        total = k * repeats
+        if total == 0:
+            return
+        if times is not None and times.size != total:
+            raise ValueError(
+                f"times has {times.size} entries, expected {total}"
+            )
+        self.reserve(self._n + total)
+        n = self._n
+        cols = self._cols
+        for name in _FLOAT_FIELDS:
+            if name == "time_s" and times is not None:
+                cols[name][n : n + total] = times
+                continue
+            vals = np.array(
+                [getattr(s, name) for s in steps], dtype=np.float64
+            )
+            cols[name][n : n + total] = np.tile(vals, repeats)
+        phase_codes = np.array(
+            [_CODE_BY_PHASE[s.phase] for s in steps], dtype=np.int8
+        )
+        self._phase[n : n + total] = np.tile(phase_codes, repeats)
+        burst_flags = np.array([s.in_burst for s in steps], dtype=np.bool_)
+        self._in_burst[n : n + total] = np.tile(burst_flags, repeats)
+        self._n = n + total
+
     def clear(self) -> None:
         """Drop all rows (capacity is retained)."""
         self._n = 0

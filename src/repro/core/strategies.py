@@ -111,6 +111,19 @@ class SprintingStrategy(ABC):
     def degree_upper_bound(self, obs: StrategyObservation) -> float:
         """Upper bound on the sprinting degree for this control period."""
 
+    def bound_if_constant(self, max_degree: float) -> Optional[float]:
+        """The strategy's bound when it is one constant for the whole run.
+
+        Returns ``None`` (the default) when the bound genuinely varies with
+        the observation.  A non-``None`` return is a contract: for *every*
+        observation with this ``max_degree`` the strategy would return
+        exactly this value from :meth:`degree_upper_bound`, with no side
+        effects — the span engine then skips building the observation and
+        polling the strategy each step.  Only meaningful alongside
+        ``stateless_bound``.
+        """
+        return None
+
     def notify_realized(self, degree: float, dt_s: float, in_burst: bool) -> None:
         """Feedback: the controller realised ``degree`` for ``dt_s`` seconds.
 
@@ -153,6 +166,10 @@ class GreedyStrategy(SprintingStrategy):
         """Always the chip maximum: nothing but demand constrains Greedy."""
         return obs.max_degree
 
+    def bound_if_constant(self, max_degree: float) -> Optional[float]:
+        """Greedy's bound is the chip maximum, independent of the state."""
+        return max_degree
+
 
 class FixedUpperBoundStrategy(SprintingStrategy):
     """A constant, pre-chosen upper bound — the Oracle's output format."""
@@ -167,6 +184,10 @@ class FixedUpperBoundStrategy(SprintingStrategy):
     def degree_upper_bound(self, obs: StrategyObservation) -> float:
         """The pre-chosen constant, clamped to the chip maximum."""
         return min(self.upper_bound, obs.max_degree)
+
+    def bound_if_constant(self, max_degree: float) -> Optional[float]:
+        """The clamped constant — the same value for every observation."""
+        return min(self.upper_bound, max_degree)
 
 
 class OracleStrategy(FixedUpperBoundStrategy):

@@ -91,8 +91,11 @@ def run_simulation(
     fault_events: list = []
     aborted_at_s: Optional[float] = None
     if fault_plan is None:
-        for i, demand in enumerate(trace):
-            controller.step(demand, time_s=i * trace.dt_s, step_index=i)
+        # Span-compiled fast path: RLE spans + steady-cycle fast-forward,
+        # bit-identical to per-sample stepping (the span differential
+        # suite pins this).  Faulted runs stay on the per-sample path
+        # below — every injected event lands between two specific samples.
+        controller.run_trace(trace)
     else:
         aborted_at_s, fault_events = _run_with_faults(
             datacenter, controller, trace, fault_plan
@@ -158,7 +161,14 @@ def _faulted_sample(
     for this sample — and ``degraded_now`` flags a degradation transition
     on this sample.
     """
-    injector.apply_due(time_s)
+    if injector.apply_due(time_s):
+        # A plan event (or a restore of an expired one) just mutated the
+        # substrate behind the controller's back.  The quiescent
+        # fast-forward signature would catch any physics-relevant change
+        # on its own, but disarming here makes the invalidation structural
+        # rather than incidental: no cached step may ever straddle a
+        # fault-event boundary, whatever fields future fault kinds touch.
+        controller.clear_fast_forward()
     effective = injector.effective_demand(demand, time_s)
     degraded_now = False
     if not controller.degraded:

@@ -30,7 +30,13 @@ from repro.workloads.prediction import (
     OnlineBurstDetector,
     predicted_burst_duration_s,
 )
-from repro.workloads.traces import BurstInterval, Trace, find_bursts
+from repro.workloads.traces import (
+    BurstInterval,
+    DemandSpan,
+    SpanStats,
+    Trace,
+    find_bursts,
+)
 from repro.workloads.yahoo_trace import (
     BURST_START_S,
     DEFAULT_YAHOO_SEED,
@@ -50,6 +56,8 @@ __all__ = [
     "OnlineBurstForecaster",
     "DEFAULT_MS_SEED",
     "DEFAULT_YAHOO_SEED",
+    "DemandSpan",
+    "SpanStats",
     "ErroredPredictor",
     "MS_REAL_BURST_DURATION_S",
     "MS_TRACE_DURATION_S",

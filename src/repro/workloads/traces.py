@@ -18,6 +18,47 @@ from repro.errors import ConfigurationError
 from repro.units import require_non_negative, require_positive
 
 
+@dataclass(frozen=True, slots=True)
+class DemandSpan:
+    """One maximal run of identical demand samples (an RLE segment).
+
+    ``start`` is the absolute sample index of the first sample of the run,
+    ``length`` the number of consecutive samples carrying exactly (bit-wise)
+    the same ``demand`` value.  The span-compiled engine steps one span at
+    a time, paying per-sample Python dispatch once per span instead of once
+    per dt.
+    """
+
+    start: int
+    length: int
+    demand: float
+
+    @property
+    def end(self) -> int:
+        """One past the last sample index of the run."""
+        return self.start + self.length
+
+
+@dataclass(frozen=True, slots=True)
+class SpanStats:
+    """RLE span statistics of a trace — the speedup predictor for the
+    span-compiled engine.
+
+    ``predicted_ff_coverage`` is the fraction of samples that are *not* the
+    first sample of their span: the steady-cycle fast-forward can only ever
+    replay repeated-demand samples, so this is an upper bound on the share
+    of steps the engine may skip.  A fully jittered trace scores 0.0 (every
+    sample is its own span), a constant trace (n-1)/n.
+    """
+
+    n_samples: int
+    n_spans: int
+    mean_length: float
+    p95_length: float
+    max_length: int
+    predicted_ff_coverage: float
+
+
 @dataclass(frozen=True)
 class Trace:
     """A regularly-sampled normalised-demand time series.
@@ -73,6 +114,46 @@ class Trace:
     def times_s(self) -> np.ndarray:
         """Sample timestamps (start of each interval)."""
         return np.arange(self.samples.size) * self.dt_s
+
+    # ------------------------------------------------------------------
+    # Run-length-encoded span view
+    # ------------------------------------------------------------------
+    def spans(self) -> List[DemandSpan]:
+        """Run-length-encode the trace into maximal constant-demand spans.
+
+        Spans partition the sample index range: concatenating them in order
+        reproduces the trace exactly.  Equality is bit-wise float equality,
+        so a span's demand can be replayed without re-reading samples.
+        """
+        samples = self.samples
+        # Boundaries where the value changes; vectorized RLE.
+        starts = np.flatnonzero(samples[1:] != samples[:-1]) + 1
+        bounds = np.concatenate(([0], starts, [samples.size]))
+        return [
+            DemandSpan(
+                start=int(bounds[j]),
+                length=int(bounds[j + 1] - bounds[j]),
+                demand=float(samples[bounds[j]]),
+            )
+            for j in range(bounds.size - 1)
+        ]
+
+    def span_stats(self) -> SpanStats:
+        """Summarise the RLE structure of the trace (see :class:`SpanStats`)."""
+        samples = self.samples
+        starts = np.flatnonzero(samples[1:] != samples[:-1]) + 1
+        bounds = np.concatenate(([0], starts, [samples.size]))
+        lengths = np.diff(bounds)
+        n = int(samples.size)
+        n_spans = int(lengths.size)
+        return SpanStats(
+            n_samples=n,
+            n_spans=n_spans,
+            mean_length=float(lengths.mean()),
+            p95_length=float(np.percentile(lengths, 95.0)),
+            max_length=int(lengths.max()),
+            predicted_ff_coverage=float(n - n_spans) / float(n),
+        )
 
     # ------------------------------------------------------------------
     # Statistics

@@ -97,6 +97,34 @@ class TestTamperSensitivity:
         findings = KernelDriftRule().check_project(sources)
         assert any("2.4971" in f.message for f in findings)
 
+    def test_hidden_cycle_cache_field_is_detected(self, real_sources):
+        # The steady-cycle detector must derive eligibility from the
+        # declared signature alone; stashing extra state on the
+        # controller (a hidden cycle cache) is exactly the drift the
+        # ALLOWED_KERNEL_ONLY ledger exists to surface.
+        sources = tampered(
+            real_sources,
+            "sig = self._quiescent_sig(ctrl)",
+            "sig = (ctrl._degraded_capacity, self._quiescent_sig(ctrl))",
+        )
+        findings = KernelDriftRule().check_project(sources)
+        assert any(
+            "_degraded_capacity" in f.message
+            and "reference step never does" in f.message
+            for f in findings
+        )
+
+    def test_folding_the_trace_period_is_detected(self, real_sources):
+        # The span engine's bulk timestamps must come from the trace's
+        # own dt_s, not a folded constant.
+        sources = tampered(
+            real_sources,
+            "trace_dt = trace.dt_s",
+            "trace_dt = 0.9973",
+        )
+        findings = KernelDriftRule().check_project(sources)
+        assert any("0.9973" in f.message for f in findings)
+
     def test_kernel_only_read_is_detected(self, real_sources):
         # Make the kernel consult a substrate attribute (TesTank.capacity_j)
         # that the reference step closure never reads.

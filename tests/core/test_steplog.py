@@ -143,6 +143,78 @@ class TestColumns:
         assert log[0].served == steps[0].served
 
 
+class TestBulkExtend:
+    """``reserve`` / ``extend_cycle`` keep the list-of-steps contract."""
+
+    def _cycle(self):
+        return [
+            make_step(i, phase=list(SprintPhase)[i % len(SprintPhase)],
+                      in_burst=bool(i % 2))
+            for i in range(3)
+        ]
+
+    def test_extend_cycle_matches_repeated_append(self):
+        steps = self._cycle()
+        bulk = StepLog()
+        bulk.extend_cycle(steps, 5)
+        plain = StepLog()
+        for _ in range(5):
+            for step in steps:
+                plain.append(step)
+        assert bulk == plain
+        assert bulk.to_list() == plain.to_list()
+        assert len(bulk) == 15
+
+    def test_extend_cycle_after_appends(self):
+        steps = self._cycle()
+        log = StepLog()
+        log.append(make_step(42))
+        log.extend_cycle(steps, 2)
+        assert log[0] == make_step(42)
+        assert log[1:] == steps * 2
+
+    def test_times_override_time_column(self):
+        steps = self._cycle()
+        times = np.arange(6, dtype=np.float64) * 10.0
+        log = StepLog()
+        log.extend_cycle(steps, 2, times)
+        assert np.array_equal(log.column("time_s"), times)
+        # every other field still tiles the cached steps
+        assert [s.served for s in log] == [s.served for s in steps] * 2
+        assert [s.phase for s in log] == [s.phase for s in steps] * 2
+
+    def test_times_size_mismatch_raises(self):
+        steps = self._cycle()
+        with pytest.raises(ValueError):
+            StepLog().extend_cycle(steps, 2, np.zeros(5))
+
+    def test_zero_total_is_a_noop(self):
+        log = StepLog()
+        log.extend_cycle([], 5)
+        log.extend_cycle(self._cycle(), 0)
+        assert len(log) == 0
+        assert log == []
+
+    def test_extend_cycle_grows_past_capacity(self):
+        steps = self._cycle()
+        repeats = _INITIAL_CAPACITY // len(steps) + 10
+        log = StepLog()
+        log.extend_cycle(steps, repeats)
+        assert len(log) == len(steps) * repeats
+        assert log[-1] == steps[-1]
+        assert log[0] == steps[0]
+
+    def test_reserve_preserves_rows(self):
+        log = StepLog()
+        steps = self._cycle()
+        for step in steps:
+            log.append(step)
+        log.reserve(_INITIAL_CAPACITY * 4)
+        assert log == steps
+        log.append(make_step(9))
+        assert log[-1] == make_step(9)
+
+
 class TestGrowthAndSnapshots:
     def test_grows_past_initial_capacity(self):
         log = StepLog()
